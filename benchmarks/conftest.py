@@ -1,0 +1,85 @@
+"""Benchmark fixtures and the results reporter.
+
+Every benchmark regenerates one paper artefact (figure/table) or ablation.
+Besides pytest-benchmark's timing table, each writes its paper-shaped
+series through :func:`report`, collected into ``benchmarks/RESULTS.md`` at
+session end so the regenerated numbers are inspectable after a
+``--benchmark-only`` run (where stdout is captured).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro import Cluster
+
+_REPORTS: list[str] = []
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Record one experiment's regenerated table/series."""
+    block = [f"## {title}", ""]
+    block.extend(lines)
+    block.append("")
+    _REPORTS.extend(block)
+    print("\n".join(block))
+
+
+@pytest.fixture
+def reporter():
+    return report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORTS:
+        return
+    path = os.path.join(os.path.dirname(__file__), "RESULTS.md")
+    with open(path, "w") as fh:
+        fh.write("# Regenerated paper artefacts\n\n")
+        fh.write("\n".join(_REPORTS))
+        fh.write("\n")
+
+
+@dataclass
+class BenchCluster:
+    """A cluster pre-loaded with the shared benchmark dataset."""
+
+    cluster: Cluster
+    rows: int
+
+    def session(self, executor: str = "compiled"):
+        return self.cluster.connect(executor)
+
+
+@pytest.fixture(scope="module")
+def bench_cluster() -> BenchCluster:
+    """40k-row events table, sorted on ts, KEY-distributed on product."""
+    rows = 40_000
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=2048)
+    session = cluster.connect()
+    session.execute(
+        "CREATE TABLE events (ts int, product_id int, user_id int, "
+        "amount float, category varchar(12)) "
+        "DISTKEY(product_id) SORTKEY(ts)"
+    )
+    session.execute(
+        "CREATE TABLE products (product_id int, name varchar(16), "
+        "price float) DISTKEY(product_id)"
+    )
+    cluster.register_inline_source(
+        "bench://events",
+        [
+            f"{i}|{i % 500}|{i % 977}|{(i % 41) * 1.5}|cat-{i % 9}"
+            for i in range(rows)
+        ],
+    )
+    cluster.register_inline_source(
+        "bench://products",
+        [f"{i}|prod-{i}|{(i % 30) * 3.0}" for i in range(500)],
+    )
+    session.execute("COPY products FROM 'bench://products'")
+    session.execute("COPY events FROM 'bench://events'")
+    return BenchCluster(cluster=cluster, rows=rows)

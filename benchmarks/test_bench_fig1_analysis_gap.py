@@ -1,0 +1,38 @@
+"""Figure 1 — Data Analysis Gap in the Enterprise, 1990–2020.
+
+Regenerates the two curves (enterprise data vs data in warehouses) from
+the CAGR constants the paper quotes, and checks the figure's qualitative
+content: the curves diverge, the gap accelerates after ~2013, and the
+implied late-era doubling time matches the quoted "~20 months".
+"""
+
+from repro.growth import DataGrowthModel
+
+
+def test_fig1_analysis_gap(benchmark, reporter):
+    model = DataGrowthModel()
+    points = benchmark(model.series)
+
+    by_year = {p.year: p for p in points}
+    lines = ["year | enterprise data | warehouse data | dark fraction"]
+    for year in (1990, 1995, 2000, 2005, 2010, 2015, 2020):
+        p = by_year[year]
+        lines.append(
+            f"{p.year} | {p.enterprise_data:12.1f}x | {p.warehouse_data:9.1f}x"
+            f" | {p.dark_fraction:6.1%}"
+        )
+    lines.append(
+        f"implied doubling time (late era): "
+        f"{model.doubling_months_late_era():.0f} months (paper: ~20)"
+    )
+    reporter("Figure 1 — the analysis gap", lines)
+
+    # Shape assertions: monotone divergence, acceleration, dark majority.
+    gaps = [p.enterprise_data / p.warehouse_data for p in points]
+    assert all(b >= a for a, b in zip(gaps, gaps[1:]))
+    assert by_year[2020].dark_fraction > 0.95
+    assert by_year[2000].dark_fraction < by_year[2010].dark_fraction
+    growth_2014 = by_year[2015].enterprise_data / by_year[2014].enterprise_data
+    growth_2000 = by_year[2001].enterprise_data / by_year[2000].enterprise_data
+    assert growth_2014 > growth_2000  # the recent acceleration
+    assert 15 <= model.doubling_months_late_era() <= 25

@@ -1,0 +1,91 @@
+"""Figure 2 — Time to deploy and manage a cluster, by cluster size.
+
+Regenerates the paper's bar chart: deploy / connect / backup / restore /
+resize(2→16) durations for 2-, 16- and 128-node clusters, split into
+"time spent on clicks" versus automated time. The paper's qualitative
+claims: every operation fits tens of minutes even at 128 nodes, click
+time is a small constant, and durations grow sublinearly with node count
+because the work is parallel per node.
+"""
+
+import pytest
+
+from repro.cloud import CloudEnvironment
+from repro.controlplane import RedshiftService
+from repro.util.units import MINUTE, format_duration
+
+
+def run_admin_suite(node_count: int) -> dict:
+    env = CloudEnvironment(seed=100 + node_count)
+    env.ec2.preconfigure("dw2.large", node_count * 3 + 16)
+    service = RedshiftService(env)
+
+    managed, deploy = service.create_cluster(
+        node_count=node_count, slices_per_node=2, block_capacity=256
+    )
+    connect = service.connect_timing(managed.cluster_id)
+
+    session = managed.connect()
+    session.execute("CREATE TABLE t (k int, v int) DISTKEY(k)")
+    # Data volume scales with cluster size (bigger clusters hold more).
+    per_node_rows = 2000
+    rows = ",".join(
+        f"({i}, {i})" for i in range(per_node_rows * node_count)
+    )
+    session.execute(f"INSERT INTO t VALUES {rows}")
+
+    _, backup = service.snapshot_cluster(managed.cluster_id, label=f"s{node_count}")
+    _, _, restore = service.restore_cluster(
+        managed.cluster_id, f"s{node_count}", streaming=True
+    )
+    resize_target = max(1, node_count * 2 if node_count <= 16 else node_count)
+    _, resize = service.resize_cluster(managed.cluster_id, resize_target)
+    return {
+        "deploy": deploy,
+        "connect": connect,
+        "backup": backup,
+        "restore": restore,
+        "resize": resize,
+    }
+
+
+@pytest.mark.parametrize("node_count", [2, 16])
+def test_fig2_admin_operations(benchmark, reporter, node_count):
+    timings = benchmark.pedantic(
+        run_admin_suite, args=(node_count,), iterations=1, rounds=1
+    )
+    lines = [
+        "operation | clicks | automated | total",
+    ]
+    for name, timing in timings.items():
+        lines.append(
+            f"{name:8s} | {timing.click_seconds:5.0f}s | "
+            f"{format_duration(timing.automated_seconds):>9s} | "
+            f"{format_duration(timing.total_seconds):>9s}"
+        )
+    reporter(f"Figure 2 — admin operations, {node_count} nodes", lines)
+
+    # Paper shape: everything completes within tens of minutes...
+    for name, timing in timings.items():
+        assert timing.total_seconds < 35 * MINUTE, (name, timing.total_seconds)
+    # ...and clicks are a small constant slice of each operation.
+    for timing in timings.values():
+        assert timing.click_seconds <= 2 * MINUTE
+
+
+def test_fig2_sublinear_scaling(reporter, benchmark):
+    """Durations must grow far slower than node count (parallel admin)."""
+    small = benchmark.pedantic(
+        run_admin_suite, args=(2,), iterations=1, rounds=1
+    )
+    large = run_admin_suite(16)
+    lines = ["operation | 2 nodes | 16 nodes | ratio (≤8x would be linear)"]
+    for name in small:
+        a = small[name].automated_seconds
+        b = large[name].automated_seconds
+        lines.append(
+            f"{name:8s} | {a:7.0f}s | {b:8.0f}s | {b / max(a, 1e-9):.2f}x"
+        )
+        # 8x more nodes must NOT cost 8x the time.
+        assert b < a * 4, (name, a, b)
+    reporter("Figure 2 — scaling 2 → 16 nodes", lines)

@@ -1,0 +1,50 @@
+"""Figure 4 — Cumulative features deployed over time.
+
+Regenerates the two-year cumulative-feature curve under the paper's
+stated delivery process (two-week release trains, ~1 feature/week on
+average, accelerating as the team grows).
+"""
+
+from repro.ops import FeatureDeliveryModel
+
+
+def test_fig4_cumulative_features(benchmark, reporter):
+    model = FeatureDeliveryModel(seed="fig4")
+    releases = benchmark(model.simulate, 104)
+
+    lines = ["week | features this release | cumulative"]
+    for release in releases:
+        if release.week % 13 == 0:  # quarterly samples for the table
+            lines.append(
+                f"{release.week:4.0f} | {release.features:21d} | "
+                f"{release.cumulative:10d}"
+            )
+    lines.append(
+        f"total after 2 years: {releases[-1].cumulative} "
+        f"(paper: 'one feature per week' ≈ 104)"
+    )
+    reporter("Figure 4 — cumulative features deployed", lines)
+
+    # Paper shape: ~1/week average over two years...
+    total = releases[-1].cumulative
+    assert 80 <= total <= 170
+    # ...strictly non-decreasing...
+    cumulative = [r.cumulative for r in releases]
+    assert cumulative == sorted(cumulative)
+    # ...and convex-ish: the second year delivers at least as much as the
+    # first (the team grows; the paper's curve steepens).
+    first_year = model.features_at(releases, 52)
+    second_year = total - first_year
+    assert second_year >= first_year * 0.9
+
+
+def test_fig4_cadence_consistency(reporter, benchmark):
+    """A 2-week train over 2 years is exactly 52 releases."""
+    releases = benchmark(
+        FeatureDeliveryModel(release_interval_weeks=2, seed=1).simulate, 104
+    )
+    assert len(releases) == 52
+    reporter(
+        "Figure 4 — release train count",
+        [f"releases in 104 weeks at 2-week cadence: {len(releases)}"],
+    )

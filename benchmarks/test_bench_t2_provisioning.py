@@ -1,0 +1,77 @@
+"""Table t2 — provisioning and time-to-first-report claims.
+
+§1/§3.1: cluster creation "averaged 15 minutes" at launch; preconfigured
+warm-pool nodes "reduced provisioning time to 3 minutes"; time to first
+report "can be as little as 15 minutes, even ... a multi-PB cluster";
+experimentation costs "$0.25/hour/node" with a 160GB free-trial node.
+"""
+
+from repro.cloud import CloudEnvironment
+from repro.controlplane import RedshiftService
+from repro.perfmodel import NODE_PROFILES
+from repro.util.units import GB, MINUTE, format_duration
+
+
+def create_once(warm: bool, seed: int) -> float:
+    env = CloudEnvironment(seed=seed)
+    if warm:
+        env.ec2.preconfigure("dw2.large", 8)
+    service = RedshiftService(env)
+    _, timing = service.create_cluster(node_count=2, block_capacity=64)
+    return timing.automated_seconds
+
+
+def test_t2_cold_vs_warm_provisioning(benchmark, reporter):
+    cold = [create_once(False, seed) for seed in range(6)]
+    warm = [create_once(True, seed) for seed in range(6)]
+    benchmark.pedantic(create_once, args=(True, 99), iterations=1, rounds=1)
+
+    cold_avg = sum(cold) / len(cold)
+    warm_avg = sum(warm) / len(warm)
+    reporter(
+        "Table t2 — provisioning time",
+        [
+            f"cold creates: avg {format_duration(cold_avg)} "
+            f"(paper: 'averaged 15 minutes')",
+            f"warm-pool creates: avg {format_duration(warm_avg)} "
+            f"(paper: 'reduced provisioning time to 3 minutes')",
+            f"speedup: {cold_avg / warm_avg:.1f}x",
+        ],
+    )
+    # Shape: cold is many minutes, warm a few, warm ≪ cold.
+    assert 8 * MINUTE < cold_avg < 25 * MINUTE
+    assert warm_avg < 6 * MINUTE
+    assert warm_avg < cold_avg / 2
+
+
+def test_t2_time_to_first_report(benchmark, reporter):
+    env = CloudEnvironment(seed=7)
+    env.ec2.preconfigure("dw2.large", 8)
+    service = RedshiftService(env)
+    ttfr = benchmark.pedantic(
+        service.time_to_first_report, kwargs={"node_count": 2},
+        iterations=1, rounds=1,
+    )
+    reporter(
+        "Table t2 — time to first report",
+        [f"decide → create → connect → first result: {format_duration(ttfr)} "
+         f"(paper: 'as little as 15 minutes')"],
+    )
+    assert ttfr < 15 * MINUTE
+
+
+def test_t2_free_trial_economics(benchmark, reporter):
+    node = benchmark.pedantic(
+        lambda: NODE_PROFILES["dw2.large"], iterations=1, rounds=1
+    )
+    reporter(
+        "Table t2 — experimentation pricing anchors",
+        [
+            f"dw2.large: ${node.hourly_price_usd}/hour "
+            f"(paper: '$0.25/hour/node')",
+            f"dw2.large storage: {node.storage_bytes / GB:.0f} GB "
+            f"(paper free trial: '160GB of compressed SSD data')",
+        ],
+    )
+    assert node.hourly_price_usd == 0.25
+    assert abs(node.storage_bytes - 160 * 10 ** 9) < 10 ** 9

@@ -1,0 +1,129 @@
+"""The simplicity thesis, end to end: a warehouse that tunes itself.
+
+§3 of the paper argues the product is the *removal of decisions*: "I want
+a relationship with my data, not my database." This example runs the
+future-work features that finish the job:
+
+* automatic relationalization — raw JSON logs become a typed table with
+  one call (§4),
+* the workload-driven tuning advisor — dist/sort keys recommended from
+  observed queries (§3.3: "striving to make sort column and distribution
+  key equally dusty"),
+* automatic table maintenance — the daemon VACUUMs degraded tables when
+  load is light (§3.2's future work),
+* WLM sizing — simulated admission shows why the short-query queue exists.
+
+Run:  python examples/autopilot.py
+"""
+
+import json
+
+from repro import Cluster
+from repro.cloud import SimClock
+from repro.controlplane.maintenance import AutoMaintenanceDaemon
+from repro.engine.advisor import TuningAdvisor
+from repro.engine.health import table_health
+from repro.engine.relationalize import relationalize
+from repro.engine.wlm import QueryArrival, QueueConfig, WorkloadManager
+from repro.util.units import HOUR
+
+
+def raw_log_lines(n: int) -> list[str]:
+    return [
+        json.dumps(
+            {
+                "Request ID": i,
+                "when": f"2015-06-{1 + i % 28:02d} {i % 24:02d}:00:00",
+                "customer": i % 120,
+                "path": f"/api/v1/resource/{i % 30}",
+                "latency_ms": (i % 450) + 3,
+                "ok": i % 17 != 0,
+            }
+        )
+        for i in range(12_000)
+    ]
+
+
+def main() -> None:
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=512)
+    session = cluster.connect()
+
+    # 1. Dark data in, typed table out — no schema written by hand.
+    cluster.register_inline_source("lake://api-logs", raw_log_lines(12_000))
+    schema = relationalize(cluster, session, "api_logs", "lake://api-logs")
+    print("inferred schema:")
+    print(f"  {schema.create_table_sql()}")
+
+    # 2. Run the actual workload for a while.
+    session.execute(
+        "CREATE TABLE customers (customer int, plan varchar(8))"
+    )
+    session.execute(
+        "INSERT INTO customers VALUES "
+        + ",".join(f"({i}, '{'pro' if i % 4 == 0 else 'std'}')" for i in range(120))
+    )
+    for _ in range(5):
+        session.execute(
+            "SELECT c.plan, count(*), avg(l.latency_ms) FROM api_logs l "
+            "JOIN customers c ON l.customer = c.customer "
+            "WHERE l.when_ >= TIMESTAMP '2015-06-20 00:00:00' "
+            "GROUP BY c.plan"
+        )
+        session.execute(
+            "SELECT count(*) FROM api_logs WHERE customer = 7 AND NOT ok"
+        )
+
+    # 3. The advisor reads the workload and the statistics.
+    advisor = TuningAdvisor(cluster.catalog, cluster.workload)
+    print("\ntuning recommendations:")
+    for rec in advisor.recommend_all():
+        print(f"  {rec.table_name}: {rec.current} -> {rec.suggested}")
+        print(f"      because {rec.rationale}")
+
+    # 4. Time passes; churn degrades the table; the daemon self-corrects.
+    session.execute("DELETE FROM api_logs WHERE NOT ok")
+    health = table_health(cluster, "api_logs")
+    print(
+        f"\nafter retention delete: {health.dead_fraction:.0%} of rows dead"
+    )
+    clock = SimClock()
+    daemon = AutoMaintenanceDaemon(
+        cluster, clock, dead_threshold=0.05, poll_interval_s=6 * HOUR
+    )
+    daemon.start()
+    clock.advance(7 * HOUR)  # overnight
+    for action in daemon.actions:
+        print(f"  auto-maintenance: VACUUM {action.table_name} ({action.reason})")
+    health = table_health(cluster, "api_logs")
+    print(f"  health now: {health.dead_fraction:.0%} dead")
+
+    # 5. WLM sizing: why dashboards get their own queue.
+    etl = [QueryArrival("all", i * 3.0, 240.0, "etl") for i in range(6)]
+    dashboards = [QueryArrival("all", 15.0 + i, 0.8, "dash") for i in range(30)]
+    single = WorkloadManager(
+        [QueueConfig("all", slots=5, memory_fraction=1.0)]
+    ).simulate(etl + dashboards)["all"]
+    dash_waits = [
+        o.wait_s for o in single.outcomes if o.arrival.label == "dash"
+    ]
+    print(
+        f"\nWLM, one shared queue: dashboards wait "
+        f"{sum(dash_waits) / len(dash_waits):.0f}s on average behind ETL"
+    )
+    split = WorkloadManager(
+        [
+            QueueConfig("etl", slots=3, memory_fraction=0.7),
+            QueueConfig("short", slots=2, memory_fraction=0.3),
+        ]
+    ).simulate(
+        [QueryArrival("etl", a.arrival_s, a.duration_s) for a in etl]
+        + [QueryArrival("short", a.arrival_s, a.duration_s) for a in dashboards]
+    )
+    print(
+        f"WLM, dedicated short queue: dashboards wait "
+        f"{split['short'].mean_wait_s:.1f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

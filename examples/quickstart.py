@@ -1,0 +1,108 @@
+"""Quickstart: an embedded columnar MPP warehouse in a few lines.
+
+Creates a 2-node / 4-slice cluster, defines a star schema with
+distribution and sort keys, bulk-loads with COPY (automatic compression),
+and runs analytic SQL — showing the plan, the blocks skipped by zone
+maps, and the zero bytes moved by a co-located join.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster
+
+
+def main() -> None:
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=1024)
+    session = cluster.connect()
+
+    # DDL: dist key co-locates the join; sort key powers zone maps.
+    session.execute(
+        """
+        CREATE TABLE sales (
+            sale_id   bigint NOT NULL,
+            product_id int,
+            sold_at   date,
+            quantity  int,
+            price     decimal(8,2)
+        ) DISTKEY(product_id) SORTKEY(sold_at)
+        """
+    )
+    session.execute(
+        """
+        CREATE TABLE products (
+            product_id int,
+            name       varchar(32),
+            category   varchar(16)
+        ) DISTKEY(product_id)
+        """
+    )
+
+    # COPY from a registered source (the cloud layer registers s3:// the
+    # same way). Compression is chosen automatically from a data sample.
+    cluster.register_inline_source(
+        "demo://sales",
+        [
+            f"{i}|{i % 200}|2015-{1 + (i * 37) % 12:02d}-{1 + i % 28:02d}|"
+            f"{1 + i % 5}|{(i % 90) + 0.99}"
+            for i in range(20_000)
+        ],
+    )
+    cluster.register_inline_source(
+        "demo://products",
+        [f"{i}|product-{i}|cat-{i % 8}" for i in range(200)],
+    )
+    session.execute("COPY products FROM 'demo://products'")
+    result = session.execute("COPY sales FROM 'demo://sales'")
+    print(f"loaded {result.rowcount:,} sales rows")
+
+    encodings = {
+        c.name: c.encode for c in cluster.catalog.table("sales").columns
+    }
+    print(f"auto-chosen encodings: {encodings}")
+
+    # A co-located join + aggregation.
+    result = session.execute(
+        """
+        SELECT p.category,
+               count(*)                    AS sales,
+               sum(s.quantity * s.price)   AS revenue
+        FROM sales s
+        JOIN products p ON s.product_id = p.product_id
+        GROUP BY p.category
+        ORDER BY revenue DESC
+        LIMIT 5
+        """
+    )
+    print("\ntop categories:")
+    for category, sales, revenue in result.rows:
+        print(f"  {category:8s} {sales:6,d} sales   ${revenue:12,.2f}")
+    print(
+        f"(join moved {result.stats.network.total_bytes} interconnect "
+        f"bytes — co-located on product_id)"
+    )
+
+    # Zone maps prune the date-range scan.
+    result = session.execute(
+        "SELECT count(*), sum(quantity) FROM sales "
+        "WHERE sold_at BETWEEN DATE '2015-06-01' AND DATE '2015-06-30'"
+    )
+    scan = result.stats.scan
+    print(
+        f"\nJune scan: {result.rows[0][0]} rows; "
+        f"read {scan.blocks_read} blocks, skipped {scan.blocks_skipped} "
+        f"via zone maps"
+    )
+
+    # EXPLAIN shows the distributed plan.
+    print("\nplan:")
+    plan = session.execute(
+        "EXPLAIN SELECT p.name, count(*) FROM sales s "
+        "JOIN products p ON s.product_id = p.product_id "
+        "WHERE s.sold_at >= DATE '2015-06-01' GROUP BY p.name"
+    )
+    for (line,) in plan.rows:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of "Amazon Redshift and the Case for Simpler
+Data Warehouses" (SIGMOD 2015).
+
+The package provides two layers:
+
+* **Data plane** (:mod:`repro.engine` and below): an embeddable columnar
+  MPP SQL engine — leader/compute/slice topology, per-column compression
+  with automatic codec selection, zone maps, distribution styles,
+  compound/interleaved (z-curve) sort keys, snapshot-isolation
+  transactions, interpreted and compiled executors, and a parallel COPY
+  ingest path.
+
+* **Managed service** (:mod:`repro.cloud`, :mod:`repro.controlplane`,
+  :mod:`repro.ops` …): a discrete-event simulation of the control plane —
+  provisioning, patching, backup/restore (including streaming restore),
+  resize, replication and durability, fleet operations.
+
+Quick start::
+
+    from repro import Cluster
+
+    cluster = Cluster(node_count=2, slices_per_node=2)
+    session = cluster.connect()
+    session.execute("CREATE TABLE t (id int, v varchar(32)) DISTKEY(id)")
+    session.execute("INSERT INTO t VALUES (1, 'hello'), (2, 'world')")
+    result = session.execute("SELECT count(*) FROM t")
+    assert result.scalar() == 2
+"""
+
+from repro.engine.cluster import Cluster
+from repro.engine.session import Session, QueryResult
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["Cluster", "Session", "QueryResult", "ReproError", "__version__"]

@@ -1,0 +1,14 @@
+"""Continuous, incremental, automatic block-level backup to simulated S3.
+
+"Data blocks are also asynchronously and automatically backed up to
+Amazon S3 ... This has allowed us to entirely automate backup, making it
+continuous, incremental and automatic ... the time required to backup an
+entire cluster is proportional to the data changed on a single node.
+System backups are taken automatically and are automatically aged out.
+User backups leverage the blocks already backed up in system backups and
+are kept until explicitly deleted." (paper §2.1–§3.2)
+"""
+
+from repro.backup.manager import BackupManager, SnapshotRecord
+
+__all__ = ["BackupManager", "SnapshotRecord"]

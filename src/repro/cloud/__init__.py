@@ -1,0 +1,41 @@
+"""Simulated AWS substrate.
+
+The paper's control plane leans on real AWS services (§2.3): EC2 for
+instances, S3 for backup, SWF for workflows, CloudWatch for metrics, SNS
+for alarms, KMS/CloudHSM for keys. This package simulates each of them on
+a shared discrete-event clock with the properties the paper's claims
+depend on: S3's durability and throughput, EC2's provisioning latency and
+capacity interruptions, workflow retries, and key wrapping.
+"""
+
+from repro.cloud.simclock import SimClock, ScheduledEvent
+from repro.cloud.s3 import SimS3, S3Object, S3Config
+from repro.cloud.ec2 import SimEC2, Ec2Config, Instance
+from repro.cloud.swf import SimWorkflowService, Workflow, WorkflowStep, StepResult
+from repro.cloud.cloudwatch import SimCloudWatch, MetricPoint
+from repro.cloud.sns import SimSNS, Notification
+from repro.cloud.kms import SimKMS, WrappedKey
+from repro.cloud.cloudtrail import SimCloudTrail, AuditEvent
+from repro.cloud.dynamodb import SimDynamoDB, DynamoTable
+from repro.cloud.copysources import (
+    attach_cloud_sources,
+    s3_source,
+    dynamodb_source,
+    SshCommandRegistry,
+)
+from repro.cloud.environment import CloudEnvironment
+
+__all__ = [
+    "SimClock", "ScheduledEvent",
+    "SimS3", "S3Object", "S3Config",
+    "SimEC2", "Ec2Config", "Instance",
+    "SimWorkflowService", "Workflow", "WorkflowStep", "StepResult",
+    "SimCloudWatch", "MetricPoint",
+    "SimSNS", "Notification",
+    "SimKMS", "WrappedKey",
+    "SimCloudTrail", "AuditEvent",
+    "SimDynamoDB", "DynamoTable",
+    "attach_cloud_sources", "s3_source", "dynamodb_source",
+    "SshCommandRegistry",
+    "CloudEnvironment",
+]

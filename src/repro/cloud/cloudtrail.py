@@ -1,0 +1,96 @@
+"""Simulated AWS CloudTrail: audit logging of control-plane actions.
+
+"AWS CloudTrail for audit logging" (paper §2.3). Every management API
+call is recorded with actor, action, resource, parameters and outcome;
+the trail is queryable and can be archived to S3.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.cloud.s3 import SimS3
+from repro.cloud.simclock import SimClock
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    event_time: float
+    actor: str
+    action: str
+    resource: str
+    parameters: tuple[tuple[str, str], ...]
+    success: bool
+    error: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "eventTime": self.event_time,
+                "actor": self.actor,
+                "action": self.action,
+                "resource": self.resource,
+                "parameters": dict(self.parameters),
+                "success": self.success,
+                "error": self.error,
+            },
+            sort_keys=True,
+        )
+
+
+class SimCloudTrail:
+    """Append-only audit trail with lookup and S3 archival."""
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self.events: list[AuditEvent] = []
+
+    def record(
+        self,
+        actor: str,
+        action: str,
+        resource: str,
+        parameters: dict[str, object] | None = None,
+        success: bool = True,
+        error: str = "",
+    ) -> AuditEvent:
+        event = AuditEvent(
+            event_time=self._clock.now,
+            actor=actor,
+            action=action,
+            resource=resource,
+            parameters=tuple(
+                sorted((k, str(v)) for k, v in (parameters or {}).items())
+            ),
+            success=success,
+            error=error,
+        )
+        self.events.append(event)
+        return event
+
+    def lookup(
+        self,
+        action: str | None = None,
+        resource: str | None = None,
+        since: float | None = None,
+    ) -> list[AuditEvent]:
+        """Filter events (all criteria are conjunctive)."""
+        out = []
+        for event in self.events:
+            if action is not None and event.action != action:
+                continue
+            if resource is not None and event.resource != resource:
+                continue
+            if since is not None and event.event_time < since:
+                continue
+            out.append(event)
+        return out
+
+    def archive_to_s3(self, s3: SimS3, bucket: str) -> str:
+        """Write the full trail as one JSON-lines object; returns the key."""
+        s3.create_bucket(bucket)
+        key = f"trail/{self._clock.now:.0f}.jsonl"
+        body = "\n".join(e.to_json() for e in self.events).encode("utf-8")
+        s3.put_object(bucket, key, body)
+        return key

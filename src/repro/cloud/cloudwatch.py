@@ -1,0 +1,72 @@
+"""Simulated CloudWatch: time-stamped metrics with simple aggregation.
+
+The control plane publishes instance and query telemetry here; patch
+auto-rollback (§5) reads error/latency series back to decide whether a
+deployment regressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.simclock import SimClock
+from repro.util.stats import mean
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    timestamp: float
+    value: float
+
+
+class SimCloudWatch:
+    """Metric name (+ dimensions) → time series."""
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._series: dict[tuple, list[MetricPoint]] = {}
+
+    @staticmethod
+    def _key(name: str, dimensions: dict[str, str] | None) -> tuple:
+        return (name, tuple(sorted((dimensions or {}).items())))
+
+    def put_metric(
+        self, name: str, value: float, dimensions: dict[str, str] | None = None
+    ) -> None:
+        key = self._key(name, dimensions)
+        self._series.setdefault(key, []).append(
+            MetricPoint(self._clock.now, float(value))
+        )
+
+    def get_series(
+        self, name: str, dimensions: dict[str, str] | None = None
+    ) -> list[MetricPoint]:
+        return list(self._series.get(self._key(name, dimensions), []))
+
+    def average(
+        self,
+        name: str,
+        window_s: float,
+        dimensions: dict[str, str] | None = None,
+    ) -> float | None:
+        """Mean over the trailing window; None when the window is empty."""
+        cutoff = self._clock.now - window_s
+        points = [
+            p.value
+            for p in self._series.get(self._key(name, dimensions), [])
+            if p.timestamp >= cutoff
+        ]
+        return mean(points) if points else None
+
+    def total(
+        self,
+        name: str,
+        window_s: float,
+        dimensions: dict[str, str] | None = None,
+    ) -> float:
+        cutoff = self._clock.now - window_s
+        return sum(
+            p.value
+            for p in self._series.get(self._key(name, dimensions), [])
+            if p.timestamp >= cutoff
+        )

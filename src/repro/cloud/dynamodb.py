@@ -1,0 +1,74 @@
+"""Simulated Amazon DynamoDB: a key-value item store COPY can ingest from.
+
+§2.1: "The Amazon Redshift version of COPY provides direct access to load
+data from Amazon S3, Amazon DynamoDB, Amazon EMR, or over an arbitrary
+SSH connection." This module provides the DynamoDB side: named tables of
+attribute-map items with scan (for COPY) and a provisioned-throughput
+model for transfer-time accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CloudError
+
+
+@dataclass
+class DynamoTable:
+    name: str
+    hash_key: str
+    items: dict[object, dict] = field(default_factory=dict)
+    read_capacity_units: int = 100
+
+    def put_item(self, item: dict) -> None:
+        key = item.get(self.hash_key)
+        if key is None:
+            raise CloudError(
+                f"item missing hash key {self.hash_key!r} for table {self.name!r}"
+            )
+        self.items[key] = dict(item)
+
+    def get_item(self, key: object) -> dict | None:
+        item = self.items.get(key)
+        return dict(item) if item is not None else None
+
+    def scan(self) -> list[dict]:
+        """Full scan in stable key order (what COPY consumes)."""
+        return [dict(self.items[k]) for k in sorted(self.items, key=repr)]
+
+    @property
+    def item_count(self) -> int:
+        return len(self.items)
+
+    def scan_seconds(self) -> float:
+        """Simulated full-scan duration under provisioned throughput:
+        one RCU reads ~two 4KB-ish items per second in 2015 terms."""
+        return self.item_count / max(1, self.read_capacity_units * 2)
+
+
+class SimDynamoDB:
+    """The regional table registry."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, DynamoTable] = {}
+
+    def create_table(
+        self, name: str, hash_key: str, read_capacity_units: int = 100
+    ) -> DynamoTable:
+        if name in self._tables:
+            raise CloudError(f"DynamoDB table {name!r} already exists")
+        table = DynamoTable(
+            name=name, hash_key=hash_key, read_capacity_units=read_capacity_units
+        )
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> DynamoTable:
+        table = self._tables.get(name)
+        if table is None:
+            raise CloudError(f"no such DynamoDB table {name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables

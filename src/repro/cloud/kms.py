@@ -1,0 +1,122 @@
+"""Simulated KMS/CloudHSM: key generation and envelope wrapping.
+
+Implements exactly what the engine's key hierarchy (§3.2) needs: generate
+data keys, wrap them under a named master key, unwrap them later, and
+rotate or revoke masters. "Encryption" here is a keyed XOR stream — the
+*hierarchy semantics* (what must be re-encrypted on rotation, what access
+is lost on repudiation) are the reproduced behaviour, not the cipher
+strength; see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import KmsError
+from repro.util.rng import DeterministicRng
+
+KEY_BYTES = 32
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(key + counter.to_bytes(8, "big")).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+def xor_cipher(key: bytes, data: bytes) -> bytes:
+    """Symmetric keyed transform (its own inverse)."""
+    stream = _keystream(key, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+@dataclass(frozen=True)
+class WrappedKey:
+    """A data key encrypted under a master key."""
+
+    master_key_id: str
+    master_version: int
+    ciphertext: bytes
+
+
+class SimKMS:
+    """Master-key registry with versioned rotation and revocation."""
+
+    def __init__(self, rng: DeterministicRng | None = None):
+        self._rng = rng or DeterministicRng("kms")
+        self._ids = itertools.count(1)
+        #: key id -> (current version, {version: key bytes}, revoked?)
+        self._masters: dict[str, tuple[int, dict[int, bytes], bool]] = {}
+
+    def _random_key(self) -> bytes:
+        return bytes(self._rng.randrange(256) for _ in range(KEY_BYTES))
+
+    # ---- master keys -------------------------------------------------------
+
+    def create_master_key(self, alias: str | None = None) -> str:
+        key_id = alias or f"key-{next(self._ids):06d}"
+        if key_id in self._masters:
+            raise KmsError(f"master key {key_id!r} already exists")
+        self._masters[key_id] = (1, {1: self._random_key()}, False)
+        return key_id
+
+    def rotate_master_key(self, key_id: str) -> int:
+        """New master version; old versions stay usable for unwrapping
+        until revoked, so rotation never requires bulk re-encryption."""
+        version, keys, revoked = self._require(key_id)
+        new_version = version + 1
+        keys[new_version] = self._random_key()
+        self._masters[key_id] = (new_version, keys, revoked)
+        return new_version
+
+    def revoke_master_key(self, key_id: str) -> None:
+        """Repudiation: all wraps under this master become undecryptable."""
+        version, keys, _ = self._require(key_id)
+        self._masters[key_id] = (version, keys, True)
+
+    def _require(self, key_id: str) -> tuple[int, dict[int, bytes], bool]:
+        entry = self._masters.get(key_id)
+        if entry is None:
+            raise KmsError(f"no such master key {key_id!r}")
+        return entry
+
+    # ---- data keys -------------------------------------------------------------
+
+    def generate_data_key(self, master_key_id: str) -> tuple[bytes, WrappedKey]:
+        """Return (plaintext key, wrapped key) — envelope encryption."""
+        plaintext = self._random_key()
+        return plaintext, self.wrap(master_key_id, plaintext)
+
+    def wrap(self, master_key_id: str, plaintext_key: bytes) -> WrappedKey:
+        version, keys, revoked = self._require(master_key_id)
+        if revoked:
+            raise KmsError(f"master key {master_key_id!r} is revoked")
+        return WrappedKey(
+            master_key_id=master_key_id,
+            master_version=version,
+            ciphertext=xor_cipher(keys[version], plaintext_key),
+        )
+
+    def unwrap(self, wrapped: WrappedKey) -> bytes:
+        version, keys, revoked = self._require(wrapped.master_key_id)
+        if revoked:
+            raise KmsError(
+                f"master key {wrapped.master_key_id!r} is revoked"
+            )
+        master = keys.get(wrapped.master_version)
+        if master is None:
+            raise KmsError(
+                f"master key version {wrapped.master_version} not found"
+            )
+        return xor_cipher(master, wrapped.ciphertext)
+
+    def rewrap(self, wrapped: WrappedKey) -> WrappedKey:
+        """Re-encrypt a wrapped key under the master's current version —
+        the cheap operation that makes key rotation O(keys), not O(data)."""
+        plaintext = self.unwrap(wrapped)
+        return self.wrap(wrapped.master_key_id, plaintext)

@@ -1,0 +1,45 @@
+"""Simulated SNS: topic-based notifications for customer alarms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cloud.simclock import SimClock
+
+
+@dataclass(frozen=True)
+class Notification:
+    topic: str
+    subject: str
+    message: str
+    published_at: float
+
+
+class SimSNS:
+    """Publish/subscribe with full delivery history."""
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._subscribers: dict[str, list[Callable[[Notification], None]]] = {}
+        self.delivered: list[Notification] = []
+
+    def subscribe(
+        self, topic: str, handler: Callable[[Notification], None]
+    ) -> None:
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def publish(self, topic: str, subject: str, message: str) -> Notification:
+        notification = Notification(
+            topic=topic,
+            subject=subject,
+            message=message,
+            published_at=self._clock.now,
+        )
+        self.delivered.append(notification)
+        for handler in self._subscribers.get(topic, []):
+            handler(notification)
+        return notification
+
+    def topic_history(self, topic: str) -> list[Notification]:
+        return [n for n in self.delivered if n.topic == topic]

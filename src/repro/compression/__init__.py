@@ -1,0 +1,42 @@
+"""Per-column compression codecs and automatic encoding selection.
+
+Amazon Redshift stores each column in fixed-size blocks, each encoded with
+one of a family of codecs (RAW, BYTEDICT, DELTA, DELTA32K, LZO, MOSTLY8/16/32,
+RUNLENGTH, TEXT255). The paper's "simplicity" thesis is that the *system*
+picks the codec by sampling loaded data, so the knob stays "dusty". This
+package implements the codecs and the sampling analyzer.
+
+The LZO codec is simulated with zlib (see DESIGN.md substitution table):
+both are byte-oriented general-purpose compressors and only the relative
+behaviour (good on text, mediocre on random numerics, no structure
+exploitation) matters for the paper's claims.
+"""
+
+from repro.compression.codecs import (
+    Codec,
+    EncodedVector,
+    RawCodec,
+    RunLengthCodec,
+    ByteDictCodec,
+    DeltaCodec,
+    MostlyCodec,
+    LzoCodec,
+    ZstdCodec,
+    Text255Codec,
+    codec_by_name,
+    all_codecs,
+    applicable_codecs,
+)
+from repro.compression.analyzer import (
+    CompressionAnalyzer,
+    ColumnAnalysis,
+    analyze_column,
+)
+
+__all__ = [
+    "Codec", "EncodedVector",
+    "RawCodec", "RunLengthCodec", "ByteDictCodec", "DeltaCodec",
+    "MostlyCodec", "LzoCodec", "ZstdCodec", "Text255Codec",
+    "codec_by_name", "all_codecs", "applicable_codecs",
+    "CompressionAnalyzer", "ColumnAnalysis", "analyze_column",
+]

@@ -1,0 +1,21 @@
+"""The managed-service control plane.
+
+"Most control plane actions are coordinated off-instance by a separate
+Amazon Redshift control plane fleet ... Example tasks would include node
+replacements, cluster resize, backup, restore, provisioning, patching"
+(paper §2.2). This package implements those workflows against the
+simulated cloud substrate, plus the console interaction ("clicks") model
+behind the paper's time-to-first-report metric and Figure 2.
+"""
+
+from repro.controlplane.service import RedshiftService, ManagedCluster, ClusterState
+from repro.controlplane.console import ConsoleModel, AdminOperation
+from repro.controlplane.patching import PatchManager, EngineRelease, PatchOutcome
+from repro.controlplane.hostmanager import HostManager, HostEvent
+
+__all__ = [
+    "RedshiftService", "ManagedCluster", "ClusterState",
+    "ConsoleModel", "AdminOperation",
+    "PatchManager", "EngineRelease", "PatchOutcome",
+    "HostManager", "HostEvent",
+]

@@ -1,0 +1,101 @@
+"""Per-node host manager.
+
+"Each Amazon Redshift node has host manager software that helps with
+deploying new database engine bits, aggregating events and metrics,
+generating instance-level events, archiving and rotating logs, and
+monitoring the host, database and log files for errors. The host manager
+also has limited capability to perform actions, for example, restarting a
+database process on failure" (paper §2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cloud.simclock import SimClock
+
+
+class HostEventKind(enum.Enum):
+    PROCESS_CRASH = "process_crash"
+    PROCESS_RESTARTED = "process_restarted"
+    NODE_UNHEALTHY = "node_unhealthy"
+    REPLACEMENT_REQUESTED = "replacement_requested"
+    LOG_ROTATED = "log_rotated"
+
+
+@dataclass(frozen=True)
+class HostEvent:
+    node_id: str
+    kind: HostEventKind
+    at: float
+    detail: str = ""
+
+
+@dataclass
+class HostManager:
+    """Monitors one node; restarts the engine process; escalates."""
+
+    node_id: str
+    clock: SimClock
+    #: polling cadence for crash detection
+    poll_interval_s: float = 30.0
+    #: engine restart duration
+    restart_s: float = 45.0
+    #: crashes within the escalation window before asking for replacement
+    escalation_threshold: int = 3
+    escalation_window_s: float = 3600.0
+
+    events: list[HostEvent] = field(default_factory=list)
+    process_running: bool = True
+    _recent_crashes: list[float] = field(default_factory=list)
+
+    def crash_process(self) -> None:
+        """Failure injection: the engine process dies."""
+        self.process_running = False
+        self.events.append(
+            HostEvent(self.node_id, HostEventKind.PROCESS_CRASH, self.clock.now)
+        )
+
+    def poll(self) -> HostEvent | None:
+        """One monitoring pass: detect and repair a dead process.
+
+        Returns the most significant event generated, if any. Detection
+        costs up to one poll interval, restart a fixed restart time —
+        together the "degrade, don't fail" window for the node.
+        """
+        if self.process_running:
+            return None
+        # Detection + restart consume simulated time.
+        self.clock.advance(self.restart_s)
+        self.process_running = True
+        now = self.clock.now
+        self._recent_crashes = [
+            t for t in self._recent_crashes if t >= now - self.escalation_window_s
+        ]
+        self._recent_crashes.append(now)
+        restarted = HostEvent(
+            self.node_id, HostEventKind.PROCESS_RESTARTED, now
+        )
+        self.events.append(restarted)
+        if len(self._recent_crashes) >= self.escalation_threshold:
+            escalation = HostEvent(
+                self.node_id,
+                HostEventKind.REPLACEMENT_REQUESTED,
+                now,
+                detail=f"{len(self._recent_crashes)} crashes in window",
+            )
+            self.events.append(escalation)
+            return escalation
+        return restarted
+
+    def rotate_logs(self) -> HostEvent:
+        event = HostEvent(self.node_id, HostEventKind.LOG_ROTATED, self.clock.now)
+        self.events.append(event)
+        return event
+
+    @property
+    def crash_count(self) -> int:
+        return sum(
+            1 for e in self.events if e.kind is HostEventKind.PROCESS_CRASH
+        )

@@ -1,0 +1,103 @@
+"""Automatic table maintenance — §3.2's future work, implemented.
+
+"Future work will remove the need for user-initiated table administration
+operations, making them closer to backup in operation. The database should
+be able to determine when data access performance is degrading and take
+action to correct itself when load is otherwise light."
+
+The daemon polls table health on the simulation clock, and when a table's
+dead-row or unsorted fraction crosses its threshold *and* the cluster is
+idle, runs VACUUM on it — turning the last remaining administration
+statement into a dusty knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.simclock import ScheduledEvent, SimClock
+from repro.engine.cluster import Cluster
+from repro.engine.health import cluster_health
+from repro.util.units import HOUR
+
+
+@dataclass(frozen=True)
+class MaintenanceAction:
+    at: float
+    table_name: str
+    reason: str
+    dead_fraction: float
+    unsorted_fraction: float
+
+
+@dataclass
+class AutoMaintenanceDaemon:
+    """Polls health and self-corrects with VACUUM when load is light."""
+
+    cluster: Cluster
+    clock: SimClock
+    dead_threshold: float = 0.15
+    unsorted_threshold: float = 0.20
+    poll_interval_s: float = 6 * HOUR
+    actions: list[MaintenanceAction] = field(default_factory=list)
+    _handle: ScheduledEvent | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._session = self.cluster.connect()
+
+    # ---- load signal -----------------------------------------------------
+
+    def load_is_light(self) -> bool:
+        """Idle check: no transaction is in flight on the cluster.
+
+        (A production system watches query queues and CPU; the visible
+        signal here is active transactions.)
+        """
+        return self.cluster.transactions.active_count == 0
+
+    # ---- one pass ----------------------------------------------------------
+
+    def poll(self) -> list[MaintenanceAction]:
+        """Inspect every table; VACUUM the degraded ones if idle."""
+        if not self.load_is_light():
+            return []
+        performed: list[MaintenanceAction] = []
+        for health in cluster_health(self.cluster):
+            reasons = []
+            if health.dead_fraction >= self.dead_threshold:
+                reasons.append(
+                    f"dead rows {health.dead_fraction:.0%} >= "
+                    f"{self.dead_threshold:.0%}"
+                )
+            if health.unsorted_fraction >= self.unsorted_threshold:
+                reasons.append(
+                    f"unsorted {health.unsorted_fraction:.0%} >= "
+                    f"{self.unsorted_threshold:.0%}"
+                )
+            if not reasons:
+                continue
+            action = MaintenanceAction(
+                at=self.clock.now,
+                table_name=health.table_name,
+                reason="; ".join(reasons),
+                dead_fraction=health.dead_fraction,
+                unsorted_fraction=health.unsorted_fraction,
+            )
+            self._session.execute(f"VACUUM {health.table_name}")
+            performed.append(action)
+            self.actions.append(action)
+        return performed
+
+    # ---- scheduling --------------------------------------------------------
+
+    def start(self) -> None:
+        """Run automatically every poll interval on the simulation clock."""
+        if self._handle is None:
+            self._handle = self.clock.schedule_repeating(
+                self.poll_interval_s, self.poll
+            )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

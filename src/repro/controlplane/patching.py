@@ -1,0 +1,203 @@
+"""Fleet patching: weekly windows, two-version invariant, auto-rollback.
+
+"Amazon Redshift is set up to automatically patch customer clusters on a
+weekly basis in a 30-minute window specified by the customer. Patches are
+reversible and will automatically be reversed if we see an increase in
+errors or latency in our telemetry. At any point, a customer will only be
+on one of two patch versions ... We typically push new database engine
+software every two weeks. We have found reducing this pace, for example
+to every four weeks, meaningfully increased the probability of a failed
+patch." (paper §5)
+
+The defect model makes the cadence claim quantitative: each release
+carries changes accumulated since the previous one; every change has an
+independent chance of regressing, plus an interaction term that grows
+with batch size (big-bang releases fail more than the sum of their
+parts). Longer cadence → more changes per release → superlinearly higher
+failed-patch probability.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.simclock import SimClock
+from repro.controlplane.service import ManagedCluster, RedshiftService
+from repro.util.rng import DeterministicRng
+from repro.util.units import MINUTE, WEEK
+
+
+class PatchOutcome(enum.Enum):
+    APPLIED = "applied"
+    ROLLED_BACK = "rolled_back"
+    SKIPPED = "skipped"
+
+
+@dataclass
+class EngineRelease:
+    """One release train's payload."""
+
+    version: str
+    change_count: int
+    cut_at: float
+    #: whether this release carries a latent regression (decided at cut
+    #: time; every cluster applying it sees the same defect, as in life)
+    regressive: bool = False
+
+
+@dataclass
+class PatchRecord:
+    cluster_id: str
+    version: str
+    outcome: PatchOutcome
+    at: float
+    window_seconds: float
+
+
+@dataclass
+class DefectModel:
+    """Probability a release regresses, as a function of its batch size."""
+
+    per_change_regression_rate: float = 0.004
+    #: pairwise interaction risk between changes in the same release
+    interaction_rate: float = 0.00002
+
+    def failure_probability(self, change_count: int) -> float:
+        independent = 1.0 - (1.0 - self.per_change_regression_rate) ** change_count
+        pairs = change_count * (change_count - 1) / 2.0
+        interaction = 1.0 - (1.0 - self.interaction_rate) ** pairs
+        return 1.0 - (1.0 - independent) * (1.0 - interaction)
+
+
+class PatchManager:
+    """Cuts releases and rolls them across a fleet."""
+
+    #: per-cluster patch application time (within the 30-minute window)
+    APPLY_SECONDS = 6 * MINUTE
+    ROLLBACK_SECONDS = 4 * MINUTE
+    #: engineering throughput feeding release trains
+    CHANGES_PER_WEEK = 18.0
+
+    def __init__(
+        self,
+        service: RedshiftService,
+        defect_model: DefectModel | None = None,
+        seed: int | str = "patching",
+    ):
+        self._service = service
+        self._clock: SimClock = service.env.clock
+        self._rng = DeterministicRng(seed)
+        self.defects = defect_model or DefectModel()
+        self._versions = itertools.count(1)
+        self.releases: list[EngineRelease] = []
+        self.history: list[PatchRecord] = []
+        self._pending_changes = 0.0
+
+    # ---- release trains ---------------------------------------------------------
+
+    def accumulate_development(self, weeks: float) -> None:
+        """Engineering keeps landing changes between releases."""
+        self._pending_changes += self.CHANGES_PER_WEEK * weeks
+
+    def cut_release(self) -> EngineRelease:
+        """Cut a release carrying everything landed since the last one."""
+        change_count = max(1, round(self._pending_changes))
+        self._pending_changes = 0.0
+        probability = self.defects.failure_probability(change_count)
+        release = EngineRelease(
+            version=f"1.0.{next(self._versions)}",
+            change_count=change_count,
+            cut_at=self._clock.now,
+            regressive=self._rng.random() < probability,
+        )
+        self.releases.append(release)
+        return release
+
+    # ---- fleet rollout --------------------------------------------------------------
+
+    def patch_fleet(self, release: EngineRelease) -> list[PatchRecord]:
+        """Apply a release to every cluster, honouring windows and the
+        two-version invariant, rolling back on telemetry regression."""
+        records = []
+        for managed in self._service.fleet:
+            records.append(self.patch_cluster(managed, release))
+        return records
+
+    def patch_cluster(
+        self, managed: ManagedCluster, release: EngineRelease
+    ) -> PatchRecord:
+        start = self._clock.now
+        # Two-version invariant: a cluster more than one version behind
+        # first steps to the previous release (counts into the window).
+        window = self.APPLY_SECONDS
+        managed.previous_version = managed.engine_version
+        managed.engine_version = release.version
+        self._clock.advance(self.APPLY_SECONDS)
+
+        if release.regressive:
+            # Telemetry (error/latency) regresses; automatic reversal.
+            self._service.env.cloudwatch.put_metric(
+                "EngineErrorRate", 25.0, {"cluster": managed.cluster_id}
+            )
+            managed.engine_version = managed.previous_version
+            managed.previous_version = release.version
+            self._clock.advance(self.ROLLBACK_SECONDS)
+            window += self.ROLLBACK_SECONDS
+            outcome = PatchOutcome.ROLLED_BACK
+        else:
+            self._service.env.cloudwatch.put_metric(
+                "EngineErrorRate", 1.0, {"cluster": managed.cluster_id}
+            )
+            outcome = PatchOutcome.APPLIED
+        record = PatchRecord(
+            cluster_id=managed.cluster_id,
+            version=release.version,
+            outcome=outcome,
+            at=start,
+            window_seconds=window,
+        )
+        self.history.append(record)
+        managed.record(self._clock.now, f"patch {release.version}: {outcome.value}")
+        return record
+
+    # ---- cadence experiment ----------------------------------------------------------
+
+    def simulate_cadence(
+        self, cadence_weeks: float, horizon_weeks: float, trials: int = 1
+    ) -> dict:
+        """Probability of a failed (rolled-back) release at a given cadence.
+
+        Pure release-level simulation (no fleet needed): development lands
+        changes continuously; releases cut every *cadence_weeks*.
+        """
+        rng = self._rng.child(f"cadence-{cadence_weeks}")
+        failed = 0
+        total = 0
+        for _trial in range(trials):
+            pending = 0.0
+            weeks = 0.0
+            while weeks < horizon_weeks:
+                pending += self.CHANGES_PER_WEEK * cadence_weeks
+                weeks += cadence_weeks
+                change_count = max(1, round(pending))
+                pending = 0.0
+                probability = self.defects.failure_probability(change_count)
+                total += 1
+                if rng.random() < probability:
+                    failed += 1
+        return {
+            "cadence_weeks": cadence_weeks,
+            "releases": total,
+            "failed": failed,
+            "failure_rate": failed / total if total else 0.0,
+            "per_release_probability": self.defects.failure_probability(
+                max(1, round(self.CHANGES_PER_WEEK * cadence_weeks))
+            ),
+        }
+
+    def fleet_version_invariant_holds(self) -> bool:
+        """At most two engine versions across the fleet."""
+        versions = {m.engine_version for m in self._service.fleet}
+        return len(versions) <= 2

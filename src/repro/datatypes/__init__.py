@@ -1,0 +1,33 @@
+"""SQL type system: types, coercion, and text parsing for loads."""
+
+from repro.datatypes.types import (
+    SqlType,
+    TypeKind,
+    SMALLINT,
+    INTEGER,
+    BIGINT,
+    REAL,
+    DOUBLE,
+    BOOLEAN,
+    DATE,
+    TIMESTAMP,
+    decimal_type,
+    char_type,
+    varchar_type,
+    type_from_name,
+)
+from repro.datatypes.coercion import (
+    common_type,
+    can_coerce,
+    coerce_value,
+)
+from repro.datatypes.parsing import parse_literal, render_literal
+
+__all__ = [
+    "SqlType", "TypeKind",
+    "SMALLINT", "INTEGER", "BIGINT", "REAL", "DOUBLE", "BOOLEAN",
+    "DATE", "TIMESTAMP",
+    "decimal_type", "char_type", "varchar_type", "type_from_name",
+    "common_type", "can_coerce", "coerce_value",
+    "parse_literal", "render_literal",
+]

@@ -1,0 +1,110 @@
+"""Implicit type coercion rules.
+
+The coercion lattice mirrors PostgreSQL's behaviour for the supported
+types: integers widen to wider integers, integers and decimals promote to
+floats when mixed with them, CHAR promotes to VARCHAR, DATE promotes to
+TIMESTAMP. Coercions never lose the ability to represent the value except
+for the documented integer→float cases.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+
+from repro.datatypes.types import (
+    BIGINT,
+    DOUBLE,
+    SqlType,
+    TypeKind,
+    TIMESTAMP,
+    varchar_type,
+)
+from repro.errors import TypeMismatchError
+
+# Numeric promotion order: a type may implicitly widen to any type that
+# appears later in this list.
+_NUMERIC_ORDER = [
+    TypeKind.SMALLINT,
+    TypeKind.INTEGER,
+    TypeKind.BIGINT,
+    TypeKind.DECIMAL,
+    TypeKind.REAL,
+    TypeKind.DOUBLE,
+]
+
+
+def can_coerce(source: SqlType, target: SqlType) -> bool:
+    """Return True if *source* values may be implicitly used as *target*."""
+    if source.kind == target.kind:
+        if source.is_character:
+            return target.length == 0 or source.length <= target.length
+        return True
+    if source.is_numeric and target.is_numeric:
+        return _NUMERIC_ORDER.index(source.kind) <= _NUMERIC_ORDER.index(target.kind)
+    if source.kind is TypeKind.CHAR and target.kind is TypeKind.VARCHAR:
+        return True
+    if source.kind is TypeKind.DATE and target.kind is TypeKind.TIMESTAMP:
+        return True
+    return False
+
+
+def common_type(left: SqlType, right: SqlType) -> SqlType:
+    """Return the common supertype both operands coerce to.
+
+    Raises :class:`TypeMismatchError` when no common type exists.
+    """
+    if left == right:
+        return left
+    if left.is_numeric and right.is_numeric:
+        order = max(
+            _NUMERIC_ORDER.index(left.kind), _NUMERIC_ORDER.index(right.kind)
+        )
+        kind = _NUMERIC_ORDER[order]
+        if kind is TypeKind.DECIMAL:
+            precision = max(left.precision or 18, right.precision or 18)
+            scale = max(left.scale, right.scale)
+            return SqlType(TypeKind.DECIMAL, precision=precision, scale=scale)
+        if kind in (TypeKind.REAL, TypeKind.DOUBLE):
+            # Mixing decimal with a float yields double precision.
+            if TypeKind.DECIMAL in (left.kind, right.kind):
+                return DOUBLE
+            return SqlType(kind)
+        return SqlType(kind)
+    if left.is_character and right.is_character:
+        length = max(left.length, right.length)
+        return varchar_type(length if length else 256)
+    if left.is_temporal and right.is_temporal:
+        return TIMESTAMP
+    raise TypeMismatchError(f"no common type for {left} and {right}")
+
+
+def coerce_value(value: object, source: SqlType, target: SqlType) -> object:
+    """Convert a runtime *value* of *source* type to *target* type.
+
+    NULL coerces to NULL; otherwise requires :func:`can_coerce` to hold.
+    """
+    if value is None:
+        return None
+    if not can_coerce(source, target):
+        raise TypeMismatchError(f"cannot coerce {source} to {target}")
+    if source.kind == target.kind:
+        return target.validate(value)
+    if target.is_float:
+        return float(value)
+    if target.kind is TypeKind.DECIMAL:
+        return target.validate(
+            value if isinstance(value, (int, decimal.Decimal))
+            else decimal.Decimal(str(value))
+        )
+    if target.is_integer:
+        return target.validate(int(value))
+    if target.kind is TypeKind.VARCHAR:
+        return target.validate(str(value).rstrip() if source.kind is TypeKind.CHAR else str(value))
+    if target.kind is TypeKind.TIMESTAMP and isinstance(value, datetime.date):
+        return datetime.datetime(value.year, value.month, value.day)
+    return target.validate(value)  # pragma: no cover - exhaustive above
+
+
+# Convenience: the widest integer type, used by SUM() result typing.
+SUM_RESULT_INTEGER = BIGINT

@@ -1,0 +1,85 @@
+"""Parsing and rendering of typed values as text.
+
+Used by the COPY path (loading delimited text from the simulated S3) and by
+the result-rendering helpers in examples. The accepted formats follow
+PostgreSQL's defaults: ISO dates, optional fractional seconds, ``t/f`` and
+``true/false`` booleans, and an empty-string-or-NULL marker for NULL.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+
+from repro.datatypes.types import SqlType, TypeKind
+from repro.errors import DataError
+
+_TRUE_LITERALS = {"t", "true", "y", "yes", "on", "1"}
+_FALSE_LITERALS = {"f", "false", "n", "no", "off", "0"}
+
+_TIMESTAMP_FORMATS = (
+    "%Y-%m-%d %H:%M:%S.%f",
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%dT%H:%M:%S.%f",
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d %H:%M",
+    "%Y-%m-%d",
+)
+
+
+def parse_literal(text: str, sql_type: SqlType, null_marker: str = "") -> object:
+    """Parse a text field into a runtime value of *sql_type*.
+
+    A field equal to *null_marker* parses as NULL. Raises
+    :class:`DataError` with the offending text on failure.
+    """
+    if text == null_marker:
+        return None
+    kind = sql_type.kind
+    try:
+        if sql_type.is_integer:
+            return sql_type.validate(int(text))
+        if sql_type.is_float:
+            return sql_type.validate(float(text))
+        if kind is TypeKind.DECIMAL:
+            return sql_type.validate(decimal.Decimal(text))
+        if kind is TypeKind.BOOLEAN:
+            lowered = text.strip().lower()
+            if lowered in _TRUE_LITERALS:
+                return True
+            if lowered in _FALSE_LITERALS:
+                return False
+            raise DataError(f"invalid boolean literal {text!r}")
+        if sql_type.is_character:
+            return sql_type.validate(text)
+        if kind is TypeKind.DATE:
+            return sql_type.validate(
+                datetime.datetime.strptime(text.strip(), "%Y-%m-%d").date()
+            )
+        if kind is TypeKind.TIMESTAMP:
+            stripped = text.strip()
+            for fmt in _TIMESTAMP_FORMATS:
+                try:
+                    return sql_type.validate(datetime.datetime.strptime(stripped, fmt))
+                except ValueError:
+                    continue
+            raise DataError(f"invalid timestamp literal {text!r}")
+    except DataError:
+        raise
+    except (ValueError, decimal.InvalidOperation) as exc:
+        raise DataError(f"invalid {sql_type} literal {text!r}") from exc
+    raise DataError(f"unsupported type {sql_type}")  # pragma: no cover
+
+
+def render_literal(value: object, sql_type: SqlType, null_marker: str = "") -> str:
+    """Render a runtime value back to its text form (inverse of parse)."""
+    if value is None:
+        return null_marker
+    kind = sql_type.kind
+    if kind is TypeKind.BOOLEAN:
+        return "t" if value else "f"
+    if kind is TypeKind.DATE:
+        return value.isoformat()
+    if kind is TypeKind.TIMESTAMP:
+        return value.strftime("%Y-%m-%d %H:%M:%S.%f" if value.microsecond else "%Y-%m-%d %H:%M:%S")
+    return str(value)

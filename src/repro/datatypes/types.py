@@ -1,0 +1,266 @@
+"""SQL data types supported by the engine.
+
+The engine supports the scalar types Amazon Redshift documents: two- to
+eight-byte integers, single and double precision floats, fixed-point
+DECIMAL, BOOLEAN, fixed and variable length character strings, DATE and
+TIMESTAMP. A :class:`SqlType` instance carries everything storage and
+execution need: a :class:`TypeKind`, optional length/precision parameters,
+and the fixed byte width used for disk accounting.
+
+Dates and timestamps are represented at runtime as ``datetime.date`` and
+``datetime.datetime``; decimals as ``decimal.Decimal``; everything else as
+the natural Python scalar. SQL NULL is Python ``None`` everywhere.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DataError
+
+
+class TypeKind(enum.Enum):
+    """Enumeration of the engine's scalar type families."""
+
+    SMALLINT = "smallint"
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    REAL = "real"
+    DOUBLE = "double precision"
+    DECIMAL = "decimal"
+    BOOLEAN = "boolean"
+    CHAR = "char"
+    VARCHAR = "varchar"
+    DATE = "date"
+    TIMESTAMP = "timestamp"
+
+
+_INT_RANGES = {
+    TypeKind.SMALLINT: (-(2 ** 15), 2 ** 15 - 1),
+    TypeKind.INTEGER: (-(2 ** 31), 2 ** 31 - 1),
+    TypeKind.BIGINT: (-(2 ** 63), 2 ** 63 - 1),
+}
+
+_FIXED_WIDTHS = {
+    TypeKind.SMALLINT: 2,
+    TypeKind.INTEGER: 4,
+    TypeKind.BIGINT: 8,
+    TypeKind.REAL: 4,
+    TypeKind.DOUBLE: 8,
+    TypeKind.DECIMAL: 8,
+    TypeKind.BOOLEAN: 1,
+    TypeKind.DATE: 4,
+    TypeKind.TIMESTAMP: 8,
+}
+
+
+@dataclass(frozen=True)
+class SqlType:
+    """A concrete SQL type, possibly parameterised.
+
+    Attributes:
+        kind: the type family.
+        length: max characters for CHAR/VARCHAR, else 0.
+        precision: total digits for DECIMAL, else 0.
+        scale: fractional digits for DECIMAL, else 0.
+    """
+
+    kind: TypeKind
+    length: int = 0
+    precision: int = 0
+    scale: int = 0
+
+    # ---- classification ------------------------------------------------
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in _INT_RANGES
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind in (TypeKind.REAL, TypeKind.DOUBLE)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.is_integer or self.is_float or self.kind is TypeKind.DECIMAL
+
+    @property
+    def is_character(self) -> bool:
+        return self.kind in (TypeKind.CHAR, TypeKind.VARCHAR)
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.kind in (TypeKind.DATE, TypeKind.TIMESTAMP)
+
+    # ---- storage accounting ---------------------------------------------
+
+    @property
+    def byte_width(self) -> int:
+        """Nominal uncompressed bytes per value, used for disk accounting.
+
+        Character types account their declared maximum, mirroring how a
+        fixed-width columnar layout reserves space before compression.
+        """
+        if self.is_character:
+            return max(1, self.length)
+        return _FIXED_WIDTHS[self.kind]
+
+    # ---- value validation -------------------------------------------------
+
+    def validate(self, value: object) -> object:
+        """Check *value* against this type, returning the canonical form.
+
+        ``None`` (SQL NULL) is always accepted. Raises :class:`DataError`
+        for out-of-range or wrongly typed values.
+        """
+        if value is None:
+            return None
+        if self.is_integer:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise DataError(f"expected {self}, got {value!r}")
+            low, high = _INT_RANGES[self.kind]
+            if not low <= value <= high:
+                raise DataError(f"value {value} out of range for {self}")
+            return value
+        if self.is_float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise DataError(f"expected {self}, got {value!r}")
+            return float(value)
+        if self.kind is TypeKind.DECIMAL:
+            if isinstance(value, bool):
+                raise DataError(f"expected {self}, got {value!r}")
+            if not isinstance(value, (int, decimal.Decimal)):
+                raise DataError(f"expected {self}, got {value!r}")
+            quantum = decimal.Decimal(1).scaleb(-self.scale)
+            try:
+                canonical = decimal.Decimal(value).quantize(quantum)
+            except decimal.InvalidOperation as exc:
+                raise DataError(f"value {value} not representable as {self}") from exc
+            if len(canonical.as_tuple().digits) > self.precision:
+                raise DataError(f"value {value} exceeds precision of {self}")
+            return canonical
+        if self.kind is TypeKind.BOOLEAN:
+            if not isinstance(value, bool):
+                raise DataError(f"expected {self}, got {value!r}")
+            return value
+        if self.is_character:
+            if not isinstance(value, str):
+                raise DataError(f"expected {self}, got {value!r}")
+            if self.length and len(value) > self.length:
+                raise DataError(
+                    f"value of length {len(value)} too long for {self}"
+                )
+            if self.kind is TypeKind.CHAR and self.length:
+                return value.ljust(self.length)
+            return value
+        if self.kind is TypeKind.DATE:
+            if isinstance(value, datetime.datetime) or not isinstance(
+                value, datetime.date
+            ):
+                raise DataError(f"expected {self}, got {value!r}")
+            return value
+        if self.kind is TypeKind.TIMESTAMP:
+            if isinstance(value, datetime.date) and not isinstance(
+                value, datetime.datetime
+            ):
+                return datetime.datetime(value.year, value.month, value.day)
+            if not isinstance(value, datetime.datetime):
+                raise DataError(f"expected {self}, got {value!r}")
+            return value
+        raise DataError(f"unsupported type {self}")  # pragma: no cover
+
+    # ---- rendering ---------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.kind is TypeKind.DECIMAL:
+            return f"decimal({self.precision},{self.scale})"
+        if self.is_character and self.length:
+            return f"{self.kind.value}({self.length})"
+        return self.kind.value
+
+
+SMALLINT = SqlType(TypeKind.SMALLINT)
+INTEGER = SqlType(TypeKind.INTEGER)
+BIGINT = SqlType(TypeKind.BIGINT)
+REAL = SqlType(TypeKind.REAL)
+DOUBLE = SqlType(TypeKind.DOUBLE)
+BOOLEAN = SqlType(TypeKind.BOOLEAN)
+DATE = SqlType(TypeKind.DATE)
+TIMESTAMP = SqlType(TypeKind.TIMESTAMP)
+
+
+def decimal_type(precision: int, scale: int = 0) -> SqlType:
+    """Construct a DECIMAL(precision, scale) type."""
+    if not 1 <= precision <= 38:
+        raise DataError(f"decimal precision must be in [1, 38], got {precision}")
+    if not 0 <= scale <= precision:
+        raise DataError(f"decimal scale must be in [0, {precision}], got {scale}")
+    return SqlType(TypeKind.DECIMAL, precision=precision, scale=scale)
+
+
+def char_type(length: int) -> SqlType:
+    """Construct a CHAR(length) type."""
+    if length < 1:
+        raise DataError(f"char length must be positive, got {length}")
+    return SqlType(TypeKind.CHAR, length=length)
+
+
+def varchar_type(length: int = 256) -> SqlType:
+    """Construct a VARCHAR(length) type."""
+    if length < 1:
+        raise DataError(f"varchar length must be positive, got {length}")
+    return SqlType(TypeKind.VARCHAR, length=length)
+
+
+_NAME_ALIASES = {
+    "smallint": TypeKind.SMALLINT,
+    "int2": TypeKind.SMALLINT,
+    "integer": TypeKind.INTEGER,
+    "int": TypeKind.INTEGER,
+    "int4": TypeKind.INTEGER,
+    "bigint": TypeKind.BIGINT,
+    "int8": TypeKind.BIGINT,
+    "real": TypeKind.REAL,
+    "float4": TypeKind.REAL,
+    "double precision": TypeKind.DOUBLE,
+    "double": TypeKind.DOUBLE,
+    "float": TypeKind.DOUBLE,
+    "float8": TypeKind.DOUBLE,
+    "decimal": TypeKind.DECIMAL,
+    "numeric": TypeKind.DECIMAL,
+    "boolean": TypeKind.BOOLEAN,
+    "bool": TypeKind.BOOLEAN,
+    "char": TypeKind.CHAR,
+    "character": TypeKind.CHAR,
+    "varchar": TypeKind.VARCHAR,
+    "character varying": TypeKind.VARCHAR,
+    "text": TypeKind.VARCHAR,
+    "date": TypeKind.DATE,
+    "timestamp": TypeKind.TIMESTAMP,
+    "datetime": TypeKind.TIMESTAMP,
+}
+
+
+def type_from_name(name: str, *params: int) -> SqlType:
+    """Resolve a type name (as written in SQL) plus optional parameters.
+
+    >>> type_from_name("varchar", 32)
+    SqlType(kind=<TypeKind.VARCHAR: 'varchar'>, length=32, precision=0, scale=0)
+    """
+    kind = _NAME_ALIASES.get(name.strip().lower())
+    if kind is None:
+        raise DataError(f"unknown type name {name!r}")
+    if kind is TypeKind.DECIMAL:
+        precision = params[0] if params else 18
+        scale = params[1] if len(params) > 1 else 0
+        return decimal_type(precision, scale)
+    if kind is TypeKind.CHAR:
+        return char_type(params[0] if params else 1)
+    if kind is TypeKind.VARCHAR:
+        return varchar_type(params[0] if params else 256)
+    if params:
+        raise DataError(f"type {name!r} does not take parameters")
+    return SqlType(kind)

@@ -1,0 +1,24 @@
+"""Data distribution across slices: DISTSTYLE EVEN, KEY, and ALL.
+
+"The user can specify whether data is distributed in a round robin fashion,
+hashed according to a distribution key, or duplicated on all slices. Using
+distribution keys allows join processing on that key to be co-located on
+individual slices" (paper §2.1).
+"""
+
+from repro.distribution.hashing import stable_hash
+from repro.distribution.diststyle import (
+    DistStyle,
+    Distribution,
+    EvenDistribution,
+    KeyDistribution,
+    AllDistribution,
+    make_distribution,
+)
+
+__all__ = [
+    "stable_hash",
+    "DistStyle", "Distribution",
+    "EvenDistribution", "KeyDistribution", "AllDistribution",
+    "make_distribution",
+]

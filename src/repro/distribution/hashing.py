@@ -1,0 +1,52 @@
+"""Stable value hashing for distribution keys.
+
+Python's built-in ``hash`` is salted per process for strings, so it cannot
+place rows deterministically. ``stable_hash`` is an FNV-1a over a canonical
+byte rendering of the value; equal SQL values always land on the same
+slice, across runs and across the coercible numeric types (``1`` and
+``1.0`` hash alike, as required for joins between int and float keys).
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _canonical_bytes(value: object) -> bytes:
+    if value is None:
+        return b"\x00N"
+    if isinstance(value, bool):
+        return b"\x01T" if value else b"\x01F"
+    if isinstance(value, (int, float, decimal.Decimal)):
+        # Canonicalise numerics so 1, 1.0 and Decimal('1.00') agree.
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        if isinstance(value, decimal.Decimal):
+            if value == value.to_integral_value():
+                value = int(value)
+            else:
+                value = float(value)
+        if isinstance(value, int):
+            return b"\x02" + str(value).encode("ascii")
+        return b"\x03" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"\x04" + value.encode("utf-8", "surrogateescape")
+    if isinstance(value, datetime.datetime):
+        return b"\x06" + value.isoformat().encode("ascii")
+    if isinstance(value, datetime.date):
+        return b"\x05" + value.isoformat().encode("ascii")
+    raise TypeError(f"cannot hash value of type {type(value).__name__}")
+
+
+def stable_hash(value: object) -> int:
+    """64-bit FNV-1a hash of the canonical rendering of *value*."""
+    h = _FNV_OFFSET
+    for byte in _canonical_bytes(value):
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK
+    return h

@@ -1,0 +1,22 @@
+"""The MPP database engine: cluster topology, catalog, transactions,
+query execution driver, and the COPY ingest path.
+
+An :class:`~repro.engine.cluster.Cluster` is one leader node plus compute
+nodes partitioned into slices (one per core). Clients obtain a
+:class:`~repro.engine.session.Session` via :meth:`Cluster.connect` and
+issue SQL through :meth:`Session.execute`.
+"""
+
+from repro.engine.catalog import Catalog, TableInfo, ColumnInfo, TableStatistics, ColumnStatistics
+from repro.engine.network import Interconnect, NetworkStats
+from repro.engine.transactions import TransactionManager, Snapshot
+from repro.engine.cluster import Cluster, ComputeNode, Slice
+from repro.engine.session import Session, QueryResult
+
+__all__ = [
+    "Catalog", "TableInfo", "ColumnInfo", "TableStatistics", "ColumnStatistics",
+    "Interconnect", "NetworkStats",
+    "TransactionManager", "Snapshot",
+    "Cluster", "ComputeNode", "Slice",
+    "Session", "QueryResult",
+]

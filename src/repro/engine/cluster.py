@@ -1,0 +1,239 @@
+"""Cluster topology: leader node, compute nodes, slices.
+
+"An Amazon Redshift cluster is comprised of a leader node and one or more
+compute nodes... A compute node is partitioned into slices; one slice for
+each core" (paper §2.1). The cluster owns the catalog, the transaction
+manager, the interconnect, and the slice storage; Sessions drive SQL
+through it.
+
+COPY data sources are pluggable: the cloud layer registers an ``s3://``
+provider, tests and examples register in-memory sources. Each provider
+maps a source URI to an iterable of text lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.distribution.diststyle import DistStyle
+from repro.engine.catalog import Catalog, TableInfo
+from repro.engine.network import Interconnect
+from repro.engine.transactions import TransactionManager
+from repro.errors import CopyError, DataError
+from repro.storage.block import BLOCK_CAPACITY_DEFAULT
+from repro.storage.disk import SimulatedDisk
+from repro.storage.slicestore import SliceStorage
+
+#: source URI prefix -> provider(uri) -> iterable of text lines
+SourceProvider = Callable[[str], Iterable[str]]
+
+
+@dataclass
+class Slice:
+    """One unit of parallelism: a core's share of memory and disk."""
+
+    slice_id: str
+    node_id: str
+    storage: SliceStorage
+
+
+class ComputeNode:
+    """One compute node holding ``slices_per_node`` slices."""
+
+    def __init__(
+        self,
+        node_id: str,
+        slices_per_node: int,
+        block_capacity: int,
+        disk_capacity_bytes: int | None = None,
+    ):
+        self.node_id = node_id
+        self.slices: list[Slice] = []
+        for i in range(slices_per_node):
+            slice_id = f"{node_id}-s{i}"
+            disk = SimulatedDisk(f"{slice_id}-disk", disk_capacity_bytes)
+            self.slices.append(
+                Slice(
+                    slice_id=slice_id,
+                    node_id=node_id,
+                    storage=SliceStorage(slice_id, disk, block_capacity),
+                )
+            )
+
+
+class Cluster:
+    """A running database cluster (data plane).
+
+    The leader-node responsibilities (parsing, planning, final aggregation,
+    transaction serialization) live in :class:`~repro.engine.session.Session`
+    and the managers owned here; compute-node work happens against the
+    slices' storage.
+    """
+
+    def __init__(
+        self,
+        node_count: int = 2,
+        slices_per_node: int = 2,
+        block_capacity: int = BLOCK_CAPACITY_DEFAULT,
+        node_type: str = "dw2.large",
+        disk_capacity_bytes: int | None = None,
+    ):
+        if node_count < 1:
+            raise ValueError(f"node_count must be positive, got {node_count}")
+        if slices_per_node < 1:
+            raise ValueError(
+                f"slices_per_node must be positive, got {slices_per_node}"
+            )
+        self.node_type = node_type
+        self.nodes: list[ComputeNode] = [
+            ComputeNode(f"node-{i}", slices_per_node, block_capacity,
+                        disk_capacity_bytes)
+            for i in range(node_count)
+        ]
+        self.catalog = Catalog()
+        self.transactions = TransactionManager()
+        self.interconnect = Interconnect()
+        from repro.engine.workload import WorkloadLog
+
+        self.workload = WorkloadLog()
+        self.block_capacity = block_capacity
+        self._sources: dict[str, SourceProvider] = {}
+        self._row_counters: dict[str, int] = {}
+
+    # ---- topology ------------------------------------------------------------
+
+    @property
+    def slices(self) -> list[Slice]:
+        return [s for node in self.nodes for s in node.slices]
+
+    @property
+    def slice_stores(self) -> list[SliceStorage]:
+        return [s.storage for s in self.slices]
+
+    @property
+    def slice_count(self) -> int:
+        return sum(len(node.slices) for node in self.nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def connect(self, executor: str = "compiled"):
+        """Open a session (the ODBC/JDBC connection analogue)."""
+        from repro.engine.session import Session
+
+        return Session(self, executor=executor)
+
+    # ---- storage lifecycle ------------------------------------------------------
+
+    def create_table_storage(self, table: TableInfo) -> None:
+        """Create the per-slice shards for a new table."""
+        codecs = {
+            c.name: (c.encode or "raw") for c in table.columns
+        }
+        for store in self.slice_stores:
+            store.create_shard(table.name, table.column_specs, codecs)
+        self._row_counters[table.name] = 0
+
+    def drop_table_storage(self, table_name: str) -> None:
+        for store in self.slice_stores:
+            if store.has_shard(table_name):
+                store.drop_shard(table_name)
+        self._row_counters.pop(table_name, None)
+
+    # ---- row routing -------------------------------------------------------------
+
+    def distribute_rows(
+        self,
+        table: TableInfo,
+        rows: Iterable[Sequence[object]],
+        xid: int,
+        validate: bool = True,
+    ) -> int:
+        """Route rows to slices per the table's distribution style.
+
+        Rows are validated against column types and NOT NULL constraints
+        unless the caller already validated them.
+        """
+        dist = table.distribution
+        n = self.slice_count
+        key_index: int | None = None
+        if dist.style is DistStyle.KEY:
+            key_index = table.column_index(dist.column)  # type: ignore[attr-defined]
+        buffers: list[list[tuple]] = [[] for _ in range(n)]
+        counter = self._row_counters.get(table.name, 0)
+        count = 0
+        for row in rows:
+            if validate:
+                row = self._validate_row(table, row)
+            key_value = row[key_index] if key_index is not None else None
+            for target in dist.target_slices(counter, key_value, n):
+                buffers[target].append(tuple(row))
+            counter += 1
+            count += 1
+        self._row_counters[table.name] = counter
+        for store, buffered in zip(self.slice_stores, buffers):
+            if buffered:
+                store.shard(table.name).append_rows(buffered, xid)
+                store.disk.record_write(len(buffered) * table.row_byte_width)
+        return count
+
+    @staticmethod
+    def _validate_row(table: TableInfo, row: Sequence[object]) -> tuple:
+        if len(row) != len(table.columns):
+            raise DataError(
+                f"row has {len(row)} values, table {table.name!r} expects "
+                f"{len(table.columns)}"
+            )
+        out = []
+        for column, value in zip(table.columns, row):
+            if value is None and column.not_null:
+                raise DataError(
+                    f"null value in column {column.name!r} violates NOT NULL"
+                )
+            out.append(column.sql_type.validate(value))
+        return tuple(out)
+
+    def seal_table(self, table_name: str) -> None:
+        """Seal open tail blocks on every slice (end of a bulk load)."""
+        for store in self.slice_stores:
+            if store.has_shard(table_name):
+                store.shard(table_name).seal()
+
+    # ---- COPY sources ---------------------------------------------------------------
+
+    def register_source(self, prefix: str, provider: SourceProvider) -> None:
+        """Register a COPY source provider for URIs starting with *prefix*."""
+        self._sources[prefix] = provider
+
+    def register_inline_source(self, uri: str, lines: Sequence[str]) -> None:
+        """Convenience: serve a fixed line list for one exact URI."""
+        frozen = list(lines)
+        self._sources[uri] = lambda requested: iter(frozen)
+
+    def open_source(self, uri: str) -> Iterable[str]:
+        """Resolve a COPY source URI to its line stream."""
+        best: str | None = None
+        for prefix in self._sources:
+            if uri.startswith(prefix) and (best is None or len(prefix) > len(best)):
+                best = prefix
+        if best is None:
+            raise CopyError(
+                f"no COPY source registered for {uri!r} "
+                f"(register one with Cluster.register_source)"
+            )
+        return self._sources[best](uri)
+
+    # ---- introspection -----------------------------------------------------------------
+
+    def table_bytes(self, table_name: str) -> int:
+        """Total encoded bytes of a table across all slices."""
+        total = 0
+        for store in self.slice_stores:
+            if store.has_shard(table_name):
+                total += store.shard(table_name).encoded_bytes
+        return total
+
+    def total_bytes(self) -> int:
+        return sum(store.used_bytes for store in self.slice_stores)

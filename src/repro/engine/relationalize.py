@@ -1,0 +1,206 @@
+"""Automatic relationalization of semi-structured data.
+
+§4 names this as the simplification frontier for the "dark data" use
+case: "we could support transient data warehouses on a source 'data lake'
+or automatically 'relationalizing' source semi-structured data into
+tables for efficient query execution."
+
+:func:`infer_schema` samples JSON records and derives a typed relational
+schema (integer widths, varchar lengths, date/timestamp detection,
+nullability); :func:`relationalize` creates the table and loads the full
+source through COPY ... JSON — one call from a pile of JSON lines to a
+queryable, compressed, distributed table.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.engine.cluster import Cluster
+from repro.errors import CopyError
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+_TIMESTAMP_RE = re.compile(r"^\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}(:\d{2})?(\.\d+)?$")
+
+_INT32_MIN, _INT32_MAX = -(2 ** 31), 2 ** 31 - 1
+
+
+@dataclass
+class InferredColumn:
+    """Evolving view of one JSON key across the sample."""
+
+    name: str
+    first_seen: int
+    kind: str = "unknown"  # unknown|boolean|int|bigint|double|date|timestamp|varchar
+    max_length: int = 1
+    saw_null: bool = False
+    present: int = 0
+
+    def observe(self, value: object) -> None:
+        self.present += 1
+        if value is None:
+            self.saw_null = True
+            return
+        self.kind = _merge_kind(self.kind, _classify(value))
+        if isinstance(value, str):
+            self.max_length = max(self.max_length, len(value))
+
+    def sql_type_name(self) -> str:
+        if self.kind == "boolean":
+            return "boolean"
+        if self.kind == "int":
+            return "int"
+        if self.kind == "bigint":
+            return "bigint"
+        if self.kind == "double":
+            return "double precision"
+        if self.kind == "date":
+            return "date"
+        if self.kind == "timestamp":
+            return "timestamp"
+        # Unknown (all nulls) and text both land on varchar, sized to the
+        # next power of two so small outliers don't force re-DDL.
+        length = 1
+        while length < max(1, self.max_length):
+            length *= 2
+        return f"varchar({max(4, length)})"
+
+
+def _classify(value: object) -> str:
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "int" if _INT32_MIN <= value <= _INT32_MAX else "bigint"
+    if isinstance(value, float):
+        return "double"
+    if isinstance(value, str):
+        if _DATE_RE.match(value):
+            return "date"
+        if _TIMESTAMP_RE.match(value):
+            return "timestamp"
+        return "varchar"
+    # Nested objects/arrays stay as their JSON text.
+    return "varchar"
+
+
+#: type-widening lattice: observed kinds merge to the narrowest common type
+_WIDENINGS = {
+    frozenset(("int", "bigint")): "bigint",
+    frozenset(("int", "double")): "double",
+    frozenset(("bigint", "double")): "double",
+    frozenset(("date", "timestamp")): "timestamp",
+}
+
+
+def _merge_kind(current: str, observed: str) -> str:
+    if current in ("unknown", observed):
+        return observed
+    widened = _WIDENINGS.get(frozenset((current, observed)))
+    if widened is not None:
+        return widened
+    return "varchar"  # incompatible kinds: fall back to text
+
+
+@dataclass
+class InferredSchema:
+    """Result of sampling a semi-structured source."""
+
+    table_name: str
+    columns: list[InferredColumn]
+    records_sampled: int
+
+    def create_table_sql(
+        self, diststyle: str = "", sortkey: str = ""
+    ) -> str:
+        defs = ", ".join(
+            f"{c.name} {c.sql_type_name()}" for c in self.columns
+        )
+        out = f"CREATE TABLE {self.table_name} ({defs})"
+        if diststyle:
+            out += f" {diststyle}"
+        if sortkey:
+            out += f" SORTKEY({sortkey})"
+        return out
+
+
+def infer_schema(
+    lines, table_name: str, sample_size: int = 1000
+) -> InferredSchema:
+    """Sample JSON lines and derive a relational schema.
+
+    Keys are ordered by first appearance; keys absent from some records
+    are nullable (all columns are nullable — JSON has no NOT NULL).
+    Non-object lines raise :class:`CopyError` with the line number.
+    """
+    columns: dict[str, InferredColumn] = {}
+    sampled = 0
+    for line_number, line in enumerate(lines, start=1):
+        if sampled >= sample_size:
+            break
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CopyError(f"line {line_number}: invalid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise CopyError(
+                f"line {line_number}: expected a JSON object, got "
+                f"{type(record).__name__}"
+            )
+        sampled += 1
+        for key, value in record.items():
+            name = _sanitize(key)
+            column = columns.get(name)
+            if column is None:
+                column = InferredColumn(name=name, first_seen=len(columns))
+                columns[name] = column
+            column.observe(
+                json.dumps(value)
+                if isinstance(value, (dict, list))
+                else value
+            )
+    if not columns:
+        raise CopyError("no records to infer a schema from")
+    ordered = sorted(columns.values(), key=lambda c: c.first_seen)
+    return InferredSchema(
+        table_name=table_name, columns=ordered, records_sampled=sampled
+    )
+
+
+def _sanitize(key: str) -> str:
+    """JSON keys become SQL identifiers: lowercase, non-word chars -> _,
+    reserved words suffixed (``when`` -> ``when_``)."""
+    from repro.sql.lexer import KEYWORDS
+
+    name = re.sub(r"\W", "_", key.strip().lower())
+    if not name or name[0].isdigit():
+        name = f"c_{name}"
+    if name in KEYWORDS:
+        name = f"{name}_"
+    return name
+
+
+def relationalize(
+    cluster: Cluster,
+    session,
+    table_name: str,
+    source_uri: str,
+    sample_size: int = 1000,
+    diststyle: str = "",
+    sortkey: str = "",
+) -> InferredSchema:
+    """One call from JSON lines to a queryable table.
+
+    Samples the source, creates the inferred table (with optional
+    distribution/sort clauses) and COPYes the full source as JSON.
+    """
+    schema = infer_schema(
+        cluster.open_source(source_uri), table_name, sample_size
+    )
+    session.execute(schema.create_table_sql(diststyle, sortkey))
+    session.execute(f"COPY {table_name} FROM '{source_uri}' JSON")
+    return schema

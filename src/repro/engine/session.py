@@ -1,0 +1,756 @@
+"""Sessions: the leader-node statement driver.
+
+A session parses SQL, plans it, runs it through the configured executor,
+and manages transactions (autocommit per statement unless BEGIN is
+active). It implements the full statement set: queries, DDL, DML, COPY,
+ANALYZE [COMPRESSION], VACUUM [REINDEX], EXPLAIN, and transaction control.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.compression.analyzer import CompressionAnalyzer
+from repro.datatypes.parsing import parse_literal
+from repro.datatypes.types import type_from_name, varchar_type
+from repro.distribution.diststyle import DistStyle, make_distribution
+from repro.engine.catalog import (
+    ColumnInfo,
+    ColumnStatistics,
+    TableInfo,
+    TableStatistics,
+)
+from repro.engine.cluster import Cluster
+from repro.engine.transactions import BOOTSTRAP_XID
+from repro.errors import (
+    AnalysisError,
+    CopyError,
+    DataError,
+    ExecutionError,
+    ReproError,
+    TableNotFoundError,
+    TransactionError,
+)
+from repro.exec.codegen import CompiledExecutor
+from repro.exec.context import ExecutionContext, QueryStats
+from repro.exec.volcano import VolcanoExecutor
+from repro.plan.binder import Binder, infer_type
+from repro.plan.physical import PhysicalPlanner, explain
+from repro.sql import ast
+from repro.sql.expressions import compile_expression, literal_value
+from repro.sql.hll import HyperLogLog
+from repro.sql.parser import parse_statement, parse_statements
+
+
+@dataclass
+class QueryResult:
+    """Rows plus metadata from one statement execution."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    stats: QueryStats = field(default_factory=QueryStats)
+    command: str = ""
+
+    def scalar(self) -> object:
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} rows"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[object]:
+        """All values of one named output column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ExecutionError(f"no output column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+
+class Session:
+    """One client connection to a cluster."""
+
+    def __init__(self, cluster: Cluster, executor: str = "compiled"):
+        if executor not in ("compiled", "volcano"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self._cluster = cluster
+        self._executor_kind = executor
+        self._binder = Binder(cluster.catalog)
+        self._planner = PhysicalPlanner(cluster.catalog, cluster.slice_count)
+        self._xid: int | None = None  # explicit transaction, if any
+
+    # ---- public API ---------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Execute exactly one SQL statement."""
+        statement = parse_statement(sql)
+        return self._execute_statement(statement)
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Execute a semicolon-separated script, returning all results."""
+        return [self._execute_statement(s) for s in parse_statements(sql)]
+
+    def set_executor(self, executor: str) -> None:
+        if executor not in ("compiled", "volcano"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self._executor_kind = executor
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._xid is not None
+
+    # ---- transaction plumbing ---------------------------------------------------
+
+    def _begin_statement_txn(self) -> tuple[int, bool]:
+        """Returns (xid, autocommit?)."""
+        if self._xid is not None:
+            return self._xid, False
+        return self._cluster.transactions.begin(), True
+
+    def _finish_statement_txn(self, xid: int, autocommit: bool, ok: bool) -> None:
+        if not autocommit:
+            return
+        if ok:
+            self._cluster.transactions.commit(xid)
+        else:
+            self._cluster.transactions.rollback(xid)
+
+    # ---- dispatch ----------------------------------------------------------------
+
+    def _execute_statement(self, statement: ast.Statement) -> QueryResult:
+        if isinstance(statement, ast.BeginStatement):
+            if self._xid is not None:
+                raise TransactionError("a transaction is already in progress")
+            self._xid = self._cluster.transactions.begin()
+            return QueryResult(command="BEGIN")
+        if isinstance(statement, ast.CommitStatement):
+            if self._xid is None:
+                raise TransactionError("no transaction in progress")
+            self._cluster.transactions.commit(self._xid)
+            self._xid = None
+            return QueryResult(command="COMMIT")
+        if isinstance(statement, ast.RollbackStatement):
+            if self._xid is None:
+                raise TransactionError("no transaction in progress")
+            self._cluster.transactions.rollback(self._xid)
+            self._xid = None
+            return QueryResult(command="ROLLBACK")
+        if isinstance(statement, ast.ExplainStatement):
+            return self._explain(statement.statement)
+
+        xid, autocommit = self._begin_statement_txn()
+        try:
+            result = self._dispatch(statement, xid)
+        except ReproError:
+            self._finish_statement_txn(xid, autocommit, ok=False)
+            raise
+        self._finish_statement_txn(xid, autocommit, ok=True)
+        return result
+
+    def _dispatch(self, statement: ast.Statement, xid: int) -> QueryResult:
+        if isinstance(statement, ast.SelectStatement):
+            return self._run_select(statement.query, xid)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateTableAsStatement):
+            return self._create_table_as(statement, xid)
+        if isinstance(statement, ast.DropTableStatement):
+            return self._drop_table(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self._insert(statement, xid)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._delete(statement, xid)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._update(statement, xid)
+        if isinstance(statement, ast.CopyStatement):
+            return self._copy(statement, xid)
+        if isinstance(statement, ast.AnalyzeStatement):
+            return self._analyze(statement, xid)
+        if isinstance(statement, ast.VacuumStatement):
+            return self._vacuum(statement, xid)
+        raise AnalysisError(
+            f"unsupported statement {type(statement).__name__}"
+        )
+
+    # ---- SELECT ---------------------------------------------------------------------
+
+    def _context(self, xid: int) -> ExecutionContext:
+        # Each query gets its own interconnect so its stats are scoped to
+        # it; totals roll up to the cluster interconnect afterwards.
+        from repro.engine.network import Interconnect
+
+        ctx = ExecutionContext(
+            slices=self._cluster.slice_stores,
+            snapshot=self._cluster.transactions.snapshot(xid),
+            interconnect=Interconnect(),
+        )
+        ctx.stats.network = ctx.interconnect.stats
+        return ctx
+
+    def _run_select(self, query, xid: int) -> QueryResult:
+        from repro.sql.subqueries import expand_subqueries
+
+        expand_subqueries(
+            query, lambda inner: self._run_select(inner, xid).rows
+        )
+        logical = self._binder.bind_select(query)
+        columns = [c.name for c in logical.output]
+        physical = self._planner.plan(logical)
+        self._cluster.workload.record_plan(physical)
+        ctx = self._context(xid)
+        ctx.stats.executor = self._executor_kind
+        ctx.stats.plan_text = explain(physical)
+        executor = (
+            CompiledExecutor(ctx)
+            if self._executor_kind == "compiled"
+            else VolcanoExecutor(ctx)
+        )
+        start = time.perf_counter()
+        rows = executor.execute(physical)
+        ctx.stats.execute_seconds = time.perf_counter() - start
+        ctx.stats.rows_returned = len(rows)
+        self._cluster.interconnect.stats.merge(ctx.interconnect.stats)
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            rowcount=len(rows),
+            stats=ctx.stats,
+            command="SELECT",
+        )
+
+    def _explain(self, statement: ast.Statement) -> QueryResult:
+        if isinstance(statement, ast.SelectStatement):
+            logical = self._binder.bind_select(statement.query)
+            physical = self._planner.plan(logical)
+            lines = explain(physical).splitlines()
+            return QueryResult(
+                columns=["QUERY PLAN"],
+                rows=[(line,) for line in lines],
+                rowcount=len(lines),
+                command="EXPLAIN",
+            )
+        raise AnalysisError("EXPLAIN supports only SELECT statements")
+
+    # ---- DDL -----------------------------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTableStatement) -> QueryResult:
+        if statement.if_not_exists and self._cluster.catalog.has_table(
+            statement.name
+        ):
+            return QueryResult(command="CREATE TABLE")
+        columns = [
+            ColumnInfo(
+                name=c.name,
+                sql_type=type_from_name(c.type_name, *c.type_params),
+                encode=c.encode,
+                not_null=c.not_null,
+            )
+            for c in statement.columns
+        ]
+        info = TableInfo(
+            name=statement.name,
+            columns=columns,
+            distribution=make_distribution(statement.diststyle, statement.distkey),
+            sort_key=self._make_sort_key(
+                statement.sortkey, statement.sortkey_interleaved
+            ),
+        )
+        self._validate_table(info, statement.distkey, statement.sortkey)
+        self._cluster.catalog.create_table(info)
+        self._cluster.create_table_storage(info)
+        return QueryResult(command="CREATE TABLE")
+
+    @staticmethod
+    def _make_sort_key(columns: list[str], interleaved: bool):
+        if not columns:
+            return None
+        from repro.sortkeys.compound import CompoundSortKey
+        from repro.sortkeys.interleaved import InterleavedSortKey
+
+        if interleaved:
+            return InterleavedSortKey(columns)
+        return CompoundSortKey(columns)
+
+    @staticmethod
+    def _validate_table(
+        info: TableInfo, distkey: str | None, sortkey: list[str]
+    ) -> None:
+        if distkey is not None:
+            info.column(distkey)  # raises if missing
+        for name in sortkey:
+            info.column(name)
+
+    def _create_table_as(
+        self, statement: ast.CreateTableAsStatement, xid: int
+    ) -> QueryResult:
+        result = self._run_select(statement.query, xid)
+        logical = self._binder.bind_select(statement.query)
+        columns = [
+            ColumnInfo(name=c.name, sql_type=_storable_type(c.sql_type))
+            for c in logical.output
+        ]
+        info = TableInfo(
+            name=statement.name,
+            columns=columns,
+            distribution=make_distribution(statement.diststyle, statement.distkey),
+            sort_key=self._make_sort_key(statement.sortkey, False),
+        )
+        self._validate_table(info, statement.distkey, statement.sortkey)
+        self._cluster.catalog.create_table(info)
+        self._cluster.create_table_storage(info)
+        count = self._cluster.distribute_rows(info, result.rows, xid)
+        self._cluster.seal_table(info.name)
+        self._update_statistics(info, xid)
+        return QueryResult(rowcount=count, command="CREATE TABLE AS")
+
+    def _drop_table(self, statement: ast.DropTableStatement) -> QueryResult:
+        if statement.if_exists and not self._cluster.catalog.has_table(
+            statement.name
+        ):
+            return QueryResult(command="DROP TABLE")
+        self._cluster.catalog.drop_table(statement.name)
+        self._cluster.drop_table_storage(statement.name)
+        return QueryResult(command="DROP TABLE")
+
+    # ---- DML ------------------------------------------------------------------------------
+
+    def _insert(self, statement: ast.InsertStatement, xid: int) -> QueryResult:
+        table = self._cluster.catalog.table(statement.table)
+        target_columns = statement.columns or table.column_names
+        for name in target_columns:
+            table.column(name)
+        if statement.query is not None:
+            source_rows = self._run_select(statement.query, xid).rows
+        else:
+            source_rows = []
+            for row_exprs in statement.rows:
+                if len(row_exprs) != len(target_columns):
+                    raise AnalysisError(
+                        f"INSERT has {len(row_exprs)} values for "
+                        f"{len(target_columns)} columns"
+                    )
+                evaluated = []
+                for expr in row_exprs:
+                    fn = compile_expression(
+                        expr, _reject_column_refs
+                    )
+                    evaluated.append(fn(()))
+                source_rows.append(tuple(evaluated))
+        rows = [
+            self._align_insert_row(table, target_columns, row)
+            for row in source_rows
+        ]
+        count = self._cluster.distribute_rows(table, rows, xid)
+        self._update_statistics(table, xid)
+        return QueryResult(rowcount=count, command="INSERT")
+
+    @staticmethod
+    def _align_insert_row(
+        table: TableInfo, target_columns: list[str], row: tuple
+    ) -> tuple:
+        if len(row) != len(target_columns):
+            raise DataError(
+                f"INSERT row has {len(row)} values for "
+                f"{len(target_columns)} columns"
+            )
+        by_name = dict(zip(target_columns, row))
+        return tuple(by_name.get(c.name) for c in table.columns)
+
+    def _matching_offsets(
+        self, table: TableInfo, where: ast.Expression | None, xid: int
+    ) -> list[tuple[int, list[int], list[tuple]]]:
+        """Per-slice (slice index, row offsets, row tuples) matching WHERE."""
+        snapshot = self._cluster.transactions.snapshot(xid)
+        predicate = None
+        if where is not None:
+            from repro.sql.subqueries import expand_in_expression
+
+            where = expand_in_expression(
+                where, lambda inner: self._run_select(inner, xid).rows
+            )
+            scope_plan = self._binder.bind_select(
+                ast.SelectQuery(
+                    items=[ast.SelectItem(ast.Star())],
+                    from_item=ast.TableRef(table.name),
+                    where=where,
+                )
+            )
+            # The bound filter sits under the projection.
+            condition = scope_plan.child.condition  # type: ignore[union-attr]
+            predicate = compile_expression(condition, _reject_column_refs)
+        results = []
+        dist_all = table.distribution.style is DistStyle.ALL
+        for index, store in enumerate(self._cluster.slice_stores):
+            if not store.has_shard(table.name):
+                continue
+            shard = store.shard(table.name)
+            columns = [shard.chain(c.name).read_all() for c in table.columns]
+            offsets: list[int] = []
+            rows: list[tuple] = []
+            for offset in range(shard.row_count):
+                if not snapshot.can_see(
+                    shard.insert_xids[offset], shard.delete_xids[offset]
+                ):
+                    continue
+                row = tuple(col[offset] for col in columns)
+                if predicate is None or predicate(row) is True:
+                    offsets.append(offset)
+                    rows.append(row)
+            results.append((index, offsets, rows))
+        return results
+
+    def _delete(self, statement: ast.DeleteStatement, xid: int) -> QueryResult:
+        table = self._cluster.catalog.table(statement.table)
+        matches = self._matching_offsets(table, statement.where, xid)
+        count = 0
+        logical_rows = 0
+        for slice_index, offsets, _rows in matches:
+            store = self._cluster.slice_stores[slice_index]
+            shard = store.shard(table.name)
+            shard.mark_deleted(offsets, xid)
+            for offset in offsets:
+                self._cluster.transactions.record_delete(
+                    xid, table.name, store.slice_id, offset
+                )
+            count += len(offsets)
+        if table.distribution.style is DistStyle.ALL:
+            slice_count = max(1, self._cluster.slice_count)
+            logical_rows = count // slice_count
+        else:
+            logical_rows = count
+        self._update_statistics(table, xid)
+        return QueryResult(rowcount=logical_rows, command="DELETE")
+
+    def _update(self, statement: ast.UpdateStatement, xid: int) -> QueryResult:
+        table = self._cluster.catalog.table(statement.table)
+        from repro.sql.subqueries import expand_in_expression
+
+        assignment_fns = []
+        scope = _table_scope(self._binder, table)
+        for column_name, expr in statement.assignments:
+            table.column(column_name)
+            expr = expand_in_expression(
+                expr, lambda inner: self._run_select(inner, xid).rows
+            )
+            bound = self._binder._bind_expr(expr, scope, allow_aggregates=False)
+            assignment_fns.append(
+                (table.column_index(column_name), compile_expression(bound, _reject_column_refs))
+            )
+        matches = self._matching_offsets(table, statement.where, xid)
+        new_rows: list[tuple] = []
+        count = 0
+        seen_logical = table.distribution.style is not DistStyle.ALL
+        for slice_index, offsets, rows in matches:
+            store = self._cluster.slice_stores[slice_index]
+            shard = store.shard(table.name)
+            shard.mark_deleted(offsets, xid)
+            for offset in offsets:
+                self._cluster.transactions.record_delete(
+                    xid, table.name, store.slice_id, offset
+                )
+            if seen_logical or not new_rows:
+                for row in rows:
+                    updated = list(row)
+                    for index, fn in assignment_fns:
+                        updated[index] = fn(row)
+                    new_rows.append(tuple(updated))
+            count += len(offsets)
+        self._cluster.distribute_rows(table, new_rows, xid)
+        self._update_statistics(table, xid)
+        logical = (
+            len(new_rows)
+            if table.distribution.style is DistStyle.ALL
+            else count
+        )
+        return QueryResult(rowcount=logical, command="UPDATE")
+
+    # ---- COPY ------------------------------------------------------------------------------
+
+    def _copy(self, statement: ast.CopyStatement, xid: int) -> QueryResult:
+        table = self._cluster.catalog.table(statement.table)
+        target_columns = statement.columns or table.column_names
+        for name in target_columns:
+            table.column(name)
+        delimiter = str(statement.options.get("delimiter", "|"))
+        null_marker = str(statement.options.get("null", ""))
+        use_json = bool(statement.options.get("json", False))
+        lines = self._cluster.open_source(statement.source)
+
+        types = [table.column(name).sql_type for name in target_columns]
+        rows: list[tuple] = []
+        for line_number, line in enumerate(lines, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                if use_json:
+                    rows.append(
+                        _parse_json_row(line, table, target_columns)
+                    )
+                else:
+                    fields = line.split(delimiter)
+                    if len(fields) != len(target_columns):
+                        raise CopyError(
+                            f"line {line_number}: expected "
+                            f"{len(target_columns)} fields, got {len(fields)}"
+                        )
+                    rows.append(
+                        tuple(
+                            parse_literal(text, sql_type, null_marker)
+                            for text, sql_type in zip(fields, types)
+                        )
+                    )
+            except DataError as exc:
+                raise CopyError(f"line {line_number}: {exc}") from exc
+
+        aligned = [
+            self._align_insert_row(table, target_columns, row) for row in rows
+        ]
+
+        # Automatic compression: on by default for the first load into an
+        # empty table — the paper's flagship dusty knob (§2.1, §3.3).
+        compupdate = statement.options.get("compupdate")
+        was_empty = table.statistics.row_count == 0
+        if aligned and was_empty and compupdate is not False:
+            self._apply_auto_compression(table, aligned)
+
+        count = self._cluster.distribute_rows(table, aligned, xid)
+        # COPY "sorts locally" (§2.1) for the initial load of a sorted
+        # table; later loads append unsorted and VACUUM restores order —
+        # rewriting every block on every load would defeat incremental
+        # backup.
+        if table.sort_key is not None and was_empty:
+            self._sort_table(table, xid)
+        self._cluster.seal_table(table.name)
+        if statement.options.get("statupdate") is not False:
+            self._update_statistics(table, xid)
+        return QueryResult(rowcount=count, command="COPY")
+
+    def _apply_auto_compression(
+        self, table: TableInfo, rows: list[tuple]
+    ) -> None:
+        analyzer = CompressionAnalyzer()
+        vectors = list(zip(*rows)) if rows else [[] for _ in table.columns]
+        analyses = analyzer.analyze(table.column_specs, vectors)
+        for column in table.columns:
+            if column.encode is not None:
+                continue  # user-specified ENCODE stays authoritative
+            chosen = analyses[column.name].chosen_codec
+            column.encode = chosen
+            for store in self._cluster.slice_stores:
+                if store.has_shard(table.name):
+                    store.shard(table.name).chain(column.name).set_codec(chosen)
+
+    # ---- ANALYZE / VACUUM -------------------------------------------------------------------
+
+    def _analyze(self, statement: ast.AnalyzeStatement, xid: int) -> QueryResult:
+        names = (
+            [statement.table]
+            if statement.table
+            else self._cluster.catalog.table_names()
+        )
+        if statement.compression:
+            if not statement.table:
+                raise AnalysisError("ANALYZE COMPRESSION requires a table name")
+            return self._analyze_compression(names[0])
+        for name in names:
+            self._update_statistics(self._cluster.catalog.table(name))
+        return QueryResult(command="ANALYZE")
+
+    def _analyze_compression(self, table_name: str) -> QueryResult:
+        table = self._cluster.catalog.table(table_name)
+        analyzer = CompressionAnalyzer()
+        vectors = []
+        for column in table.columns:
+            values: list[object] = []
+            for store in self._cluster.slice_stores:
+                if store.has_shard(table.name):
+                    values.extend(
+                        store.shard(table.name).chain(column.name).read_all()
+                    )
+            vectors.append(values)
+        analyses = analyzer.analyze(table.column_specs, vectors)
+        rows = [
+            (
+                column.name,
+                analyses[column.name].chosen_codec,
+                round(
+                    analyses[column.name]
+                    .trial(analyses[column.name].chosen_codec)
+                    .ratio_vs_raw,
+                    2,
+                ),
+            )
+            for column in table.columns
+        ]
+        return QueryResult(
+            columns=["column", "encoding", "est_reduction_ratio"],
+            rows=rows,
+            rowcount=len(rows),
+            command="ANALYZE COMPRESSION",
+        )
+
+    def _vacuum(self, statement: ast.VacuumStatement, xid: int) -> QueryResult:
+        names = (
+            [statement.table]
+            if statement.table
+            else self._cluster.catalog.table_names()
+        )
+        for name in names:
+            table = self._cluster.catalog.table(name)
+            self._sort_table(table, xid, reclaim=True)
+            self._update_statistics(table, xid)
+        return QueryResult(command="VACUUM")
+
+    def _sort_table(
+        self, table: TableInfo, xid: int, reclaim: bool = False
+    ) -> None:
+        """Per-slice sort (and, for VACUUM, dead-row reclamation)."""
+        snapshot = self._cluster.transactions.snapshot(xid)
+        sort_key = table.sort_key
+        for store in self._cluster.slice_stores:
+            if not store.has_shard(table.name):
+                continue
+            shard = store.shard(table.name)
+            if shard.row_count == 0:
+                continue
+            visible = [
+                offset
+                for offset in range(shard.row_count)
+                if snapshot.can_see(
+                    shard.insert_xids[offset], shard.delete_xids[offset]
+                )
+            ]
+            if not reclaim and len(visible) != shard.row_count:
+                # COPY-time sorting never drops rows others might see.
+                continue
+            if sort_key is not None:
+                key_vectors = []
+                for column in sort_key.columns:
+                    values = shard.chain(column).read_all()
+                    key_vectors.append([values[i] for i in visible])
+                order_local = sort_key.sort_order(key_vectors)
+                order = [visible[i] for i in order_local]
+            else:
+                order = visible
+            shard.rewrite_sorted(order, BOOTSTRAP_XID)
+
+    # ---- statistics -------------------------------------------------------------------------
+
+    def _update_statistics(self, table: TableInfo, xid: int | None = None) -> None:
+        """Refresh optimizer statistics by scanning (ANALYZE / on-load).
+
+        When called mid-statement, *xid* makes the writing transaction's
+        own rows visible to the scan (the commit follows immediately).
+        """
+        if xid is not None:
+            snapshot = self._cluster.transactions.snapshot(xid)
+        else:
+            snapshot = self._cluster.transactions.snapshot_latest()
+        stats = TableStatistics(stale=False)
+        dist_all = table.distribution.style is DistStyle.ALL
+        hlls = {c.name: HyperLogLog(10) for c in table.columns}
+        lows: dict[str, object] = {}
+        highs: dict[str, object] = {}
+        nulls: dict[str, int] = {c.name: 0 for c in table.columns}
+        row_count = 0
+        for store in self._cluster.slice_stores:
+            if not store.has_shard(table.name):
+                continue
+            shard = store.shard(table.name)
+            visible = [
+                offset
+                for offset in range(shard.row_count)
+                if snapshot.can_see(
+                    shard.insert_xids[offset], shard.delete_xids[offset]
+                )
+            ]
+            row_count += len(visible)
+            for column in table.columns:
+                values = shard.chain(column.name).read_all()
+                hll = hlls[column.name]
+                for offset in visible:
+                    value = values[offset]
+                    if value is None:
+                        nulls[column.name] += 1
+                        continue
+                    hll.add(value)
+                    low = lows.get(column.name)
+                    if low is None or value < low:
+                        lows[column.name] = value
+                    high = highs.get(column.name)
+                    if high is None or value > high:
+                        highs[column.name] = value
+            stats.total_bytes += shard.encoded_bytes
+            if dist_all:
+                break  # one replica carries every logical row
+        stats.row_count = row_count
+        for column in table.columns:
+            stats.columns[column.name] = ColumnStatistics(
+                low=lows.get(column.name),
+                high=highs.get(column.name),
+                null_fraction=(
+                    nulls[column.name] / row_count if row_count else 0.0
+                ),
+                distinct_count=hlls[column.name].cardinality(),
+            )
+        table.statistics = stats
+
+
+def _reject_column_refs(ref: ast.ColumnRef) -> int:
+    raise AnalysisError(f"column reference {ref.to_sql()!r} is not allowed here")
+
+
+def _table_scope(binder: Binder, table: TableInfo):
+    from repro.plan.binder import _Scope, _ScopeColumn
+
+    return _Scope(
+        [
+            _ScopeColumn(table.name, c.name, c.sql_type, i)
+            for i, c in enumerate(table.columns)
+        ]
+    )
+
+
+def _storable_type(sql_type):
+    """CTAS output columns keep their inferred type."""
+    return sql_type
+
+
+def _parse_json_row(
+    line: str, table: TableInfo, target_columns: list[str]
+) -> tuple:
+    """COPY ... JSON: one object per line, keys matched to column names."""
+    import json
+
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise CopyError(f"invalid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise CopyError("JSON COPY expects one object per line")
+    # Accept keys that sanitize to a column name ("user id" -> user_id),
+    # matching the relationalizer's identifier rules.
+    from repro.engine.relationalize import _sanitize
+
+    obj = {_sanitize(str(k)): v for k, v in obj.items()}
+    values = []
+    for name in target_columns:
+        sql_type = table.column(name).sql_type
+        raw = obj.get(name)
+        if isinstance(raw, (dict, list)):
+            # Nested structures load as their JSON text (the
+            # relationalizer types such columns varchar).
+            raw = json.dumps(raw)
+        if raw is None:
+            values.append(None)
+        elif isinstance(raw, str) and not sql_type.is_character:
+            values.append(parse_literal(raw, sql_type))
+        elif isinstance(raw, float) and sql_type.is_integer and raw.is_integer():
+            values.append(int(raw))
+        else:
+            values.append(sql_type.validate(raw))
+    return tuple(values)

@@ -1,0 +1,152 @@
+"""Workload management: queues, slots, and admission control.
+
+§4: declarative SQL matters most "when computation needs to be distributed
+and parallelized across many nodes, and resources distributed across many
+concurrent queries." WLM is how Redshift distributes those resources: each
+queue owns a number of concurrency slots and a memory share; queries wait
+for a slot, run, and release it.
+
+The engine executes one statement at a time, so WLM here is a
+discrete-event admission simulator over a trace of query arrivals — the
+tool for answering the sizing questions WLM exists for (how much does a
+separate short-query queue cut p95 wait?), exercised by the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.util.stats import mean, percentile
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """One WLM queue: concurrency slots and a memory share."""
+
+    name: str
+    slots: int
+    memory_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError(f"queue {self.name!r} needs at least 1 slot")
+        if not 0.0 < self.memory_fraction <= 1.0:
+            raise ValueError(
+                f"queue {self.name!r} memory fraction must be in (0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class QueryArrival:
+    """One query in the trace."""
+
+    queue: str
+    arrival_s: float
+    duration_s: float
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    arrival: QueryArrival
+    started_s: float
+    finished_s: float
+
+    @property
+    def wait_s(self) -> float:
+        return self.started_s - self.arrival.arrival_s
+
+
+@dataclass
+class QueueReport:
+    """Per-queue simulation results."""
+
+    name: str
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+
+    @property
+    def mean_wait_s(self) -> float:
+        return mean([o.wait_s for o in self.outcomes]) if self.outcomes else 0.0
+
+    @property
+    def p95_wait_s(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return percentile([o.wait_s for o in self.outcomes], 95)
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Peak number of queries waiting simultaneously."""
+        events: list[tuple[float, int]] = []
+        for o in self.outcomes:
+            if o.wait_s > 0:
+                events.append((o.arrival.arrival_s, +1))
+                events.append((o.started_s, -1))
+        events.sort()
+        depth = peak = 0
+        for _, delta in events:
+            depth += delta
+            peak = max(peak, depth)
+        return peak
+
+
+class WorkloadManager:
+    """Simulates queue admission over a query trace.
+
+    The default configuration mirrors Redshift's out-of-the-box single
+    queue; callers define more queues to isolate workloads.
+    """
+
+    def __init__(self, queues: list[QueueConfig] | None = None):
+        self.queues = queues or [QueueConfig("default", slots=5, memory_fraction=1.0)]
+        names = [q.name for q in self.queues]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate queue names: {names}")
+        total = sum(q.memory_fraction for q in self.queues)
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"queue memory fractions sum to {total:.2f} (> 1.0)"
+            )
+        self._by_name = {q.name: q for q in self.queues}
+
+    def queue(self, name: str) -> QueueConfig:
+        config = self._by_name.get(name)
+        if config is None:
+            raise KeyError(
+                f"no WLM queue {name!r}; defined: {sorted(self._by_name)}"
+            )
+        return config
+
+    def simulate(self, trace: list[QueryArrival]) -> dict[str, QueueReport]:
+        """Run the admission simulation; returns per-queue reports.
+
+        Within a queue, queries start in arrival order as slots free up
+        (FIFO); queues are independent.
+        """
+        reports = {q.name: QueueReport(q.name) for q in self.queues}
+        by_queue: dict[str, list[QueryArrival]] = {q.name: [] for q in self.queues}
+        for arrival in trace:
+            self.queue(arrival.queue)  # validates
+            by_queue[arrival.queue].append(arrival)
+
+        for name, arrivals in by_queue.items():
+            slots = self.queue(name).slots
+            arrivals.sort(key=lambda a: a.arrival_s)
+            # Min-heap of slot-free times, one entry per slot.
+            free_at: list[float] = [0.0] * slots
+            heapq.heapify(free_at)
+            for arrival in arrivals:
+                slot_free = heapq.heappop(free_at)
+                start = max(arrival.arrival_s, slot_free)
+                finish = start + arrival.duration_s
+                heapq.heappush(free_at, finish)
+                reports[name].outcomes.append(
+                    QueryOutcome(arrival=arrival, started_s=start, finished_s=finish)
+                )
+        return reports
+
+    def memory_per_slot_fraction(self, queue_name: str) -> float:
+        """The memory share one running query in this queue gets."""
+        config = self.queue(queue_name)
+        return config.memory_fraction / config.slots

@@ -1,0 +1,111 @@
+"""Workload capture: which columns queries actually exercise.
+
+"In future, we would like to add automated collection of usage statistics
+by feature, query plan shapes, etc. across our fleet" (§5) and "we are
+striving to make other settings, such as sort column and distribution key
+equally dusty" (§3.3). The session records, from every physical plan, the
+columns used as join keys, range/equality predicates and grouping keys —
+the signal the tuning advisor consumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.plan.physical import (
+    PhysicalAggregate,
+    PhysicalHashJoin,
+    PhysicalNode,
+    PhysicalScan,
+)
+from repro.sql import ast
+
+#: usage kinds recorded per (table, column)
+JOIN = "join"
+PREDICATE = "predicate"
+GROUP = "group"
+
+
+@dataclass
+class WorkloadLog:
+    """Cumulative (table, column, kind) usage counters."""
+
+    counts: Counter = field(default_factory=Counter)
+    queries_seen: int = 0
+
+    def record_plan(self, plan: PhysicalNode) -> None:
+        self.queries_seen += 1
+        self._walk(plan)
+
+    # ---- extraction -------------------------------------------------------
+
+    def _walk(self, node: PhysicalNode) -> None:
+        if isinstance(node, PhysicalScan):
+            for index, _op, _literal in node.zone_predicates:
+                self._record(node, index, PREDICATE)
+            for conjunct in node.filters:
+                for expr in ast.walk_expressions(conjunct):
+                    if isinstance(expr, ast.BoundRef):
+                        self._record(node, expr.index, PREDICATE)
+        elif isinstance(node, PhysicalHashJoin):
+            for left_index, right_index in node.keys:
+                self._record_through(node.left, left_index, JOIN)
+                self._record_through(node.right, right_index, JOIN)
+        elif isinstance(node, PhysicalAggregate):
+            for expr in node.group_exprs:
+                if isinstance(expr, ast.BoundRef):
+                    self._record_through(node.child, expr.index, GROUP)
+        for child in node.children:
+            self._walk(child)
+
+    def _record_through(
+        self, node: PhysicalNode, index: int, kind: str
+    ) -> None:
+        """Attribute an output index to a base-table column when the node
+        chain down to the scan preserves it (filters do; projections and
+        joins are followed one level where unambiguous)."""
+        from repro.plan.physical import PhysicalFilter, PhysicalProject
+
+        while True:
+            if isinstance(node, PhysicalScan):
+                self._record(node, index, kind)
+                return
+            if isinstance(node, PhysicalFilter):
+                node = node.child
+                continue
+            if isinstance(node, PhysicalProject):
+                if index >= len(node.expressions):
+                    return
+                expr = node.expressions[index]
+                if isinstance(expr, ast.BoundRef):
+                    index = expr.index
+                    node = node.child
+                    continue
+                return
+            if isinstance(node, PhysicalHashJoin):
+                width_left = len(node.left.output)
+                if index < width_left:
+                    node = node.left
+                else:
+                    index -= width_left
+                    node = node.right
+                continue
+            return  # aggregates etc.: attribution stops
+
+    def _record(self, scan: PhysicalScan, index: int, kind: str) -> None:
+        if not 0 <= index < len(scan.column_indexes):
+            return
+        column = scan.table.columns[scan.column_indexes[index]].name
+        self.counts[(scan.table.name, column, kind)] += 1
+
+    # ---- queries -------------------------------------------------------------
+
+    def usage(self, table: str, kind: str) -> list[tuple[str, int]]:
+        """Columns of *table* used as *kind*, most-used first."""
+        items = [
+            (column, count)
+            for (t, column, k), count in self.counts.items()
+            if t == table and k == kind
+        ]
+        return sorted(items, key=lambda kv: (-kv[1], kv[0]))

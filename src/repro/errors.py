@@ -1,0 +1,189 @@
+"""Exception hierarchy for the repro data warehouse.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subsystems raise the most specific
+subclass available; error messages name the offending object (table,
+column, cluster, ...) so that failures are actionable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# SQL front end
+# --------------------------------------------------------------------------
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters an unrecognised character sequence."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the token stream."""
+
+
+class AnalysisError(SqlError):
+    """Raised during semantic analysis (unknown table/column, type mismatch...)."""
+
+
+class TypeMismatchError(AnalysisError):
+    """Raised when an expression combines values of incompatible types."""
+
+
+# --------------------------------------------------------------------------
+# Catalog / DDL
+# --------------------------------------------------------------------------
+
+class CatalogError(ReproError):
+    """Base class for catalog errors."""
+
+
+class TableNotFoundError(CatalogError):
+    def __init__(self, name: str):
+        super().__init__(f"table {name!r} does not exist")
+        self.table_name = name
+
+
+class TableAlreadyExistsError(CatalogError):
+    def __init__(self, name: str):
+        super().__init__(f"table {name!r} already exists")
+        self.table_name = name
+
+
+class ColumnNotFoundError(CatalogError):
+    def __init__(self, column: str, table: str | None = None):
+        where = f" in table {table!r}" if table else ""
+        super().__init__(f"column {column!r} does not exist{where}")
+        self.column_name = column
+        self.table_name = table
+
+
+class AmbiguousColumnError(CatalogError):
+    def __init__(self, column: str):
+        super().__init__(f"column reference {column!r} is ambiguous")
+        self.column_name = column
+
+
+# --------------------------------------------------------------------------
+# Data / execution
+# --------------------------------------------------------------------------
+
+class DataError(ReproError):
+    """Raised for invalid data values (overflow, bad cast, NULL violation)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a query fails during execution."""
+
+
+class DivisionByZeroError(ExecutionError):
+    def __init__(self) -> None:
+        super().__init__("division by zero")
+
+
+class CopyError(ReproError):
+    """Raised when a COPY load fails (malformed source, missing object...)."""
+
+
+class TransactionError(ReproError):
+    """Raised for transaction protocol violations (commit conflicts...)."""
+
+
+class SerializationError(TransactionError):
+    """Raised when concurrent transactions cannot be serialized."""
+
+
+# --------------------------------------------------------------------------
+# Storage / durability
+# --------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for block storage errors."""
+
+
+class BlockCorruptionError(StorageError):
+    """Raised when a block fails its checksum on read."""
+
+
+class DiskFailureError(StorageError):
+    """Raised when a simulated disk has failed and cannot serve IO."""
+
+
+class DurabilityLossError(StorageError):
+    """Raised when no surviving replica of a block exists anywhere."""
+
+
+# --------------------------------------------------------------------------
+# Cloud substrate
+# --------------------------------------------------------------------------
+
+class CloudError(ReproError):
+    """Base class for simulated AWS service errors."""
+
+
+class NoSuchKeyError(CloudError):
+    """Raised by the simulated S3 when an object does not exist."""
+
+    def __init__(self, bucket: str, key: str):
+        super().__init__(f"no such key: s3://{bucket}/{key}")
+        self.bucket = bucket
+        self.key = key
+
+
+class NoSuchBucketError(CloudError):
+    def __init__(self, bucket: str):
+        super().__init__(f"no such bucket: {bucket}")
+        self.bucket = bucket
+
+
+class ServiceUnavailableError(CloudError):
+    """Raised when a simulated service is in an injected outage."""
+
+
+class InsufficientCapacityError(CloudError):
+    """Raised by simulated EC2 when no instance capacity is available."""
+
+
+class KmsError(CloudError):
+    """Raised by the simulated key management service."""
+
+
+# --------------------------------------------------------------------------
+# Control plane
+# --------------------------------------------------------------------------
+
+class ControlPlaneError(ReproError):
+    """Base class for control-plane errors."""
+
+
+class ClusterNotFoundError(ControlPlaneError):
+    def __init__(self, cluster_id: str):
+        super().__init__(f"cluster {cluster_id!r} does not exist")
+        self.cluster_id = cluster_id
+
+
+class InvalidClusterStateError(ControlPlaneError):
+    """Raised when an operation is not legal in the cluster's current state."""
+
+
+class WorkflowError(ControlPlaneError):
+    """Raised when a control-plane workflow fails after exhausting retries."""
+
+
+class SnapshotNotFoundError(ControlPlaneError):
+    def __init__(self, snapshot_id: str):
+        super().__init__(f"snapshot {snapshot_id!r} does not exist")
+        self.snapshot_id = snapshot_id

@@ -1,0 +1,21 @@
+"""Query execution: the interpreted (Volcano) and compiled executors.
+
+Both executors run the same distributed physical plans and share one
+definition of SQL semantics (:mod:`repro.sql.expressions`); they differ in
+*how* per-row work is dispatched. The Volcano executor threads every row
+through a chain of Python generators and closure trees — the classic
+interpreted iterator model. The compiled executor generates one fused
+Python function per pipeline (Neumann-style produce/consume codegen) and
+``compile()``s it, paying a fixed per-query overhead for much tighter
+per-row execution — exactly the trade-off §2.1 of the paper describes for
+Redshift's compilation to machine code.
+"""
+
+from repro.exec.context import ExecutionContext, QueryStats
+from repro.exec.volcano import VolcanoExecutor
+from repro.exec.codegen import CompiledExecutor
+
+__all__ = [
+    "ExecutionContext", "QueryStats",
+    "VolcanoExecutor", "CompiledExecutor",
+]

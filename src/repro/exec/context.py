@@ -1,0 +1,42 @@
+"""Execution context and per-query statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.network import Interconnect, NetworkStats
+from repro.engine.transactions import Snapshot
+from repro.storage.chain import ScanStats
+from repro.storage.slicestore import SliceStorage
+
+
+@dataclass
+class QueryStats:
+    """Everything a query run reports besides its rows.
+
+    These counters are the measured quantities behind the benchmark
+    experiments: blocks skipped (a1), network bytes by category (a3),
+    compile vs execute time (a2).
+    """
+
+    scan: ScanStats = field(default_factory=ScanStats)
+    network: NetworkStats = field(default_factory=NetworkStats)
+    rows_returned: int = 0
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    executor: str = "volcano"
+    plan_text: str = ""
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an executor needs: slices, visibility, accounting."""
+
+    slices: list[SliceStorage]
+    snapshot: Snapshot
+    interconnect: Interconnect
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def slice_count(self) -> int:
+        return len(self.slices)

@@ -1,0 +1,73 @@
+"""Data movement between slices: broadcast, shuffle, gather.
+
+Each helper both moves the rows (list manipulation — the engine is one
+process) and records on the interconnect the bytes a real cluster would
+have transferred. The byte accounting is the measured quantity in the
+distribution-strategy experiment (a3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.distribution.hashing import stable_hash
+from repro.exec.context import ExecutionContext
+
+PerSlice = list  # list (over slices) of lists of row tuples
+
+
+def broadcast(
+    per_slice: PerSlice, ctx: ExecutionContext, row_width: int
+) -> PerSlice:
+    """Replicate all rows to every slice.
+
+    Every row must reach the ``slice_count - 1`` slices that do not already
+    hold it; the combined list object is shared across slices (consumers
+    must not mutate rows).
+    """
+    combined: list = []
+    for rows in per_slice:
+        combined.extend(rows)
+    copies = max(0, ctx.slice_count - 1)
+    ctx.interconnect.record_broadcast(len(combined) * row_width, copies)
+    return [combined for _ in range(ctx.slice_count)]
+
+
+def shuffle(
+    per_slice: PerSlice,
+    key_of: Callable[[tuple], object],
+    ctx: ExecutionContext,
+    row_width: int,
+) -> PerSlice:
+    """Redistribute rows by hash of ``key_of(row)``.
+
+    Rows whose target slice equals their current slice do not move; only
+    the bytes that actually cross the interconnect are accounted.
+    """
+    n = ctx.slice_count
+    out: PerSlice = [[] for _ in range(n)]
+    moved = 0
+    for source, rows in enumerate(per_slice):
+        for row in rows:
+            target = stable_hash(key_of(row)) % n
+            out[target].append(row)
+            if target != source:
+                moved += 1
+    ctx.interconnect.record_redistribution(moved * row_width)
+    return out
+
+
+def gather(
+    per_slice: PerSlice, ctx: ExecutionContext, row_width: int
+) -> list:
+    """Collect all rows at the leader node."""
+    combined: list = []
+    for rows in per_slice:
+        combined.extend(rows)
+    ctx.interconnect.record_gather(len(combined) * row_width)
+    return combined
+
+
+def row_width(output_columns: Sequence) -> int:
+    """Nominal bytes per row of an operator's output schema."""
+    return max(1, sum(c.sql_type.byte_width for c in output_columns))

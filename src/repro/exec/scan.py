@@ -1,0 +1,154 @@
+"""Block-aligned shard scans with zone-map skipping and MVCC visibility.
+
+All chains of a shard are appended in lockstep with the same block
+capacity, so block *k* covers the same row offsets in every column. A
+scan therefore consults the zone maps of the predicate columns per block,
+and either skips the block in every needed chain or reads it from every
+needed chain — row alignment across columns is preserved by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.transactions import Snapshot
+from repro.storage.chain import ScanStats
+from repro.storage.disk import SimulatedDisk
+from repro.storage.slicestore import TableShard
+
+
+def scan_shard(
+    shard: TableShard,
+    column_names: Sequence[str | None],
+    zone_predicates: Sequence[tuple[int, str, object]],
+    snapshot: Snapshot,
+    stats: ScanStats | None = None,
+    disk: SimulatedDisk | None = None,
+) -> Iterator[tuple]:
+    """Yield visible rows (tuples of the named columns) from one shard.
+
+    A ``None`` entry in *column_names* is a dead column: its chain is
+    never read and its tuple slot holds None — this is the projection
+    pushdown a columnar engine exists for (only live chains cost IO).
+
+    ``zone_predicates`` hold (index into *column_names*, op, literal); a
+    block is skipped when any predicate's zone map proves it empty of
+    matches. Skipping is conservative — surviving rows are re-checked by
+    the caller's filters. Predicate columns must be live.
+    """
+    width = len(column_names)
+    if width == 0:
+        return
+    live = [
+        (position, shard.chain(name))
+        for position, name in enumerate(column_names)
+        if name is not None
+    ]
+    insert_xids = shard.insert_xids
+    delete_xids = shard.delete_xids
+
+    if not live:
+        # Pure row-count scans (e.g. unfiltered COUNT(*)): no chain IO,
+        # rows synthesized from visibility metadata alone.
+        empty = (None,) * width
+        for offset in range(shard.row_count):
+            if snapshot.can_see(insert_xids[offset], delete_xids[offset]):
+                yield empty
+        return
+
+    live_positions = {position: i for i, (position, _) in enumerate(live)}
+    blocks_per_chain = [chain.blocks for _, chain in live]
+    block_count = len(blocks_per_chain[0])
+
+    offset = 0
+    for k in range(block_count):
+        row_count = blocks_per_chain[0][k].count
+        skip = False
+        for col_pos, op, literal in zone_predicates:
+            chain_index = live_positions[col_pos]
+            if not blocks_per_chain[chain_index][k].zone_map.might_satisfy(
+                op, literal
+            ):
+                skip = True
+                break
+        if stats is not None:
+            stats.blocks_total += len(live)
+            if skip:
+                stats.blocks_skipped += len(live)
+        if skip:
+            offset += row_count
+            continue
+        row_template: list = [None] * width
+        columns = []
+        for chain_blocks in blocks_per_chain:
+            block = chain_blocks[k]
+            if stats is not None:
+                stats.blocks_read += 1
+                stats.bytes_read += block.encoded_bytes
+                stats.values_read += block.count
+            if disk is not None:
+                disk.record_read(block.encoded_bytes)
+            columns.append(block.read())
+        # Fast path: when every row in the block is visible (no tombstones,
+        # all inserters visible), emit rows in bulk.
+        end = offset + row_count
+        fully_visible = _block_fully_visible(
+            insert_xids, delete_xids, offset, end, snapshot
+        )
+        if len(live) == width and fully_visible:
+            yield from zip(*columns)
+        else:
+            positions = [position for position, _ in live]
+            for i in range(row_count):
+                row_offset = offset + i
+                if fully_visible or snapshot.can_see(
+                    insert_xids[row_offset], delete_xids[row_offset]
+                ):
+                    row = row_template.copy()
+                    for position, col in zip(positions, columns):
+                        row[position] = col[i]
+                    yield tuple(row)
+        offset += row_count
+
+    # Open tail buffers (rows loaded but not yet sealed into blocks).
+    tails = [(position, chain.tail_values) for position, chain in live]
+    tail_count = len(tails[0][1])
+    for i in range(tail_count):
+        row_offset = offset + i
+        if snapshot.can_see(insert_xids[row_offset], delete_xids[row_offset]):
+            row = [None] * width
+            for position, tail in tails:
+                row[position] = tail[i]
+            yield tuple(row)
+    if stats is not None and tail_count:
+        stats.values_read += tail_count * len(live)
+
+
+def _block_fully_visible(
+    insert_xids: list[int],
+    delete_xids: list[int | None],
+    start: int,
+    end: int,
+    snapshot: Snapshot,
+) -> bool:
+    """True when every row in [start, end) is visible to *snapshot*.
+
+    Checked via the distinct inserter set (typically one xid per block)
+    rather than per row, so the common no-deletes case stays O(1)-ish.
+    """
+    for dele in delete_xids[start:end]:
+        if dele is not None:
+            return False
+    for ins in set(insert_xids[start:end]):
+        if not snapshot.can_see(ins, None):
+            return False
+    return True
+
+
+def visible_offsets(shard: TableShard, snapshot: Snapshot) -> list[int]:
+    """Row offsets visible to *snapshot* (used by DELETE/UPDATE targeting)."""
+    return [
+        i
+        for i, (ins, dele) in enumerate(zip(shard.insert_xids, shard.delete_xids))
+        if snapshot.can_see(ins, dele)
+    ]

@@ -1,0 +1,554 @@
+"""The interpreted (Volcano-style) executor.
+
+Rows flow through chains of Python generators; expressions are evaluated
+by closure trees from :func:`repro.sql.expressions.compile_expression`.
+Pipelines stay lazy between blocking points (joins, aggregation, sorts,
+exchanges), mirroring the per-row iterator dispatch of a classical
+interpreted executor — the baseline the query-compilation experiment (a2)
+measures against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ExecutionError
+from repro.exec import exchange
+from repro.exec.context import ExecutionContext
+from repro.exec.scan import scan_shard
+from repro.plan.physical import (
+    JoinDistribution,
+    PhysicalAggregate,
+    PhysicalDistinct,
+    PhysicalFilter,
+    PhysicalHashJoin,
+    PhysicalLimit,
+    PhysicalNestedLoopJoin,
+    PhysicalNode,
+    PhysicalProject,
+    PhysicalScan,
+    PhysicalSetOp,
+    PhysicalSingleRow,
+    PhysicalSort,
+)
+from repro.sql import ast
+from repro.sql.expressions import compile_expression
+
+PerSlice = list
+
+
+def _no_unresolved(ref: ast.ColumnRef) -> int:
+    raise ExecutionError(f"unresolved column reference {ref.to_sql()!r}")
+
+
+def _compile(expr: ast.Expression):
+    return compile_expression(expr, _no_unresolved)
+
+
+class VolcanoExecutor:
+    """Executes physical plans by interpreted iteration."""
+
+    name = "volcano"
+
+    def __init__(self, ctx: ExecutionContext):
+        self._ctx = ctx
+
+    # ---- public -----------------------------------------------------------
+
+    def execute(self, plan: PhysicalNode) -> list[tuple]:
+        """Run the plan and return the result rows at the leader."""
+        per_slice = self._run(plan)
+        return self._collect_at_leader(plan, per_slice)
+
+    def _collect_at_leader(
+        self, plan: PhysicalNode, per_slice: PerSlice
+    ) -> list[tuple]:
+        kind = plan.partitioning.kind
+        width = exchange.row_width(plan.output) if plan.output else 1
+        if kind == "single":
+            return list(per_slice[0])
+        if kind == "all":
+            rows = list(per_slice[0])
+            self._ctx.interconnect.record_gather(len(rows) * width)
+            return rows
+        materialized = [list(rows) for rows in per_slice]
+        return exchange.gather(materialized, self._ctx, width)
+
+    # ---- dispatch ------------------------------------------------------------
+
+    def _run(self, node: PhysicalNode) -> PerSlice:
+        if isinstance(node, PhysicalScan):
+            return self._run_scan(node)
+        if isinstance(node, PhysicalFilter):
+            return self._run_filter(node)
+        if isinstance(node, PhysicalProject):
+            return self._run_project(node)
+        if isinstance(node, PhysicalHashJoin):
+            return self._run_hash_join(node)
+        if isinstance(node, PhysicalNestedLoopJoin):
+            return self._run_nested_loop(node)
+        if isinstance(node, PhysicalAggregate):
+            return self._run_aggregate(node)
+        if isinstance(node, PhysicalDistinct):
+            return self._run_distinct(node)
+        if isinstance(node, PhysicalSort):
+            return self._run_sort(node)
+        if isinstance(node, PhysicalLimit):
+            return self._run_limit(node)
+        if isinstance(node, PhysicalSetOp):
+            return self._run_set_op(node)
+        if isinstance(node, PhysicalSingleRow):
+            return [[()]] + [[] for _ in range(self._ctx.slice_count - 1)]
+        raise ExecutionError(f"cannot execute {type(node).__name__}")
+
+    def _run_set_op(self, node: PhysicalSetOp) -> PerSlice:
+        left = self._one_copy(
+            node.left, self._materialize(node.left, self._run(node.left))
+        )
+        right = self._one_copy(
+            node.right, self._materialize(node.right, self._run(node.right))
+        )
+        if node.op == "union" and node.all:
+            # Stays distributed: concatenate per slice.
+            return [l + r for l, r in zip(left, right)]
+        width = exchange.row_width(node.output) if node.output else 1
+        left_rows = exchange.gather(left, self._ctx, width)
+        right_rows = exchange.gather(right, self._ctx, width)
+        if node.op == "union":
+            seen: set = set()
+            out = []
+            for row in left_rows + right_rows:
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+        elif node.op == "intersect":
+            right_set = set(right_rows)
+            seen = set()
+            out = []
+            for row in left_rows:
+                if row in right_set and row not in seen:
+                    seen.add(row)
+                    out.append(row)
+        else:  # except
+            right_set = set(right_rows)
+            seen = set()
+            out = []
+            for row in left_rows:
+                if row not in right_set and row not in seen:
+                    seen.add(row)
+                    out.append(row)
+        return [out] + [[] for _ in range(self._ctx.slice_count - 1)]
+
+    # ---- leaf / pipeline operators ------------------------------------------
+
+    def _run_scan(self, node: PhysicalScan) -> PerSlice:
+        column_names = scan_column_names(node)
+        predicates = [_compile(f) for f in node.filters]
+        out: PerSlice = []
+        for store in self._ctx.slices:
+            if not store.has_shard(node.table.name):
+                out.append([])
+                continue
+            shard = store.shard(node.table.name)
+            rows: Iterable[tuple] = scan_shard(
+                shard,
+                column_names,
+                node.zone_predicates,
+                self._ctx.snapshot,
+                self._ctx.stats.scan,
+                store.disk,
+            )
+            for predicate in predicates:
+                rows = self._filtered(rows, predicate)
+            out.append(rows)
+        return out
+
+    @staticmethod
+    def _filtered(rows: Iterable[tuple], predicate) -> Iterable[tuple]:
+        return (row for row in rows if predicate(row) is True)
+
+    def _run_filter(self, node: PhysicalFilter) -> PerSlice:
+        child = self._run(node.child)
+        predicate = _compile(node.condition)
+        return [self._filtered(rows, predicate) for rows in child]
+
+    def _run_project(self, node: PhysicalProject) -> PerSlice:
+        child = self._run(node.child)
+        exprs = [_compile(e) for e in node.expressions]
+        return [
+            (tuple(fn(row) for fn in exprs) for row in rows) for rows in child
+        ]
+
+    # ---- joins -------------------------------------------------------------------
+
+    def _materialize(
+        self, node: PhysicalNode, per_slice: PerSlice
+    ) -> PerSlice:
+        return [list(rows) for rows in per_slice]
+
+    def _one_copy(self, node: PhysicalNode, per_slice: PerSlice) -> PerSlice:
+        """For 'all'-partitioned input: keep one copy (slice 0), so
+        row-once consumers (aggregates, shuffles) do not double count."""
+        if node.partitioning.kind == "all":
+            return [list(per_slice[0])] + [
+                [] for _ in range(self._ctx.slice_count - 1)
+            ]
+        return per_slice
+
+    def _run_hash_join(self, node: PhysicalHashJoin) -> PerSlice:
+        left = self._materialize(node.left, self._run(node.left))
+        right = self._materialize(node.right, self._run(node.right))
+        left_width = exchange.row_width(node.left.output)
+        right_width = exchange.row_width(node.right.output)
+        left_keys = [l for l, _ in node.keys]
+        right_keys = [r for _, r in node.keys]
+
+        strategy = node.strategy
+        if strategy is JoinDistribution.DS_DIST_NONE:
+            both_all = (
+                node.left.partitioning.kind == "all"
+                and node.right.partitioning.kind == "all"
+            )
+            if both_all:
+                left = self._one_copy(node.left, left)
+                # right stays replicated; only slice 0 will probe.
+        elif strategy is JoinDistribution.DS_BCAST_INNER:
+            if node.build_right:
+                right = exchange.broadcast(
+                    self._one_copy(node.right, right), self._ctx, right_width
+                )
+                left = self._one_copy(node.left, left)
+            else:
+                left = exchange.broadcast(
+                    self._one_copy(node.left, left), self._ctx, left_width
+                )
+                right = self._one_copy(node.right, right)
+        else:
+            redistribute_left = strategy in (
+                JoinDistribution.DS_DIST_BOTH,
+            ) or (
+                strategy is JoinDistribution.DS_DIST_INNER and not node.build_right
+            ) or (
+                strategy is JoinDistribution.DS_DIST_OUTER and node.build_right
+            )
+            redistribute_right = strategy in (
+                JoinDistribution.DS_DIST_BOTH,
+            ) or (
+                strategy is JoinDistribution.DS_DIST_INNER and node.build_right
+            ) or (
+                strategy is JoinDistribution.DS_DIST_OUTER and not node.build_right
+            )
+            lk, rk = node.keys[0]
+            if redistribute_left:
+                left = exchange.shuffle(
+                    self._one_copy(node.left, left),
+                    lambda row: row[lk],
+                    self._ctx,
+                    left_width,
+                )
+            if redistribute_right:
+                right = exchange.shuffle(
+                    self._one_copy(node.right, right),
+                    lambda row: row[rk],
+                    self._ctx,
+                    right_width,
+                )
+
+        residual = _compile(node.residual) if node.residual is not None else None
+        left_null = (None,) * len(node.left.output)
+        right_null = (None,) * len(node.right.output)
+
+        out: PerSlice = []
+        for s in range(self._ctx.slice_count):
+            out.append(
+                self._join_slice(
+                    node,
+                    left[s],
+                    right[s],
+                    left_keys,
+                    right_keys,
+                    residual,
+                    left_null,
+                    right_null,
+                )
+            )
+        return out
+
+    def _join_slice(
+        self,
+        node: PhysicalHashJoin,
+        left_rows: list,
+        right_rows: list,
+        left_keys: list[int],
+        right_keys: list[int],
+        residual,
+        left_null: tuple,
+        right_null: tuple,
+    ) -> list:
+        kind = node.kind
+        build_right = node.build_right
+        build_rows = right_rows if build_right else left_rows
+        probe_rows = left_rows if build_right else right_rows
+        build_keys = right_keys if build_right else left_keys
+        probe_keys = left_keys if build_right else right_keys
+
+        table: dict[tuple, list] = {}
+        for row in build_rows:
+            key = tuple(row[i] for i in build_keys)
+            if any(v is None for v in key):
+                continue  # NULL never equals anything
+            table.setdefault(key, []).append(row)
+
+        preserve_probe = (
+            (kind is ast.JoinKind.LEFT and build_right)
+            or (kind is ast.JoinKind.RIGHT and not build_right)
+            or kind is ast.JoinKind.FULL
+        )
+        track_build = kind is ast.JoinKind.FULL
+        matched_build: set[int] = set()
+
+        results: list = []
+        for probe in probe_rows:
+            key = tuple(probe[i] for i in probe_keys)
+            matches = [] if any(v is None for v in key) else table.get(key, [])
+            emitted = False
+            for build in matches:
+                combined = probe + build if build_right else build + probe
+                if residual is not None and residual(combined) is not True:
+                    continue
+                results.append(combined)
+                emitted = True
+                if track_build:
+                    matched_build.add(id(build))
+            if not emitted and preserve_probe:
+                if build_right:
+                    results.append(probe + right_null)
+                else:
+                    results.append(left_null + probe)
+        if track_build:
+            for rows in table.values():
+                for build in rows:
+                    if id(build) not in matched_build:
+                        if build_right:
+                            results.append(left_null + build)
+                        else:
+                            results.append(build + right_null)
+        return results
+
+    def _run_nested_loop(self, node: PhysicalNestedLoopJoin) -> PerSlice:
+        left = self._materialize(node.left, self._run(node.left))
+        right = self._materialize(node.right, self._run(node.right))
+        left_width = exchange.row_width(node.left.output)
+        right_width = exchange.row_width(node.right.output)
+        broadcast_left = node.kind is ast.JoinKind.RIGHT
+        if broadcast_left:
+            left = exchange.broadcast(
+                self._one_copy(node.left, left), self._ctx, left_width
+            )
+            right = self._one_copy(node.right, right)
+        else:
+            right = exchange.broadcast(
+                self._one_copy(node.right, right), self._ctx, right_width
+            )
+            left = self._one_copy(node.left, left)
+        residual = _compile(node.residual) if node.residual is not None else None
+        left_null = (None,) * len(node.left.output)
+        right_null = (None,) * len(node.right.output)
+        out: PerSlice = []
+        for s in range(self._ctx.slice_count):
+            rows: list = []
+            if broadcast_left:
+                for r_row in right[s]:
+                    emitted = False
+                    for l_row in left[s]:
+                        combined = l_row + r_row
+                        if residual is not None and residual(combined) is not True:
+                            continue
+                        rows.append(combined)
+                        emitted = True
+                    if not emitted and node.kind is ast.JoinKind.RIGHT:
+                        rows.append(left_null + r_row)
+            else:
+                for l_row in left[s]:
+                    emitted = False
+                    for r_row in right[s]:
+                        combined = l_row + r_row
+                        if residual is not None and residual(combined) is not True:
+                            continue
+                        rows.append(combined)
+                        emitted = True
+                    if not emitted and node.kind is ast.JoinKind.LEFT:
+                        rows.append(l_row + right_null)
+            out.append(rows)
+        return out
+
+    # ---- aggregation / distinct -----------------------------------------------
+
+    def _run_aggregate(self, node: PhysicalAggregate) -> PerSlice:
+        child = self._one_copy(
+            node.child, self._materialize(node.child, self._run(node.child))
+        )
+        group_fns = [_compile(e) for e in node.group_exprs]
+        arg_fns = [
+            _compile(call.argument) if call.argument is not None else None
+            for call in node.aggregates
+        ]
+        aggregates = [call.aggregate for call in node.aggregates]
+        global_agg = not node.group_exprs
+
+        partials: list[dict] = []
+        for rows in child:
+            states: dict[tuple, list] = {}
+            for row in rows:
+                key = tuple(fn(row) for fn in group_fns)
+                entry = states.get(key)
+                if entry is None:
+                    entry = [agg.create() for agg in aggregates]
+                    states[key] = entry
+                for i, agg in enumerate(aggregates):
+                    fn = arg_fns[i]
+                    entry[i] = agg.accumulate(entry[i], 1 if fn is None else fn(row))
+            partials.append(states)
+
+        width = exchange.row_width(node.output) if node.output else 8
+
+        if node.local_only:
+            out: PerSlice = []
+            for states in partials:
+                out.append(
+                    [
+                        key
+                        + tuple(
+                            agg.finalize(state)
+                            for agg, state in zip(aggregates, entry)
+                        )
+                        for key, entry in states.items()
+                    ]
+                )
+            return out
+
+        merged: dict[tuple, list] = {}
+        transferred = 0
+        for states in partials:
+            transferred += len(states)
+            for key, entry in states.items():
+                target = merged.get(key)
+                if target is None:
+                    merged[key] = entry
+                else:
+                    for i, agg in enumerate(aggregates):
+                        target[i] = agg.merge(target[i], entry[i])
+        self._ctx.interconnect.record_gather(transferred * width)
+
+        if global_agg and not merged:
+            merged[()] = [agg.create() for agg in aggregates]
+
+        leader_rows = [
+            key
+            + tuple(agg.finalize(state) for agg, state in zip(aggregates, entry))
+            for key, entry in merged.items()
+        ]
+        return [leader_rows] + [[] for _ in range(self._ctx.slice_count - 1)]
+
+    def _run_distinct(self, node: PhysicalDistinct) -> PerSlice:
+        child = self._one_copy(
+            node.child, self._materialize(node.child, self._run(node.child))
+        )
+        width = exchange.row_width(node.output)
+        seen: set = set()
+        ordered: list = []
+        transferred = 0
+        for rows in child:
+            slice_seen: set = set()
+            for row in rows:
+                if row not in slice_seen:
+                    slice_seen.add(row)
+            transferred += len(slice_seen)
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    ordered.append(row)
+        self._ctx.interconnect.record_gather(transferred * width)
+        return [ordered] + [[] for _ in range(self._ctx.slice_count - 1)]
+
+    # ---- leader operators ----------------------------------------------------------
+
+    def _leader_rows(self, node: PhysicalNode, per_slice: PerSlice) -> list:
+        kind = node.partitioning.kind
+        if kind == "single":
+            return list(per_slice[0])
+        width = exchange.row_width(node.output) if node.output else 1
+        if kind == "all":
+            rows = list(per_slice[0])
+            self._ctx.interconnect.record_gather(len(rows) * width)
+            return rows
+        return exchange.gather(
+            [list(rows) for rows in per_slice], self._ctx, width
+        )
+
+    def _run_sort(self, node: PhysicalSort) -> PerSlice:
+        rows = self._leader_rows(node.child, self._run(node.child))
+        rows = sort_rows(rows, node.keys)
+        return [rows] + [[] for _ in range(self._ctx.slice_count - 1)]
+
+    def _run_limit(self, node: PhysicalLimit) -> PerSlice:
+        rows = self._leader_rows(node.child, self._run(node.child))
+        start = node.offset or 0
+        end = start + node.limit if node.limit is not None else None
+        return [rows[start:end]] + [[] for _ in range(self._ctx.slice_count - 1)]
+
+
+def scan_column_names(node: PhysicalScan) -> list:
+    """Chain names per scan-output position, ``None`` for dead columns."""
+    names = []
+    for position, table_index in enumerate(node.column_indexes):
+        if node.live_columns is not None and position not in node.live_columns:
+            names.append(None)
+        else:
+            names.append(node.table.columns[table_index].name)
+    return names
+
+
+def sort_rows(rows: list, keys: list[tuple[ast.Expression, bool]]) -> list:
+    """Sort rows by the bound key expressions (ASC = NULLS LAST, matching
+    PostgreSQL defaults). Shared by both executors."""
+    out = list(rows)
+    for expr, descending in reversed(keys):
+        fn = _compile(expr)
+        if descending:
+            out.sort(key=lambda row: _DescKey(fn(row)))
+        else:
+            out.sort(key=lambda row: _AscKey(fn(row)))
+    return out
+
+
+class _AscKey:
+    """Ascending sort key: NULLs last."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def __lt__(self, other: "_AscKey") -> bool:
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return self.value < other.value
+
+
+class _DescKey:
+    """Descending sort key: NULLs first."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def __lt__(self, other: "_DescKey") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return self.value > other.value

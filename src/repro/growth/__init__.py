@@ -1,0 +1,5 @@
+"""The dark-data gap model (Figure 1)."""
+
+from repro.growth.gap import DataGrowthModel, GapPoint
+
+__all__ = ["DataGrowthModel", "GapPoint"]

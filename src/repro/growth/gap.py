@@ -1,0 +1,82 @@
+"""The enterprise "analysis gap" (Figure 1).
+
+Figure 1 plots enterprise data against data in warehouses, 1990–2020, and
+shows the gap widening. The paper quotes the constants: warehouse spend
+grows at "8-11% compound annual growth rate" while "data storage at a
+typical enterprise growing at 30-40% CAGR. Over the past 12-18 months,
+new market research has begun to show an increase to 50-60%, with data
+doubling in size every 20 months" (§1). The model regenerates the two
+curves from those CAGRs, with enterprise-data growth accelerating through
+the eras the text describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GapPoint:
+    year: int
+    enterprise_data: float
+    warehouse_data: float
+
+    @property
+    def dark_fraction(self) -> float:
+        """Fraction of enterprise data not in the warehouse."""
+        if self.enterprise_data <= 0:
+            return 0.0
+        return 1.0 - min(1.0, self.warehouse_data / self.enterprise_data)
+
+
+@dataclass
+class DataGrowthModel:
+    """Two compounding curves normalised to 1.0 at the start year."""
+
+    start_year: int = 1990
+    end_year: int = 2020
+    #: warehouse capacity CAGR (paper: market growing 8–11%/yr)
+    warehouse_cagr: float = 0.10
+    #: enterprise data CAGR by era (paper: 30–40% historically, 50–60% now)
+    enterprise_cagr_early: float = 0.25   # pre-2000: pre-web growth
+    enterprise_cagr_middle: float = 0.35  # 2000–2012: 30–40% era
+    enterprise_cagr_late: float = 0.55    # 2013+: 50–60% era
+
+    def _enterprise_rate(self, year: int) -> float:
+        if year < 2000:
+            return self.enterprise_cagr_early
+        if year < 2013:
+            return self.enterprise_cagr_middle
+        return self.enterprise_cagr_late
+
+    def series(self) -> list[GapPoint]:
+        """Yearly points; both curves start at the same unit volume."""
+        points: list[GapPoint] = []
+        enterprise = 1.0
+        warehouse = 1.0
+        for year in range(self.start_year, self.end_year + 1):
+            points.append(
+                GapPoint(
+                    year=year,
+                    enterprise_data=enterprise,
+                    warehouse_data=warehouse,
+                )
+            )
+            enterprise *= 1.0 + self._enterprise_rate(year)
+            warehouse *= 1.0 + self.warehouse_cagr
+        return points
+
+    def gap_ratio(self, year: int) -> float:
+        """Enterprise-to-warehouse data ratio at *year*."""
+        for point in self.series():
+            if point.year == year:
+                return point.enterprise_data / point.warehouse_data
+        raise ValueError(f"year {year} outside model range")
+
+    def doubling_months_late_era(self) -> float:
+        """Implied doubling time in the 50–60% era (paper: ~20 months)."""
+        import math
+
+        rate = self.enterprise_cagr_late
+        years = math.log(2.0) / math.log(1.0 + rate)
+        return years * 12.0

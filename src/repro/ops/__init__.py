@@ -1,0 +1,19 @@
+"""Fleet operations analytics: the §5 "lessons learned" models.
+
+* :mod:`repro.ops.features` — release trains and cumulative feature count
+  (Figure 4: "we have averaged the addition of one feature per week").
+* :mod:`repro.ops.tickets` — Sev2 ticket generation over a growing fleet
+  with weekly Pareto-driven defect extinguishing (Figure 5: tickets per
+  cluster decline even as the fleet grows).
+* :mod:`repro.ops.pareto` — top-N error-cause analysis.
+"""
+
+from repro.ops.features import FeatureDeliveryModel, FeatureRelease
+from repro.ops.tickets import FleetOperationsSimulation, Defect, WeekStats
+from repro.ops.pareto import pareto_top_share, rank_causes
+
+__all__ = [
+    "FeatureDeliveryModel", "FeatureRelease",
+    "FleetOperationsSimulation", "Defect", "WeekStats",
+    "pareto_top_share", "rank_causes",
+]

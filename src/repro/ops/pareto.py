@@ -1,0 +1,27 @@
+"""Pareto analysis of error causes.
+
+"We collect error logs across our fleet and monitor tickets to understand
+top ten causes of error, with the aim of extinguishing one of the top ten
+causes of error each week" (§5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+
+def rank_causes(events: Iterable[str]) -> list[tuple[str, int]]:
+    """Error causes ranked by frequency, descending (ties by name)."""
+    counts = Counter(events)
+    return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def pareto_top_share(events: Sequence[str], top_n: int = 10) -> float:
+    """Fraction of all events attributable to the top *top_n* causes —
+    the quantity that justifies top-10 extinguishing as a strategy."""
+    if not events:
+        return 0.0
+    ranked = rank_causes(events)
+    top = sum(count for _, count in ranked[:top_n])
+    return top / len(events)

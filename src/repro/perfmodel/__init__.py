@@ -1,0 +1,30 @@
+"""Analytic performance model for paper-scale workloads.
+
+The Section-1 numbers (5-billion-row daily loads in 10 minutes, a
+2-trillion × 6-billion row join in under 14 minutes, week-plus on the
+legacy warehouse) were produced on a multi-petabyte AWS fleet that a
+laptop cannot re-run. Per the repro≤2 substitution rule, this package
+models those operations analytically: per-node throughput profiles for
+paper-era node types, workload descriptions, and comparator models for
+the legacy SMP warehouse and the Hadoop cluster the paper's intro
+describes. The Python engine calibrates the *relative* effects (zone
+maps, co-location, compression); this model supplies the absolute scale.
+
+Every parameter is a named constant with a documented provenance; the
+benchmark (t1) prints paper-vs-model side by side and asserts shape
+(orderings and rough factors), not absolute equality.
+"""
+
+from repro.perfmodel.profiles import NodeProfile, NODE_PROFILES
+from repro.perfmodel.workload import RetailWorkload, JoinSpec
+from repro.perfmodel.redshift_model import RedshiftPerfModel
+from repro.perfmodel.comparators import LegacyWarehouseModel, HadoopModel
+from repro.perfmodel.calibrate import EngineCalibration, calibrate_engine
+
+__all__ = [
+    "NodeProfile", "NODE_PROFILES",
+    "RetailWorkload", "JoinSpec",
+    "RedshiftPerfModel",
+    "LegacyWarehouseModel", "HadoopModel",
+    "EngineCalibration", "calibrate_engine",
+]

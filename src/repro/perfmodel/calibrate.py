@@ -1,0 +1,79 @@
+"""Calibration of the analytic model against the real Python engine.
+
+Runs small measured workloads on the embedded engine and extracts
+per-slice throughputs. Those throughputs validate the model's *structure*
+(operations parallelise per slice, joins are probe- or scan-bound,
+co-location removes movement) even though the absolute Python rates are
+orders of magnitude below C++ on real hardware; the ratio between them is
+reported so EXPERIMENTS.md can say exactly what was scaled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.engine.cluster import Cluster
+
+
+@dataclass
+class EngineCalibration:
+    """Measured per-slice throughputs of the Python engine."""
+
+    scan_rows_per_s_per_slice: float
+    ingest_rows_per_s_per_slice: float
+    probe_rows_per_s_per_slice: float
+    slice_count: int
+
+    def python_slowdown_vs_profile(
+        self, profile_scan_rows_per_s_per_slice: float
+    ) -> float:
+        """How much slower the Python engine scans than the modelled
+        hardware (the documented scale factor)."""
+        return profile_scan_rows_per_s_per_slice / self.scan_rows_per_s_per_slice
+
+
+def calibrate_engine(
+    rows: int = 60_000,
+    node_count: int = 2,
+    slices_per_node: int = 2,
+) -> EngineCalibration:
+    """Measure engine scan/ingest/probe rates on a synthetic workload."""
+    cluster = Cluster(
+        node_count=node_count,
+        slices_per_node=slices_per_node,
+        block_capacity=4096,
+    )
+    session = cluster.connect()
+    session.execute(
+        "CREATE TABLE cal_fact (k int, v int, w float) DISTKEY(k)"
+    )
+    session.execute("CREATE TABLE cal_dim (k int, label varchar(16)) DISTKEY(k)")
+    lines = [f"{i % 1000}|{i}|{(i % 77) * 1.5}" for i in range(rows)]
+    cluster.register_inline_source("inline://cal_fact", lines)
+    cluster.register_inline_source(
+        "inline://cal_dim", [f"{i}|label{i}" for i in range(1000)]
+    )
+
+    start = time.perf_counter()
+    session.execute("COPY cal_fact FROM 'inline://cal_fact'")
+    ingest_seconds = time.perf_counter() - start
+    session.execute("COPY cal_dim FROM 'inline://cal_dim'")
+
+    start = time.perf_counter()
+    session.execute("SELECT count(*), sum(v) FROM cal_fact WHERE w > 1.0")
+    scan_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    session.execute(
+        "SELECT count(*) FROM cal_fact f JOIN cal_dim d ON f.k = d.k"
+    )
+    probe_seconds = time.perf_counter() - start
+
+    slices = cluster.slice_count
+    return EngineCalibration(
+        scan_rows_per_s_per_slice=rows / scan_seconds / slices,
+        ingest_rows_per_s_per_slice=rows / ingest_seconds / slices,
+        probe_rows_per_s_per_slice=rows / probe_seconds / slices,
+        slice_count=slices,
+    )

@@ -1,0 +1,94 @@
+"""Per-node throughput profiles for paper-era Redshift node types.
+
+Figures are drawn from 2013–2015 public AWS documentation and typical
+measured behaviour of those instance families; they are inputs to an
+order-of-magnitude model, not measurements of AWS hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB, MB, TB
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """What one compute node of a type can do."""
+
+    name: str
+    slices: int
+    storage_bytes: int
+    #: sequential compressed-column scan bandwidth per node
+    scan_bytes_per_s: float
+    #: sustained COPY ingest of *raw* input per node (parse + distribute +
+    #: sort + mirror)
+    ingest_raw_bytes_per_s: float
+    #: hash-join probe rate per node
+    probe_rows_per_s: float
+    #: interconnect bandwidth per node
+    network_bytes_per_s: float
+    #: S3 backup/restore bandwidth per node
+    s3_bytes_per_s: float
+    hourly_price_usd: float
+
+
+NODE_PROFILES: dict[str, NodeProfile] = {
+    # Dense-storage HDD node (paper-era dw1.xlarge)
+    "dw1.xlarge": NodeProfile(
+        name="dw1.xlarge",
+        slices=2,
+        storage_bytes=2 * TB,
+        scan_bytes_per_s=0.40 * GB,
+        ingest_raw_bytes_per_s=30 * MB,
+        probe_rows_per_s=60_000_000,
+        network_bytes_per_s=0.12 * GB,
+        s3_bytes_per_s=12 * MB,
+        hourly_price_usd=0.85,
+    ),
+    # Dense-storage large node
+    "dw1.8xlarge": NodeProfile(
+        name="dw1.8xlarge",
+        slices=16,
+        storage_bytes=16 * TB,
+        scan_bytes_per_s=0.75 * GB,
+        ingest_raw_bytes_per_s=60 * MB,
+        probe_rows_per_s=250_000_000,
+        network_bytes_per_s=1.2 * GB,
+        s3_bytes_per_s=40 * MB,
+        hourly_price_usd=6.80,
+    ),
+    # Dense-compute SSD node (the $0.25/hour free-trial node)
+    "dw2.large": NodeProfile(
+        name="dw2.large",
+        slices=2,
+        storage_bytes=160 * 10 ** 9,
+        scan_bytes_per_s=0.60 * GB,
+        ingest_raw_bytes_per_s=45 * MB,
+        probe_rows_per_s=90_000_000,
+        network_bytes_per_s=0.12 * GB,
+        s3_bytes_per_s=15 * MB,
+        hourly_price_usd=0.25,
+    ),
+    # Dense-compute SSD large node
+    "dw2.8xlarge": NodeProfile(
+        name="dw2.8xlarge",
+        slices=32,
+        storage_bytes=2560 * 10 ** 9,
+        scan_bytes_per_s=6.0 * GB,
+        ingest_raw_bytes_per_s=180 * MB,
+        probe_rows_per_s=900_000_000,
+        network_bytes_per_s=1.2 * GB,
+        s3_bytes_per_s=60 * MB,
+        hourly_price_usd=4.80,
+    ),
+}
+
+
+def profile(name: str) -> NodeProfile:
+    try:
+        return NODE_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown node type {name!r}; known: {sorted(NODE_PROFILES)}"
+        ) from None

@@ -1,0 +1,89 @@
+"""The Amazon Retail workload of §1, as data.
+
+"The Amazon Retail team collects about 5 billion web log records daily
+(2TB/day, growing 67% YoY) ... they were able to perform their daily load
+(5B rows) in 10 minutes, load a month of backfill data (150B rows) in
+9.75 hours, take a backup in 30 minutes and restore it to a new cluster
+in 48 hours ... run queries that joined 2 trillion rows of click traffic
+with 6 billion rows of product ids in less than 14 minutes, an operation
+that didn't complete in over a week on their existing systems."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import TB
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """A two-table equi-join at scale."""
+
+    big_rows: int
+    big_bytes_per_row_scanned: int
+    small_rows: int
+    small_bytes_per_row: int
+
+    @property
+    def big_scan_bytes(self) -> int:
+        return self.big_rows * self.big_bytes_per_row_scanned
+
+    @property
+    def small_bytes(self) -> int:
+        return self.small_rows * self.small_bytes_per_row
+
+
+@dataclass(frozen=True)
+class RetailWorkload:
+    """The paper's workload constants."""
+
+    daily_rows: int = 5_000_000_000
+    daily_raw_bytes: int = 2 * TB
+    backfill_rows: int = 150_000_000_000
+    retention_days: int = 450  # "maintain a cap of 15 months of log"
+    compression_ratio: float = 4.0
+
+    @property
+    def raw_bytes_per_row(self) -> float:
+        return self.daily_raw_bytes / self.daily_rows  # ~400 B
+
+    @property
+    def backfill_raw_bytes(self) -> int:
+        return int(self.backfill_rows * self.raw_bytes_per_row)
+
+    @property
+    def dataset_raw_bytes(self) -> int:
+        """Full retained dataset (15 months of daily volume)."""
+        return self.retention_days * self.daily_raw_bytes
+
+    @property
+    def dataset_compressed_bytes(self) -> int:
+        return int(self.dataset_raw_bytes / self.compression_ratio)
+
+    @property
+    def daily_compressed_bytes(self) -> int:
+        return int(self.daily_raw_bytes / self.compression_ratio)
+
+    def click_product_join(self) -> JoinSpec:
+        """The 2T × 6B join. The scan projects the few columns the join
+        touches (~16 compressed bytes/row of click traffic); the product
+        side carries id + attributes (~32 B/row)."""
+        return JoinSpec(
+            big_rows=2_000_000_000_000,
+            big_bytes_per_row_scanned=16,
+            small_rows=6_000_000_000,
+            small_bytes_per_row=32,
+        )
+
+    #: Paper-reported outcomes for the t1 comparison table (seconds).
+    PAPER_RESULTS = {
+        "daily_load_s": 10 * 60.0,
+        "backfill_s": 9.75 * 3600.0,
+        "backup_s": 30 * 60.0,
+        "restore_s": 48 * 3600.0,
+        "join_s": 14 * 60.0,
+        "legacy_join_s": 7 * 24 * 3600.0,  # "over a week"
+        "legacy_scan_rate_raw_bytes_per_s": (7 * 2 * TB) / 3600.0,   # 1 wk data/hour
+        "hadoop_scan_rate_raw_bytes_per_s": (30 * 2 * TB) / 3600.0,  # 1 mo data/hour
+    }

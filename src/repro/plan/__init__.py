@@ -1,0 +1,50 @@
+"""Query planning: binding/semantic analysis, logical plans, and the
+distribution-aware physical planner.
+
+The planner's distinguishing job in an MPP engine is deciding *where* data
+flows: co-located joins when distribution keys align, broadcast of small
+inner tables, or full redistribution — the choices §2.1 of the paper
+credits for "reducing IO, CPU and network contention".
+"""
+
+from repro.plan.bound import (
+    BoundColumn,
+    LogicalNode,
+    LogicalScan,
+    LogicalFilter,
+    LogicalProject,
+    LogicalJoin,
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalSort,
+    LogicalLimit,
+    AggCall,
+)
+from repro.plan.binder import Binder, infer_type
+from repro.plan.physical import (
+    PhysicalNode,
+    PhysicalScan,
+    PhysicalFilter,
+    PhysicalProject,
+    PhysicalHashJoin,
+    PhysicalNestedLoopJoin,
+    PhysicalAggregate,
+    PhysicalDistinct,
+    PhysicalSort,
+    PhysicalLimit,
+    JoinDistribution,
+    PhysicalPlanner,
+    explain,
+)
+
+__all__ = [
+    "BoundColumn",
+    "LogicalNode", "LogicalScan", "LogicalFilter", "LogicalProject",
+    "LogicalJoin", "LogicalAggregate", "LogicalDistinct", "LogicalSort",
+    "LogicalLimit", "AggCall",
+    "Binder", "infer_type",
+    "PhysicalNode", "PhysicalScan", "PhysicalFilter", "PhysicalProject",
+    "PhysicalHashJoin", "PhysicalNestedLoopJoin", "PhysicalAggregate",
+    "PhysicalDistinct", "PhysicalSort", "PhysicalLimit",
+    "JoinDistribution", "PhysicalPlanner", "explain",
+]

@@ -1,0 +1,853 @@
+"""Semantic analysis: name resolution, type inference, aggregate rewriting.
+
+The binder turns a parsed :class:`~repro.sql.ast.SelectQuery` into a bound
+logical plan. After binding, every column reference is a
+:class:`~repro.sql.ast.BoundRef` carrying its input-row index and type;
+aggregate queries are decomposed into (child plan, group expressions,
+aggregate calls, post-aggregation projections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes.coercion import common_type
+from repro.datatypes.types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    SqlType,
+    TypeKind,
+    TIMESTAMP,
+    type_from_name,
+    varchar_type,
+)
+from repro.engine.catalog import Catalog
+from repro.errors import (
+    AmbiguousColumnError,
+    AnalysisError,
+    ColumnNotFoundError,
+)
+from repro.plan.bound import (
+    AggCall,
+    BoundColumn,
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.sql import ast
+from repro.sql.functions import (
+    is_aggregate_function,
+    make_aggregate,
+    scalar_function,
+)
+
+
+# ---------------------------------------------------------------------------
+# Type inference over bound expressions
+# ---------------------------------------------------------------------------
+
+_COMPARISON_OPS = frozenset(["=", "<>", "<", "<=", ">", ">=", "AND", "OR"])
+
+
+def infer_type(expr: ast.Expression) -> SqlType:
+    """Result type of a bound expression (all refs must be BoundRef)."""
+    if isinstance(expr, ast.BoundRef):
+        return expr.sql_type
+    if isinstance(expr, ast.Literal):
+        return _literal_type(expr)
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op in _COMPARISON_OPS:
+            return BOOLEAN
+        if expr.op == "||":
+            return varchar_type(65535)
+        left = infer_type(expr.left)
+        right = infer_type(expr.right)
+        if expr.op == "/" and left.is_integer and right.is_integer:
+            return common_type(left, right)
+        if expr.op in ("+", "-") and left.is_temporal:
+            if right.is_temporal:
+                return BIGINT if left.kind is TypeKind.DATE else DOUBLE
+            return left
+        return common_type(left, right)
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return BOOLEAN
+        return infer_type(expr.operand)
+    if isinstance(expr, ast.FunctionCall):
+        fn = scalar_function(expr.name)
+        return fn.result_type([infer_type(a) for a in expr.args])
+    if isinstance(expr, ast.CastExpr):
+        return type_from_name(expr.type_name, *expr.type_params)
+    if isinstance(expr, ast.CaseExpr):
+        branch_types = [infer_type(v) for _, v in expr.whens]
+        if expr.default is not None:
+            branch_types.append(infer_type(expr.default))
+        result = branch_types[0]
+        for t in branch_types[1:]:
+            result = common_type(result, t)
+        return result
+    if isinstance(expr, (ast.InExpr, ast.BetweenExpr, ast.IsNullExpr, ast.LikeExpr)):
+        return BOOLEAN
+    raise AnalysisError(f"cannot infer type of {type(expr).__name__}")
+
+
+def _literal_type(node: ast.Literal) -> SqlType:
+    if node.type_name == "date":
+        return DATE
+    if node.type_name == "timestamp":
+        return TIMESTAMP
+    value = node.value
+    if value is None:
+        return varchar_type(1)
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER if -(2 ** 31) <= value < 2 ** 31 else BIGINT
+    if isinstance(value, float):
+        return DOUBLE
+    if isinstance(value, str):
+        return varchar_type(max(1, len(value)))
+    # Values substituted by subquery expansion carry richer types.
+    import datetime
+    import decimal
+
+    from repro.datatypes.types import decimal_type
+
+    if isinstance(value, datetime.datetime):
+        return TIMESTAMP
+    if isinstance(value, datetime.date):
+        return DATE
+    if isinstance(value, decimal.Decimal):
+        digits = len(value.as_tuple().digits)
+        scale = max(0, -value.as_tuple().exponent)
+        return decimal_type(max(digits, scale, 1), scale)
+    raise AnalysisError(f"cannot type literal {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Binder
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _ScopeColumn:
+    relation: str
+    name: str
+    sql_type: SqlType
+    index: int
+
+
+class _Scope:
+    """Flattened name-resolution scope: the input row of an operator."""
+
+    def __init__(self, columns: list[_ScopeColumn]):
+        self.columns = columns
+
+    @classmethod
+    def from_output(cls, output: list[BoundColumn]) -> "_Scope":
+        return cls(
+            [
+                _ScopeColumn(c.relation, c.name, c.sql_type, i)
+                for i, c in enumerate(output)
+            ]
+        )
+
+    def resolve(self, ref: ast.ColumnRef) -> _ScopeColumn:
+        matches = [
+            c
+            for c in self.columns
+            if c.name == ref.name and (ref.table is None or c.relation == ref.table)
+        ]
+        if not matches:
+            raise ColumnNotFoundError(ref.name, ref.table)
+        if len(matches) > 1:
+            raise AmbiguousColumnError(ref.to_sql())
+        return matches[0]
+
+    def columns_of(self, relation: str | None) -> list[_ScopeColumn]:
+        if relation is None:
+            return list(self.columns)
+        cols = [c for c in self.columns if c.relation == relation]
+        if not cols:
+            raise AnalysisError(f"unknown relation {relation!r} in *")
+        return cols
+
+
+class Binder:
+    """Binds SELECT/INSERT-SELECT queries against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+
+    # ---- public entry -----------------------------------------------------
+
+    def bind_select(
+        self,
+        query: "ast.SelectQuery | ast.SetOperation",
+        cte_env: dict[str, LogicalNode] | None = None,
+    ) -> LogicalNode:
+        """Bind a full query expression to a logical plan."""
+        if isinstance(query, ast.SetOperation):
+            return self._bind_set_operation(query, cte_env)
+        env = dict(cte_env or {})
+        for cte in query.ctes:
+            env[cte.name] = self.bind_select(cte.query, env)
+
+        if query.from_item is None:
+            plan, scope = self._bind_values_less(query)
+        else:
+            plan, scope = self._bind_from(query.from_item, env)
+
+        if query.where is not None:
+            condition = self._bind_expr(query.where, scope, allow_aggregates=False)
+            plan = LogicalFilter(plan, condition, output=list(plan.output))
+
+        items = self._expand_stars(query.items, scope)
+
+        has_aggregates = bool(query.group_by) or any(
+            self._contains_aggregate(item.expression) for item in items
+        )
+        if query.having is not None and not has_aggregates:
+            has_aggregates = True
+
+        if has_aggregates:
+            plan, item_exprs, having_expr = self._bind_aggregate(
+                plan, scope, query, items
+            )
+        else:
+            item_exprs = [
+                self._bind_expr(item.expression, scope, allow_aggregates=False)
+                for item in items
+            ]
+            having_expr = None
+
+        if having_expr is not None:
+            plan = LogicalFilter(plan, having_expr, output=list(plan.output))
+
+        names = [self._item_name(item) for item in items]
+        output = [
+            BoundColumn(name, infer_type(expr))
+            for name, expr in zip(names, item_exprs)
+        ]
+        plan = LogicalProject(plan, item_exprs, output=output)
+
+        if query.distinct:
+            plan = LogicalDistinct(plan, output=list(plan.output))
+
+        if query.order_by:
+            hidden_scope = scope if not has_aggregates else None
+            keys, hidden = self._bind_order_by(
+                query.order_by, plan.output, items, hidden_scope
+            )
+            if hidden:
+                if query.distinct:
+                    raise AnalysisError(
+                        "for SELECT DISTINCT, ORDER BY expressions must "
+                        "appear in the select list"
+                    )
+                # Extend the projection with hidden sort columns, sort, then
+                # strip them with a final projection.
+                visible = len(plan.output)
+                project = plan
+                assert isinstance(project, LogicalProject)
+                for i, expr in enumerate(hidden):
+                    project.expressions.append(expr)
+                    project.output.append(
+                        BoundColumn(f"__sort{i}", infer_type(expr))
+                    )
+                plan = LogicalSort(project, keys, output=list(project.output))
+                plan = LogicalProject(
+                    plan,
+                    [
+                        ast.BoundRef(i, c.sql_type, c.name)
+                        for i, c in enumerate(plan.output[:visible])
+                    ],
+                    output=list(plan.output[:visible]),
+                )
+            else:
+                plan = LogicalSort(plan, keys, output=list(plan.output))
+
+        if query.limit is not None or query.offset is not None:
+            plan = LogicalLimit(
+                plan, query.limit, query.offset, output=list(plan.output)
+            )
+        return plan
+
+    # ---- set operations ---------------------------------------------------
+
+    def _bind_set_operation(
+        self,
+        query: ast.SetOperation,
+        cte_env: dict[str, LogicalNode] | None,
+    ) -> LogicalNode:
+        from repro.plan.bound import LogicalSetOp
+
+        left = self.bind_select(query.left, cte_env)
+        right = self.bind_select(query.right, cte_env)
+        if len(left.output) != len(right.output):
+            raise AnalysisError(
+                f"{query.op.upper()} inputs have {len(left.output)} and "
+                f"{len(right.output)} columns"
+            )
+        output = [
+            BoundColumn(l.name, common_type(l.sql_type, r.sql_type))
+            for l, r in zip(left.output, right.output)
+        ]
+        plan: LogicalNode = LogicalSetOp(
+            op=query.op, all=query.all, left=left, right=right, output=output
+        )
+        if query.order_by:
+            items = [
+                ast.SelectItem(ast.BoundRef(i, c.sql_type, c.name), c.name)
+                for i, c in enumerate(output)
+            ]
+            keys, hidden = self._bind_order_by(
+                query.order_by, plan.output, items, None
+            )
+            if hidden:
+                raise AnalysisError(
+                    "ORDER BY over a set operation must reference output "
+                    "columns"
+                )
+            plan = LogicalSort(plan, keys, output=list(plan.output))
+        if query.limit is not None or query.offset is not None:
+            plan = LogicalLimit(
+                plan, query.limit, query.offset, output=list(plan.output)
+            )
+        return plan
+
+    # ---- FROM -----------------------------------------------------------------
+
+    def _bind_values_less(
+        self, query: ast.SelectQuery
+    ) -> tuple[LogicalNode, _Scope]:
+        """SELECT without FROM: a single-row, zero-column input."""
+        from repro.plan.bound import LogicalScan  # local alias for clarity
+
+        plan = _SingleRowNode()
+        return plan, _Scope([])
+
+    def _bind_from(
+        self, item: ast.FromItem, env: dict[str, LogicalNode]
+    ) -> tuple[LogicalNode, _Scope]:
+        if isinstance(item, ast.TableRef):
+            return self._bind_table(item, env)
+        if isinstance(item, ast.SubqueryRef):
+            child = self.bind_select(item.query, env)
+            output = [
+                BoundColumn(c.name, c.sql_type, item.alias) for c in child.output
+            ]
+            child.output = output
+            return child, _Scope.from_output(output)
+        if isinstance(item, ast.Join):
+            return self._bind_join(item, env)
+        raise AnalysisError(f"unsupported FROM item {type(item).__name__}")
+
+    def _bind_table(
+        self, ref: ast.TableRef, env: dict[str, LogicalNode]
+    ) -> tuple[LogicalNode, _Scope]:
+        binding = ref.binding_name
+        if ref.name in env:
+            cte = env[ref.name]
+            output = [
+                BoundColumn(c.name, c.sql_type, binding) for c in cte.output
+            ]
+            wrapper = LogicalProject(
+                cte,
+                [
+                    ast.BoundRef(i, c.sql_type, c.name)
+                    for i, c in enumerate(cte.output)
+                ],
+                output=output,
+            )
+            return wrapper, _Scope.from_output(output)
+        table = self._catalog.table(ref.name)
+        indexes = list(range(len(table.columns)))
+        output = [
+            BoundColumn(c.name, c.sql_type, binding) for c in table.columns
+        ]
+        scan = LogicalScan(table, binding, indexes, output=output)
+        return scan, _Scope.from_output(output)
+
+    def _bind_join(
+        self, join: ast.Join, env: dict[str, LogicalNode]
+    ) -> tuple[LogicalNode, _Scope]:
+        left, left_scope = self._bind_from(join.left, env)
+        right, right_scope = self._bind_from(join.right, env)
+        offset = len(left.output)
+        merged = _Scope(
+            left_scope.columns
+            + [
+                _ScopeColumn(c.relation, c.name, c.sql_type, c.index + offset)
+                for c in right_scope.columns
+            ]
+        )
+        equi_keys: list[tuple[int, int]] = []
+        residual: ast.Expression | None = None
+        if join.condition is not None:
+            bound = self._bind_expr(join.condition, merged, allow_aggregates=False)
+            equi_keys, residual = self._extract_equi_keys(bound, offset)
+        elif join.kind is not ast.JoinKind.CROSS:
+            raise AnalysisError(f"{join.kind.value} JOIN requires an ON condition")
+        output = list(left.output) + list(right.output)
+        node = LogicalJoin(
+            kind=join.kind,
+            left=left,
+            right=right,
+            equi_keys=equi_keys,
+            residual=residual,
+            output=output,
+        )
+        return node, merged
+
+    @staticmethod
+    def _extract_equi_keys(
+        condition: ast.Expression, offset: int
+    ) -> tuple[list[tuple[int, int]], ast.Expression | None]:
+        """Split a bound ON condition into hashable equi-keys + residual."""
+        conjuncts: list[ast.Expression] = []
+
+        def flatten(expr: ast.Expression) -> None:
+            if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+                flatten(expr.left)
+                flatten(expr.right)
+            else:
+                conjuncts.append(expr)
+
+        flatten(condition)
+        keys: list[tuple[int, int]] = []
+        residuals: list[ast.Expression] = []
+        for conjunct in conjuncts:
+            if (
+                isinstance(conjunct, ast.BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ast.BoundRef)
+                and isinstance(conjunct.right, ast.BoundRef)
+            ):
+                a, b = conjunct.left.index, conjunct.right.index
+                if a < offset <= b:
+                    keys.append((a, b - offset))
+                    continue
+                if b < offset <= a:
+                    keys.append((b, a - offset))
+                    continue
+            residuals.append(conjunct)
+        residual: ast.Expression | None = None
+        for r in residuals:
+            residual = r if residual is None else ast.BinaryOp("AND", residual, r)
+        return keys, residual
+
+    # ---- expressions ------------------------------------------------------------
+
+    def _bind_expr(
+        self,
+        expr: ast.Expression,
+        scope: _Scope,
+        allow_aggregates: bool,
+    ) -> ast.Expression:
+        """Rebuild *expr* with ColumnRefs resolved to BoundRefs."""
+        if isinstance(expr, ast.ColumnRef):
+            col = scope.resolve(expr)
+            return ast.BoundRef(col.index, col.sql_type, col.name)
+        if isinstance(expr, (ast.Literal, ast.BoundRef)):
+            return expr
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(
+                expr.op,
+                self._bind_expr(expr.left, scope, allow_aggregates),
+                self._bind_expr(expr.right, scope, allow_aggregates),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(
+                expr.op, self._bind_expr(expr.operand, scope, allow_aggregates)
+            )
+        if isinstance(expr, ast.FunctionCall):
+            is_agg = is_aggregate_function(expr.name) and not _is_scalar_usage(expr)
+            if is_agg:
+                if not allow_aggregates:
+                    raise AnalysisError(
+                        f"aggregate {expr.name}() is not allowed here"
+                    )
+            else:
+                fn = scalar_function(expr.name)
+                fn.check_arity(len(expr.args))
+            return ast.FunctionCall(
+                expr.name,
+                [
+                    a
+                    if is_agg and isinstance(a, ast.Star)  # COUNT(*)
+                    else self._bind_expr(a, scope, allow_aggregates)
+                    for a in expr.args
+                ],
+                distinct=expr.distinct,
+                approximate=expr.approximate,
+            )
+        if isinstance(expr, ast.CastExpr):
+            type_from_name(expr.type_name, *expr.type_params)  # validate
+            return ast.CastExpr(
+                self._bind_expr(expr.operand, scope, allow_aggregates),
+                expr.type_name,
+                expr.type_params,
+            )
+        if isinstance(expr, ast.CaseExpr):
+            return ast.CaseExpr(
+                [
+                    (
+                        self._bind_expr(c, scope, allow_aggregates),
+                        self._bind_expr(v, scope, allow_aggregates),
+                    )
+                    for c, v in expr.whens
+                ],
+                self._bind_expr(expr.default, scope, allow_aggregates)
+                if expr.default is not None
+                else None,
+            )
+        if isinstance(expr, ast.InExpr):
+            return ast.InExpr(
+                self._bind_expr(expr.operand, scope, allow_aggregates),
+                [self._bind_expr(i, scope, allow_aggregates) for i in expr.items],
+                expr.negated,
+            )
+        if isinstance(expr, ast.BetweenExpr):
+            return ast.BetweenExpr(
+                self._bind_expr(expr.operand, scope, allow_aggregates),
+                self._bind_expr(expr.low, scope, allow_aggregates),
+                self._bind_expr(expr.high, scope, allow_aggregates),
+                expr.negated,
+            )
+        if isinstance(expr, ast.IsNullExpr):
+            return ast.IsNullExpr(
+                self._bind_expr(expr.operand, scope, allow_aggregates), expr.negated
+            )
+        if isinstance(expr, ast.LikeExpr):
+            return ast.LikeExpr(
+                self._bind_expr(expr.operand, scope, allow_aggregates),
+                self._bind_expr(expr.pattern, scope, allow_aggregates),
+                expr.negated,
+                expr.case_insensitive,
+            )
+        if isinstance(expr, ast.Star):
+            raise AnalysisError("* is only allowed in the select list and COUNT(*)")
+        raise AnalysisError(f"cannot bind expression {type(expr).__name__}")
+
+    # ---- select list ---------------------------------------------------------
+
+    def _expand_stars(
+        self, items: list[ast.SelectItem], scope: _Scope
+    ) -> list[ast.SelectItem]:
+        out: list[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expression, ast.Star):
+                for col in scope.columns_of(item.expression.table):
+                    out.append(
+                        ast.SelectItem(ast.ColumnRef(col.name, col.relation))
+                    )
+            else:
+                out.append(item)
+        if not out:
+            raise AnalysisError("select list is empty")
+        return out
+
+    @staticmethod
+    def _item_name(item: ast.SelectItem) -> str:
+        if item.alias:
+            return item.alias
+        expr = item.expression
+        if isinstance(expr, ast.ColumnRef):
+            return expr.name
+        if isinstance(expr, ast.FunctionCall):
+            return expr.name
+        return expr.to_sql()[:64].lower()
+
+    @staticmethod
+    def _contains_aggregate(expr: ast.Expression) -> bool:
+        return any(
+            isinstance(e, ast.FunctionCall)
+            and is_aggregate_function(e.name)
+            and not _is_scalar_usage(e)
+            for e in ast.walk_expressions(expr)
+        )
+
+    # ---- aggregation ------------------------------------------------------------
+
+    def _bind_aggregate(
+        self,
+        child: LogicalNode,
+        scope: _Scope,
+        query: ast.SelectQuery,
+        items: list[ast.SelectItem],
+    ) -> tuple[LogicalNode, list[ast.Expression], ast.Expression | None]:
+        """Build the LogicalAggregate and rewrite select/having expressions
+        to reference its output."""
+        group_bound: list[ast.Expression] = []
+        for expr in query.group_by:
+            group_bound.append(
+                self._bind_expr(
+                    self._resolve_group_expr(expr, items), scope, False
+                )
+            )
+
+        # Collect aggregate calls from items and HAVING (bound over scope).
+        bound_items = [
+            self._bind_expr(item.expression, scope, allow_aggregates=True)
+            for item in items
+        ]
+        bound_having = (
+            self._bind_expr(query.having, scope, allow_aggregates=True)
+            if query.having is not None
+            else None
+        )
+
+        agg_calls: list[AggCall] = []
+        agg_signatures: dict[str, int] = {}
+
+        def register_aggregate(call: ast.FunctionCall) -> int:
+            signature = call.to_sql()
+            existing = agg_signatures.get(signature)
+            if existing is not None:
+                return existing
+            for arg in call.args:
+                if self._contains_aggregate(arg):
+                    raise AnalysisError("aggregates cannot be nested")
+            argument: ast.Expression | None
+            if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
+                if call.name != "count":
+                    raise AnalysisError(f"{call.name}(*) is not supported")
+                argument = None
+            elif len(call.args) == 1:
+                argument = call.args[0]
+            elif len(call.args) == 0:
+                raise AnalysisError(f"{call.name}() requires an argument")
+            else:
+                raise AnalysisError(
+                    f"aggregate {call.name}() takes one argument"
+                )
+            aggregate = make_aggregate(call.name, call.distinct, call.approximate)
+            index = len(agg_calls)
+            agg_calls.append(AggCall(aggregate, argument, signature))
+            agg_signatures[signature] = index
+            return index
+
+        group_sql = [g.to_sql() for g in group_bound]
+        group_types = [infer_type(g) for g in group_bound]
+
+        valid_refs: set[int] = set()
+
+        def rewrite(expr: ast.Expression) -> ast.Expression:
+            sql = expr.to_sql()
+            for k, gsql in enumerate(group_sql):
+                if sql == gsql:
+                    ref = ast.BoundRef(k, group_types[k], f"group{k}")
+                    valid_refs.add(id(ref))
+                    return ref
+            if isinstance(expr, ast.FunctionCall) and is_aggregate_function(
+                expr.name
+            ) and not _is_scalar_usage(expr):
+                index = register_aggregate(expr)
+                call = agg_calls[index]
+                input_type = (
+                    infer_type(call.argument) if call.argument is not None else None
+                )
+                ref = ast.BoundRef(
+                    len(group_bound) + index,
+                    call.aggregate.result_type(input_type),
+                    f"agg{index}",
+                )
+                valid_refs.add(id(ref))
+                return ref
+            return _rebuild(expr, rewrite)
+
+        rewritten_items = [rewrite(e) for e in bound_items]
+        rewritten_having = rewrite(bound_having) if bound_having is not None else None
+
+        for rewritten, item in zip(rewritten_items, items):
+            for node in ast.walk_expressions(rewritten):
+                if isinstance(node, ast.BoundRef) and id(node) not in valid_refs:
+                    raise AnalysisError(
+                        f"column {node.name!r} must appear in GROUP BY or be "
+                        f"used in an aggregate function"
+                    )
+        if rewritten_having is not None:
+            for node in ast.walk_expressions(rewritten_having):
+                if isinstance(node, ast.BoundRef) and id(node) not in valid_refs:
+                    raise AnalysisError(
+                        f"column {node.name!r} in HAVING must appear in GROUP BY "
+                        f"or be used in an aggregate function"
+                    )
+
+        output = [
+            BoundColumn(f"group{k}", t) for k, t in enumerate(group_types)
+        ]
+        for i, call in enumerate(agg_calls):
+            input_type = (
+                infer_type(call.argument) if call.argument is not None else None
+            )
+            output.append(
+                BoundColumn(f"agg{i}", call.aggregate.result_type(input_type))
+            )
+        node = LogicalAggregate(
+            child=child,
+            group_exprs=group_bound,
+            aggregates=agg_calls,
+            output=output,
+        )
+        return node, rewritten_items, rewritten_having
+
+    @staticmethod
+    def _resolve_group_expr(
+        expr: ast.Expression, items: list[ast.SelectItem]
+    ) -> ast.Expression:
+        """Resolve GROUP BY ordinals and select-list aliases."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int) \
+                and not isinstance(expr.value, bool):
+            ordinal = expr.value
+            if not 1 <= ordinal <= len(items):
+                raise AnalysisError(
+                    f"GROUP BY position {ordinal} is out of range"
+                )
+            return items[ordinal - 1].expression
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for item in items:
+                if item.alias == expr.name:
+                    return item.expression
+        return expr
+
+    # ---- order by -----------------------------------------------------------------
+
+    def _bind_order_by(
+        self,
+        order_items: list[ast.OrderItem],
+        output: list[BoundColumn],
+        items: list[ast.SelectItem],
+        hidden_scope: "_Scope | None" = None,
+    ) -> tuple[list[tuple[ast.Expression, bool]], list[ast.Expression]]:
+        scope = _Scope(
+            [
+                _ScopeColumn("", c.name, c.sql_type, i)
+                for i, c in enumerate(output)
+            ]
+        )
+        # ORDER BY may repeat a select-list expression verbatim (possibly
+        # qualified, e.g. "ORDER BY u.name" for item "u.name AS name").
+        by_item_sql = {}
+        for index, item in enumerate(items):
+            by_item_sql.setdefault(item.expression.to_sql(), index)
+        keys: list[tuple[ast.Expression, bool]] = []
+        hidden: list[ast.Expression] = []
+        for order in order_items:
+            expr = order.expression
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int) \
+                    and not isinstance(expr.value, bool):
+                ordinal = expr.value
+                if not 1 <= ordinal <= len(output):
+                    raise AnalysisError(
+                        f"ORDER BY position {ordinal} is out of range"
+                    )
+                col = output[ordinal - 1]
+                keys.append(
+                    (ast.BoundRef(ordinal - 1, col.sql_type, col.name), order.descending)
+                )
+                continue
+            item_index = by_item_sql.get(expr.to_sql())
+            if item_index is not None:
+                col = output[item_index]
+                keys.append(
+                    (
+                        ast.BoundRef(item_index, col.sql_type, col.name),
+                        order.descending,
+                    )
+                )
+                continue
+            try:
+                keys.append(
+                    (
+                        self._bind_expr(expr, scope, allow_aggregates=False),
+                        order.descending,
+                    )
+                )
+            except (ColumnNotFoundError, AmbiguousColumnError):
+                if hidden_scope is None:
+                    raise
+                # ORDER BY may reference input columns that are not in the
+                # select list; carry them as hidden projection columns.
+                bound = self._bind_expr(expr, hidden_scope, allow_aggregates=False)
+                keys.append(
+                    (
+                        ast.BoundRef(
+                            len(output) + len(hidden),
+                            infer_type(bound),
+                            f"__sort{len(hidden)}",
+                        ),
+                        order.descending,
+                    )
+                )
+                hidden.append(bound)
+        return keys, hidden
+
+
+class _SingleRowNode(LogicalNode):
+    """Input for FROM-less SELECT: exactly one empty row on one slice."""
+
+    def __init__(self) -> None:
+        self.output: list[BoundColumn] = []
+
+
+def _is_scalar_usage(call: ast.FunctionCall) -> bool:
+    """MIN/MAX-style names collide with scalar LEFT/RIGHT; aggregates named
+    left/right do not exist, so treat those names as scalar."""
+    return call.name in ("left", "right")
+
+
+def _rebuild(
+    expr: ast.Expression, transform
+) -> ast.Expression:
+    """Rebuild one expression node with children passed through *transform*."""
+    if isinstance(expr, (ast.Literal, ast.BoundRef, ast.ColumnRef, ast.Star)):
+        return expr
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, transform(expr.left), transform(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, transform(expr.operand))
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            expr.name,
+            [transform(a) for a in expr.args],
+            distinct=expr.distinct,
+            approximate=expr.approximate,
+        )
+    if isinstance(expr, ast.CastExpr):
+        return ast.CastExpr(transform(expr.operand), expr.type_name, expr.type_params)
+    if isinstance(expr, ast.CaseExpr):
+        return ast.CaseExpr(
+            [(transform(c), transform(v)) for c, v in expr.whens],
+            transform(expr.default) if expr.default is not None else None,
+        )
+    if isinstance(expr, ast.InExpr):
+        return ast.InExpr(
+            transform(expr.operand), [transform(i) for i in expr.items], expr.negated
+        )
+    if isinstance(expr, ast.BetweenExpr):
+        return ast.BetweenExpr(
+            transform(expr.operand),
+            transform(expr.low),
+            transform(expr.high),
+            expr.negated,
+        )
+    if isinstance(expr, ast.IsNullExpr):
+        return ast.IsNullExpr(transform(expr.operand), expr.negated)
+    if isinstance(expr, ast.LikeExpr):
+        return ast.LikeExpr(
+            transform(expr.operand),
+            transform(expr.pattern),
+            expr.negated,
+            expr.case_insensitive,
+        )
+    raise AnalysisError(f"cannot rebuild {type(expr).__name__}")

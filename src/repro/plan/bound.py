@@ -1,0 +1,164 @@
+"""Bound logical plan nodes.
+
+Produced by the :class:`~repro.plan.binder.Binder`; every expression inside
+a logical node references its input row exclusively through
+:class:`~repro.sql.ast.BoundRef` nodes, so execution never consults name
+scopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes.types import SqlType
+from repro.engine.catalog import TableInfo
+from repro.sql import ast
+from repro.sql.functions import Aggregate
+
+
+@dataclass(frozen=True)
+class BoundColumn:
+    """One output column of a logical operator."""
+
+    name: str
+    sql_type: SqlType
+    relation: str = ""
+
+
+class LogicalNode:
+    """Base class; ``output`` is the operator's row schema."""
+
+    output: list[BoundColumn]
+
+    @property
+    def children(self) -> list["LogicalNode"]:
+        return []
+
+
+@dataclass
+class LogicalScan(LogicalNode):
+    """Scan of one base table, projected to ``column_indexes``.
+
+    ``output[i]`` corresponds to table column ``column_indexes[i]`` — the
+    columnar engine reads only those chains.
+    """
+
+    table: TableInfo
+    binding: str
+    column_indexes: list[int]
+    output: list[BoundColumn] = field(default_factory=list)
+
+
+@dataclass
+class LogicalFilter(LogicalNode):
+    child: LogicalNode
+    condition: ast.Expression
+    output: list[BoundColumn] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LogicalProject(LogicalNode):
+    child: LogicalNode
+    expressions: list[ast.Expression]
+    output: list[BoundColumn] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LogicalJoin(LogicalNode):
+    """Join with pre-extracted equi-keys.
+
+    ``equi_keys`` pairs (left output index, right output index); the
+    ``residual`` holds any non-equi conjuncts, evaluated against the
+    concatenated row.
+    """
+
+    kind: ast.JoinKind
+    left: LogicalNode
+    right: LogicalNode
+    equi_keys: list[tuple[int, int]] = field(default_factory=list)
+    residual: ast.Expression | None = None
+    output: list[BoundColumn] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.left, self.right]
+
+
+@dataclass
+class AggCall:
+    """One aggregate computation: the Aggregate instance plus its bound
+    argument expression (None for COUNT(*))."""
+
+    aggregate: Aggregate
+    argument: ast.Expression | None
+    name: str
+
+
+@dataclass
+class LogicalAggregate(LogicalNode):
+    """Grouped aggregation; output = group keys then aggregate results."""
+
+    child: LogicalNode
+    group_exprs: list[ast.Expression]
+    aggregates: list[AggCall]
+    output: list[BoundColumn] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LogicalSetOp(LogicalNode):
+    """UNION / INTERSECT / EXCEPT of two inputs with aligned schemas."""
+
+    op: str  # "union" | "intersect" | "except"
+    all: bool
+    left: LogicalNode
+    right: LogicalNode
+    output: list[BoundColumn] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.left, self.right]
+
+
+@dataclass
+class LogicalDistinct(LogicalNode):
+    child: LogicalNode
+    output: list[BoundColumn] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LogicalSort(LogicalNode):
+    child: LogicalNode
+    keys: list[tuple[ast.Expression, bool]]  # (expression, descending)
+    output: list[BoundColumn] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LogicalLimit(LogicalNode):
+    child: LogicalNode
+    limit: int | None
+    offset: int | None
+    output: list[BoundColumn] = field(default_factory=list)
+
+    @property
+    def children(self) -> list[LogicalNode]:
+        return [self.child]

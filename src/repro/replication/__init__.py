@@ -1,0 +1,23 @@
+"""Block replication, cohorting, failure handling, and durability math.
+
+"Each data block is synchronously written to both its primary slice as
+well as to at least one secondary on a separate node. Cohorting is used to
+limit the number of slices impacted by an individual disk or node failure
+... The primary, secondary and Amazon S3 copies of the data block are each
+available for read, making media failures transparent. Loss of durability
+requires multiple faults to occur in the time window from the first fault
+to re-replication or backup to Amazon S3" (paper §2.1).
+"""
+
+from repro.replication.mirror import ReplicationManager, ReplicaInfo
+from repro.replication.cohort import CohortPlan
+from repro.replication.durability import (
+    DurabilityModel,
+    annual_durability,
+)
+
+__all__ = [
+    "ReplicationManager", "ReplicaInfo",
+    "CohortPlan",
+    "DurabilityModel", "annual_durability",
+]

@@ -1,0 +1,46 @@
+"""Cohorting: bounding the blast radius of a failure.
+
+Secondaries for a node's blocks are placed only within that node's cohort.
+Small cohorts bound how many nodes a failure forces to participate in
+re-replication; large cohorts spread the re-replication load wider. The
+paper: "we attempt to balance the resource impact of re-replication
+against the increased probability of correlated failures as disk and node
+counts increase."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CohortPlan:
+    """Partitioning of node ids into fixed-size cohorts."""
+
+    node_ids: list[str]
+    cohort_size: int
+
+    def __post_init__(self) -> None:
+        if self.cohort_size < 2:
+            raise ValueError(
+                f"cohort size must be at least 2, got {self.cohort_size}"
+            )
+        self._index = {node: i for i, node in enumerate(self.node_ids)}
+
+    def cohort_of(self, node_id: str) -> list[str]:
+        """The nodes sharing a cohort with *node_id* (including itself)."""
+        position = self._index[node_id]
+        start = (position // self.cohort_size) * self.cohort_size
+        return self.node_ids[start:start + self.cohort_size]
+
+    def peers_of(self, node_id: str) -> list[str]:
+        """Candidate secondary hosts for blocks whose primary is *node_id*."""
+        return [n for n in self.cohort_of(node_id) if n != node_id]
+
+    def blast_radius(self, node_id: str) -> int:
+        """Nodes involved when *node_id* fails: its cohort."""
+        return len(self.cohort_of(node_id))
+
+    @property
+    def cohort_count(self) -> int:
+        return (len(self.node_ids) + self.cohort_size - 1) // self.cohort_size

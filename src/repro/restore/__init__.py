@@ -1,0 +1,17 @@
+"""Full and streaming restore from S3 backups.
+
+"We are able to include Amazon S3 backups as part of our data availability
+and durability design, by doing block-level backups and 'page-faulting' in
+blocks when unavailable on local storage. This also allowed us to
+implement a streaming restore capability, allowing the database to be
+opened for SQL operations after metadata and catalog restoration, but
+while blocks were still being brought down in background. Since the
+average working set for a data warehouse is a small fraction of the total
+data stored, this allows performant queries to be obtained in a small
+fraction of the time required for a full restore." (paper §2.2)
+"""
+
+from repro.restore.manager import RestoreManager, RestoreResult
+from repro.restore.lazyblock import LazyBlock
+
+__all__ = ["RestoreManager", "RestoreResult", "LazyBlock"]

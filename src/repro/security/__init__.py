@@ -1,0 +1,5 @@
+"""Encryption: the block/cluster/master key hierarchy of §3.2."""
+
+from repro.security.keyhierarchy import ClusterKeyHierarchy, EncryptedBlob
+
+__all__ = ["ClusterKeyHierarchy", "EncryptedBlob"]

@@ -1,0 +1,26 @@
+"""Sort-key machinery: compound keys, interleaved (z-curve) keys, and a
+C-Store-style projection baseline.
+
+The paper (§3.3) argues for multi-dimensional z-curves over indexes and
+projections: "a missing projection can result in a full table scan while an
+additional one can greatly impact load time. By comparison, a
+multidimensional index using z-curves degrades more gracefully with excess
+participation and still provides utility if leading columns are not
+specified." This package supplies the pieces the ablation (experiment a4)
+compares.
+"""
+
+from repro.sortkeys.zorder import (
+    interleave,
+    deinterleave,
+    ZOrderMapper,
+)
+from repro.sortkeys.compound import CompoundSortKey
+from repro.sortkeys.interleaved import InterleavedSortKey
+from repro.sortkeys.projection import Projection, ProjectionSet
+
+__all__ = [
+    "interleave", "deinterleave", "ZOrderMapper",
+    "CompoundSortKey", "InterleavedSortKey",
+    "Projection", "ProjectionSet",
+]

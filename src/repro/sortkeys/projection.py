@@ -1,0 +1,71 @@
+"""C-Store/Vertica-style projections — the baseline the paper argues against.
+
+A projection is a redundant, independently sorted copy of (a subset of) a
+table. Queries whose predicate matches some projection's leading sort
+column scan that copy with excellent pruning; queries that match none fall
+back to a full scan of the base table. Every projection multiplies load
+work and storage — the "additional one can greatly impact load time" cost
+the paper contrasts with z-curves (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sortkeys.compound import CompoundSortKey
+
+
+@dataclass
+class Projection:
+    """One sorted copy: the sort order it maintains."""
+
+    name: str
+    sort_columns: tuple[str, ...]
+
+    def serves(self, predicate_column: str) -> bool:
+        """A projection prunes well only when the predicate hits its
+        leading sort column."""
+        return bool(self.sort_columns) and self.sort_columns[0] == predicate_column
+
+    def sort_key(self) -> CompoundSortKey:
+        return CompoundSortKey(list(self.sort_columns))
+
+
+class ProjectionSet:
+    """The projections maintained for one table, plus their cost model.
+
+    ``load_amplification`` is the multiplier on ingest work: every loaded
+    row must be sorted into and written to each projection. This is the
+    quantity the a4 ablation charges against the projection design.
+    """
+
+    def __init__(self, table_name: str):
+        self.table_name = table_name
+        self._projections: list[Projection] = []
+
+    def add(self, name: str, sort_columns: Sequence[str]) -> Projection:
+        if any(p.name == name for p in self._projections):
+            raise ValueError(
+                f"projection {name!r} already exists on {self.table_name!r}"
+            )
+        projection = Projection(name=name, sort_columns=tuple(sort_columns))
+        self._projections.append(projection)
+        return projection
+
+    @property
+    def projections(self) -> list[Projection]:
+        return list(self._projections)
+
+    @property
+    def load_amplification(self) -> int:
+        """Copies written per loaded row: the base table plus every projection."""
+        return 1 + len(self._projections)
+
+    def choose(self, predicate_column: str) -> Projection | None:
+        """Pick a projection that serves *predicate_column*, else None
+        (meaning the query full-scans the base table)."""
+        for projection in self._projections:
+            if projection.serves(predicate_column):
+                return projection
+        return None

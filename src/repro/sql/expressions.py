@@ -1,0 +1,430 @@
+"""Runtime expression semantics and the closure-tree evaluator.
+
+Implements SQL's three-valued logic (TRUE/FALSE/NULL as True/False/None),
+NULL-propagating arithmetic and comparison, LIKE matching, dynamic CAST,
+and :func:`compile_expression`, which turns a bound AST expression into a
+Python closure over a row tuple — the evaluation engine of the Volcano
+executor. The code-generating executor emits source that calls the same
+helpers, so both executors share one definition of SQL semantics.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import functools
+import re
+from typing import Callable
+
+from repro.datatypes.parsing import parse_literal
+from repro.datatypes.types import SqlType, TypeKind
+from repro.errors import AnalysisError, DataError, DivisionByZeroError, ExecutionError
+from repro.sql import ast
+from repro.sql.functions import scalar_function
+
+Row = tuple
+Evaluator = Callable[[Row], object]
+
+
+# ---------------------------------------------------------------------------
+# Three-valued logic
+# ---------------------------------------------------------------------------
+
+def sql_and(a: object, b: object) -> object:
+    """NULL-aware AND: FALSE dominates NULL."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def sql_or(a: object, b: object) -> object:
+    """NULL-aware OR: TRUE dominates NULL."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def sql_not(a: object) -> object:
+    if a is None:
+        return None
+    return not a
+
+
+# ---------------------------------------------------------------------------
+# Comparison and arithmetic
+# ---------------------------------------------------------------------------
+
+def _harmonize(a: object, b: object) -> tuple[object, object]:
+    """Make mixed numeric operands combinable (Decimal vs float)."""
+    if isinstance(a, decimal.Decimal) and isinstance(b, float):
+        return float(a), b
+    if isinstance(a, float) and isinstance(b, decimal.Decimal):
+        return a, float(b)
+    if isinstance(a, decimal.Decimal) and isinstance(b, int):
+        return a, decimal.Decimal(b)
+    if isinstance(a, int) and isinstance(b, decimal.Decimal):
+        return decimal.Decimal(a), b
+    return a, b
+
+
+def sql_eq(a, b):
+    if a is None or b is None:
+        return None
+    a, b = _harmonize(a, b)
+    return a == b
+
+
+def sql_ne(a, b):
+    if a is None or b is None:
+        return None
+    a, b = _harmonize(a, b)
+    return a != b
+
+
+def sql_lt(a, b):
+    if a is None or b is None:
+        return None
+    a, b = _harmonize(a, b)
+    return a < b
+
+
+def sql_le(a, b):
+    if a is None or b is None:
+        return None
+    a, b = _harmonize(a, b)
+    return a <= b
+
+
+def sql_gt(a, b):
+    if a is None or b is None:
+        return None
+    a, b = _harmonize(a, b)
+    return a > b
+
+
+def sql_ge(a, b):
+    if a is None or b is None:
+        return None
+    a, b = _harmonize(a, b)
+    return a >= b
+
+
+def sql_add(a, b):
+    if a is None or b is None:
+        return None
+    # date/timestamp + integer days, the PostgreSQL convenience
+    if isinstance(a, (datetime.date, datetime.datetime)) and isinstance(b, int):
+        return a + datetime.timedelta(days=b)
+    if isinstance(b, (datetime.date, datetime.datetime)) and isinstance(a, int):
+        return b + datetime.timedelta(days=a)
+    a, b = _harmonize(a, b)
+    return a + b
+
+
+def sql_sub(a, b):
+    if a is None or b is None:
+        return None
+    if isinstance(a, datetime.datetime) and isinstance(b, datetime.datetime):
+        return (a - b).total_seconds() / 86400.0
+    if isinstance(a, datetime.date) and isinstance(b, datetime.date):
+        return (a - b).days
+    if isinstance(a, (datetime.date, datetime.datetime)) and isinstance(b, int):
+        return a - datetime.timedelta(days=b)
+    a, b = _harmonize(a, b)
+    return a - b
+
+
+def sql_mul(a, b):
+    if a is None or b is None:
+        return None
+    a, b = _harmonize(a, b)
+    return a * b
+
+
+def sql_div(a, b):
+    if a is None or b is None:
+        return None
+    a, b = _harmonize(a, b)
+    if b == 0:
+        raise DivisionByZeroError()
+    if isinstance(a, int) and isinstance(b, int):
+        # SQL integer division truncates toward zero.
+        q = a // b
+        if q < 0 and q * b != a:
+            q += 1
+        return q
+    return a / b
+
+
+def sql_mod(a, b):
+    if a is None or b is None:
+        return None
+    a, b = _harmonize(a, b)
+    if b == 0:
+        raise DivisionByZeroError()
+    if isinstance(a, int) and isinstance(b, int):
+        # Result takes the sign of the dividend (PostgreSQL %).
+        return a - sql_div(a, b) * b
+    return a % b
+
+
+def sql_neg(a):
+    return None if a is None else -a
+
+
+def sql_concat(a, b):
+    if a is None or b is None:
+        return None
+    return _to_text(a) + _to_text(b)
+
+
+def _to_text(value: object) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "t" if value else "f"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# LIKE
+# ---------------------------------------------------------------------------
+
+@functools.lru_cache(maxsize=512)
+def _like_regex(pattern: str, case_insensitive: bool) -> re.Pattern:
+    out = ["^"]
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "\\" and i + 1 < len(pattern):
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+        i += 1
+    out.append("$")
+    flags = re.IGNORECASE | re.DOTALL if case_insensitive else re.DOTALL
+    return re.compile("".join(out), flags)
+
+
+def sql_like(value: object, pattern: object, case_insensitive: bool = False) -> object:
+    if value is None or pattern is None:
+        return None
+    return bool(_like_regex(pattern, case_insensitive).match(value))
+
+
+def sql_in(value: object, items: tuple) -> object:
+    """Three-valued IN over an evaluated item tuple."""
+    if value is None:
+        return None
+    saw_null = False
+    for item in items:
+        if item is None:
+            saw_null = True
+        else:
+            result = sql_eq(value, item)
+            if result is True:
+                return True
+    return None if saw_null else False
+
+
+# ---------------------------------------------------------------------------
+# CAST
+# ---------------------------------------------------------------------------
+
+def cast_value(value: object, target: SqlType) -> object:
+    """Dynamic CAST following PostgreSQL conversion rules."""
+    if value is None:
+        return None
+    kind = target.kind
+    try:
+        if target.is_character:
+            text = _to_text(value)
+            if isinstance(value, datetime.datetime):
+                text = value.strftime(
+                    "%Y-%m-%d %H:%M:%S.%f" if value.microsecond else "%Y-%m-%d %H:%M:%S"
+                )
+            return target.validate(text)
+        if isinstance(value, str):
+            return parse_literal(value.strip(), target)
+        if target.is_integer:
+            if isinstance(value, bool):
+                return target.validate(int(value))
+            if isinstance(value, (int, float, decimal.Decimal)):
+                # Round-half-up like SQL, not banker's rounding.
+                rounded = decimal.Decimal(str(value)).quantize(
+                    0, rounding=decimal.ROUND_HALF_UP
+                )
+                return target.validate(int(rounded))
+        if target.is_float and isinstance(value, (int, float, decimal.Decimal, bool)):
+            return target.validate(float(value))
+        if kind is TypeKind.DECIMAL and isinstance(
+            value, (int, float, decimal.Decimal, bool)
+        ):
+            if isinstance(value, float):
+                value = decimal.Decimal(str(value))
+            return target.validate(
+                value if isinstance(value, (int, decimal.Decimal)) else int(value)
+            )
+        if kind is TypeKind.BOOLEAN:
+            if isinstance(value, (int, float)):
+                return bool(value)
+        if kind is TypeKind.DATE and isinstance(value, datetime.datetime):
+            return value.date()
+        return target.validate(value)
+    except DataError:
+        raise
+    except (ValueError, decimal.InvalidOperation, ArithmeticError) as exc:
+        raise DataError(f"cannot cast {value!r} to {target}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Typed-literal materialisation
+# ---------------------------------------------------------------------------
+
+def literal_value(node: ast.Literal) -> object:
+    """Materialise a literal, applying DATE/TIMESTAMP prefixes."""
+    if node.type_name is None:
+        return node.value
+    if node.type_name == "date":
+        return parse_literal(node.value, SqlType(TypeKind.DATE))
+    if node.type_name == "timestamp":
+        return parse_literal(node.value, SqlType(TypeKind.TIMESTAMP))
+    raise AnalysisError(f"unsupported typed literal {node.type_name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Closure compiler
+# ---------------------------------------------------------------------------
+
+_BINARY_IMPLS: dict[str, Callable[[object, object], object]] = {
+    "=": sql_eq, "<>": sql_ne, "<": sql_lt, "<=": sql_le,
+    ">": sql_gt, ">=": sql_ge,
+    "+": sql_add, "-": sql_sub, "*": sql_mul, "/": sql_div, "%": sql_mod,
+    "||": sql_concat,
+    "AND": sql_and, "OR": sql_or,
+}
+
+
+def compile_expression(
+    expr: ast.Expression,
+    resolve: Callable[[ast.ColumnRef], int],
+) -> Evaluator:
+    """Compile a bound expression into a closure over a row tuple.
+
+    *resolve* maps each column reference to its index in the input row;
+    binding errors surface here as :class:`AnalysisError`.
+    """
+    if isinstance(expr, ast.Literal):
+        value = literal_value(expr)
+        return lambda row: value
+
+    if isinstance(expr, ast.BoundRef):
+        index = expr.index
+        return lambda row: row[index]
+
+    if isinstance(expr, ast.ColumnRef):
+        index = resolve(expr)
+        return lambda row: row[index]
+
+    if isinstance(expr, ast.BinaryOp):
+        impl = _BINARY_IMPLS.get(expr.op)
+        if impl is None:
+            raise AnalysisError(f"unsupported operator {expr.op!r}")
+        left = compile_expression(expr.left, resolve)
+        right = compile_expression(expr.right, resolve)
+        return lambda row: impl(left(row), right(row))
+
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expression(expr.operand, resolve)
+        if expr.op == "NOT":
+            return lambda row: sql_not(operand(row))
+        if expr.op == "-":
+            return lambda row: sql_neg(operand(row))
+        raise AnalysisError(f"unsupported unary operator {expr.op!r}")
+
+    if isinstance(expr, ast.FunctionCall):
+        fn = scalar_function(expr.name)
+        fn.check_arity(len(expr.args))
+        # date_part-style functions take a unit name that parses as a
+        # column ref when unquoted; here all args are value expressions.
+        arg_fns = [compile_expression(a, resolve) for a in expr.args]
+        return lambda row: fn(*[f(row) for f in arg_fns])
+
+    if isinstance(expr, ast.CastExpr):
+        from repro.datatypes.types import type_from_name
+
+        target = type_from_name(expr.type_name, *expr.type_params)
+        operand = compile_expression(expr.operand, resolve)
+        return lambda row: cast_value(operand(row), target)
+
+    if isinstance(expr, ast.CaseExpr):
+        branches = [
+            (compile_expression(cond, resolve), compile_expression(val, resolve))
+            for cond, val in expr.whens
+        ]
+        default = (
+            compile_expression(expr.default, resolve)
+            if expr.default is not None
+            else None
+        )
+
+        def evaluate_case(row):
+            for cond, val in branches:
+                if cond(row) is True:
+                    return val(row)
+            return default(row) if default is not None else None
+
+        return evaluate_case
+
+    if isinstance(expr, ast.InExpr):
+        operand = compile_expression(expr.operand, resolve)
+        item_fns = [compile_expression(i, resolve) for i in expr.items]
+        if expr.negated:
+            return lambda row: sql_not(
+                sql_in(operand(row), tuple(f(row) for f in item_fns))
+            )
+        return lambda row: sql_in(operand(row), tuple(f(row) for f in item_fns))
+
+    if isinstance(expr, ast.BetweenExpr):
+        operand = compile_expression(expr.operand, resolve)
+        low = compile_expression(expr.low, resolve)
+        high = compile_expression(expr.high, resolve)
+
+        def evaluate_between(row):
+            v = operand(row)
+            result = sql_and(sql_ge(v, low(row)), sql_le(v, high(row)))
+            return sql_not(result) if expr.negated else result
+
+        return evaluate_between
+
+    if isinstance(expr, ast.IsNullExpr):
+        operand = compile_expression(expr.operand, resolve)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+
+    if isinstance(expr, ast.LikeExpr):
+        operand = compile_expression(expr.operand, resolve)
+        pattern = compile_expression(expr.pattern, resolve)
+        ci = expr.case_insensitive
+
+        def evaluate_like(row):
+            result = sql_like(operand(row), pattern(row), ci)
+            return sql_not(result) if expr.negated else result
+
+        return evaluate_like
+
+    if isinstance(expr, ast.Star):
+        raise AnalysisError("* is not valid in this context")
+
+    raise AnalysisError(f"cannot evaluate expression node {type(expr).__name__}")

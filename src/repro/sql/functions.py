@@ -1,0 +1,595 @@
+"""Scalar and aggregate function registry.
+
+Scalar functions propagate NULL (any NULL argument yields NULL) unless the
+function is explicitly NULL-handling (COALESCE, NULLIF, NVL). Aggregates
+are defined in partial/merge/final form so they distribute: each slice
+accumulates a partial state, the leader merges states and finalizes —
+exactly the two-phase execution the MPP engine uses.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.datatypes.coercion import common_type
+from repro.datatypes.types import (
+    BIGINT,
+    DOUBLE,
+    INTEGER,
+    BOOLEAN,
+    SqlType,
+    TypeKind,
+    varchar_type,
+)
+from repro.errors import AnalysisError, ExecutionError
+from repro.sql.hll import HyperLogLog
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScalarFunction:
+    """One scalar function: implementation plus result typing.
+
+    ``impl`` receives already-evaluated argument values; when
+    ``null_propagating`` the registry wrapper returns NULL if any argument
+    is NULL without calling ``impl``.
+    """
+
+    name: str
+    min_args: int
+    max_args: int
+    impl: Callable[..., object]
+    result_type: Callable[[Sequence[SqlType]], SqlType]
+    null_propagating: bool = True
+
+    def check_arity(self, count: int) -> None:
+        if not self.min_args <= count <= self.max_args:
+            expected = (
+                str(self.min_args)
+                if self.min_args == self.max_args
+                else f"{self.min_args}..{self.max_args}"
+            )
+            raise AnalysisError(
+                f"function {self.name}() takes {expected} arguments, got {count}"
+            )
+
+    def __call__(self, *args: object) -> object:
+        if self.null_propagating and any(a is None for a in args):
+            return None
+        return self.impl(*args)
+
+
+def _varchar_result(_: Sequence[SqlType]) -> SqlType:
+    return varchar_type(65535)
+
+
+def _double_result(_: Sequence[SqlType]) -> SqlType:
+    return DOUBLE
+
+
+def _int_result(_: Sequence[SqlType]) -> SqlType:
+    return INTEGER
+
+
+def _bigint_result(_: Sequence[SqlType]) -> SqlType:
+    return BIGINT
+
+
+def _same_as_first(types: Sequence[SqlType]) -> SqlType:
+    return types[0]
+
+
+def _common_result(types: Sequence[SqlType]) -> SqlType:
+    result = types[0]
+    for t in types[1:]:
+        result = common_type(result, t)
+    return result
+
+
+def _substring(s: str, start: int, length: int | None = None) -> str:
+    # SQL substring is 1-based; a start before 1 eats into the length.
+    begin = max(0, start - 1)
+    if length is None:
+        return s[begin:]
+    if length < 0:
+        raise ExecutionError("negative substring length")
+    end = max(0, start - 1 + length)
+    return s[begin:end]
+
+
+def _round(value: object, digits: int = 0) -> object:
+    if isinstance(value, decimal.Decimal):
+        quantum = decimal.Decimal(1).scaleb(-digits)
+        return value.quantize(quantum, rounding=decimal.ROUND_HALF_UP)
+    factor = 10 ** digits
+    return math.floor(abs(value) * factor + 0.5) / factor * (1 if value >= 0 else -1)
+
+
+_DATE_PARTS = frozenset(
+    ["year", "quarter", "month", "week", "day", "dow", "doy", "hour", "minute", "second", "epoch"]
+)
+
+
+def _date_part(part: str, value: datetime.date | datetime.datetime) -> object:
+    part = part.lower()
+    if part not in _DATE_PARTS:
+        raise ExecutionError(f"unknown date part {part!r}")
+    if part == "year":
+        return value.year
+    if part == "quarter":
+        return (value.month - 1) // 3 + 1
+    if part == "month":
+        return value.month
+    if part == "week":
+        return value.isocalendar()[1]
+    if part == "day":
+        return value.day
+    if part == "dow":
+        return value.isoweekday() % 7  # Sunday = 0, PostgreSQL convention
+    if part == "doy":
+        return value.timetuple().tm_yday
+    ts = _as_timestamp(value)
+    if part == "hour":
+        return ts.hour
+    if part == "minute":
+        return ts.minute
+    if part == "second":
+        return ts.second
+    return ts.timestamp()  # epoch
+
+
+def _as_timestamp(value: datetime.date | datetime.datetime) -> datetime.datetime:
+    if isinstance(value, datetime.datetime):
+        return value
+    return datetime.datetime(value.year, value.month, value.day)
+
+
+def _date_trunc(part: str, value: datetime.date | datetime.datetime) -> datetime.datetime:
+    ts = _as_timestamp(value)
+    part = part.lower()
+    if part == "year":
+        return ts.replace(month=1, day=1, hour=0, minute=0, second=0, microsecond=0)
+    if part == "quarter":
+        month = 3 * ((ts.month - 1) // 3) + 1
+        return ts.replace(month=month, day=1, hour=0, minute=0, second=0, microsecond=0)
+    if part == "month":
+        return ts.replace(day=1, hour=0, minute=0, second=0, microsecond=0)
+    if part == "week":
+        monday = ts - datetime.timedelta(days=ts.weekday())
+        return monday.replace(hour=0, minute=0, second=0, microsecond=0)
+    if part == "day":
+        return ts.replace(hour=0, minute=0, second=0, microsecond=0)
+    if part == "hour":
+        return ts.replace(minute=0, second=0, microsecond=0)
+    if part == "minute":
+        return ts.replace(second=0, microsecond=0)
+    if part == "second":
+        return ts.replace(microsecond=0)
+    raise ExecutionError(f"unknown date_trunc unit {part!r}")
+
+
+def _dateadd(part: str, amount: int, value: datetime.date | datetime.datetime) -> datetime.datetime:
+    ts = _as_timestamp(value)
+    part = part.lower()
+    if part == "year":
+        return ts.replace(year=ts.year + amount)
+    if part == "month":
+        month0 = ts.month - 1 + amount
+        year = ts.year + month0 // 12
+        month = month0 % 12 + 1
+        day = min(ts.day, _days_in_month(year, month))
+        return ts.replace(year=year, month=month, day=day)
+    deltas = {
+        "week": datetime.timedelta(weeks=amount),
+        "day": datetime.timedelta(days=amount),
+        "hour": datetime.timedelta(hours=amount),
+        "minute": datetime.timedelta(minutes=amount),
+        "second": datetime.timedelta(seconds=amount),
+    }
+    if part not in deltas:
+        raise ExecutionError(f"unknown dateadd unit {part!r}")
+    return ts + deltas[part]
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        nxt = datetime.date(year + 1, 1, 1)
+    else:
+        nxt = datetime.date(year, month + 1, 1)
+    return (nxt - datetime.date(year, month, 1)).days
+
+
+def _datediff(part: str, start: object, end: object) -> int:
+    s, e = _as_timestamp(start), _as_timestamp(end)
+    part = part.lower()
+    if part == "year":
+        return e.year - s.year
+    if part == "quarter":
+        return (e.year - s.year) * 4 + ((e.month - 1) // 3 - (s.month - 1) // 3)
+    if part == "month":
+        return (e.year - s.year) * 12 + (e.month - s.month)
+    seconds = (e - s).total_seconds()
+    divisors = {"week": 604800, "day": 86400, "hour": 3600, "minute": 60, "second": 1}
+    if part not in divisors:
+        raise ExecutionError(f"unknown datediff unit {part!r}")
+    return int(seconds // divisors[part])
+
+
+def _coalesce(*args: object) -> object:
+    for a in args:
+        if a is not None:
+            return a
+    return None
+
+
+def _nullif(a: object, b: object) -> object:
+    if a is not None and b is not None and a == b:
+        return None
+    return a
+
+
+def _greatest(*args: object) -> object:
+    present = [a for a in args if a is not None]
+    return max(present) if present else None
+
+
+def _least(*args: object) -> object:
+    present = [a for a in args if a is not None]
+    return min(present) if present else None
+
+
+_SCALARS: dict[str, ScalarFunction] = {}
+
+
+def _register(
+    name: str,
+    min_args: int,
+    max_args: int,
+    impl: Callable[..., object],
+    result_type: Callable[[Sequence[SqlType]], SqlType],
+    null_propagating: bool = True,
+) -> None:
+    _SCALARS[name] = ScalarFunction(
+        name, min_args, max_args, impl, result_type, null_propagating
+    )
+
+
+_register("upper", 1, 1, str.upper, _varchar_result)
+_register("lower", 1, 1, str.lower, _varchar_result)
+_register("length", 1, 1, len, _int_result)
+_register("char_length", 1, 1, len, _int_result)
+_register("trim", 1, 1, str.strip, _varchar_result)
+_register("ltrim", 1, 1, str.lstrip, _varchar_result)
+_register("rtrim", 1, 1, str.rstrip, _varchar_result)
+_register("replace", 3, 3, lambda s, a, b: s.replace(a, b), _varchar_result)
+_register("reverse", 1, 1, lambda s: s[::-1], _varchar_result)
+_register("substring", 2, 3, _substring, _varchar_result)
+_register("substr", 2, 3, _substring, _varchar_result)
+_register("left", 2, 2, lambda s, n: s[:max(0, n)], _varchar_result)
+_register("right", 2, 2, lambda s, n: s[-n:] if n > 0 else "", _varchar_result)
+_register("strpos", 2, 2, lambda s, sub: s.find(sub) + 1, _int_result)
+_register("concat", 2, 2, lambda a, b: str(a) + str(b), _varchar_result)
+_register("repeat", 2, 2, lambda s, n: s * max(0, n), _varchar_result)
+_register("lpad", 2, 3, lambda s, n, fill=" ": s.rjust(n, fill)[:n], _varchar_result)
+_register("rpad", 2, 3, lambda s, n, fill=" ": s.ljust(n, fill)[:n], _varchar_result)
+_register("initcap", 1, 1, lambda s: s.title(), _varchar_result)
+
+_register("abs", 1, 1, abs, _same_as_first)
+_register("sign", 1, 1, lambda x: (x > 0) - (x < 0), _int_result)
+_register("round", 1, 2, _round, _same_as_first)
+_register("floor", 1, 1, lambda x: math.floor(x), _bigint_result)
+_register("ceil", 1, 1, lambda x: math.ceil(x), _bigint_result)
+_register("ceiling", 1, 1, lambda x: math.ceil(x), _bigint_result)
+_register("mod", 2, 2, lambda a, b: math.fmod(a, b) if isinstance(a, float) or isinstance(b, float) else int(math.fmod(a, b)), _same_as_first)
+_register("power", 2, 2, lambda a, b: float(a) ** float(b), _double_result)
+_register("sqrt", 1, 1, lambda x: math.sqrt(x), _double_result)
+_register("exp", 1, 1, math.exp, _double_result)
+_register("ln", 1, 1, lambda x: math.log(x), _double_result)
+_register("log", 1, 1, lambda x: math.log10(x), _double_result)
+
+_register("date_part", 2, 2, _date_part, _double_result)
+_register("date_trunc", 2, 2, _date_trunc, lambda t: SqlType(TypeKind.TIMESTAMP))
+_register("dateadd", 3, 3, _dateadd, lambda t: SqlType(TypeKind.TIMESTAMP))
+_register("datediff", 3, 3, _datediff, _bigint_result)
+
+_register("coalesce", 1, 64, _coalesce, _common_result, null_propagating=False)
+_register("nvl", 2, 2, _coalesce, _common_result, null_propagating=False)
+_register("nullif", 2, 2, _nullif, _same_as_first, null_propagating=False)
+_register("greatest", 1, 64, _greatest, _common_result, null_propagating=False)
+_register("least", 1, 64, _least, _common_result, null_propagating=False)
+
+
+def scalar_function(name: str) -> ScalarFunction:
+    """Look up a scalar function; raises AnalysisError if unknown."""
+    fn = _SCALARS.get(name.lower())
+    if fn is None:
+        raise AnalysisError(f"unknown function {name}()")
+    return fn
+
+
+def is_scalar_function(name: str) -> bool:
+    return name.lower() in _SCALARS
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+class Aggregate:
+    """Distributed aggregate: per-slice partials merged at the leader."""
+
+    name: str
+
+    def result_type(self, input_type: SqlType | None) -> SqlType:
+        raise NotImplementedError
+
+    def create(self) -> object:
+        """Fresh partial state."""
+        raise NotImplementedError
+
+    def accumulate(self, state: object, value: object) -> object:
+        """Fold one input value into a partial state; returns the state."""
+        raise NotImplementedError
+
+    def merge(self, left: object, right: object) -> object:
+        """Combine two partial states."""
+        raise NotImplementedError
+
+    def finalize(self, state: object) -> object:
+        """Produce the SQL result from a merged state."""
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    """COUNT(x): number of non-null inputs (COUNT(*) feeds a dummy 1)."""
+
+    name = "count"
+
+    def result_type(self, input_type):
+        return BIGINT
+
+    def create(self):
+        return 0
+
+    def accumulate(self, state, value):
+        return state + (value is not None)
+
+    def merge(self, left, right):
+        return left + right
+
+    def finalize(self, state):
+        return state
+
+
+class SumAggregate(Aggregate):
+    name = "sum"
+
+    def result_type(self, input_type):
+        if input_type is None or input_type.is_integer:
+            return BIGINT
+        return input_type
+
+    def create(self):
+        return None  # SUM of no rows is NULL
+
+    def accumulate(self, state, value):
+        if value is None:
+            return state
+        return value if state is None else state + value
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left + right
+
+    def finalize(self, state):
+        return state
+
+
+class AvgAggregate(Aggregate):
+    name = "avg"
+
+    def result_type(self, input_type):
+        return DOUBLE
+
+    def create(self):
+        return (0, 0.0)
+
+    def accumulate(self, state, value):
+        if value is None:
+            return state
+        n, total = state
+        return (n + 1, total + float(value))
+
+    def merge(self, left, right):
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state):
+        n, total = state
+        return total / n if n else None
+
+
+class MinAggregate(Aggregate):
+    name = "min"
+
+    def result_type(self, input_type):
+        return input_type or DOUBLE
+
+    def create(self):
+        return None
+
+    def accumulate(self, state, value):
+        if value is None:
+            return state
+        return value if state is None or value < state else state
+
+    def merge(self, left, right):
+        return self.accumulate(left, right)
+
+    def finalize(self, state):
+        return state
+
+
+class MaxAggregate(MinAggregate):
+    name = "max"
+
+    def accumulate(self, state, value):
+        if value is None:
+            return state
+        return value if state is None or value > state else state
+
+
+class StddevAggregate(Aggregate):
+    """Sample standard deviation via a mergeable (n, mean, M2) state
+    (Chan et al. parallel variance)."""
+
+    name = "stddev"
+    _final = staticmethod(lambda var: math.sqrt(var))
+
+    def result_type(self, input_type):
+        return DOUBLE
+
+    def create(self):
+        return (0, 0.0, 0.0)
+
+    def accumulate(self, state, value):
+        if value is None:
+            return state
+        n, mean, m2 = state
+        n += 1
+        delta = float(value) - mean
+        mean += delta / n
+        m2 += delta * (float(value) - mean)
+        return (n, mean, m2)
+
+    def merge(self, left, right):
+        n1, mean1, m21 = left
+        n2, mean2, m22 = right
+        if n1 == 0:
+            return right
+        if n2 == 0:
+            return left
+        n = n1 + n2
+        delta = mean2 - mean1
+        mean = mean1 + delta * n2 / n
+        m2 = m21 + m22 + delta * delta * n1 * n2 / n
+        return (n, mean, m2)
+
+    def finalize(self, state):
+        n, _mean, m2 = state
+        if n < 2:
+            return None
+        return self._final(m2 / (n - 1))
+
+
+class VarianceAggregate(StddevAggregate):
+    name = "variance"
+    _final = staticmethod(lambda var: var)
+
+
+class ApproxCountDistinctAggregate(Aggregate):
+    """APPROXIMATE COUNT(DISTINCT x): HyperLogLog, merged across slices."""
+
+    name = "approx_count_distinct"
+
+    def __init__(self, precision: int = 12):
+        self._precision = precision
+
+    def result_type(self, input_type):
+        return BIGINT
+
+    def create(self):
+        return HyperLogLog(self._precision)
+
+    def accumulate(self, state, value):
+        if value is not None:
+            state.add(value)
+        return state
+
+    def merge(self, left, right):
+        return left.merge(right)
+
+    def finalize(self, state):
+        return state.cardinality()
+
+
+class DistinctAggregate(Aggregate):
+    """Wrapper implementing COUNT/SUM/AVG(DISTINCT x): the partial state is
+    the *set* of distinct values (merged set-union at the leader), and the
+    wrapped aggregate runs over the final set. This is the exact, memory-
+    hungry baseline the HLL benchmark contrasts."""
+
+    def __init__(self, inner: Aggregate):
+        self._inner = inner
+        self.name = f"{inner.name}_distinct"
+
+    def result_type(self, input_type):
+        return self._inner.result_type(input_type)
+
+    def create(self):
+        return set()
+
+    def accumulate(self, state, value):
+        if value is not None:
+            state.add(value)
+        return state
+
+    def merge(self, left, right):
+        left |= right
+        return left
+
+    def finalize(self, state):
+        inner_state = self._inner.create()
+        for value in state:
+            inner_state = self._inner.accumulate(inner_state, value)
+        return self._inner.finalize(inner_state)
+
+
+_AGGREGATES: dict[str, Callable[[], Aggregate]] = {
+    "count": CountAggregate,
+    "sum": SumAggregate,
+    "avg": AvgAggregate,
+    "min": MinAggregate,
+    "max": MaxAggregate,
+    "stddev": StddevAggregate,
+    "stddev_samp": StddevAggregate,
+    "variance": VarianceAggregate,
+    "var_samp": VarianceAggregate,
+}
+
+
+def is_aggregate_function(name: str) -> bool:
+    return name.lower() in _AGGREGATES
+
+
+def make_aggregate(
+    name: str, distinct: bool = False, approximate: bool = False
+) -> Aggregate:
+    """Instantiate the aggregate for a parsed call.
+
+    APPROXIMATE COUNT(DISTINCT x) maps to the HLL aggregate; any other
+    DISTINCT aggregate gets the exact set-based wrapper.
+    """
+    lowered = name.lower()
+    factory = _AGGREGATES.get(lowered)
+    if factory is None:
+        raise AnalysisError(f"unknown aggregate function {name}()")
+    if approximate:
+        if lowered != "count" or not distinct:
+            raise AnalysisError(
+                "APPROXIMATE is only supported for COUNT(DISTINCT ...)"
+            )
+        return ApproxCountDistinctAggregate()
+    aggregate = factory()
+    if distinct:
+        return DistinctAggregate(aggregate)
+    return aggregate

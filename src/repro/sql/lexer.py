@@ -1,0 +1,217 @@
+"""SQL lexer.
+
+Produces a flat token stream with line/column positions for error messages.
+Identifiers are case-folded to lower case unless double-quoted; keywords
+are recognised case-insensitively. Comments (``--`` to end of line and
+``/* ... */``) are skipped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+#: Reserved words. Anything else alphabetic lexes as IDENT.
+KEYWORDS = frozenset(
+    """
+    select from where group by having order limit offset distinct all
+    as on inner left right full outer cross join and or not in is null
+    like ilike between case when then else end cast true false
+    create table drop insert into values delete update set copy
+    analyze vacuum explain begin commit rollback transaction work
+    diststyle distkey sortkey interleaved encode if exists
+    with compression reindex union intersect except
+    asc desc primary key unique references foreign
+    approximate count sum avg min max
+    """.split()
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<>", "!=", "<=", ">=", "||", "::",
+    "(", ")", ",", ".", ";", "=", "<", ">", "+", "-", "*", "/", "%",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def matches_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word.lower()
+
+    def __repr__(self) -> str:  # compact for parser error messages
+        return f"{self.type.value}:{self.text!r}@{self.line}:{self.column}"
+
+
+class Lexer:
+    """Single-pass lexer over a SQL string."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.type is TokenType.EOF:
+                return out
+
+    # ------------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        idx = self._pos + ahead
+        return self._text[idx] if idx < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < len(self._text):
+                if self._text[self._pos] == "\n":
+                    self._line += 1
+                    self._col = 1
+                else:
+                    self._col += 1
+                self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self._line, self._col
+                self._advance(2)
+                while self._pos < len(self._text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError(
+                        "unterminated block comment", self._pos,
+                        start_line, start_col,
+                    )
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, col = self._line, self._col
+        ch = self._peek()
+        if not ch:
+            return Token(TokenType.EOF, "", line, col)
+        if ch == "'":
+            return self._string(line, col)
+        if ch == '"':
+            return self._quoted_ident(line, col)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, col)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, col)
+        for op in _OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, col)
+        raise LexError(f"unexpected character {ch!r}", self._pos, line, col)
+
+    def _string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise LexError("unterminated string literal", self._pos, line, col)
+            if ch == "'":
+                if self._peek(1) == "'":  # '' escape
+                    chars.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(TokenType.STRING, "".join(chars), line, col)
+            chars.append(ch)
+            self._advance()
+
+    def _quoted_ident(self, line: int, col: int) -> Token:
+        self._advance()
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise LexError("unterminated quoted identifier", self._pos, line, col)
+            if ch == '"':
+                if self._peek(1) == '"':
+                    chars.append('"')
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(TokenType.IDENT, "".join(chars), line, col)
+            chars.append(ch)
+            self._advance()
+
+    def _number(self, line: int, col: int) -> Token:
+        chars: list[str] = []
+        seen_dot = False
+        seen_exp = False
+        while True:
+            ch = self._peek()
+            if ch.isdigit():
+                chars.append(ch)
+            elif ch == "." and not seen_dot and not seen_exp:
+                # `1.` followed by another `.` would be range syntax; not supported
+                seen_dot = True
+                chars.append(ch)
+            elif ch in "eE" and not seen_exp and chars and chars[-1].isdigit():
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    seen_exp = True
+                    chars.append(ch)
+                    if nxt in "+-":
+                        self._advance()
+                        chars.append(nxt)
+                else:
+                    break
+            else:
+                break
+            self._advance()
+        return Token(TokenType.NUMBER, "".join(chars), line, col)
+
+    def _word(self, line: int, col: int) -> Token:
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch.isalnum() or ch == "_":
+                chars.append(ch)
+                self._advance()
+            else:
+                break
+        word = "".join(chars).lower()
+        if word in KEYWORDS:
+            return Token(TokenType.KEYWORD, word, line, col)
+        return Token(TokenType.IDENT, word, line, col)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a SQL string (terminated by an EOF token)."""
+    return Lexer(text).tokens()

@@ -1,0 +1,155 @@
+"""Uncorrelated subquery expansion.
+
+Scalar subqueries (``(SELECT max(x) FROM t)``) and ``IN (SELECT ...)``
+predicates are pre-executed by the session and substituted with literals
+before planning — the standard strategy for uncorrelated subqueries in a
+warehouse, where they are overwhelmingly dimension lookups. Correlated
+subqueries (referencing outer columns) fail inside the inner bind with a
+column-not-found error, reported as unsupported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AnalysisError, ColumnNotFoundError
+from repro.sql import ast
+
+#: runner(query) -> rows (list of tuples)
+QueryRunner = Callable[[object], list]
+
+
+def expand_subqueries(
+    query: "ast.SelectQuery | ast.SetOperation", run: QueryRunner
+) -> None:
+    """Replace every subquery expression under *query*, in place."""
+    if isinstance(query, ast.SetOperation):
+        expand_subqueries(query.left, run)
+        expand_subqueries(query.right, run)
+        return
+    for cte in query.ctes:
+        expand_subqueries(cte.query, run)
+    if query.from_item is not None:
+        _expand_from(query.from_item, run)
+    for item in query.items:
+        item.expression = _expand_expr(item.expression, run)
+    if query.where is not None:
+        query.where = _expand_expr(query.where, run)
+    query.group_by = [_expand_expr(e, run) for e in query.group_by]
+    if query.having is not None:
+        query.having = _expand_expr(query.having, run)
+    for order in query.order_by:
+        order.expression = _expand_expr(order.expression, run)
+
+
+def expand_in_expression(
+    expr: ast.Expression, run: QueryRunner
+) -> ast.Expression:
+    """Expand subqueries inside a standalone expression (DML WHERE)."""
+    return _expand_expr(expr, run)
+
+
+def _expand_from(item: ast.FromItem, run: QueryRunner) -> None:
+    if isinstance(item, ast.SubqueryRef):
+        expand_subqueries(item.query, run)
+    elif isinstance(item, ast.Join):
+        _expand_from(item.left, run)
+        _expand_from(item.right, run)
+        if item.condition is not None:
+            item.condition = _expand_expr(item.condition, run)
+
+
+def _scalar_result(rows: list, context: str) -> object:
+    if not rows:
+        return None
+    if len(rows) > 1:
+        raise AnalysisError(f"{context} returned {len(rows)} rows (max 1)")
+    if len(rows[0]) != 1:
+        raise AnalysisError(
+            f"{context} returned {len(rows[0])} columns (need 1)"
+        )
+    return rows[0][0]
+
+
+def _run_inner(query, run: QueryRunner, context: str) -> list:
+    try:
+        return run(query)
+    except ColumnNotFoundError as exc:
+        raise AnalysisError(
+            f"correlated subqueries are not supported ({context}: {exc})"
+        ) from exc
+
+
+def _expand_expr(expr: ast.Expression, run: QueryRunner) -> ast.Expression:
+    if isinstance(expr, ast.ScalarSubquery):
+        expand_subqueries(expr.query, run)
+        value = _scalar_result(
+            _run_inner(expr.query, run, "scalar subquery"), "scalar subquery"
+        )
+        return ast.Literal(value)
+    if isinstance(expr, ast.InExpr):
+        operand = _expand_expr(expr.operand, run)
+        if expr.subquery is not None:
+            expand_subqueries(expr.subquery, run)
+            rows = _run_inner(expr.subquery, run, "IN subquery")
+            if rows and len(rows[0]) != 1:
+                raise AnalysisError(
+                    f"IN subquery returned {len(rows[0])} columns (need 1)"
+                )
+            seen: set = set()
+            items: list[ast.Expression] = []
+            for (value,) in rows:
+                if value not in seen:
+                    seen.add(value)
+                    items.append(ast.Literal(value))
+            return ast.InExpr(operand, items, expr.negated)
+        return ast.InExpr(
+            operand,
+            [_expand_expr(i, run) for i in expr.items],
+            expr.negated,
+        )
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op, _expand_expr(expr.left, run), _expand_expr(expr.right, run)
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _expand_expr(expr.operand, run))
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            expr.name,
+            [
+                a if isinstance(a, ast.Star) else _expand_expr(a, run)
+                for a in expr.args
+            ],
+            distinct=expr.distinct,
+            approximate=expr.approximate,
+        )
+    if isinstance(expr, ast.CastExpr):
+        return ast.CastExpr(
+            _expand_expr(expr.operand, run), expr.type_name, expr.type_params
+        )
+    if isinstance(expr, ast.CaseExpr):
+        return ast.CaseExpr(
+            [
+                (_expand_expr(c, run), _expand_expr(v, run))
+                for c, v in expr.whens
+            ],
+            _expand_expr(expr.default, run) if expr.default is not None else None,
+        )
+    if isinstance(expr, ast.BetweenExpr):
+        return ast.BetweenExpr(
+            _expand_expr(expr.operand, run),
+            _expand_expr(expr.low, run),
+            _expand_expr(expr.high, run),
+            expr.negated,
+        )
+    if isinstance(expr, ast.IsNullExpr):
+        return ast.IsNullExpr(_expand_expr(expr.operand, run), expr.negated)
+    if isinstance(expr, ast.LikeExpr):
+        return ast.LikeExpr(
+            _expand_expr(expr.operand, run),
+            _expand_expr(expr.pattern, run),
+            expr.negated,
+            expr.case_insensitive,
+        )
+    return expr

@@ -1,0 +1,23 @@
+"""Columnar block storage.
+
+Each column of each slice is stored as a chain of fixed-capacity encoded
+blocks (the paper's "chain of one or more fixed size data blocks"). Row
+identity across columns is the logical offset within each chain. Every
+block carries a zone map (min/max of its values) enabling the block
+skipping the paper credits in place of indexes, and a checksum so media
+corruption is detected on read.
+"""
+
+from repro.storage.block import Block, BLOCK_CAPACITY_DEFAULT
+from repro.storage.zonemap import ZoneMap
+from repro.storage.chain import ColumnChain, ScanStats
+from repro.storage.slicestore import SliceStorage, TableShard
+from repro.storage.disk import SimulatedDisk, DiskStats
+
+__all__ = [
+    "Block", "BLOCK_CAPACITY_DEFAULT",
+    "ZoneMap",
+    "ColumnChain", "ScanStats",
+    "SliceStorage", "TableShard",
+    "SimulatedDisk", "DiskStats",
+]

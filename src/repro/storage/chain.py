@@ -1,0 +1,218 @@
+"""Column chains: ordered block sequences for one column of one slice.
+
+"Each column within each slice is encoded in a chain of one or more fixed
+size data blocks. The linkage between the columns of an individual row is
+derived by calculating the logical offset within each column chain"
+(paper §2.1). The chain owns an open tail buffer that is sealed into an
+encoded block when it reaches capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.compression.codecs import Codec, codec_by_name
+from repro.datatypes.types import SqlType
+from repro.storage.block import BLOCK_CAPACITY_DEFAULT, Block
+from repro.storage.zonemap import ZoneMap
+
+
+@dataclass
+class ScanStats:
+    """IO accounting for one chain scan — the currency of the zone-map
+    experiments (blocks skipped are disk reads avoided)."""
+
+    blocks_total: int = 0
+    blocks_read: int = 0
+    blocks_skipped: int = 0
+    bytes_read: int = 0
+    values_read: int = 0
+
+    def merge(self, other: "ScanStats") -> None:
+        self.blocks_total += other.blocks_total
+        self.blocks_read += other.blocks_read
+        self.blocks_skipped += other.blocks_skipped
+        self.bytes_read += other.bytes_read
+        self.values_read += other.values_read
+
+
+class ColumnChain:
+    """The storage of one column on one slice."""
+
+    def __init__(
+        self,
+        column_name: str,
+        sql_type: SqlType,
+        codec: Codec | str = "raw",
+        block_capacity: int = BLOCK_CAPACITY_DEFAULT,
+    ):
+        if block_capacity < 1:
+            raise ValueError(f"block capacity must be positive, got {block_capacity}")
+        self.column_name = column_name
+        self.sql_type = sql_type
+        self.codec = codec_by_name(codec) if isinstance(codec, str) else codec
+        self.block_capacity = block_capacity
+        self._blocks: list[Block] = []
+        self._tail: list[object] = []
+
+    # ---- writes -----------------------------------------------------------
+
+    def append(self, values: Sequence[object]) -> None:
+        """Append validated values, sealing full blocks as they fill."""
+        for value in values:
+            self._tail.append(value)
+            if len(self._tail) >= self.block_capacity:
+                self._seal_tail()
+
+    def seal(self) -> None:
+        """Flush the open tail buffer into a (possibly short) final block."""
+        if self._tail:
+            self._seal_tail()
+
+    def _seal_tail(self) -> None:
+        self._blocks.append(
+            Block.build(self._tail, self.sql_type, self.codec)
+        )
+        self._tail = []
+
+    def set_codec(self, codec: Codec | str) -> None:
+        """Change the codec used for *future* blocks (existing blocks keep
+        their encoding, as in a real engine until VACUUM rewrites them)."""
+        self.codec = codec_by_name(codec) if isinstance(codec, str) else codec
+
+    # ---- metadata -----------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return sum(b.count for b in self._blocks) + len(self._tail)
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks) + (1 if self._tail else 0)
+
+    @property
+    def blocks(self) -> list[Block]:
+        """Sealed blocks (the tail buffer is not yet a block)."""
+        return list(self._blocks)
+
+    @property
+    def tail_values(self) -> list[object]:
+        """The open tail buffer. Treat as read-only."""
+        return self._tail
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Accounted on-disk bytes of all sealed blocks plus the raw tail."""
+        tail_bytes = len(self._tail) * self.sql_type.byte_width
+        return sum(b.encoded_bytes for b in self._blocks) + tail_bytes
+
+    def chain_zone_map(self) -> ZoneMap:
+        """Zone map over the whole chain (used for table-level pruning)."""
+        zone = ZoneMap.build(self._tail)
+        for block in self._blocks:
+            zone = zone.merge(block.zone_map)
+        return zone
+
+    # ---- reads ---------------------------------------------------------------
+
+    def scan(
+        self,
+        zone_predicate: tuple[str, object] | None = None,
+        stats: ScanStats | None = None,
+    ) -> Iterator[tuple[int, object]]:
+        """Yield (row_offset, value) pairs, skipping blocks via zone maps.
+
+        *zone_predicate* is an (operator, literal) pair applied to this
+        column; blocks whose zone map proves no row can satisfy it are
+        skipped entirely (their rows are simply not yielded). Callers that
+        need those row offsets for other columns must not pass a predicate.
+        """
+        offset = 0
+        for block in self._blocks:
+            skip = (
+                zone_predicate is not None
+                and not block.zone_map.might_satisfy(*zone_predicate)
+            )
+            if stats is not None:
+                stats.blocks_total += 1
+                if skip:
+                    stats.blocks_skipped += 1
+                else:
+                    stats.blocks_read += 1
+                    stats.bytes_read += block.encoded_bytes
+                    stats.values_read += block.count
+            if skip:
+                offset += block.count
+                continue
+            for value in block.read():
+                yield offset, value
+                offset += 1
+        for value in self._tail:
+            yield offset, value
+            offset += 1
+        if stats is not None and self._tail:
+            stats.values_read += len(self._tail)
+
+    def read_all(self) -> list[object]:
+        """Materialize every value in the chain in row order."""
+        out: list[object] = []
+        for block in self._blocks:
+            out.extend(block.read())
+        out.extend(self._tail)
+        return out
+
+    def read_at(self, offsets: Sequence[int]) -> list[object]:
+        """Fetch values at specific row offsets (offsets must be sorted).
+
+        This is the "logical offset" linkage: after a predicate selects row
+        positions on one column, sibling columns are fetched by offset.
+        """
+        out: list[object] = []
+        if not offsets:
+            return out
+        it = iter(offsets)
+        want = next(it)
+        base = 0
+        done = False
+        for block in self._blocks:
+            end = base + block.count
+            if want < end:
+                values = block.read()
+                while want < end:
+                    out.append(values[want - base])
+                    try:
+                        want = next(it)
+                    except StopIteration:
+                        done = True
+                        break
+            if done:
+                break
+            base = end
+        else:
+            while not done:
+                out.append(self._tail[want - base])
+                try:
+                    want = next(it)
+                except StopIteration:
+                    done = True
+        return out
+
+    def adopt_blocks(self, blocks: Sequence[Block]) -> None:
+        """Replace this chain's contents with already-built blocks.
+
+        Used by recovery and restore paths that reconstruct a chain from
+        replicated or backed-up block images. Any open tail is discarded.
+        """
+        self._blocks = list(blocks)
+        self._tail = []
+
+    def rewrite_in_order(self, order: Sequence[int]) -> "ColumnChain":
+        """Produce a new chain with rows permuted by *order* (VACUUM/sort)."""
+        values = self.read_all()
+        fresh = ColumnChain(
+            self.column_name, self.sql_type, self.codec, self.block_capacity
+        )
+        fresh.append([values[i] for i in order])
+        fresh.seal()
+        return fresh

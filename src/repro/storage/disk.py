@@ -1,0 +1,80 @@
+"""Simulated local disk: IO accounting and failure injection.
+
+Queries run on real in-memory data, so the "disk" is an accounting and
+fault-injection device: it tallies bytes and operations (the quantities the
+paper's IO-reduction claims are about) and, when failed, refuses IO so the
+replication layer's failure handling can be exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DiskFailureError
+
+
+@dataclass
+class DiskStats:
+    """Cumulative IO counters for one simulated disk."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+
+
+class SimulatedDisk:
+    """One slice's disk. Fails atomically: after :meth:`fail`, all IO raises."""
+
+    def __init__(self, disk_id: str, capacity_bytes: int | None = None):
+        self.disk_id = disk_id
+        self.capacity_bytes = capacity_bytes
+        self.stats = DiskStats()
+        self._failed = False
+        self._used_bytes = 0
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def fail(self) -> None:
+        """Inject a media failure; subsequent IO raises DiskFailureError."""
+        self._failed = True
+
+    def repair(self) -> None:
+        """Replace the failed device with a fresh, empty one."""
+        self._failed = False
+        self._used_bytes = 0
+
+    def _check(self) -> None:
+        if self._failed:
+            raise DiskFailureError(f"disk {self.disk_id} has failed")
+
+    def record_read(self, nbytes: int) -> None:
+        """Account a read of *nbytes*; raises if the disk has failed."""
+        self._check()
+        self.stats.bytes_read += nbytes
+        self.stats.read_ops += 1
+
+    def record_write(self, nbytes: int) -> None:
+        """Account a write of *nbytes*; raises if failed or over capacity."""
+        self._check()
+        if (
+            self.capacity_bytes is not None
+            and self._used_bytes + nbytes > self.capacity_bytes
+        ):
+            raise DiskFailureError(
+                f"disk {self.disk_id} full: "
+                f"{self._used_bytes + nbytes} > {self.capacity_bytes} bytes"
+            )
+        self.stats.bytes_written += nbytes
+        self.stats.write_ops += 1
+        self._used_bytes += nbytes
+
+    def record_delete(self, nbytes: int) -> None:
+        """Release space previously accounted by :meth:`record_write`."""
+        self._used_bytes = max(0, self._used_bytes - nbytes)

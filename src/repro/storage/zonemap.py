@@ -1,0 +1,93 @@
+"""Per-block zone maps (min/max value ranges).
+
+Redshift "foregoes traditional indexes ... and instead focuses on sequential
+scan speed through ... column-block skipping based on value-ranges stored in
+memory" (paper §6, citing Moerkotte's small materialized aggregates). A
+:class:`ZoneMap` records the min and max of a block's non-null values plus
+its null count; predicates consult it to skip blocks that cannot match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Value-range summary of one block.
+
+    ``low``/``high`` are None when the block holds only NULLs. Zone maps
+    are conservative: ``might_satisfy`` returning False guarantees no row
+    in the block satisfies the predicate, while True is only *maybe*.
+    """
+
+    low: object | None
+    high: object | None
+    null_count: int
+    count: int
+
+    @classmethod
+    def build(cls, values: Sequence[object]) -> "ZoneMap":
+        """Compute the zone map of a value vector (``None`` = NULL)."""
+        present = [v for v in values if v is not None]
+        if present:
+            return cls(
+                low=min(present),
+                high=max(present),
+                null_count=len(values) - len(present),
+                count=len(values),
+            )
+        return cls(low=None, high=None, null_count=len(values), count=len(values))
+
+    @property
+    def all_null(self) -> bool:
+        return self.null_count == self.count
+
+    def might_satisfy(self, op: str, value: object) -> bool:
+        """Can any row in the block satisfy ``column <op> value``?
+
+        Supported operators: ``=``, ``<``, ``<=``, ``>``, ``>=``, ``<>``.
+        NULL comparisons are never satisfied, so an all-null block is always
+        skippable; ``<>`` can only be skipped when the block is a single
+        repeated value equal to the literal.
+        """
+        if self.all_null or value is None:
+            return False
+        if op == "=":
+            return self.low <= value <= self.high
+        if op == "<":
+            return self.low < value
+        if op == "<=":
+            return self.low <= value
+        if op == ">":
+            return self.high > value
+        if op == ">=":
+            return self.high >= value
+        if op == "<>":
+            return not (self.low == self.high == value)
+        raise ValueError(f"unsupported zone map operator {op!r}")
+
+    def might_overlap_range(
+        self, low: object | None, high: object | None
+    ) -> bool:
+        """Can any row fall in the closed range [low, high]? ``None`` bounds
+        are unbounded on that side."""
+        if self.all_null:
+            return False
+        if low is not None and self.high < low:
+            return False
+        if high is not None and self.low > high:
+            return False
+        return True
+
+    def merge(self, other: "ZoneMap") -> "ZoneMap":
+        """Combine two zone maps (for chain- or table-level summaries)."""
+        lows = [z for z in (self.low, other.low) if z is not None]
+        highs = [z for z in (self.high, other.high) if z is not None]
+        return ZoneMap(
+            low=min(lows) if lows else None,
+            high=max(highs) if highs else None,
+            null_count=self.null_count + other.null_count,
+            count=self.count + other.count,
+        )

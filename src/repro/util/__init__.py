@@ -1,0 +1,27 @@
+"""Shared utilities: unit helpers, deterministic RNG, and small statistics."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    PB,
+    SECOND,
+    MINUTE,
+    HOUR,
+    DAY,
+    WEEK,
+    YEAR,
+    format_bytes,
+    format_duration,
+)
+from repro.util.rng import DeterministicRng
+from repro.util.stats import mean, median, percentile, stdev
+
+__all__ = [
+    "KB", "MB", "GB", "TB", "PB",
+    "SECOND", "MINUTE", "HOUR", "DAY", "WEEK", "YEAR",
+    "format_bytes", "format_duration",
+    "DeterministicRng",
+    "mean", "median", "percentile", "stdev",
+]

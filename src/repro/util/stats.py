@@ -1,0 +1,47 @@
+"""Small statistics helpers used by telemetry and the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean. Raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average of middle two for even lengths)."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile, pct in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0.0 for length-1 input."""
+    if not values:
+        raise ValueError("stdev of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    mu = mean(values)
+    var = sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(var)

@@ -1,0 +1,59 @@
+"""Byte-size and duration constants plus human-readable formatters.
+
+All sizes in the library are plain ints (bytes) and all simulated durations
+are floats (seconds); these helpers keep magic numbers out of the code.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+PB = 1024 * TB
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 60 * MINUTE
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+YEAR = 365 * DAY
+
+_BYTE_UNITS = [(PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")]
+
+
+def format_bytes(n: int | float) -> str:
+    """Render a byte count with a binary-unit suffix.
+
+    >>> format_bytes(1536)
+    '1.50 KB'
+    >>> format_bytes(10)
+    '10 B'
+    """
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    for factor, suffix in _BYTE_UNITS:
+        if n >= factor:
+            return f"{n / factor:.2f} {suffix}"
+    return f"{int(n)} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the largest sensible unit.
+
+    >>> format_duration(90)
+    '1.5 min'
+    >>> format_duration(0.25)
+    '250 ms'
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1:
+        return f"{seconds * 1000:.0f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.1f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f} min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f} h"
+    return f"{seconds / DAY:.1f} d"

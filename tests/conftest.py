@@ -1,0 +1,59 @@
+"""Shared fixtures: small clusters, loaded datasets, cloud environments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster
+from repro.cloud import CloudEnvironment
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """An empty 2-node, 4-slice cluster with small blocks so multi-block
+    behaviour (zone maps, sealing) shows up at test scale."""
+    return Cluster(node_count=2, slices_per_node=2, block_capacity=64)
+
+
+@pytest.fixture
+def session(cluster):
+    return cluster.connect()
+
+
+@pytest.fixture
+def loaded_cluster() -> Cluster:
+    """A cluster pre-loaded with the users/clicks/tiny star used across
+    the SQL tests: users KEY-distributed, clicks KEY on the join column,
+    tiny replicated."""
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=64)
+    s = cluster.connect()
+    s.execute(
+        "CREATE TABLE users (id int NOT NULL, name varchar(32), age int) "
+        "DISTKEY(id)"
+    )
+    s.execute(
+        "CREATE TABLE clicks (user_id int, url varchar(64), n int, "
+        "price float) DISTKEY(user_id) SORTKEY(n)"
+    )
+    s.execute("CREATE TABLE tiny (k int, label varchar(16)) DISTSTYLE ALL")
+    s.execute(
+        "INSERT INTO users VALUES (1,'alice',30),(2,'bob',25),"
+        "(3,'carol',35),(4,NULL,NULL)"
+    )
+    s.execute("INSERT INTO tiny VALUES (0,'even'),(1,'odd')")
+    rows = ",".join(
+        f"({i % 4 + 1}, 'http://site/{i % 10}', {i}, {round((i % 37) * 1.25, 2)})"
+        for i in range(800)
+    )
+    s.execute(f"INSERT INTO clicks VALUES {rows}")
+    return cluster
+
+
+@pytest.fixture
+def loaded_session(loaded_cluster):
+    return loaded_cluster.connect()
+
+
+@pytest.fixture
+def env() -> CloudEnvironment:
+    return CloudEnvironment(seed=1234)

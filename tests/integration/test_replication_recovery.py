@@ -1,0 +1,126 @@
+"""Replication, failure injection, recovery, durability windows."""
+
+import pytest
+
+from repro import Cluster
+from repro.errors import DurabilityLossError
+from repro.replication import ReplicationManager
+
+
+@pytest.fixture
+def replicated():
+    cluster = Cluster(node_count=4, slices_per_node=2, block_capacity=64)
+    s = cluster.connect()
+    s.execute("CREATE TABLE data (k int, v varchar(16)) DISTKEY(k)")
+    cluster.register_inline_source(
+        "inline://data", [f"{i}|value-{i}" for i in range(2000)]
+    )
+    s.execute("COPY data FROM 'inline://data'")
+    manager = ReplicationManager(cluster, cohort_size=2)
+    manager.sync_from_cluster()
+    return cluster, s, manager
+
+
+class TestPlacement:
+    def test_every_block_has_a_secondary(self, replicated):
+        _, _, manager = replicated
+        assert manager.replicas
+        for info in manager.replicas.values():
+            assert info.primary_slice != info.secondary_slice
+
+    def test_secondary_on_different_node(self, replicated):
+        cluster, _, manager = replicated
+        node_of = {
+            s.slice_id: node.node_id
+            for node in cluster.nodes
+            for s in node.slices
+        }
+        for info in manager.replicas.values():
+            assert node_of[info.primary_slice] != node_of[info.secondary_slice]
+
+    def test_secondary_within_cohort(self, replicated):
+        cluster, _, manager = replicated
+        node_of = {
+            s.slice_id: node.node_id
+            for node in cluster.nodes
+            for s in node.slices
+        }
+        for info in manager.replicas.values():
+            primary_node = node_of[info.primary_slice]
+            cohort = manager.cohorts.cohort_of(primary_node)
+            assert node_of[info.secondary_slice] in cohort
+
+    def test_sync_is_incremental(self, replicated):
+        cluster, s, manager = replicated
+        assert manager.sync_from_cluster() == 0  # nothing new
+        cluster.register_inline_source("inline://more", ["9001|x"])
+        s.execute("COPY data FROM 'inline://more'")
+        assert manager.sync_from_cluster() > 0
+
+
+class TestFailover:
+    def test_read_from_secondary_after_primary_failure(self, replicated):
+        _, _, manager = replicated
+        block_id = next(iter(manager.replicas))
+        info = manager.replicas[block_id]
+        manager.fail_slice(info.primary_slice)
+        block = manager.read_block(block_id)  # transparent failover
+        assert block.block_id == block_id
+        assert block.read()  # decodes fine
+
+    def test_at_risk_blocks_tracked(self, replicated):
+        cluster, _, manager = replicated
+        assert manager.at_risk_blocks() == []
+        failed = manager.fail_node("node-0")
+        assert failed
+        at_risk = manager.at_risk_blocks()
+        assert at_risk  # single-copy blocks exist until re-replication
+
+    def test_double_fault_loses_data_without_s3(self, replicated):
+        _, _, manager = replicated
+        block_id = next(iter(manager.replicas))
+        info = manager.replicas[block_id]
+        manager.fail_slice(info.primary_slice)
+        manager.fail_slice(info.secondary_slice)
+        with pytest.raises(DurabilityLossError):
+            manager.read_block(block_id)
+
+    def test_s3_copy_saves_double_fault(self, replicated, env):
+        cluster, _, manager = replicated
+        from repro.backup import BackupManager
+
+        backups = BackupManager(cluster, env.s3, "b", env.clock)
+        backups.snapshot()
+        block_id = next(iter(manager.replicas))
+        info = manager.replicas[block_id]
+        manager.fail_slice(info.primary_slice)
+        manager.fail_slice(info.secondary_slice)
+        block = manager.read_block(block_id, backups.s3_block_reader)
+        assert block.read()
+
+
+class TestRecovery:
+    def test_node_failure_recovery_preserves_queries(self, replicated):
+        cluster, s, manager = replicated
+        before = s.execute("SELECT count(*), sum(k) FROM data").rows
+        for slice_id in manager.fail_node("node-1"):
+            restored_bytes, duration = manager.recover_slice(slice_id)
+            assert restored_bytes > 0
+            assert duration >= 0
+        after = s.execute("SELECT count(*), sum(k) FROM data").rows
+        assert before == after
+
+    def test_recovery_preserves_tombstones(self, replicated):
+        cluster, s, manager = replicated
+        s.execute("DELETE FROM data WHERE k < 1000")
+        manager.sync_from_cluster()
+        for slice_id in manager.fail_node("node-2"):
+            manager.recover_slice(slice_id)
+        assert s.execute("SELECT count(*) FROM data").scalar() == 1000
+
+    def test_unsynced_slice_recovers_empty(self):
+        cluster = Cluster(node_count=2, slices_per_node=1)
+        manager = ReplicationManager(cluster)
+        manager.fail_slice("node-0-s0")
+        restored, _ = manager.recover_slice("node-0-s0")
+        assert restored == 0

@@ -1,0 +1,93 @@
+"""'Design escalators, not elevators' (§5): degradation under dependency
+failures — EC2 capacity interruptions, S3 outages, node loss."""
+
+import pytest
+
+from repro.cloud import CloudEnvironment
+from repro.controlplane import RedshiftService
+from repro.errors import (
+    InsufficientCapacityError,
+    InvalidClusterStateError,
+    ServiceUnavailableError,
+)
+
+
+@pytest.fixture
+def running(env):
+    env.ec2.preconfigure("dw2.large", 12)
+    service = RedshiftService(env)
+    managed, _ = service.create_cluster(node_count=4, block_capacity=64)
+    session = managed.connect()
+    session.execute("CREATE TABLE t (k int, v int) DISTKEY(k)")
+    session.execute(
+        "INSERT INTO t VALUES " + ",".join(f"({i},{i})" for i in range(4000))
+    )
+    managed.replication.sync_from_cluster()
+    return env, service, managed, session
+
+
+class TestNodeReplacement:
+    def test_replace_restores_data_and_redundancy(self, running):
+        env, service, managed, session = running
+        expect = session.execute("SELECT count(*), sum(v) FROM t").rows
+        managed.replication.fail_node("node-1")
+        assert managed.replication.at_risk_blocks()
+        duration, restored = service.replace_node(managed.cluster_id, "node-1")
+        assert restored > 0
+        assert duration > 0
+        assert managed.replication.at_risk_blocks() == []
+        assert session.execute("SELECT count(*), sum(v) FROM t").rows == expect
+
+    def test_replacement_during_ec2_interruption_uses_warm_pool(self, running):
+        env, service, managed, _ = running
+        env.ec2.start_capacity_interruption()
+        managed.replication.fail_node("node-2")
+        duration, _ = service.replace_node(managed.cluster_id, "node-2")
+        # The §5 escalator: preconfigured nodes keep replacements flowing.
+        assert duration < 600
+
+    def test_replacement_without_warm_pool_blocks_under_interruption(self, env):
+        service = RedshiftService(env)  # empty warm pool
+        managed, _ = service.create_cluster(node_count=2, block_capacity=64)
+        env.ec2.start_capacity_interruption()
+        with pytest.raises(InsufficientCapacityError):
+            service.replace_node(managed.cluster_id, "node-0")
+
+    def test_unknown_node_rejected(self, running):
+        _, service, managed, _ = running
+        with pytest.raises(InvalidClusterStateError):
+            service.replace_node(managed.cluster_id, "node-99")
+
+    def test_replacement_is_audited(self, running):
+        env, service, managed, _ = running
+        managed.replication.fail_node("node-3")
+        service.replace_node(managed.cluster_id, "node-3")
+        events = env.cloudtrail.lookup(action="redshift:replace_node")
+        assert len(events) == 1
+
+
+class TestS3Outage:
+    def test_queries_survive_s3_outage(self, running):
+        env, _, managed, session = running
+        env.s3.start_outage()
+        # The data plane has no S3 dependency on the read path.
+        assert session.execute("SELECT count(*) FROM t").scalar() == 4000
+
+    def test_backup_fails_cleanly_and_recovers(self, running):
+        env, service, managed, session = running
+        env.s3.start_outage()
+        with pytest.raises(ServiceUnavailableError):
+            service.snapshot_cluster(managed.cluster_id, label="during")
+        env.s3.end_outage()
+        record, _ = service.snapshot_cluster(managed.cluster_id, label="after")
+        assert record.blocks_uploaded > 0
+
+    def test_in_cluster_replica_serves_reads_during_outage(self, running):
+        env, _, managed, session = running
+        env.s3.start_outage()
+        block_id = next(iter(managed.replication.replicas))
+        info = managed.replication.replicas[block_id]
+        managed.replication.fail_slice(info.primary_slice)
+        # Secondary (not S3) carries the read through the outage.
+        block = managed.replication.read_block(block_id)
+        assert block.read()

@@ -1,0 +1,117 @@
+"""A scaled-down Amazon Retail workload (§1) run end-to-end on the engine.
+
+The paper's numbers come from a multi-PB fleet; this test runs the same
+*operations* — bulk click-log load, backfill, the click×product join,
+backup, restore — at laptop scale and checks the structural claims the
+perfmodel extrapolates from: loads parallelise, the co-located join moves
+no data, backup is incremental, streaming restore answers from a partial
+working set.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.backup import BackupManager
+from repro.cloud import CloudEnvironment
+from repro.restore import RestoreManager
+
+CLICKS = 6000
+PRODUCTS = 300
+
+
+@pytest.fixture(scope="module")
+def retail():
+    env = CloudEnvironment(seed=2015)
+    cluster = Cluster(node_count=4, slices_per_node=2, block_capacity=256)
+    session = cluster.connect()
+    session.execute(
+        "CREATE TABLE clicks (ts int, product_id int, user_id int, "
+        "dwell_ms int) DISTKEY(product_id) SORTKEY(ts)"
+    )
+    session.execute(
+        "CREATE TABLE products (product_id int, category varchar(16), "
+        "price float) DISTKEY(product_id)"
+    )
+    cluster.register_inline_source(
+        "s3://retail/daily",
+        [
+            f"{i}|{i % PRODUCTS}|{i % 997}|{(i % 53) * 10}"
+            for i in range(CLICKS)
+        ],
+    )
+    cluster.register_inline_source(
+        "s3://retail/products",
+        [f"{i}|cat-{i % 12}|{(i % 40) * 2.5}" for i in range(PRODUCTS)],
+    )
+    session.execute("COPY products FROM 's3://retail/products'")
+    session.execute("COPY clicks FROM 's3://retail/daily'")
+    return env, cluster, session
+
+
+class TestDailyLoad:
+    def test_load_complete_and_distributed(self, retail):
+        _, cluster, session = retail
+        assert session.execute("SELECT count(*) FROM clicks").scalar() == CLICKS
+        counts = [
+            store.shard("clicks").row_count for store in cluster.slice_stores
+        ]
+        # Hash distribution across 8 slices: no slice is badly skewed.
+        assert max(counts) < CLICKS / 2
+
+    def test_compression_was_chosen_automatically(self, retail):
+        _, cluster, _ = retail
+        table = cluster.catalog.table("clicks")
+        assert all(c.encode is not None for c in table.columns)
+
+    def test_backfill_appends(self, retail):
+        _, cluster, session = retail
+        cluster.register_inline_source(
+            "s3://retail/backfill",
+            [f"{i}|{i % PRODUCTS}|{i % 997}|{0}" for i in range(10_000, 11_000)],
+        )
+        r = session.execute("COPY clicks FROM 's3://retail/backfill'")
+        assert r.rowcount == 1000
+        assert session.execute(
+            "SELECT count(*) FROM clicks"
+        ).scalar() == CLICKS + 1000
+
+
+class TestClickProductJoin:
+    def test_join_is_colocated_on_distkey(self, retail):
+        _, _, session = retail
+        r = session.execute(
+            "SELECT p.category, count(*) views, sum(p.price) rev "
+            "FROM clicks c JOIN products p ON c.product_id = p.product_id "
+            "GROUP BY p.category ORDER BY views DESC"
+        )
+        assert len(r.rows) == 12
+        assert r.stats.network.bytes_broadcast == 0
+        assert r.stats.network.bytes_redistributed == 0
+
+    def test_time_window_query_prunes(self, retail):
+        _, _, session = retail
+        r = session.execute(
+            "SELECT count(*) FROM clicks WHERE ts BETWEEN 0 AND 599"
+        )
+        assert r.scalar() == 600
+        assert r.stats.scan.blocks_skipped > 0
+
+
+class TestOperationalCycle:
+    def test_backup_restore_cycle(self, retail):
+        env, cluster, session = retail
+        backups = BackupManager(cluster, env.s3, "retail-backup", env.clock)
+        first = backups.snapshot("user", label="day-1")
+        assert first.blocks_uploaded > 0
+        second = backups.snapshot("user", label="day-1b")
+        assert second.blocks_uploaded == 0  # nothing changed: incremental
+
+        restore = RestoreManager(env.s3, "retail-backup", env.clock)
+        result = restore.streaming_restore("day-1")
+        s2 = result.cluster.connect()
+        # Working-set query runs before the dataset is local.
+        r = s2.execute(
+            "SELECT count(*) FROM clicks WHERE ts BETWEEN 0 AND 99"
+        )
+        assert r.scalar() == 100
+        assert result.resident_fraction < 1.0

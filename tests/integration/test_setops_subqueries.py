@@ -1,0 +1,193 @@
+"""Set operations and uncorrelated subqueries."""
+
+import pytest
+
+from repro import Cluster
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def two_tables(cluster):
+    s = cluster.connect()
+    s.execute("CREATE TABLE a (x int, y varchar(4))")
+    s.execute("CREATE TABLE b (x int, y varchar(4))")
+    s.execute("INSERT INTO a VALUES (1,'a'),(2,'b'),(2,'b'),(3,'c')")
+    s.execute("INSERT INTO b VALUES (2,'b'),(3,'c'),(4,'d')")
+    return s
+
+
+class TestSetOperations:
+    def test_union_all_keeps_duplicates(self, two_tables):
+        r = two_tables.execute(
+            "SELECT x FROM a UNION ALL SELECT x FROM b"
+        )
+        assert sorted(v for (v,) in r.rows) == [1, 2, 2, 2, 3, 3, 4]
+
+    def test_union_deduplicates(self, two_tables):
+        r = two_tables.execute(
+            "SELECT x, y FROM a UNION SELECT x, y FROM b ORDER BY x"
+        )
+        assert r.rows == [(1, "a"), (2, "b"), (3, "c"), (4, "d")]
+
+    def test_intersect(self, two_tables):
+        r = two_tables.execute(
+            "SELECT x, y FROM a INTERSECT SELECT x, y FROM b ORDER BY x"
+        )
+        assert r.rows == [(2, "b"), (3, "c")]
+
+    def test_except(self, two_tables):
+        r = two_tables.execute(
+            "SELECT x, y FROM a EXCEPT SELECT x, y FROM b"
+        )
+        assert r.rows == [(1, "a")]
+
+    def test_except_is_ordered_difference(self, two_tables):
+        r = two_tables.execute(
+            "SELECT x, y FROM b EXCEPT SELECT x, y FROM a"
+        )
+        assert r.rows == [(4, "d")]
+
+    def test_order_limit_apply_to_combined_result(self, two_tables):
+        r = two_tables.execute(
+            "SELECT x FROM a UNION SELECT x FROM b ORDER BY x DESC LIMIT 2"
+        )
+        assert r.rows == [(4,), (3,)]
+
+    def test_chained_left_associative(self, two_tables):
+        r = two_tables.execute(
+            "SELECT x FROM a UNION SELECT x FROM b EXCEPT SELECT 1"
+        )
+        assert sorted(r.rows) == [(2,), (3,), (4,)]
+
+    def test_parenthesized_right_side_changes_grouping(self, two_tables):
+        # Left-associative: (a EXCEPT b) EXCEPT {2} = {1}.
+        flat = two_tables.execute(
+            "SELECT x FROM a EXCEPT SELECT x FROM b EXCEPT SELECT 2"
+        )
+        assert flat.rows == [(1,)]
+        # Parenthesized: a EXCEPT (b EXCEPT {2}) = {1,2,3} \ {3,4} = {1,2}.
+        grouped = two_tables.execute(
+            "SELECT x FROM a EXCEPT (SELECT x FROM b EXCEPT SELECT 2)"
+        )
+        assert sorted(grouped.rows) == [(1,), (2,)]
+
+    def test_column_count_mismatch(self, two_tables):
+        with pytest.raises(AnalysisError):
+            two_tables.execute("SELECT x, y FROM a UNION SELECT x FROM b")
+
+    def test_type_unification(self, two_tables):
+        # int UNION float must work and produce comparable values.
+        r = two_tables.execute(
+            "SELECT x FROM a UNION SELECT 2.5 ORDER BY 1"
+        )
+        assert 2.5 in [v for (v,) in r.rows]
+
+    def test_set_op_as_subquery(self, two_tables):
+        r = two_tables.execute(
+            "SELECT count(*) FROM "
+            "(SELECT x FROM a UNION SELECT x FROM b) AS u"
+        )
+        assert r.scalar() == 4
+
+    def test_set_op_in_cte(self, two_tables):
+        r = two_tables.execute(
+            "WITH u AS (SELECT x FROM a UNION SELECT x FROM b) "
+            "SELECT max(x) FROM u"
+        )
+        assert r.scalar() == 4
+
+    def test_executor_parity(self, two_tables):
+        sql = "SELECT x, y FROM a UNION SELECT x, y FROM b ORDER BY x, y"
+        compiled = two_tables.execute(sql).rows
+        two_tables.set_executor("volcano")
+        assert two_tables.execute(sql).rows == compiled
+
+    def test_union_all_moves_no_extra_bytes(self, two_tables):
+        r = two_tables.execute(
+            "SELECT count(*) FROM (SELECT x FROM a UNION ALL SELECT x FROM b) u"
+        )
+        assert r.scalar() == 7
+        # UNION ALL stays distributed: only aggregate partials travel.
+        assert r.stats.network.bytes_redistributed == 0
+
+
+class TestScalarSubqueries:
+    @pytest.fixture
+    def emp(self, cluster):
+        s = cluster.connect()
+        s.execute("CREATE TABLE emp (id int, dept int, salary int)")
+        s.execute("CREATE TABLE dept (id int, name varchar(8))")
+        s.execute(
+            "INSERT INTO emp VALUES (1,10,100),(2,10,200),(3,20,300),(4,30,50)"
+        )
+        s.execute("INSERT INTO dept VALUES (10,'eng'),(20,'ops')")
+        return s
+
+    def test_scalar_in_where(self, emp):
+        r = emp.execute(
+            "SELECT id FROM emp WHERE salary > (SELECT avg(salary) FROM emp) "
+            "ORDER BY id"
+        )
+        assert r.rows == [(2,), (3,)]
+
+    def test_scalar_in_select_list(self, emp):
+        r = emp.execute(
+            "SELECT (SELECT max(salary) FROM emp) - salary FROM emp "
+            "WHERE id = 4"
+        )
+        assert r.scalar() == 250
+
+    def test_empty_scalar_is_null(self, emp):
+        r = emp.execute(
+            "SELECT count(*) FROM emp WHERE salary = "
+            "(SELECT salary FROM emp WHERE id = 999)"
+        )
+        assert r.scalar() == 0
+
+    def test_multi_row_scalar_rejected(self, emp):
+        with pytest.raises(AnalysisError):
+            emp.execute("SELECT (SELECT id FROM emp) FROM dept")
+
+    def test_in_subquery(self, emp):
+        r = emp.execute(
+            "SELECT id FROM emp WHERE dept IN (SELECT id FROM dept) ORDER BY id"
+        )
+        assert r.rows == [(1,), (2,), (3,)]
+
+    def test_not_in_subquery(self, emp):
+        r = emp.execute(
+            "SELECT id FROM emp WHERE dept NOT IN (SELECT id FROM dept)"
+        )
+        assert r.rows == [(4,)]
+
+    def test_in_subquery_in_delete(self, emp):
+        r = emp.execute(
+            "DELETE FROM emp WHERE dept IN "
+            "(SELECT id FROM dept WHERE name = 'ops')"
+        )
+        assert r.rowcount == 1
+
+    def test_nested_subqueries(self, emp):
+        r = emp.execute(
+            "SELECT id FROM emp WHERE salary = "
+            "(SELECT max(salary) FROM emp WHERE dept IN "
+            "(SELECT id FROM dept))"
+        )
+        assert r.rows == [(3,)]
+
+    def test_correlated_rejected_with_clear_error(self, emp):
+        with pytest.raises(AnalysisError) as err:
+            emp.execute(
+                "SELECT id FROM emp e WHERE salary > "
+                "(SELECT avg(salary) FROM emp WHERE dept = e.dept)"
+            )
+        assert "correlated" in str(err.value)
+
+    def test_date_valued_subquery(self, cluster):
+        s = cluster.connect()
+        s.execute("CREATE TABLE ev (d date)")
+        s.execute(
+            "INSERT INTO ev VALUES (DATE '2015-01-01'), (DATE '2015-06-01')"
+        )
+        r = s.execute("SELECT count(*) FROM ev WHERE d = (SELECT max(d) FROM ev)")
+        assert r.scalar() == 1

@@ -1,0 +1,243 @@
+"""The 'simplicity' feature set: health, auto-maintenance, the tuning
+advisor, and automatic relationalization — §3.2/§3.3/§4's future work,
+implemented."""
+
+import json
+
+import pytest
+
+from repro import Cluster
+from repro.cloud import SimClock
+from repro.controlplane.maintenance import AutoMaintenanceDaemon
+from repro.engine.advisor import TuningAdvisor
+from repro.engine.health import cluster_health, table_health
+from repro.engine.relationalize import infer_schema, relationalize
+from repro.errors import CopyError
+from repro.util.units import HOUR
+
+
+@pytest.fixture
+def star_cluster():
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=64)
+    s = cluster.connect()
+    s.execute("CREATE TABLE fact (ts int, cust int, amt int) DISTSTYLE EVEN")
+    s.execute("CREATE TABLE dim (cust int, name varchar(8)) DISTSTYLE EVEN")
+    rows = ",".join(f"({i},{i % 40},{i % 7})" for i in range(3000))
+    s.execute(f"INSERT INTO fact VALUES {rows}")
+    s.execute(
+        "INSERT INTO dim VALUES "
+        + ",".join(f"({i},'c{i}')" for i in range(40))
+    )
+    return cluster, s
+
+
+class TestHealth:
+    def test_clean_table_is_healthy(self, star_cluster):
+        cluster, _ = star_cluster
+        health = table_health(cluster, "fact")
+        assert health.dead_fraction == 0.0
+        assert health.unsorted_fraction == 0.0  # no sort key => n/a
+
+    def test_deletes_degrade_health(self, star_cluster):
+        cluster, s = star_cluster
+        s.execute("DELETE FROM fact WHERE ts < 1500")
+        health = table_health(cluster, "fact")
+        assert health.dead_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_unsorted_appends_detected(self, star_cluster):
+        cluster, s = star_cluster
+        s.execute("CREATE TABLE sorted_t (k int) SORTKEY(k)")
+        cluster.register_inline_source(
+            "h://first", [str(i) for i in range(500)]
+        )
+        s.execute("COPY sorted_t FROM 'h://first'")
+        assert table_health(cluster, "sorted_t").unsorted_fraction == 0.0
+        s.execute(
+            "INSERT INTO sorted_t VALUES "
+            + ",".join(f"({i})" for i in range(200))
+        )
+        health = table_health(cluster, "sorted_t")
+        assert health.unsorted_fraction == pytest.approx(200 / 700, abs=0.01)
+
+    def test_cluster_health_sorted_worst_first(self, star_cluster):
+        cluster, s = star_cluster
+        s.execute("DELETE FROM fact WHERE ts < 2000")
+        worst = cluster_health(cluster)[0]
+        assert worst.table_name == "fact"
+
+    def test_uncommitted_deletes_not_counted(self, star_cluster):
+        cluster, s = star_cluster
+        s.execute("BEGIN")
+        s.execute("DELETE FROM fact WHERE ts < 1000")
+        # Still in flight: not yet "dead" for maintenance purposes.
+        assert table_health(cluster, "fact").dead_fraction == 0.0
+        s.execute("ROLLBACK")
+
+
+class TestAutoMaintenance:
+    def test_vacuum_triggered_by_dead_rows(self, star_cluster):
+        cluster, s = star_cluster
+        s.execute("DELETE FROM fact WHERE ts < 1500")
+        daemon = AutoMaintenanceDaemon(
+            cluster, SimClock(), dead_threshold=0.2
+        )
+        actions = daemon.poll()
+        assert [a.table_name for a in actions] == ["fact"]
+        assert table_health(cluster, "fact").dead_fraction == 0.0
+        assert s.execute("SELECT count(*) FROM fact").scalar() == 1500
+
+    def test_healthy_cluster_no_actions(self, star_cluster):
+        cluster, _ = star_cluster
+        daemon = AutoMaintenanceDaemon(cluster, SimClock())
+        assert daemon.poll() == []
+
+    def test_defers_under_load(self, star_cluster):
+        cluster, s = star_cluster
+        s.execute("DELETE FROM fact WHERE ts < 1500")
+        s.execute("BEGIN")  # an open transaction = load
+        daemon = AutoMaintenanceDaemon(cluster, SimClock(), dead_threshold=0.2)
+        assert daemon.poll() == []
+        s.execute("COMMIT")
+        assert daemon.poll()
+
+    def test_scheduled_on_clock(self, star_cluster):
+        cluster, s = star_cluster
+        s.execute("DELETE FROM fact WHERE ts < 1500")
+        clock = SimClock()
+        daemon = AutoMaintenanceDaemon(
+            cluster, clock, dead_threshold=0.2, poll_interval_s=6 * HOUR
+        )
+        daemon.start()
+        clock.advance(7 * HOUR)
+        assert len(daemon.actions) == 1
+        daemon.stop()
+        s.execute("DELETE FROM fact WHERE ts < 2500")
+        clock.advance(24 * HOUR)
+        assert len(daemon.actions) == 1  # stopped daemons stay stopped
+
+
+class TestAdvisor:
+    def test_recommends_replicating_small_dimension(self, star_cluster):
+        cluster, s = star_cluster
+        for _ in range(4):
+            s.execute(
+                "SELECT count(*) FROM fact f JOIN dim d ON f.cust = d.cust"
+            )
+        advisor = TuningAdvisor(cluster.catalog, cluster.workload)
+        recs = {r.kind: r for r in advisor.recommend("dim")}
+        assert recs["diststyle"].suggested == "DISTSTYLE ALL"
+
+    def test_recommends_sortkey_from_predicates(self, star_cluster):
+        cluster, s = star_cluster
+        for _ in range(4):
+            s.execute("SELECT sum(amt) FROM fact WHERE ts BETWEEN 10 AND 500")
+        advisor = TuningAdvisor(cluster.catalog, cluster.workload)
+        recs = {r.kind: r for r in advisor.recommend("fact")}
+        assert recs["sortkey"].suggested == "SORTKEY(ts)"
+
+    def test_recommends_interleaved_for_mixed_predicates(self, star_cluster):
+        cluster, s = star_cluster
+        for _ in range(3):
+            s.execute("SELECT count(*) FROM fact WHERE ts < 100")
+            s.execute("SELECT count(*) FROM fact WHERE cust = 7")
+        advisor = TuningAdvisor(cluster.catalog, cluster.workload)
+        recs = {r.kind: r for r in advisor.recommend("fact")}
+        assert recs["sortkey"].suggested.startswith("INTERLEAVED SORTKEY(")
+        assert "ts" in recs["sortkey"].suggested
+        assert "cust" in recs["sortkey"].suggested
+
+    def test_no_workload_no_recommendations(self, star_cluster):
+        cluster, _ = star_cluster
+        fresh = TuningAdvisor(cluster.catalog, type(cluster.workload)())
+        assert fresh.recommend("fact") == []
+
+    def test_well_designed_table_passes_quietly(self):
+        cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=64)
+        s = cluster.connect()
+        s.execute(
+            "CREATE TABLE big (k int, v int) DISTKEY(k) SORTKEY(v)"
+        )
+        rows = ",".join(f"({i % 2000}, {i})" for i in range(30_000))
+        s.execute(f"INSERT INTO big VALUES {rows}")
+        s.execute("CREATE TABLE big2 (k int, w int) DISTKEY(k)")
+        s.execute(
+            "INSERT INTO big2 VALUES "
+            + ",".join(f"({i}, {i})" for i in range(2000))
+        )
+        for _ in range(3):
+            s.execute(
+                "SELECT count(*) FROM big b JOIN big2 c ON b.k = c.k "
+                "WHERE b.v > 100"
+            )
+        advisor = TuningAdvisor(cluster.catalog, cluster.workload)
+        kinds = {r.kind for r in advisor.recommend("big")}
+        # Already DISTKEY(k)/SORTKEY(v): nothing to change.
+        assert "distkey" not in kinds
+        assert "sortkey" not in kinds
+
+
+class TestRelationalize:
+    def lines(self, n=300):
+        out = []
+        for i in range(n):
+            record = {
+                "id": i,
+                "when": f"2015-04-{1 + i % 28:02d}",
+                "ratio": i / 7,
+                "tag": f"t{i % 5}",
+                "ok": bool(i % 2),
+            }
+            if i % 9 == 0:
+                record.pop("tag")
+            out.append(json.dumps(record))
+        return out
+
+    def test_schema_inference(self):
+        schema = infer_schema(iter(self.lines()), "events")
+        kinds = {c.name: c.sql_type_name() for c in schema.columns}
+        assert kinds["id"] == "int"
+        assert kinds["when_"] == "date"  # reserved word suffixed
+        assert kinds["ratio"] == "double precision"
+        assert kinds["ok"] == "boolean"
+        assert kinds["tag"].startswith("varchar")
+        assert [c.name for c in schema.columns][0] == "id"  # first-seen order
+
+    def test_type_widening(self):
+        lines = [json.dumps({"x": 1}), json.dumps({"x": 2 ** 40}),
+                 json.dumps({"x": 1.5})]
+        schema = infer_schema(iter(lines), "t")
+        assert schema.columns[0].sql_type_name() == "double precision"
+
+    def test_conflicting_types_fall_back_to_text(self):
+        lines = [json.dumps({"x": 1}), json.dumps({"x": "abc"})]
+        schema = infer_schema(iter(lines), "t")
+        assert schema.columns[0].sql_type_name().startswith("varchar")
+
+    def test_key_sanitisation(self):
+        lines = [json.dumps({"Event ID": 1, "9lives": "x"})]
+        schema = infer_schema(iter(lines), "t")
+        names = [c.name for c in schema.columns]
+        assert names == ["event_id", "c_9lives"]
+
+    def test_bad_input_reports_line(self):
+        with pytest.raises(CopyError) as err:
+            infer_schema(iter(["{}", "not json"]), "t")
+        assert "line 2" in str(err.value)
+
+    def test_end_to_end(self):
+        cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=64)
+        session = cluster.connect()
+        cluster.register_inline_source("lake://ev", self.lines())
+        schema = relationalize(
+            cluster, session, "events", "lake://ev", sortkey="when_"
+        )
+        assert schema.records_sampled == 300
+        r = session.execute(
+            "SELECT count(*), count(tag) FROM events WHERE ok"
+        )
+        assert r.rows[0][0] == 150
+        # The reserved-word key was renamed and is queryable.
+        pruned = session.execute(
+            "SELECT count(*) FROM events WHERE when_ IS NOT NULL"
+        )
+        assert pruned.scalar() == 300

@@ -1,0 +1,267 @@
+"""End-to-end SQL correctness against hand-computed expectations."""
+
+import datetime
+
+import pytest
+
+from repro import Cluster
+
+
+class TestBasicQueries:
+    def test_count_star(self, loaded_session):
+        assert loaded_session.execute("SELECT count(*) FROM clicks").scalar() == 800
+
+    def test_projection_and_filter(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT n FROM clicks WHERE n < 5 ORDER BY n"
+        )
+        assert r.column("n") == [0, 1, 2, 3, 4]
+
+    def test_expressions_in_select(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT n, n * 2 + 1 AS odd FROM clicks WHERE n = 10"
+        )
+        assert r.rows == [(10, 21)]
+
+    def test_order_by_desc_with_limit_offset(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT n FROM clicks ORDER BY n DESC LIMIT 3 OFFSET 2"
+        )
+        assert r.column("n") == [797, 796, 795]
+
+    def test_distinct(self, loaded_session):
+        r = loaded_session.execute("SELECT DISTINCT user_id FROM clicks")
+        assert sorted(r.column("user_id")) == [1, 2, 3, 4]
+
+    def test_in_and_between(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT count(*) FROM clicks WHERE user_id IN (1, 2) "
+            "AND n BETWEEN 0 AND 99"
+        )
+        assert r.scalar() == 50
+
+    def test_like(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT count(*) FROM clicks WHERE url LIKE '%/7'"
+        )
+        assert r.scalar() == 80
+
+    def test_case_expression(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT CASE WHEN n % 2 = 0 THEN 'even' ELSE 'odd' END p, "
+            "count(*) FROM clicks GROUP BY 1 ORDER BY 1"
+        )
+        assert r.rows == [("even", 400), ("odd", 400)]
+
+    def test_null_handling_in_where(self, loaded_session):
+        r = loaded_session.execute("SELECT count(*) FROM users WHERE age > 0")
+        assert r.scalar() == 3  # the NULL-age row contributes UNKNOWN
+
+    def test_is_null(self, loaded_session):
+        r = loaded_session.execute("SELECT id FROM users WHERE name IS NULL")
+        assert r.rows == [(4,)]
+
+    def test_scalar_on_multi_row_rejected(self, loaded_session):
+        from repro.errors import ExecutionError
+
+        result = loaded_session.execute("SELECT id FROM users")
+        with pytest.raises(ExecutionError):
+            result.scalar()
+
+
+class TestAggregation:
+    def test_global_aggregates(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT count(*), sum(n), min(n), max(n), avg(n) FROM clicks"
+        )
+        assert r.rows == [(800, sum(range(800)), 0, 799, sum(range(800)) / 800)]
+
+    def test_global_aggregate_on_empty_input(self, loaded_session):
+        r = loaded_session.execute("SELECT count(*), sum(n) FROM clicks WHERE n < 0")
+        assert r.rows == [(0, None)]
+
+    def test_group_by_with_having(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT user_id, count(*) c FROM clicks GROUP BY user_id "
+            "HAVING count(*) > 100 ORDER BY user_id"
+        )
+        assert r.rows == [(1, 200), (2, 200), (3, 200), (4, 200)]
+
+    def test_group_by_expression(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT n % 4 AS bucket, count(*) FROM clicks GROUP BY 1 ORDER BY 1"
+        )
+        assert r.rows == [(0, 200), (1, 200), (2, 200), (3, 200)]
+
+    def test_count_distinct_exact_and_approx(self, loaded_session):
+        exact = loaded_session.execute(
+            "SELECT count(DISTINCT url) FROM clicks"
+        ).scalar()
+        approx = loaded_session.execute(
+            "SELECT APPROXIMATE count(DISTINCT url) FROM clicks"
+        ).scalar()
+        assert exact == 10
+        assert abs(approx - 10) <= 1
+
+    def test_aggregate_expression_over_results(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT sum(n) / count(*) FROM clicks"
+        )
+        assert r.scalar() == sum(range(800)) // 800
+
+    def test_group_key_with_nulls(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT name, count(*) FROM users GROUP BY name ORDER BY name"
+        )
+        # NULL groups together; ORDER BY puts it last (NULLS LAST asc).
+        assert r.rows[-1] == (None, 1)
+
+
+class TestJoins:
+    def test_inner_join(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT u.name, count(*) c FROM clicks c JOIN users u "
+            "ON c.user_id = u.id GROUP BY u.name ORDER BY u.name"
+        )
+        assert r.rows == [("alice", 200), ("bob", 200), ("carol", 200), (None, 200)]
+
+    def test_join_moves_no_bytes_when_colocated(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT count(*) FROM clicks c JOIN users u ON c.user_id = u.id"
+        )
+        assert r.scalar() == 800
+        assert r.stats.network.bytes_broadcast == 0
+        assert r.stats.network.bytes_redistributed == 0
+
+    def test_left_join_preserves_unmatched(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT u.id, c.n FROM users u LEFT JOIN clicks c "
+            "ON u.id = c.user_id AND c.n < 0 ORDER BY u.id"
+        )
+        assert r.rows == [(1, None), (2, None), (3, None), (4, None)]
+
+    def test_right_join(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT c.n, u.id FROM (SELECT n, user_id FROM clicks WHERE n < 2) c "
+            "RIGHT JOIN users u ON c.user_id = u.id ORDER BY u.id, c.n"
+        )
+        # user 1 matches n=0 (0%4+1=1) and user 2 matches n=1.
+        assert (None, 3) in r.rows and (None, 4) in r.rows
+
+    def test_full_join(self, session):
+        session.execute("CREATE TABLE l (k int, a varchar(4))")
+        session.execute("CREATE TABLE r (k int, b varchar(4))")
+        session.execute("INSERT INTO l VALUES (1,'l1'), (2,'l2')")
+        session.execute("INSERT INTO r VALUES (2,'r2'), (3,'r3')")
+        result = session.execute(
+            "SELECT l.a, r.b FROM l FULL JOIN r ON l.k = r.k ORDER BY l.a, r.b"
+        )
+        assert sorted(result.rows, key=repr) == sorted(
+            [("l1", None), ("l2", "r2"), (None, "r3")], key=repr
+        )
+
+    def test_join_with_replicated_dimension(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT t.label, count(*) FROM clicks c JOIN tiny t "
+            "ON c.n % 2 = t.k GROUP BY t.label ORDER BY t.label"
+        )
+        assert r.rows == [("even", 400), ("odd", 400)]
+
+    def test_cross_join(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT count(*) FROM users CROSS JOIN tiny"
+        )
+        assert r.scalar() == 8
+
+    def test_three_way_join(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT count(*) FROM clicks c "
+            "JOIN users u ON c.user_id = u.id "
+            "JOIN tiny t ON c.n % 2 = t.k"
+        )
+        assert r.scalar() == 800
+
+    def test_null_keys_never_match(self, session):
+        session.execute("CREATE TABLE a (k int)")
+        session.execute("CREATE TABLE b (k int)")
+        session.execute("INSERT INTO a VALUES (1), (NULL)")
+        session.execute("INSERT INTO b VALUES (1), (NULL)")
+        r = session.execute("SELECT count(*) FROM a JOIN b ON a.k = b.k")
+        assert r.scalar() == 1
+
+    def test_theta_join_nested_loop(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT count(*) FROM users a JOIN users b ON a.id < b.id"
+        )
+        assert r.scalar() == 6
+
+
+class TestSubqueriesAndCtes:
+    def test_derived_table(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT max(c) FROM (SELECT user_id, count(*) c FROM clicks "
+            "GROUP BY user_id) AS agg"
+        )
+        assert r.scalar() == 200
+
+    def test_cte(self, loaded_session):
+        r = loaded_session.execute(
+            "WITH heavy AS (SELECT user_id FROM clicks WHERE n > 700) "
+            "SELECT count(*) FROM heavy"
+        )
+        assert r.scalar() == 99
+
+    def test_cte_joined_to_base_table(self, loaded_session):
+        r = loaded_session.execute(
+            "WITH agg AS (SELECT user_id, count(*) c FROM clicks GROUP BY user_id) "
+            "SELECT u.name, a.c FROM agg a JOIN users u ON a.user_id = u.id "
+            "ORDER BY u.name"
+        )
+        assert r.rows[0] == ("alice", 200)
+
+    def test_cte_referenced_twice(self, loaded_session):
+        r = loaded_session.execute(
+            "WITH x AS (SELECT id FROM users) "
+            "SELECT count(*) FROM x a JOIN x b ON a.id = b.id"
+        )
+        assert r.scalar() == 4
+
+
+class TestFunctionsInQueries:
+    def test_string_functions(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT upper(name), length(name) FROM users WHERE id = 1"
+        )
+        assert r.rows == [("ALICE", 5)]
+
+    def test_date_literal_comparison(self, session):
+        session.execute("CREATE TABLE ev (d date, n int)")
+        session.execute(
+            "INSERT INTO ev VALUES (DATE '2015-01-01', 1), (DATE '2015-06-01', 2)"
+        )
+        r = session.execute(
+            "SELECT n FROM ev WHERE d >= DATE '2015-03-01'"
+        )
+        assert r.rows == [(2,)]
+
+    def test_cast_in_query(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT CAST(n AS varchar(8)) FROM clicks WHERE n = 42"
+        )
+        assert r.rows == [("42",)]
+
+    def test_coalesce_over_join_nulls(self, loaded_session):
+        r = loaded_session.execute(
+            "SELECT coalesce(name, '<unknown>') FROM users ORDER BY id"
+        )
+        assert r.rows[-1] == ("<unknown>",)
+
+
+class TestExplainThroughSession:
+    def test_explain_returns_plan_rows(self, loaded_session):
+        r = loaded_session.execute(
+            "EXPLAIN SELECT count(*) FROM clicks WHERE n > 5"
+        )
+        text = "\n".join(row[0] for row in r.rows)
+        assert "Seq Scan on clicks" in text
+        assert "Zone maps" in text

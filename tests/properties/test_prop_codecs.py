@@ -1,0 +1,79 @@
+"""Property: every codec round-trips arbitrary value vectors exactly."""
+
+import datetime
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import applicable_codecs
+from repro.datatypes import BIGINT, DOUBLE, DATE, INTEGER, varchar_type
+
+int_vectors = st.lists(
+    st.one_of(st.none(), st.integers(-(2 ** 62), 2 ** 62)), max_size=200
+)
+int32_vectors = st.lists(
+    st.one_of(st.none(), st.integers(-(2 ** 31), 2 ** 31 - 1)), max_size=200
+)
+float_vectors = st.lists(
+    st.one_of(
+        st.none(),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+    ),
+    max_size=200,
+)
+text_vectors = st.lists(
+    st.one_of(st.none(), st.text(max_size=30)), max_size=100
+)
+date_vectors = st.lists(
+    st.one_of(
+        st.none(),
+        st.dates(datetime.date(1990, 1, 1), datetime.date(2030, 12, 31)),
+    ),
+    max_size=100,
+)
+
+
+@given(int_vectors)
+@settings(max_examples=60, deadline=None)
+def test_bigint_roundtrip(values):
+    for codec in applicable_codecs(BIGINT):
+        assert codec.decode(codec.encode(values, BIGINT)) == values, codec.name
+
+
+@given(int32_vectors)
+@settings(max_examples=40, deadline=None)
+def test_integer_roundtrip(values):
+    for codec in applicable_codecs(INTEGER):
+        assert codec.decode(codec.encode(values, INTEGER)) == values, codec.name
+
+
+@given(float_vectors)
+@settings(max_examples=40, deadline=None)
+def test_double_roundtrip(values):
+    for codec in applicable_codecs(DOUBLE):
+        assert codec.decode(codec.encode(values, DOUBLE)) == values, codec.name
+
+
+@given(text_vectors)
+@settings(max_examples=40, deadline=None)
+def test_varchar_roundtrip(values):
+    vt = varchar_type(64)
+    clipped = [v[:64] if isinstance(v, str) else v for v in values]
+    for codec in applicable_codecs(vt):
+        assert codec.decode(codec.encode(clipped, vt)) == clipped, codec.name
+
+
+@given(date_vectors)
+@settings(max_examples=40, deadline=None)
+def test_date_roundtrip(values):
+    for codec in applicable_codecs(DATE):
+        assert codec.decode(codec.encode(values, DATE)) == values, codec.name
+
+
+@given(int_vectors)
+@settings(max_examples=40, deadline=None)
+def test_encoded_size_is_positive_and_counted(values):
+    for codec in applicable_codecs(BIGINT):
+        encoded = codec.encode(values, BIGINT)
+        assert encoded.encoded_bytes > 0
+        assert encoded.count == len(values)
+        assert len(encoded.null_positions) == sum(v is None for v in values)

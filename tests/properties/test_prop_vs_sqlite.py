@@ -1,0 +1,151 @@
+"""Differential testing against SQLite.
+
+The same randomized data is loaded into this engine (distributed over four
+slices) and into in-memory SQLite; the same queries must produce the same
+multiset of rows. The query pool stays inside the dialect intersection
+where both systems define identical semantics (integer arithmetic
+truncating toward zero, NULL-propagating comparisons, NULL group keys
+collapsing, inner/left joins); rows are compared as multisets so ORDER BY
+NULL-placement differences never matter.
+"""
+
+import sqlite3
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Cluster
+
+values = st.one_of(st.none(), st.integers(-50, 50))
+rows_strategy = st.lists(
+    st.tuples(values, values, values), min_size=0, max_size=80
+)
+
+PREDICATES = [
+    "a > 5",
+    "a <= b",
+    "b = c",
+    "a + b > c",
+    "a BETWEEN -10 AND 10",
+    "a IN (1, 2, 3, -4)",
+    "a IS NULL",
+    "b IS NOT NULL",
+    "a > 0 AND b < 10",
+    "a < -20 OR c > 20",
+    "a % 7 = 0",
+    "a * b >= c",
+]
+
+AGGREGATE_QUERIES = [
+    "SELECT count(*) FROM r",
+    "SELECT count(b), sum(b), min(b), max(b) FROM r",
+    "SELECT avg(a) FROM r WHERE a IS NOT NULL",
+    "SELECT a, count(*) FROM r GROUP BY a",
+    "SELECT b, sum(c) FROM r GROUP BY b",
+    "SELECT a, count(*) FROM r GROUP BY a HAVING count(*) > 1",
+    "SELECT count(DISTINCT a) FROM r",
+]
+
+
+def load_both(rows):
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=16)
+    session = cluster.connect()
+    session.execute("CREATE TABLE r (a int, b int, c int)")
+    if rows:
+        sql_values = ",".join(
+            "(" + ",".join("NULL" if v is None else str(v) for v in row) + ")"
+            for row in rows
+        )
+        session.execute(f"INSERT INTO r VALUES {sql_values}")
+
+    reference = sqlite3.connect(":memory:")
+    reference.execute("CREATE TABLE r (a int, b int, c int)")
+    reference.executemany("INSERT INTO r VALUES (?, ?, ?)", rows)
+    return session, reference
+
+
+def multiset(rows):
+    normalized = []
+    for row in rows:
+        normalized.append(
+            tuple(
+                float(v) if isinstance(v, float) else v for v in row
+            )
+        )
+    return sorted(normalized, key=repr)
+
+
+def agree(session, reference, sql):
+    engine_rows = session.execute(sql).rows
+    sqlite_rows = reference.execute(sql).fetchall()
+    assert multiset(engine_rows) == multiset(sqlite_rows), sql
+
+
+@given(rows_strategy, st.sampled_from(PREDICATES))
+@settings(max_examples=60, deadline=None)
+def test_filters_agree(rows, predicate):
+    session, reference = load_both(rows)
+    agree(session, reference, f"SELECT a, b, c FROM r WHERE {predicate}")
+
+
+@given(rows_strategy, st.sampled_from(AGGREGATE_QUERIES))
+@settings(max_examples=60, deadline=None)
+def test_aggregates_agree(rows, sql):
+    session, reference = load_both(rows)
+    agree(session, reference, sql)
+
+
+@given(rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_self_join_agrees(rows):
+    session, reference = load_both(rows)
+    agree(
+        session,
+        reference,
+        "SELECT x.a, y.b FROM r x JOIN r y ON x.a = y.a WHERE x.b > y.b",
+    )
+
+
+@given(rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_left_join_agrees(rows):
+    session, reference = load_both(rows)
+    agree(
+        session,
+        reference,
+        "SELECT x.a, y.c FROM r x LEFT JOIN r y ON x.b = y.b AND y.c > 0",
+    )
+
+
+@given(rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_case_expression_agrees(rows):
+    session, reference = load_both(rows)
+    agree(
+        session,
+        reference,
+        "SELECT CASE WHEN a > 0 THEN 1 WHEN a < 0 THEN -1 ELSE 0 END, "
+        "count(*) FROM r WHERE a IS NOT NULL GROUP BY 1",
+    )
+
+
+@given(rows_strategy)
+@settings(max_examples=20, deadline=None)
+def test_set_operations_agree(rows):
+    session, reference = load_both(rows)
+    for op in ("UNION", "UNION ALL", "INTERSECT", "EXCEPT"):
+        agree(
+            session,
+            reference,
+            f"SELECT a FROM r WHERE a > 0 {op} SELECT b FROM r WHERE b < 0",
+        )
+
+
+@given(rows_strategy)
+@settings(max_examples=20, deadline=None)
+def test_scalar_subquery_agrees(rows):
+    session, reference = load_both(rows)
+    agree(
+        session,
+        reference,
+        "SELECT count(*) FROM r WHERE a = (SELECT max(a) FROM r)",
+    )

@@ -1,0 +1,266 @@
+"""Simulated cloud substrate: clock, S3, EC2, SWF, CloudWatch, SNS, KMS."""
+
+import pytest
+
+from repro.cloud import (
+    CloudEnvironment,
+    SimClock,
+    SimEC2,
+    SimKMS,
+    SimS3,
+    SimWorkflowService,
+    Workflow,
+)
+from repro.cloud.kms import xor_cipher
+from repro.errors import (
+    InsufficientCapacityError,
+    KmsError,
+    NoSuchBucketError,
+    NoSuchKeyError,
+    ServiceUnavailableError,
+    WorkflowError,
+)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(10)
+        assert clock.now == 10
+
+    def test_backwards_rejected(self):
+        clock = SimClock()
+        clock.advance(5)
+        with pytest.raises(ValueError):
+            clock.run_until(1)
+
+    def test_scheduled_events_fire_in_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5, lambda: fired.append("b"))
+        clock.schedule(1, lambda: fired.append("a"))
+        clock.advance(10)
+        assert fired == ["a", "b"]
+
+    def test_cancel(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(1, lambda: fired.append(1))
+        handle.cancel()
+        clock.advance(5)
+        assert fired == []
+
+    def test_repeating(self):
+        clock = SimClock()
+        fired = []
+        series = clock.schedule_repeating(10, lambda: fired.append(clock.now))
+        clock.advance(35)
+        assert fired == [10, 20, 30]
+        series.cancel()
+        clock.advance(100)
+        assert len(fired) == 3
+
+    def test_events_scheduled_during_events(self):
+        clock = SimClock()
+        fired = []
+
+        def first():
+            clock.schedule(1, lambda: fired.append("second"))
+
+        clock.schedule(1, first)
+        clock.advance(5)
+        assert fired == ["second"]
+
+
+class TestSimS3:
+    def test_put_get_roundtrip(self):
+        s3 = SimS3()
+        s3.create_bucket("b")
+        s3.put_object("b", "k", b"hello")
+        assert s3.get_object("b", "k").data == b"hello"
+
+    def test_missing_key_and_bucket(self):
+        s3 = SimS3()
+        s3.create_bucket("b")
+        with pytest.raises(NoSuchKeyError):
+            s3.get_object("b", "nope")
+        with pytest.raises(NoSuchBucketError):
+            s3.get_object("nope", "k")
+
+    def test_list_prefix(self):
+        s3 = SimS3()
+        s3.create_bucket("b")
+        s3.put_object("b", "a/1", b"")
+        s3.put_object("b", "a/2", b"")
+        s3.put_object("b", "c/1", b"")
+        assert s3.list_objects("b", "a/") == ["a/1", "a/2"]
+
+    def test_transfer_time_scales_with_size(self):
+        s3 = SimS3()
+        assert s3.transfer_time(10 ** 9) > s3.transfer_time(10 ** 6)
+
+    def test_outage(self):
+        s3 = SimS3()
+        s3.create_bucket("b")
+        s3.start_outage()
+        with pytest.raises(ServiceUnavailableError):
+            s3.put_object("b", "k", b"")
+        s3.end_outage()
+        s3.put_object("b", "k", b"")
+
+    def test_replication(self):
+        a, b = SimS3("us-east-1"), SimS3("us-west-2")
+        a.create_bucket("b")
+        a.put_object("b", "k", b"data")
+        copied = a.replicate_to(b, "b")
+        assert copied == 1
+        assert b.get_object("b", "k").data == b"data"
+
+    def test_accounting(self):
+        s3 = SimS3()
+        s3.create_bucket("b")
+        s3.put_object("b", "k", b"12345")
+        s3.get_object("b", "k")
+        assert s3.bytes_in == 5
+        assert s3.bytes_out == 5
+
+
+class TestSimEC2:
+    def test_warm_pool_faster_than_cold(self):
+        ec2 = SimEC2()
+        ec2.preconfigure("dw2.large", 2)
+        _, warm = ec2.provision("dw2.large", 2)
+        _, cold = ec2.provision("dw2.large", 2)
+        assert warm < cold
+
+    def test_warm_pool_depletes(self):
+        ec2 = SimEC2()
+        ec2.preconfigure("dw2.large", 3)
+        instances, _ = ec2.provision("dw2.large", 2)
+        assert all(i.from_warm_pool for i in instances)
+        assert ec2.warm_pool_size("dw2.large") == 1
+
+    def test_capacity_interruption_blocks_cold_only(self):
+        ec2 = SimEC2()
+        ec2.preconfigure("dw2.large", 1)
+        ec2.start_capacity_interruption()
+        instances, _ = ec2.provision("dw2.large", 1)  # warm claim works
+        assert instances[0].from_warm_pool
+        with pytest.raises(InsufficientCapacityError):
+            ec2.provision("dw2.large", 1)
+        ec2.end_capacity_interruption()
+        ec2.provision("dw2.large", 1)
+
+    def test_parallel_boot_duration_is_max(self):
+        ec2 = SimEC2()
+        _, one = ec2.provision("dw2.large", 1)
+        _, many = ec2.provision("dw2.large", 16)
+        assert many < one * 4  # parallel, not serial
+
+
+class TestWorkflows:
+    def test_steps_advance_clock(self):
+        clock = SimClock()
+        swf = SimWorkflowService(clock)
+        wf = Workflow("w").step("a", lambda: 10.0).step("b", lambda: 5.0)
+        execution = swf.run(wf)
+        assert execution.succeeded
+        assert clock.now == 15.0
+        assert execution.duration == 15.0
+
+    def test_retries_then_success(self):
+        clock = SimClock()
+        swf = SimWorkflowService(clock)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return 1.0
+
+        wf = Workflow("w").step("flaky", flaky, max_attempts=3, retry_delay_s=2.0)
+        execution = swf.run(wf)
+        assert execution.succeeded
+        assert execution.results[0].attempts == 3
+        assert clock.now == 2.0 * 2 + 1.0  # two retry delays + final step
+
+    def test_exhausted_retries_fail(self):
+        swf = SimWorkflowService(SimClock())
+
+        def always_fails():
+            raise RuntimeError("permanent")
+
+        wf = Workflow("w").step("bad", always_fails, max_attempts=2, retry_delay_s=1)
+        with pytest.raises(WorkflowError):
+            swf.run(wf)
+        assert len(swf.history) == 1
+        assert not swf.history[0].succeeded
+
+
+class TestKms:
+    def test_data_key_roundtrip(self):
+        kms = SimKMS()
+        master = kms.create_master_key()
+        plaintext, wrapped = kms.generate_data_key(master)
+        assert kms.unwrap(wrapped) == plaintext
+
+    def test_xor_cipher_is_involution(self):
+        key = bytes(range(32))
+        data = b"the quick brown fox"
+        assert xor_cipher(key, xor_cipher(key, data)) == data
+
+    def test_rotation_keeps_old_wraps_usable(self):
+        kms = SimKMS()
+        master = kms.create_master_key()
+        plaintext, wrapped = kms.generate_data_key(master)
+        kms.rotate_master_key(master)
+        assert kms.unwrap(wrapped) == plaintext  # old version retained
+        rewrapped = kms.rewrap(wrapped)
+        assert rewrapped.master_version > wrapped.master_version
+        assert kms.unwrap(rewrapped) == plaintext
+
+    def test_revocation_is_repudiation(self):
+        kms = SimKMS()
+        master = kms.create_master_key()
+        _, wrapped = kms.generate_data_key(master)
+        kms.revoke_master_key(master)
+        with pytest.raises(KmsError):
+            kms.unwrap(wrapped)
+        with pytest.raises(KmsError):
+            kms.generate_data_key(master)
+
+    def test_duplicate_alias_rejected(self):
+        kms = SimKMS()
+        kms.create_master_key("alias")
+        with pytest.raises(KmsError):
+            kms.create_master_key("alias")
+
+
+class TestEnvironment:
+    def test_shared_clock(self, env: CloudEnvironment):
+        env.clock.advance(100)
+        assert env.s3._clock.now == 100
+
+    def test_remote_region(self, env: CloudEnvironment):
+        remote = env.add_remote_region("us-west-2")
+        assert remote.clock is env.clock
+        assert env.remote_region("us-west-2") is remote
+        with pytest.raises(ValueError):
+            env.add_remote_region(env.region)
+
+    def test_cloudwatch_window_average(self, env: CloudEnvironment):
+        env.cloudwatch.put_metric("m", 10)
+        env.clock.advance(100)
+        env.cloudwatch.put_metric("m", 20)
+        assert env.cloudwatch.average("m", window_s=50) == 20
+        assert env.cloudwatch.average("m", window_s=1000) == 15
+        assert env.cloudwatch.average("nothing", window_s=10) is None
+
+    def test_sns_delivery(self, env: CloudEnvironment):
+        got = []
+        env.sns.subscribe("alarms", got.append)
+        env.sns.publish("alarms", "subject", "message")
+        env.sns.publish("other", "s", "m")
+        assert len(got) == 1
+        assert len(env.sns.topic_history("alarms")) == 1

@@ -1,0 +1,229 @@
+"""CloudTrail, DynamoDB, cloud COPY sources, and WLM."""
+
+import gzip
+import json
+
+import pytest
+
+from repro import Cluster
+from repro.cloud import (
+    CloudEnvironment,
+    SimDynamoDB,
+    SshCommandRegistry,
+    attach_cloud_sources,
+)
+from repro.engine.wlm import (
+    QueryArrival,
+    QueueConfig,
+    WorkloadManager,
+)
+from repro.errors import CloudError, CopyError
+
+
+class TestCloudTrail:
+    def test_records_and_lookup(self, env):
+        env.cloudtrail.record("alice", "redshift:deploy", "c1", {"nodes": 2})
+        env.clock.advance(100)
+        env.cloudtrail.record("bob", "redshift:resize", "c1")
+        env.cloudtrail.record("alice", "redshift:deploy", "c2")
+        assert len(env.cloudtrail.lookup(action="redshift:deploy")) == 2
+        assert len(env.cloudtrail.lookup(resource="c1")) == 2
+        assert len(env.cloudtrail.lookup(since=50)) == 2
+
+    def test_control_plane_actions_are_audited(self, env):
+        from repro.controlplane import RedshiftService
+
+        service = RedshiftService(env)
+        managed, _ = service.create_cluster(node_count=2, block_capacity=64)
+        service.snapshot_cluster(managed.cluster_id, label="s")
+        service.delete_cluster(managed.cluster_id)
+        actions = {e.action for e in env.cloudtrail.events}
+        assert "redshift:deploy" in actions
+        assert "redshift:backup" in actions
+        assert "redshift:delete" in actions
+
+    def test_archive_to_s3(self, env):
+        env.cloudtrail.record("a", "x:y", "r")
+        key = env.cloudtrail.archive_to_s3(env.s3, "audit")
+        body = env.s3.get_object("audit", key).data.decode()
+        assert json.loads(body)["action"] == "x:y"
+
+
+class TestDynamoDB:
+    def test_crud(self):
+        ddb = SimDynamoDB()
+        table = ddb.create_table("users", hash_key="id")
+        table.put_item({"id": 1, "name": "alice"})
+        table.put_item({"id": 1, "name": "alice2"})  # overwrite
+        assert table.item_count == 1
+        assert table.get_item(1)["name"] == "alice2"
+        assert table.get_item(99) is None
+
+    def test_missing_hash_key_rejected(self):
+        table = SimDynamoDB().create_table("t", hash_key="id")
+        with pytest.raises(CloudError):
+            table.put_item({"name": "no id"})
+
+    def test_duplicate_table_rejected(self):
+        ddb = SimDynamoDB()
+        ddb.create_table("t", hash_key="id")
+        with pytest.raises(CloudError):
+            ddb.create_table("t", hash_key="id")
+
+    def test_scan_time_tracks_capacity(self):
+        ddb = SimDynamoDB()
+        slow = ddb.create_table("slow", "id", read_capacity_units=10)
+        fast = ddb.create_table("fast", "id", read_capacity_units=1000)
+        for i in range(200):
+            slow.put_item({"id": i})
+            fast.put_item({"id": i})
+        assert slow.scan_seconds() > fast.scan_seconds()
+
+
+class TestCloudCopySources:
+    @pytest.fixture
+    def wired(self, env):
+        cluster = Cluster(node_count=1, slices_per_node=2, block_capacity=64)
+        ssh = SshCommandRegistry()
+        attach_cloud_sources(cluster, env, env.dynamodb, ssh)
+        session = cluster.connect()
+        session.execute("CREATE TABLE t (id int, v varchar(16))")
+        return env, cluster, session, ssh
+
+    def test_copy_from_s3_prefix_multiple_objects(self, wired):
+        env, _, session, _ = wired
+        env.s3.create_bucket("data")
+        env.s3.put_object("data", "in/part-0", b"1|a\n2|b\n")
+        env.s3.put_object("data", "in/part-1", b"3|c\n")
+        env.s3.put_object("data", "other/x", b"9|z\n")
+        r = session.execute("COPY t FROM 's3://data/in/'")
+        assert r.rowcount == 3
+
+    def test_copy_from_s3_gzip(self, wired):
+        env, _, session, _ = wired
+        env.s3.create_bucket("data")
+        env.s3.put_object("data", "in/part-0.gz", gzip.compress(b"7|g\n8|h\n"))
+        r = session.execute("COPY t FROM 's3://data/in/' GZIP")
+        assert r.rowcount == 2
+        assert session.execute("SELECT v FROM t WHERE id = 7").scalar() == "g"
+
+    def test_copy_from_empty_prefix_fails(self, wired):
+        env, _, session, _ = wired
+        env.s3.create_bucket("data")
+        with pytest.raises(CopyError):
+            session.execute("COPY t FROM 's3://data/nothing/'")
+
+    def test_copy_from_dynamodb(self, wired):
+        env, _, session, _ = wired
+        table = env.dynamodb.create_table("kv", hash_key="id")
+        for i in range(20):
+            table.put_item({"id": i, "v": f"item-{i}"})
+        r = session.execute("COPY t FROM 'dynamodb://kv' JSON")
+        assert r.rowcount == 20
+        assert session.execute("SELECT count(*) FROM t").scalar() == 20
+
+    def test_copy_over_ssh(self, wired):
+        _, _, session, ssh = wired
+        ssh.register(
+            "etl-host/dump", lambda: (f"{i}|row{i}" for i in range(5))
+        )
+        r = session.execute("COPY t FROM 'ssh://etl-host/dump'")
+        assert r.rowcount == 5
+
+    def test_unregistered_ssh_endpoint(self, wired):
+        _, _, session, _ = wired
+        with pytest.raises(CopyError):
+            session.execute("COPY t FROM 'ssh://unknown/cmd'")
+
+
+class TestWlm:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueConfig("q", slots=0, memory_fraction=0.5)
+        with pytest.raises(ValueError):
+            QueueConfig("q", slots=1, memory_fraction=0.0)
+        with pytest.raises(ValueError):
+            WorkloadManager(
+                [
+                    QueueConfig("a", 2, 0.7),
+                    QueueConfig("b", 2, 0.7),
+                ]
+            )
+        with pytest.raises(ValueError):
+            WorkloadManager([QueueConfig("a", 2, 0.5), QueueConfig("a", 2, 0.5)])
+
+    def test_no_contention_no_wait(self):
+        wlm = WorkloadManager([QueueConfig("q", slots=2, memory_fraction=1.0)])
+        trace = [QueryArrival("q", i * 100.0, 10.0) for i in range(5)]
+        report = wlm.simulate(trace)["q"]
+        assert report.mean_wait_s == 0.0
+
+    def test_slot_contention_queues(self):
+        wlm = WorkloadManager([QueueConfig("q", slots=1, memory_fraction=1.0)])
+        trace = [QueryArrival("q", 0.0, 10.0), QueryArrival("q", 1.0, 10.0)]
+        report = wlm.simulate(trace)["q"]
+        waits = sorted(o.wait_s for o in report.outcomes)
+        assert waits == [0.0, 9.0]
+
+    def test_more_slots_less_wait(self):
+        trace = [QueryArrival("q", float(i), 30.0) for i in range(20)]
+        narrow = WorkloadManager(
+            [QueueConfig("q", slots=2, memory_fraction=1.0)]
+        ).simulate(trace)["q"]
+        wide = WorkloadManager(
+            [QueueConfig("q", slots=10, memory_fraction=1.0)]
+        ).simulate(trace)["q"]
+        assert wide.mean_wait_s < narrow.mean_wait_s
+
+    def test_short_query_queue_isolation(self):
+        """The canonical WLM win: a dedicated queue shields dashboards
+        from long-running ETL."""
+        etl = [QueryArrival("all", float(i * 2), 300.0, "etl") for i in range(5)]
+        dash = [
+            QueryArrival("all", 10.0 + i, 1.0, "dash") for i in range(20)
+        ]
+        single = WorkloadManager(
+            [QueueConfig("all", slots=5, memory_fraction=1.0)]
+        ).simulate(etl + dash)["all"]
+        dash_wait_mixed = mean_wait(
+            o for o in single.outcomes if o.arrival.label == "dash"
+        )
+
+        split = WorkloadManager(
+            [
+                QueueConfig("etl", slots=3, memory_fraction=0.7),
+                QueueConfig("short", slots=2, memory_fraction=0.3),
+            ]
+        )
+        retagged = [
+            QueryArrival("etl", a.arrival_s, a.duration_s, a.label)
+            for a in etl
+        ] + [
+            QueryArrival("short", a.arrival_s, a.duration_s, a.label)
+            for a in dash
+        ]
+        reports = split.simulate(retagged)
+        dash_wait_isolated = reports["short"].mean_wait_s
+        assert dash_wait_isolated < dash_wait_mixed / 5
+
+    def test_memory_per_slot(self):
+        wlm = WorkloadManager([QueueConfig("q", slots=4, memory_fraction=0.8)])
+        assert wlm.memory_per_slot_fraction("q") == pytest.approx(0.2)
+
+    def test_unknown_queue(self):
+        wlm = WorkloadManager()
+        with pytest.raises(KeyError):
+            wlm.simulate([QueryArrival("nope", 0.0, 1.0)])
+
+    def test_queue_depth_metric(self):
+        wlm = WorkloadManager([QueueConfig("q", slots=1, memory_fraction=1.0)])
+        trace = [QueryArrival("q", 0.0, 100.0)] + [
+            QueryArrival("q", 1.0 + i, 1.0) for i in range(5)
+        ]
+        report = wlm.simulate(trace)["q"]
+        assert report.max_queue_depth == 5
+
+
+def mean_wait(outcomes) -> float:
+    outcomes = list(outcomes)
+    return sum(o.wait_s for o in outcomes) / len(outcomes)

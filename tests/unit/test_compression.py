@@ -1,0 +1,218 @@
+"""Compression codecs and the automatic analyzer."""
+
+import datetime
+
+import pytest
+
+from repro.compression import (
+    CompressionAnalyzer,
+    analyze_column,
+    all_codecs,
+    applicable_codecs,
+    codec_by_name,
+)
+from repro.datatypes import (
+    BIGINT,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    TIMESTAMP,
+    decimal_type,
+    varchar_type,
+)
+from repro.errors import StorageError
+
+
+def roundtrip(codec_name, values, sql_type):
+    codec = codec_by_name(codec_name)
+    encoded = codec.encode(values, sql_type)
+    assert codec.decode(encoded) == values
+    return encoded
+
+
+class TestRoundTrips:
+    def test_every_codec_roundtrips_integers(self):
+        values = [0, 1, -5, None, 100000, 7, 7, 7, None, -(2 ** 40)]
+        for codec in applicable_codecs(BIGINT):
+            encoded = codec.encode(values, BIGINT)
+            assert codec.decode(encoded) == values, codec.name
+
+    def test_every_codec_roundtrips_strings(self):
+        vt = varchar_type(64)
+        values = ["", "hello world", None, "hello world", "x" * 60, "naïve"]
+        for codec in applicable_codecs(vt):
+            encoded = codec.encode(values, vt)
+            assert codec.decode(encoded) == values, codec.name
+
+    def test_every_codec_roundtrips_dates(self):
+        values = [datetime.date(2015, 1, d) for d in range(1, 20)] + [None]
+        for codec in applicable_codecs(DATE):
+            assert codec.decode(codec.encode(values, DATE)) == values, codec.name
+
+    def test_every_codec_roundtrips_timestamps(self):
+        base = datetime.datetime(2015, 5, 31, 10, 0, 0)
+        values = [base + datetime.timedelta(seconds=i) for i in range(50)]
+        for codec in applicable_codecs(TIMESTAMP):
+            assert codec.decode(codec.encode(values, TIMESTAMP)) == values
+
+    def test_every_codec_roundtrips_decimals(self):
+        import decimal
+
+        t = decimal_type(10, 2)
+        values = [decimal.Decimal("1.50"), decimal.Decimal("-3.25"), None]
+        for codec in applicable_codecs(t):
+            assert codec.decode(codec.encode(values, t)) == values, codec.name
+
+    def test_empty_vector(self):
+        for codec in applicable_codecs(INTEGER):
+            assert codec.decode(codec.encode([], INTEGER)) == []
+
+    def test_all_null_vector(self):
+        values = [None] * 10
+        for codec in applicable_codecs(INTEGER):
+            assert codec.decode(codec.encode(values, INTEGER)) == values
+
+    def test_string_with_embedded_nul(self):
+        vt = varchar_type(10)
+        values = ["a\x00b", "\x00", ""]
+        for name in ("lzo", "zstd"):
+            roundtrip(name, values, vt)
+
+
+class TestCodecBehaviour:
+    def test_runlength_wins_on_constant_column(self):
+        values = [42] * 1000
+        rle = codec_by_name("runlength").encode(values, INTEGER)
+        raw = codec_by_name("raw").encode(values, INTEGER)
+        # The null bitmap (1 bit/value) floors the encoded size, capping
+        # the achievable ratio near 8*width even for a single run.
+        assert rle.encoded_bytes < raw.encoded_bytes / 20
+
+    def test_delta_wins_on_sequential(self):
+        values = list(range(10_000))
+        delta = codec_by_name("delta").encode(values, BIGINT)
+        raw = codec_by_name("raw").encode(values, BIGINT)
+        assert delta.encoded_bytes < raw.encoded_bytes / 4
+
+    def test_delta_exceptions_preserved(self):
+        # Jumps beyond the 1-byte delta range become exceptions.
+        values = [0, 1, 1_000_000, 1_000_001, 5]
+        roundtrip("delta", values, BIGINT)
+
+    def test_delta32k_wider_range(self):
+        values = [0, 30_000, 60_000, 90_000]
+        encoded = roundtrip("delta32k", values, BIGINT)
+        raw = codec_by_name("raw").encode(values, BIGINT)
+        assert encoded.encoded_bytes < raw.encoded_bytes
+
+    def test_mostly8_narrow_values(self):
+        values = [1, 2, 3, 100, -100] * 100 + [10 ** 12]
+        encoded = roundtrip("mostly8", values, BIGINT)
+        raw = codec_by_name("raw").encode(values, BIGINT)
+        assert encoded.encoded_bytes < raw.encoded_bytes / 3
+
+    def test_mostly_rejects_non_narrowing_type(self):
+        from repro.datatypes import SMALLINT
+
+        assert not codec_by_name("mostly16").supports(SMALLINT)
+
+    def test_bytedict_low_cardinality(self):
+        vt = varchar_type(32)
+        values = [f"region-{i % 5}" for i in range(1000)]
+        encoded = roundtrip("bytedict", values, vt)
+        raw = codec_by_name("raw").encode(values, vt)
+        assert encoded.encoded_bytes < raw.encoded_bytes / 5
+
+    def test_bytedict_overflow_exceptions(self):
+        vt = varchar_type(16)
+        values = [f"v{i}" for i in range(300)]  # > 255 distinct
+        roundtrip("bytedict", values, vt)
+
+    def test_lzo_compresses_repetitive_text(self):
+        vt = varchar_type(64)
+        values = ["the quick brown fox jumps"] * 200
+        encoded = codec_by_name("lzo").encode(values, vt)
+        assert encoded.compression_ratio > 5
+
+    def test_zstd_beats_lzo_on_ratio(self):
+        vt = varchar_type(64)
+        values = [f"http://example.com/products/{i % 50}/detail" for i in range(2000)]
+        lzo = codec_by_name("lzo").encode(values, vt)
+        zstd = codec_by_name("zstd").encode(values, vt)
+        assert zstd.encoded_bytes <= lzo.encoded_bytes
+
+    def test_text255_word_dictionary(self):
+        vt = varchar_type(64)
+        values = ["GET /index.html HTTP/1.1 200"] * 500
+        encoded = roundtrip("text255", values, vt)
+        raw = codec_by_name("raw").encode(values, vt)
+        assert encoded.encoded_bytes < raw.encoded_bytes / 3
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(StorageError):
+            codec_by_name("snappy")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(StorageError):
+            codec_by_name("delta").encode([1.5], DOUBLE)
+
+    def test_compression_ratio_property(self):
+        encoded = codec_by_name("runlength").encode([1] * 100, INTEGER)
+        assert encoded.compression_ratio > 1
+
+
+class TestAnalyzer:
+    def test_picks_delta_for_sequences(self):
+        analysis = analyze_column("seq", BIGINT, list(range(5000)))
+        assert analysis.chosen_codec in ("delta", "delta32k")
+
+    def test_picks_runlength_for_constants(self):
+        analysis = analyze_column("const", INTEGER, [7] * 5000)
+        assert analysis.chosen_codec == "runlength"
+
+    def test_picks_dictionary_for_low_cardinality_text(self):
+        vt = varchar_type(32)
+        values = [f"cat-{i % 4}" for i in range(5000)]
+        analysis = analyze_column("cat", vt, values)
+        assert analysis.chosen_codec in ("bytedict", "lzo", "zstd", "runlength", "text255")
+        assert analysis.chosen_codec != "raw"
+
+    def test_keeps_raw_for_incompressible(self):
+        import random
+
+        rng = random.Random(1)
+        values = [rng.randrange(-(2 ** 62), 2 ** 62) for _ in range(2000)]
+        analysis = analyze_column("noise", BIGINT, values)
+        # Nothing can beat raw by the improvement threshold on 8-byte noise.
+        assert analysis.chosen_codec == "raw"
+
+    def test_regret_is_bounded(self):
+        values = [i // 10 for i in range(5000)]
+        analysis = analyze_column("col", INTEGER, values)
+        assert 1.0 <= analysis.regret < 1.5
+
+    def test_sampling_preserves_order_sensitivity(self):
+        # A sorted column must still look sorted in the sample, or delta
+        # would never be chosen on large loads.
+        analysis = analyze_column("s", BIGINT, list(range(100_000)), sample_size=500)
+        assert analysis.sample_size == 500
+        assert analysis.chosen_codec in ("delta", "delta32k")
+
+    def test_analyzer_over_table(self):
+        analyzer = CompressionAnalyzer(sample_size=256)
+        columns = [("a", INTEGER), ("b", varchar_type(16))]
+        vectors = [list(range(1000)), [f"x{i % 3}" for i in range(1000)]]
+        result = analyzer.analyze(columns, vectors)
+        assert set(result) == {"a", "b"}
+        assert result["a"].chosen_codec != "raw"
+
+    def test_mismatched_vectors_rejected(self):
+        analyzer = CompressionAnalyzer()
+        with pytest.raises(ValueError):
+            analyzer.analyze([("a", INTEGER)], [[1], [2]])
+
+    def test_deterministic(self):
+        values = [i % 100 for i in range(10_000)]
+        a = analyze_column("c", INTEGER, values)
+        b = analyze_column("c", INTEGER, values)
+        assert a.chosen_codec == b.chosen_codec

@@ -1,0 +1,189 @@
+"""The SQL type system: validation, coercion, text parsing."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    REAL,
+    SMALLINT,
+    TIMESTAMP,
+    can_coerce,
+    char_type,
+    coerce_value,
+    common_type,
+    decimal_type,
+    parse_literal,
+    render_literal,
+    type_from_name,
+    varchar_type,
+)
+from repro.datatypes.types import TypeKind
+from repro.errors import DataError, TypeMismatchError
+
+
+class TestValidation:
+    def test_integer_ranges(self):
+        assert SMALLINT.validate(32767) == 32767
+        with pytest.raises(DataError):
+            SMALLINT.validate(32768)
+        assert INTEGER.validate(-(2 ** 31)) == -(2 ** 31)
+        with pytest.raises(DataError):
+            INTEGER.validate(2 ** 31)
+        assert BIGINT.validate(2 ** 63 - 1) == 2 ** 63 - 1
+
+    def test_null_always_allowed(self):
+        for t in (SMALLINT, DOUBLE, BOOLEAN, DATE, varchar_type(4)):
+            assert t.validate(None) is None
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(DataError):
+            INTEGER.validate(True)
+
+    def test_float_accepts_int(self):
+        assert DOUBLE.validate(3) == 3.0
+        assert isinstance(DOUBLE.validate(3), float)
+
+    def test_varchar_length_enforced(self):
+        t = varchar_type(3)
+        assert t.validate("abc") == "abc"
+        with pytest.raises(DataError):
+            t.validate("abcd")
+
+    def test_char_pads(self):
+        assert char_type(4).validate("ab") == "ab  "
+
+    def test_decimal_quantizes_to_scale(self):
+        t = decimal_type(10, 2)
+        assert t.validate(decimal.Decimal("1.5")) == decimal.Decimal("1.50")
+
+    def test_decimal_precision_enforced(self):
+        t = decimal_type(4, 2)
+        with pytest.raises(DataError):
+            t.validate(decimal.Decimal("123.45"))
+
+    def test_date_rejects_datetime(self):
+        with pytest.raises(DataError):
+            DATE.validate(datetime.datetime(2015, 1, 1))
+
+    def test_timestamp_promotes_date(self):
+        ts = TIMESTAMP.validate(datetime.date(2015, 5, 31))
+        assert ts == datetime.datetime(2015, 5, 31)
+
+    def test_byte_widths(self):
+        assert SMALLINT.byte_width == 2
+        assert INTEGER.byte_width == 4
+        assert BIGINT.byte_width == 8
+        assert REAL.byte_width == 4
+        assert DOUBLE.byte_width == 8
+        assert varchar_type(40).byte_width == 40
+
+
+class TestTypeNames:
+    def test_aliases(self):
+        assert type_from_name("int") == INTEGER
+        assert type_from_name("int8") == BIGINT
+        assert type_from_name("float") == DOUBLE
+        assert type_from_name("bool") == BOOLEAN
+        assert type_from_name("text").kind is TypeKind.VARCHAR
+
+    def test_parameterised(self):
+        t = type_from_name("decimal", 12, 3)
+        assert (t.precision, t.scale) == (12, 3)
+        assert type_from_name("varchar", 7).length == 7
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DataError):
+            type_from_name("blob")
+
+    def test_params_on_plain_type_rejected(self):
+        with pytest.raises(DataError):
+            type_from_name("int", 4)
+
+    def test_rendering(self):
+        assert str(decimal_type(10, 2)) == "decimal(10,2)"
+        assert str(varchar_type(16)) == "varchar(16)"
+        assert str(BIGINT) == "bigint"
+
+
+class TestCoercion:
+    def test_integer_widening(self):
+        assert can_coerce(SMALLINT, BIGINT)
+        assert not can_coerce(BIGINT, SMALLINT)
+
+    def test_int_to_float(self):
+        assert can_coerce(INTEGER, DOUBLE)
+        assert coerce_value(3, INTEGER, DOUBLE) == 3.0
+
+    def test_date_to_timestamp(self):
+        assert can_coerce(DATE, TIMESTAMP)
+        v = coerce_value(datetime.date(2015, 1, 2), DATE, TIMESTAMP)
+        assert v == datetime.datetime(2015, 1, 2)
+
+    def test_common_type_numeric(self):
+        assert common_type(SMALLINT, BIGINT) == BIGINT
+        assert common_type(INTEGER, DOUBLE) == DOUBLE
+
+    def test_common_type_decimal_float_is_double(self):
+        assert common_type(decimal_type(10, 2), REAL) == DOUBLE
+
+    def test_common_type_char(self):
+        assert common_type(varchar_type(5), varchar_type(9)).length == 9
+
+    def test_no_common_type(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(BOOLEAN, DATE)
+
+    def test_null_coerces_to_anything(self):
+        assert coerce_value(None, INTEGER, DOUBLE) is None
+
+
+class TestTextParsing:
+    def test_null_marker(self):
+        assert parse_literal("", INTEGER) is None
+        assert parse_literal("\\N", INTEGER, null_marker="\\N") is None
+
+    def test_integers(self):
+        assert parse_literal("42", INTEGER) == 42
+        with pytest.raises(DataError):
+            parse_literal("4.2", INTEGER)
+
+    def test_booleans(self):
+        for text in ("t", "TRUE", "yes", "1"):
+            assert parse_literal(text, BOOLEAN) is True
+        for text in ("f", "no", "0", "off"):
+            assert parse_literal(text, BOOLEAN) is False
+        with pytest.raises(DataError):
+            parse_literal("maybe", BOOLEAN)
+
+    def test_dates_and_timestamps(self):
+        assert parse_literal("2015-05-31", DATE) == datetime.date(2015, 5, 31)
+        assert parse_literal(
+            "2015-05-31 12:34:56", TIMESTAMP
+        ) == datetime.datetime(2015, 5, 31, 12, 34, 56)
+        assert parse_literal(
+            "2015-05-31T01:02:03.500000", TIMESTAMP
+        ).microsecond == 500000
+
+    def test_bad_date(self):
+        with pytest.raises(DataError):
+            parse_literal("31/05/2015", DATE)
+
+    def test_roundtrip(self):
+        cases = [
+            (INTEGER, 17),
+            (DOUBLE, 2.5),
+            (BOOLEAN, True),
+            (DATE, datetime.date(2014, 2, 28)),
+            (TIMESTAMP, datetime.datetime(2014, 2, 28, 5, 6, 7)),
+            (varchar_type(20), "hello world"),
+        ]
+        for sql_type, value in cases:
+            text = render_literal(value, sql_type)
+            assert parse_literal(text, sql_type) == value

@@ -1,0 +1,91 @@
+"""Distribution styles and stable hashing."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.distribution import (
+    AllDistribution,
+    DistStyle,
+    EvenDistribution,
+    KeyDistribution,
+    make_distribution,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic_across_instances(self):
+        assert stable_hash("hello") == stable_hash("hello")
+
+    def test_numeric_canonicalisation(self):
+        # int/float/decimal representing the same value must co-locate,
+        # or int-float equi-joins would break.
+        assert stable_hash(1) == stable_hash(1.0)
+        assert stable_hash(1) == stable_hash(decimal.Decimal("1.00"))
+
+    def test_types_disambiguated(self):
+        assert stable_hash("1") != stable_hash(1)
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_temporal(self):
+        d = datetime.date(2015, 5, 31)
+        ts = datetime.datetime(2015, 5, 31)
+        assert stable_hash(d) == stable_hash(datetime.date(2015, 5, 31))
+        assert stable_hash(d) != stable_hash(ts)
+
+    def test_none_hashable(self):
+        assert isinstance(stable_hash(None), int)
+
+    def test_distribution_is_reasonably_uniform(self):
+        buckets = [0] * 16
+        for i in range(16000):
+            buckets[stable_hash(i) % 16] += 1
+        assert min(buckets) > 800
+        assert max(buckets) < 1200
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash([1, 2])
+
+
+class TestDistributions:
+    def test_even_round_robin(self):
+        d = EvenDistribution()
+        assert d.target_slices(0, None, 4) == [0]
+        assert d.target_slices(5, None, 4) == [1]
+
+    def test_key_same_value_same_slice(self):
+        d = KeyDistribution("id")
+        a = d.target_slices(0, 42, 8)
+        b = d.target_slices(99, 42, 8)
+        assert a == b
+
+    def test_key_requires_column(self):
+        with pytest.raises(ValueError):
+            KeyDistribution("")
+
+    def test_all_targets_every_slice(self):
+        assert AllDistribution().target_slices(0, None, 3) == [0, 1, 2]
+
+    def test_colocation_rules(self):
+        key = KeyDistribution("a")
+        even = EvenDistribution()
+        all_ = AllDistribution()
+        assert key.colocated_with(key)
+        assert key.colocated_with(all_)
+        assert all_.colocated_with(even)
+        assert not even.colocated_with(key)
+
+    def test_factory(self):
+        assert make_distribution("even").style is DistStyle.EVEN
+        assert make_distribution("all").style is DistStyle.ALL
+        assert make_distribution("key", "c").style is DistStyle.KEY
+        with pytest.raises(ValueError):
+            make_distribution("key")
+
+    def test_describe(self):
+        assert make_distribution("key", "uid").describe() == (
+            "DISTSTYLE KEY DISTKEY(uid)"
+        )

@@ -1,0 +1,180 @@
+"""SQL expression semantics: three-valued logic, NULL propagation, LIKE,
+CAST, and the closure evaluator."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.datatypes import DATE, INTEGER, decimal_type, varchar_type
+from repro.errors import DataError, DivisionByZeroError
+from repro.sql import ast, parse_expression
+from repro.sql.expressions import (
+    cast_value,
+    compile_expression,
+    sql_add,
+    sql_and,
+    sql_div,
+    sql_eq,
+    sql_in,
+    sql_like,
+    sql_mod,
+    sql_not,
+    sql_or,
+    sql_sub,
+)
+
+
+def evaluate(sql: str, row=(), resolve=None):
+    expr = parse_expression(sql)
+    fn = compile_expression(expr, resolve or (lambda ref: 0))
+    return fn(row)
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False  # FALSE dominates
+        assert sql_and(True, None) is None
+        assert sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(True, None) is True  # TRUE dominates
+        assert sql_or(False, None) is None
+        assert sql_or(None, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(None) is None
+
+
+class TestNullPropagation:
+    def test_comparison_with_null(self):
+        assert sql_eq(None, 1) is None
+        assert sql_eq(1, None) is None
+
+    def test_arithmetic_with_null(self):
+        assert sql_add(None, 1) is None
+        assert sql_sub(1, None) is None
+
+    def test_in_with_null_semantics(self):
+        assert sql_in(1, (1, None)) is True
+        assert sql_in(2, (1, None)) is None  # unknown, not false
+        assert sql_in(2, (1, 3)) is False
+        assert sql_in(None, (1,)) is None
+
+
+class TestArithmetic:
+    def test_integer_division_truncates_toward_zero(self):
+        assert sql_div(7, 2) == 3
+        assert sql_div(-7, 2) == -3  # not -4
+        assert sql_div(7, -2) == -3
+
+    def test_float_division(self):
+        assert sql_div(7.0, 2) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(DivisionByZeroError):
+            sql_div(1, 0)
+        with pytest.raises(DivisionByZeroError):
+            sql_mod(1, 0)
+
+    def test_mod_sign_follows_dividend(self):
+        assert sql_mod(7, 3) == 1
+        assert sql_mod(-7, 3) == -1
+
+    def test_decimal_float_harmonized(self):
+        assert sql_add(decimal.Decimal("1.5"), 0.5) == 2.0
+        assert sql_eq(decimal.Decimal("2"), 2.0) is True
+
+    def test_date_arithmetic(self):
+        d = datetime.date(2015, 5, 31)
+        assert sql_add(d, 1) == datetime.date(2015, 6, 1)
+        assert sql_sub(d, datetime.date(2015, 5, 1)) == 30
+
+
+class TestLike:
+    def test_percent(self):
+        assert sql_like("hello", "he%") is True
+        assert sql_like("hello", "%lo") is True
+        assert sql_like("hello", "x%") is False
+
+    def test_underscore(self):
+        assert sql_like("cat", "c_t") is True
+        assert sql_like("cart", "c_t") is False
+
+    def test_escaping_of_regex_chars(self):
+        assert sql_like("a.b", "a.b") is True
+        assert sql_like("axb", "a.b") is False  # dot is literal
+
+    def test_backslash_escape(self):
+        assert sql_like("50%", "50\\%") is True
+        assert sql_like("505", "50\\%") is False
+
+    def test_case_insensitive(self):
+        assert sql_like("HELLO", "hello", case_insensitive=True) is True
+
+    def test_null(self):
+        assert sql_like(None, "%") is None
+
+
+class TestCast:
+    def test_string_to_int(self):
+        assert cast_value("42", INTEGER) == 42
+
+    def test_float_to_int_rounds_half_up(self):
+        assert cast_value(2.5, INTEGER) == 3
+        assert cast_value(-2.5, INTEGER) == -3
+
+    def test_int_to_decimal(self):
+        assert cast_value(5, decimal_type(6, 2)) == decimal.Decimal("5.00")
+
+    def test_string_to_date(self):
+        assert cast_value("2015-05-31", DATE) == datetime.date(2015, 5, 31)
+
+    def test_anything_to_varchar(self):
+        assert cast_value(3.5, varchar_type(10)) == "3.5"
+        assert cast_value(True, varchar_type(10)) == "t"
+
+    def test_invalid_cast(self):
+        with pytest.raises(DataError):
+            cast_value("not a number", INTEGER)
+
+    def test_null_casts_to_null(self):
+        assert cast_value(None, INTEGER) is None
+
+
+class TestCompiledEvaluation:
+    def test_literal(self):
+        assert evaluate("1 + 2 * 3") == 7
+
+    def test_case(self):
+        assert evaluate("CASE WHEN 1 > 2 THEN 'a' ELSE 'b' END") == "b"
+
+    def test_case_null_condition_falls_through(self):
+        assert evaluate("CASE WHEN NULL THEN 'a' END") is None
+
+    def test_between(self):
+        assert evaluate("5 BETWEEN 1 AND 10") is True
+        assert evaluate("5 NOT BETWEEN 1 AND 10") is False
+
+    def test_bound_ref(self):
+        expr = ast.BoundRef(1, INTEGER, "b")
+        fn = compile_expression(expr, lambda r: 0)
+        assert fn((10, 20)) == 20
+
+    def test_typed_literal(self):
+        assert evaluate("DATE '2015-01-02'") == datetime.date(2015, 1, 2)
+
+    def test_functions(self):
+        assert evaluate("upper('abc')") == "ABC"
+        assert evaluate("coalesce(NULL, NULL, 3)") == 3
+
+    def test_concat(self):
+        assert evaluate("'a' || 'b' || 1") == "ab1"
+
+    def test_is_null(self):
+        assert evaluate("NULL IS NULL") is True
+        assert evaluate("1 IS NOT NULL") is True

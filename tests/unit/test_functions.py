@@ -1,0 +1,213 @@
+"""Scalar functions, aggregates (partial/merge/final), and HyperLogLog."""
+
+import datetime
+import math
+
+import pytest
+
+from repro.datatypes import BIGINT, DOUBLE, INTEGER
+from repro.errors import AnalysisError
+from repro.sql.functions import (
+    is_aggregate_function,
+    is_scalar_function,
+    make_aggregate,
+    scalar_function,
+)
+from repro.sql.hll import HyperLogLog
+
+
+class TestScalarRegistry:
+    def test_lookup(self):
+        assert is_scalar_function("UPPER")
+        assert not is_scalar_function("no_such_fn")
+        with pytest.raises(AnalysisError):
+            scalar_function("no_such_fn")
+
+    def test_arity_checked(self):
+        fn = scalar_function("substring")
+        with pytest.raises(AnalysisError):
+            fn.check_arity(1)
+        fn.check_arity(2)
+        fn.check_arity(3)
+
+    def test_null_propagation(self):
+        assert scalar_function("upper")(None) is None
+        assert scalar_function("length")(None) is None
+
+    def test_null_handling_functions(self):
+        assert scalar_function("coalesce")(None, 2) == 2
+        assert scalar_function("nullif")(3, 3) is None
+        assert scalar_function("nullif")(3, 4) == 3
+        assert scalar_function("greatest")(None, 5, 2) == 5
+        assert scalar_function("least")(None, 5, 2) == 2
+
+    def test_string_functions(self):
+        assert scalar_function("substring")("hello", 2, 3) == "ell"
+        assert scalar_function("left")("hello", 2) == "he"
+        assert scalar_function("right")("hello", 2) == "lo"
+        assert scalar_function("strpos")("hello", "ll") == 3
+        assert scalar_function("lpad")("7", 3, "0") == "007"
+        assert scalar_function("replace")("aXbX", "X", "-") == "a-b-"
+        assert scalar_function("initcap")("hello world") == "Hello World"
+        assert scalar_function("reverse")("abc") == "cba"
+
+    def test_math_functions(self):
+        assert scalar_function("abs")(-3) == 3
+        assert scalar_function("round")(2.567, 1) == 2.6
+        assert scalar_function("round")(2.5) == 3  # half-up, not banker's
+        assert scalar_function("floor")(2.9) == 2
+        assert scalar_function("ceil")(2.1) == 3
+        assert scalar_function("sign")(-9) == -1
+        assert scalar_function("mod")(10, 3) == 1
+        assert scalar_function("power")(2, 10) == 1024.0
+        assert scalar_function("sqrt")(16) == 4.0
+
+    def test_date_functions(self):
+        ts = datetime.datetime(2015, 5, 31, 14, 30, 15)
+        date_part = scalar_function("date_part")
+        assert date_part("year", ts) == 2015
+        assert date_part("quarter", ts) == 2
+        assert date_part("dow", ts) == 0  # Sunday
+        assert date_part("hour", ts) == 14
+        trunc = scalar_function("date_trunc")
+        assert trunc("month", ts) == datetime.datetime(2015, 5, 1)
+        assert trunc("hour", ts) == datetime.datetime(2015, 5, 31, 14)
+        dateadd = scalar_function("dateadd")
+        assert dateadd("month", 1, datetime.date(2015, 1, 31)) == \
+            datetime.datetime(2015, 2, 28)  # clamps to month end
+        datediff = scalar_function("datediff")
+        assert datediff(
+            "day", datetime.date(2015, 1, 1), datetime.date(2015, 2, 1)
+        ) == 31
+
+
+class TestAggregates:
+    def run(self, name, values, distinct=False, approximate=False):
+        agg = make_aggregate(name, distinct, approximate)
+        state = agg.create()
+        for v in values:
+            state = agg.accumulate(state, v)
+        return agg.finalize(state)
+
+    def test_count_ignores_nulls(self):
+        assert self.run("count", [1, None, 2]) == 2
+
+    def test_sum_of_nothing_is_null(self):
+        assert self.run("sum", []) is None
+        assert self.run("sum", [None, None]) is None
+
+    def test_sum(self):
+        assert self.run("sum", [1, 2, None, 3]) == 6
+
+    def test_avg(self):
+        assert self.run("avg", [1, 2, 3, None]) == 2.0
+        assert self.run("avg", []) is None
+
+    def test_min_max(self):
+        assert self.run("min", [3, None, 1]) == 1
+        assert self.run("max", [3, None, 1]) == 3
+
+    def test_stddev_variance(self):
+        vals = [2, 4, 4, 4, 5, 5, 7, 9]
+        assert self.run("stddev", vals) == pytest.approx(2.138, abs=0.001)
+        assert self.run("variance", vals) == pytest.approx(4.571, abs=0.001)
+        assert self.run("stddev", [1]) is None  # n < 2
+
+    def test_distinct_wrapper(self):
+        assert self.run("count", [1, 1, 2, None, 2], distinct=True) == 2
+        assert self.run("sum", [5, 5, 3], distinct=True) == 8
+
+    def test_merge_equals_sequential(self):
+        # The distributed invariant: merging per-slice partials must give
+        # exactly the single-pass answer.
+        for name in ("count", "sum", "avg", "min", "max", "stddev", "variance"):
+            agg = make_aggregate(name)
+            values = [1, 5, None, 2, 8, 3, None, 9, 4]
+            whole = agg.create()
+            for v in values:
+                whole = agg.accumulate(whole, v)
+            left = agg.create()
+            right = agg.create()
+            for v in values[:4]:
+                left = agg.accumulate(left, v)
+            for v in values[4:]:
+                right = agg.accumulate(right, v)
+            merged = agg.merge(left, right)
+            a, b = agg.finalize(whole), agg.finalize(merged)
+            if isinstance(a, float):
+                assert a == pytest.approx(b)
+            else:
+                assert a == b
+
+    def test_result_types(self):
+        assert make_aggregate("count").result_type(INTEGER) == BIGINT
+        assert make_aggregate("sum").result_type(INTEGER) == BIGINT
+        assert make_aggregate("sum").result_type(DOUBLE) == DOUBLE
+        assert make_aggregate("avg").result_type(INTEGER) == DOUBLE
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(AnalysisError):
+            make_aggregate("median")
+
+    def test_approximate_only_for_count_distinct(self):
+        with pytest.raises(AnalysisError):
+            make_aggregate("sum", distinct=True, approximate=True)
+        with pytest.raises(AnalysisError):
+            make_aggregate("count", distinct=False, approximate=True)
+
+    def test_approx_count_distinct_accuracy(self):
+        result = self.run("count", range(50_000), distinct=True, approximate=True)
+        assert abs(result - 50_000) / 50_000 < 0.05
+
+    def test_is_aggregate_function(self):
+        assert is_aggregate_function("COUNT")
+        assert not is_aggregate_function("upper")
+
+
+class TestHyperLogLog:
+    def test_empty(self):
+        assert HyperLogLog().cardinality() == 0
+
+    def test_small_exact_via_linear_counting(self):
+        hll = HyperLogLog(12)
+        for i in range(100):
+            hll.add(i)
+        assert abs(hll.cardinality() - 100) <= 2
+
+    def test_error_within_bound(self):
+        hll = HyperLogLog(12)
+        n = 200_000
+        for i in range(n):
+            hll.add(f"user-{i}")
+        error = abs(hll.cardinality() - n) / n
+        assert error < 3 * hll.standard_error()
+
+    def test_duplicates_ignored(self):
+        hll = HyperLogLog(10)
+        for _ in range(1000):
+            hll.add("same")
+        assert hll.cardinality() == 1
+
+    def test_merge_is_union(self):
+        a, b = HyperLogLog(12), HyperLogLog(12)
+        for i in range(0, 2000):
+            a.add(i)
+        for i in range(1000, 3000):
+            b.add(i)
+        a.merge(b)
+        assert abs(a.cardinality() - 3000) / 3000 < 0.05
+
+    def test_merge_requires_same_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(10).merge(HyperLogLog(12))
+
+    def test_memory_is_constant(self):
+        hll = HyperLogLog(12)
+        assert hll.size_bytes == 4096
+        for i in range(10_000):
+            hll.add(i)
+        assert hll.size_bytes == 4096
+
+    def test_precision_validated(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(3)

@@ -1,0 +1,75 @@
+"""SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql import Token, TokenType, tokenize
+
+
+def types(sql):
+    return [t.type for t in tokenize(sql)[:-1]]  # strip EOF
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT Select select")
+        assert all(t.matches_keyword("select") for t in tokens[:-1])
+
+    def test_identifiers_folded(self):
+        assert texts("FooBar") == ["foobar"]
+
+    def test_quoted_identifier_preserves_case(self):
+        tokens = tokenize('"FooBar"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].text == "FooBar"
+
+    def test_quoted_identifier_escape(self):
+        assert tokenize('"a""b"')[0].text == 'a"b'
+
+    def test_string_literal(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        assert texts("1 2.5 .5 1e3 1.5E-2") == ["1", "2.5", ".5", "1e3", "1.5E-2"]
+        assert all(t is TokenType.NUMBER for t in types("1 2.5 .5 1e3 1.5E-2"))
+
+    def test_number_followed_by_dot_method(self):
+        # "1." parses the dot into the number; "t.c" keeps the dot separate.
+        tokens = tokenize("t.c")
+        assert [t.text for t in tokens[:-1]] == ["t", ".", "c"]
+
+    def test_multi_char_operators(self):
+        assert texts("<> <= >= != || ::") == ["<>", "<=", ">=", "!=", "||", "::"]
+
+    def test_line_comments_skipped(self):
+        assert texts("a -- comment\n b") == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* b")
+
+    def test_positions_reported(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("a @ b")
+        assert "line 1" in str(err.value)
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF

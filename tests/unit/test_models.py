@@ -1,0 +1,157 @@
+"""Ops, growth and performance models (the figure generators)."""
+
+import pytest
+
+from repro.controlplane.patching import DefectModel
+from repro.growth import DataGrowthModel
+from repro.ops import (
+    FeatureDeliveryModel,
+    FleetOperationsSimulation,
+    pareto_top_share,
+    rank_causes,
+)
+from repro.perfmodel import (
+    HadoopModel,
+    LegacyWarehouseModel,
+    RedshiftPerfModel,
+    RetailWorkload,
+)
+from repro.util.units import TB
+
+
+class TestPareto:
+    def test_ranking(self):
+        events = ["a"] * 5 + ["b"] * 3 + ["c"]
+        assert rank_causes(events) == [("a", 5), ("b", 3), ("c", 1)]
+
+    def test_tie_break_by_name(self):
+        assert rank_causes(["b", "a"]) == [("a", 1), ("b", 1)]
+
+    def test_top_share(self):
+        events = ["hot"] * 90 + [f"cold{i}" for i in range(10)]
+        assert pareto_top_share(events, top_n=1) == 0.9
+        assert pareto_top_share([], top_n=10) == 0.0
+
+
+class TestFeatureModel:
+    def test_roughly_one_per_week(self):
+        releases = FeatureDeliveryModel(seed=1).simulate(104)
+        total = releases[-1].cumulative
+        assert 80 <= total <= 160  # "averaged one feature per week"
+
+    def test_cumulative_monotone(self):
+        releases = FeatureDeliveryModel(seed=2).simulate(104)
+        values = [r.cumulative for r in releases]
+        assert values == sorted(values)
+
+    def test_release_cadence(self):
+        releases = FeatureDeliveryModel(release_interval_weeks=2, seed=3).simulate(52)
+        assert len(releases) == 26
+
+    def test_deterministic(self):
+        a = FeatureDeliveryModel(seed=9).simulate(52)
+        b = FeatureDeliveryModel(seed=9).simulate(52)
+        assert [r.cumulative for r in a] == [r.cumulative for r in b]
+
+
+class TestTicketSimulation:
+    def test_fig5_shape(self):
+        stats = FleetOperationsSimulation(seed=11).run(104)
+        # Fleet grows (operational load correlates with success)...
+        assert stats[-1].clusters > stats[0].clusters * 10
+        # ...but tickets per cluster decline materially.
+        first_quarter = sum(s.tickets_per_cluster for s in stats[:13]) / 13
+        last_quarter = sum(s.tickets_per_cluster for s in stats[-13:]) / 13
+        assert last_quarter < first_quarter * 0.6
+
+    def test_pareto_concentration_exists(self):
+        stats = FleetOperationsSimulation(seed=11).run(20)
+        busy = [s for s in stats if s.tickets >= 20]
+        assert busy, "simulation should produce paged weeks"
+        assert all(s.top10_share > 0.3 for s in busy)
+
+    def test_fixes_happen(self):
+        stats = FleetOperationsSimulation(seed=11).run(30)
+        assert sum(s.fixed_this_week for s in stats) >= 20
+
+
+class TestGrowthModel:
+    def test_gap_widens(self):
+        model = DataGrowthModel()
+        assert model.gap_ratio(2020) > model.gap_ratio(2010) > model.gap_ratio(2000)
+
+    def test_dark_fraction_grows(self):
+        points = DataGrowthModel().series()
+        assert points[-1].dark_fraction > 0.9
+        assert points[0].dark_fraction == 0.0
+
+    def test_doubling_time_near_paper_quote(self):
+        # "data doubling in size every 20 months"
+        months = DataGrowthModel().doubling_months_late_era()
+        assert 15 <= months <= 25
+
+    def test_series_covers_figure_range(self):
+        points = DataGrowthModel().series()
+        assert points[0].year == 1990
+        assert points[-1].year == 2020
+
+
+class TestDefectModel:
+    def test_failure_probability_superlinear(self):
+        model = DefectModel()
+        p2 = model.failure_probability(36)   # 2 weeks of changes
+        p4 = model.failure_probability(72)   # 4 weeks
+        assert p4 > 2 * p2 * 0.9  # roughly doubles or worse
+
+    def test_bounds(self):
+        model = DefectModel()
+        assert 0 <= model.failure_probability(1) < 0.02
+        assert model.failure_probability(10_000) <= 1.0
+
+
+class TestPerfModel:
+    def test_retail_numbers_same_order_of_magnitude(self):
+        workload = RetailWorkload()
+        model = RedshiftPerfModel()
+        out = model.retail_summary(workload)
+        paper = workload.PAPER_RESULTS
+        for key in ("daily_load_s", "backfill_s", "backup_s", "restore_s", "join_s"):
+            ratio = out[key] / paper[key]
+            assert 0.2 <= ratio <= 5.0, (key, ratio)
+
+    def test_join_beats_legacy_by_orders_of_magnitude(self):
+        workload = RetailWorkload()
+        join = workload.click_product_join()
+        redshift = RedshiftPerfModel().join_seconds(join)
+        legacy = LegacyWarehouseModel().join_seconds(join)
+        assert legacy > 7 * 24 * 3600  # paper: "over a week"
+        assert legacy / redshift > 100
+
+    def test_colocation_helps(self):
+        join = RetailWorkload().click_product_join()
+        model = RedshiftPerfModel()
+        assert model.join_seconds(join, colocated=True) < model.join_seconds(
+            join, colocated=False
+        )
+
+    def test_scaling_near_linear(self):
+        w = RetailWorkload()
+        small = RedshiftPerfModel(node_count=10).load_seconds(w.daily_raw_bytes)
+        large = RedshiftPerfModel(node_count=100).load_seconds(w.daily_raw_bytes)
+        assert small / large == pytest.approx(10, rel=0.01)
+
+    def test_comparator_scan_rates_match_paper_quotes(self):
+        legacy = LegacyWarehouseModel()
+        hadoop = HadoopModel()
+        week_of_data = 7 * 2 * TB
+        month_of_data = 30 * 2 * TB
+        assert legacy.scan_seconds(week_of_data) == pytest.approx(3600)
+        assert hadoop.scan_seconds(month_of_data) == pytest.approx(3600)
+
+    def test_cost_model(self):
+        model = RedshiftPerfModel(node_type="dw2.large", node_count=1)
+        assert model.hourly_cost_usd() == pytest.approx(0.25)
+
+    def test_unknown_node_type(self):
+        with pytest.raises(KeyError):
+            RedshiftPerfModel(node_type="m1.banana").retail_summary()

@@ -1,0 +1,251 @@
+"""SQL parser: statement coverage and parse→render→parse stability."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse_expression, parse_statement, parse_statements
+
+
+def stable(sql: str):
+    """Parse, render, parse again; rendered forms must agree."""
+    first = parse_statement(sql)
+    second = parse_statement(first.to_sql())
+    assert first.to_sql() == second.to_sql()
+    return first
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = stable("SELECT 1")
+        assert isinstance(stmt, ast.SelectStatement)
+
+    def test_star_and_qualified_star(self):
+        q = stable("SELECT *, t.* FROM t").query
+        assert isinstance(q.items[0].expression, ast.Star)
+        assert q.items[1].expression.table == "t"
+
+    def test_aliases(self):
+        q = stable("SELECT a AS x, b y FROM t").query
+        assert q.items[0].alias == "x"
+        assert q.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert stable("SELECT DISTINCT a FROM t").query.distinct
+
+    def test_where_group_having_order_limit_offset(self):
+        q = stable(
+            "SELECT a, count(*) FROM t WHERE a > 1 GROUP BY a "
+            "HAVING count(*) > 2 ORDER BY 2 DESC LIMIT 5 OFFSET 3"
+        ).query
+        assert q.where is not None
+        assert len(q.group_by) == 1
+        assert q.having is not None
+        assert q.order_by[0].descending
+        assert (q.limit, q.offset) == (5, 3)
+
+    def test_join_kinds(self):
+        for kind in ("JOIN", "INNER JOIN", "LEFT JOIN", "LEFT OUTER JOIN",
+                     "RIGHT JOIN", "FULL OUTER JOIN"):
+            q = parse_statement(f"SELECT * FROM a {kind} b ON a.x = b.x").query
+            assert isinstance(q.from_item, ast.Join)
+
+    def test_cross_join_and_comma(self):
+        q1 = parse_statement("SELECT * FROM a CROSS JOIN b").query
+        q2 = parse_statement("SELECT * FROM a, b").query
+        assert q1.from_item.kind is ast.JoinKind.CROSS
+        assert q2.from_item.kind is ast.JoinKind.CROSS
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM a JOIN b")
+
+    def test_subquery_in_from(self):
+        q = stable("SELECT x FROM (SELECT a x FROM t) AS sub").query
+        assert isinstance(q.from_item, ast.SubqueryRef)
+        assert q.from_item.alias == "sub"
+
+    def test_ctes(self):
+        q = stable(
+            "WITH a AS (SELECT 1 x), b AS (SELECT 2 y) SELECT * FROM a, b"
+        ).query
+        assert [c.name for c in q.ctes] == ["a", "b"]
+
+    def test_nested_joins_left_associative(self):
+        q = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        ).query
+        assert isinstance(q.from_item.left, ast.Join)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert e.to_sql() == "(1 + (2 * 3))"
+
+    def test_logical_precedence(self):
+        e = parse_expression("a OR b AND NOT c")
+        assert e.to_sql() == "(a OR (b AND (NOT c)))"
+
+    def test_comparison_chain(self):
+        e = parse_expression("a < b = c")  # left-assoc comparisons
+        assert e.to_sql() == "((a < b) = c)"
+
+    def test_unary_minus(self):
+        assert parse_expression("-a * 2").to_sql() == "((- a) * 2)"
+
+    def test_between_and_not_between(self):
+        assert parse_expression("x BETWEEN 1 AND 2").to_sql() == \
+            "(x BETWEEN 1 AND 2)"
+        assert "NOT BETWEEN" in parse_expression("x NOT BETWEEN 1 AND 2").to_sql()
+
+    def test_in_list(self):
+        e = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(e, ast.InExpr)
+        assert len(e.items) == 3
+
+    def test_like_ilike(self):
+        assert not parse_expression("x LIKE 'a%'").case_insensitive
+        assert parse_expression("x ILIKE 'a%'").case_insensitive
+        assert parse_expression("x NOT LIKE 'a%'").negated
+
+    def test_is_null(self):
+        assert not parse_expression("x IS NULL").negated
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_case_searched(self):
+        e = parse_expression("CASE WHEN a > 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(e, ast.CaseExpr)
+        assert e.default is not None
+
+    def test_case_simple_desugars(self):
+        e = parse_expression("CASE a WHEN 1 THEN 'x' END")
+        cond = e.whens[0][0]
+        assert isinstance(cond, ast.BinaryOp) and cond.op == "="
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_cast_forms(self):
+        a = parse_expression("CAST(x AS decimal(10,2))")
+        b = parse_expression("x::decimal(10,2)")
+        assert a.to_sql() == b.to_sql()
+
+    def test_typed_literals(self):
+        e = parse_expression("DATE '2015-05-31'")
+        assert isinstance(e, ast.Literal) and e.type_name == "date"
+
+    def test_function_calls(self):
+        e = parse_expression("substring(name, 1, 3)")
+        assert isinstance(e, ast.FunctionCall)
+        assert len(e.args) == 3
+
+    def test_count_star_and_distinct(self):
+        star = parse_expression("COUNT(*)")
+        assert isinstance(star.args[0], ast.Star)
+        distinct = parse_expression("COUNT(DISTINCT x)")
+        assert distinct.distinct
+
+    def test_approximate(self):
+        e = parse_expression("APPROXIMATE COUNT(DISTINCT x)")
+        assert e.approximate and e.distinct
+
+    def test_approximate_requires_call(self):
+        with pytest.raises(ParseError):
+            parse_expression("APPROXIMATE 5")
+
+    def test_concat_operator(self):
+        assert parse_expression("a || b || c").to_sql() == "((a || b) || c)"
+
+    def test_string_escape(self):
+        e = parse_expression("'it''s'")
+        assert e.value == "it's"
+
+
+class TestDdlDml:
+    def test_create_table_full(self):
+        stmt = stable(
+            "CREATE TABLE t (a int NOT NULL ENCODE delta, b varchar(10)) "
+            "DISTSTYLE KEY DISTKEY(a) SORTKEY(a, b)"
+        )
+        assert stmt.diststyle == "key"
+        assert stmt.distkey == "a"
+        assert stmt.sortkey == ["a", "b"]
+        assert stmt.columns[0].encode == "delta"
+        assert stmt.columns[0].not_null
+
+    def test_create_table_interleaved(self):
+        stmt = stable("CREATE TABLE t (a int, b int) INTERLEAVED SORTKEY(a, b)")
+        assert stmt.sortkey_interleaved
+
+    def test_create_if_not_exists(self):
+        assert stable("CREATE TABLE IF NOT EXISTS t (a int)").if_not_exists
+
+    def test_create_table_constraints_ignored(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a int PRIMARY KEY, b int REFERENCES u(x))"
+        )
+        assert len(stmt.columns) == 2
+
+    def test_ctas(self):
+        stmt = stable("CREATE TABLE t2 DISTSTYLE ALL AS SELECT a FROM t")
+        assert isinstance(stmt, ast.CreateTableAsStatement)
+        assert stmt.diststyle == "all"
+
+    def test_drop(self):
+        assert stable("DROP TABLE IF EXISTS t").if_exists
+
+    def test_insert_values_multi_row(self):
+        stmt = stable("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert len(stmt.rows) == 2
+        assert stmt.columns == ["a", "b"]
+
+    def test_insert_select(self):
+        stmt = stable("INSERT INTO t SELECT a FROM u")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = stable("UPDATE t SET a = a + 1, b = 'x' WHERE a < 5")
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        assert stable("DELETE FROM t WHERE a = 1").where is not None
+
+    def test_copy_options(self):
+        stmt = stable(
+            "COPY t FROM 's3://b/k' DELIMITER ',' NULL AS 'N' GZIP "
+            "COMPUPDATE OFF STATUPDATE ON"
+        )
+        assert stmt.source == "s3://b/k"
+        assert stmt.options["delimiter"] == ","
+        assert stmt.options["compupdate"] is False
+        assert stmt.options["statupdate"] is True
+
+    def test_copy_requires_string_source(self):
+        with pytest.raises(ParseError):
+            parse_statement("COPY t FROM somewhere")
+
+    def test_maintenance(self):
+        assert stable("ANALYZE COMPRESSION t").compression
+        assert stable("VACUUM REINDEX t").reindex
+        assert stable("VACUUM").table is None
+
+    def test_explain(self):
+        stmt = stable("EXPLAIN SELECT 1")
+        assert isinstance(stmt, ast.ExplainStatement)
+
+    def test_transactions(self):
+        kinds = [type(s).__name__ for s in parse_statements("BEGIN; COMMIT; ROLLBACK")]
+        assert kinds == ["BeginStatement", "CommitStatement", "RollbackStatement"]
+
+    def test_script_parsing_with_stray_semicolons(self):
+        stmts = parse_statements(";;SELECT 1;; SELECT 2;")
+        assert len(stmts) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 SELECT 2")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("GRANT ALL ON t TO bob")

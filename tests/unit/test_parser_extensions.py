@@ -1,0 +1,103 @@
+"""Parser coverage for set operations and subquery expressions."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse_expression, parse_statement
+
+
+def stable(sql: str):
+    first = parse_statement(sql)
+    second = parse_statement(first.to_sql())
+    assert first.to_sql() == second.to_sql()
+    return first
+
+
+class TestSetOperationParsing:
+    def test_union_all(self):
+        stmt = stable("SELECT a FROM t UNION ALL SELECT b FROM u")
+        q = stmt.query
+        assert isinstance(q, ast.SetOperation)
+        assert q.op == "union" and q.all
+
+    def test_union_distinct_keyword(self):
+        q = parse_statement("SELECT a FROM t UNION DISTINCT SELECT b FROM u").query
+        assert not q.all
+
+    def test_intersect_and_except(self):
+        for op in ("INTERSECT", "EXCEPT"):
+            q = parse_statement(f"SELECT a FROM t {op} SELECT b FROM u").query
+            assert q.op == op.lower()
+            assert not q.all
+
+    def test_left_associativity(self):
+        q = parse_statement(
+            "SELECT 1 UNION SELECT 2 EXCEPT SELECT 3"
+        ).query
+        assert q.op == "except"
+        assert isinstance(q.left, ast.SetOperation)
+        assert q.left.op == "union"
+
+    def test_parenthesized_grouping(self):
+        q = parse_statement(
+            "SELECT 1 EXCEPT (SELECT 2 UNION SELECT 3)"
+        ).query
+        assert q.op == "except"
+        assert isinstance(q.right, ast.SetOperation)
+
+    def test_order_limit_attach_to_whole(self):
+        q = stable(
+            "SELECT a FROM t UNION SELECT b FROM u ORDER BY 1 DESC LIMIT 3"
+        ).query
+        assert isinstance(q, ast.SetOperation)
+        assert q.limit == 3
+        assert q.order_by[0].descending
+
+    def test_set_op_inside_subquery_ref(self):
+        q = parse_statement(
+            "SELECT * FROM (SELECT 1 x UNION SELECT 2 x) AS s"
+        ).query
+        assert isinstance(q.from_item, ast.SubqueryRef)
+        assert isinstance(q.from_item.query, ast.SetOperation)
+
+    def test_set_op_inside_cte(self):
+        q = parse_statement(
+            "WITH c AS (SELECT 1 UNION SELECT 2) SELECT * FROM c"
+        ).query
+        assert isinstance(q.ctes[0].query, ast.SetOperation)
+
+
+class TestSubqueryParsing:
+    def test_scalar_subquery(self):
+        e = parse_expression("(SELECT max(x) FROM t)")
+        assert isinstance(e, ast.ScalarSubquery)
+
+    def test_scalar_subquery_in_arithmetic(self):
+        e = parse_expression("1 + (SELECT count(*) FROM t)")
+        assert isinstance(e.right, ast.ScalarSubquery)
+
+    def test_in_subquery(self):
+        e = parse_expression("x IN (SELECT y FROM t)")
+        assert isinstance(e, ast.InExpr)
+        assert e.subquery is not None
+        assert e.items == []
+
+    def test_not_in_subquery(self):
+        e = parse_expression("x NOT IN (SELECT y FROM t)")
+        assert e.negated and e.subquery is not None
+
+    def test_in_list_still_works(self):
+        e = parse_expression("x IN (1, 2)")
+        assert e.subquery is None and len(e.items) == 2
+
+    def test_parenthesized_expression_not_subquery(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert isinstance(e, ast.BinaryOp)
+
+    def test_subquery_with_cte_inside(self):
+        e = parse_expression("(WITH c AS (SELECT 1 x) SELECT x FROM c)")
+        assert isinstance(e, ast.ScalarSubquery)
+
+    def test_rendering_roundtrip(self):
+        stable("SELECT a FROM t WHERE b IN (SELECT c FROM u) AND "
+               "d > (SELECT avg(e) FROM v)")

@@ -1,0 +1,222 @@
+"""Binder and physical planner: resolution, typing, distribution choices."""
+
+import pytest
+
+from repro import Cluster
+from repro.errors import (
+    AmbiguousColumnError,
+    AnalysisError,
+    ColumnNotFoundError,
+    TableNotFoundError,
+)
+from repro.plan import (
+    Binder,
+    PhysicalHashJoin,
+    PhysicalPlanner,
+    PhysicalScan,
+    JoinDistribution,
+    explain,
+)
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def setup():
+    cluster = Cluster(node_count=2, slices_per_node=2)
+    s = cluster.connect()
+    s.execute("CREATE TABLE big (k int, v int, s varchar(16)) DISTKEY(k)")
+    s.execute("CREATE TABLE big2 (k int, w int) DISTKEY(k)")
+    s.execute("CREATE TABLE evens (k int, v int) DISTSTYLE EVEN")
+    s.execute("CREATE TABLE dims (k int, label varchar(8)) DISTSTYLE ALL")
+    # Give the planner size signals.
+    s.execute("INSERT INTO dims VALUES (1, 'a'), (2, 'b')")
+    rows = ",".join(f"({i%50},{i},'s{i%7}')" for i in range(500))
+    s.execute(f"INSERT INTO big VALUES {rows}")
+    rows2 = ",".join(f"({i%50},{i})" for i in range(500))
+    s.execute(f"INSERT INTO big2 VALUES {rows2}")
+    s.execute(f"INSERT INTO evens VALUES {rows2}")
+    binder = Binder(cluster.catalog)
+    planner = PhysicalPlanner(cluster.catalog, cluster.slice_count)
+    return cluster, binder, planner
+
+
+def plan(setup, sql):
+    _cluster, binder, planner = setup
+    stmt = parse_statement(sql)
+    return planner.plan(binder.bind_select(stmt.query))
+
+
+def find(node, kind):
+    if isinstance(node, kind):
+        return node
+    for child in node.children:
+        found = find(child, kind)
+        if found is not None:
+            return found
+    return None
+
+
+class TestBinder:
+    def test_unknown_table(self, setup):
+        with pytest.raises(TableNotFoundError):
+            plan(setup, "SELECT * FROM nope")
+
+    def test_unknown_column(self, setup):
+        with pytest.raises(ColumnNotFoundError):
+            plan(setup, "SELECT zzz FROM big")
+
+    def test_ambiguous_column(self, setup):
+        with pytest.raises(AmbiguousColumnError):
+            plan(setup, "SELECT k FROM big, big2")
+
+    def test_qualified_disambiguation(self, setup):
+        node = plan(setup, "SELECT big.k FROM big, big2")
+        assert node is not None
+
+    def test_column_not_in_group_by_rejected(self, setup):
+        with pytest.raises(AnalysisError):
+            plan(setup, "SELECT v, count(*) FROM big GROUP BY k")
+
+    def test_group_by_ordinal_and_alias(self, setup):
+        plan(setup, "SELECT s AS tag, count(*) FROM big GROUP BY 1")
+        plan(setup, "SELECT s AS tag, count(*) FROM big GROUP BY tag")
+
+    def test_group_by_expression_matching(self, setup):
+        plan(setup, "SELECT k % 10, count(*) FROM big GROUP BY k % 10")
+
+    def test_nested_aggregate_rejected(self, setup):
+        with pytest.raises(AnalysisError):
+            plan(setup, "SELECT sum(count(*)) FROM big")
+
+    def test_aggregate_in_where_rejected(self, setup):
+        with pytest.raises(AnalysisError):
+            plan(setup, "SELECT k FROM big WHERE count(*) > 1")
+
+    def test_order_by_ordinal_out_of_range(self, setup):
+        with pytest.raises(AnalysisError):
+            plan(setup, "SELECT k FROM big ORDER BY 3")
+
+    def test_select_star_expansion_types(self, setup):
+        _c, binder, _p = setup
+        stmt = parse_statement("SELECT * FROM big")
+        logical = binder.bind_select(stmt.query)
+        assert [c.name for c in logical.output] == ["k", "v", "s"]
+
+
+class TestScanPlanning:
+    def test_projection_pushdown_only_reads_needed_columns(self, setup):
+        node = plan(setup, "SELECT v FROM big")
+        scan = find(node, PhysicalScan)
+        assert len(scan.column_indexes) == 3  # scans currently expose all
+        # (binder keeps whole-table scan output; the executor reads only
+        # the chains named in column_indexes)
+
+    def test_zone_predicates_extracted(self, setup):
+        node = plan(setup, "SELECT * FROM big WHERE v >= 100 AND v < 200")
+        scan = find(node, PhysicalScan)
+        ops = sorted(op for _, op, _ in scan.zone_predicates)
+        assert ops == ["<", ">="]
+
+    def test_zone_predicate_literal_flip(self, setup):
+        node = plan(setup, "SELECT * FROM big WHERE 100 > v")
+        scan = find(node, PhysicalScan)
+        assert scan.zone_predicates == [(1, "<", 100)]
+
+    def test_between_becomes_two_zone_predicates(self, setup):
+        node = plan(setup, "SELECT * FROM big WHERE v BETWEEN 10 AND 20")
+        scan = find(node, PhysicalScan)
+        assert len(scan.zone_predicates) == 2
+
+    def test_selectivity_reduces_estimate(self, setup):
+        unfiltered = plan(setup, "SELECT * FROM big")
+        filtered = plan(setup, "SELECT * FROM big WHERE v = 3")
+        assert filtered.est_rows < unfiltered.est_rows
+
+
+class TestJoinStrategy:
+    def test_distkey_join_is_colocated(self, setup):
+        node = plan(
+            setup, "SELECT * FROM big JOIN big2 ON big.k = big2.k"
+        )
+        join = find(node, PhysicalHashJoin)
+        assert join.strategy is JoinDistribution.DS_DIST_NONE
+
+    def test_all_table_join_is_colocated(self, setup):
+        node = plan(
+            setup, "SELECT * FROM evens JOIN dims ON evens.k = dims.k"
+        )
+        join = find(node, PhysicalHashJoin)
+        assert join.strategy is JoinDistribution.DS_DIST_NONE
+
+    def test_small_inner_broadcasts(self, setup):
+        node = plan(
+            setup,
+            "SELECT * FROM evens e JOIN (SELECT k FROM evens WHERE v = 1) s "
+            "ON e.k = s.k",
+        )
+        join = find(node, PhysicalHashJoin)
+        assert join.strategy in (
+            JoinDistribution.DS_BCAST_INNER,
+            JoinDistribution.DS_DIST_BOTH,
+        )
+
+    def test_filter_pushes_through_join(self, setup):
+        node = plan(
+            setup,
+            "SELECT * FROM big JOIN big2 ON big.k = big2.k WHERE big.v > 100 "
+            "AND big2.w < 50",
+        )
+        join = find(node, PhysicalHashJoin)
+        left_scan = find(join.left, PhysicalScan)
+        right_scan = find(join.right, PhysicalScan)
+        assert left_scan.filters, "left conjunct should have been pushed"
+        assert right_scan.filters, "right conjunct should have been pushed"
+
+    def test_left_join_does_not_push_nullable_side_filter(self, setup):
+        node = plan(
+            setup,
+            "SELECT * FROM big LEFT JOIN big2 ON big.k = big2.k "
+            "WHERE big2.w IS NULL",
+        )
+        join = find(node, PhysicalHashJoin)
+        right_scan = find(join.right, PhysicalScan)
+        assert not right_scan.filters  # must stay above the join
+
+    def test_non_equi_join_nested_loop(self, setup):
+        from repro.plan import PhysicalNestedLoopJoin
+
+        node = plan(setup, "SELECT * FROM dims a JOIN dims b ON a.k < b.k")
+        assert find(node, PhysicalNestedLoopJoin) is not None
+
+    def test_full_join_without_keys_rejected(self, setup):
+        with pytest.raises(AnalysisError):
+            plan(setup, "SELECT * FROM big FULL JOIN big2 ON big.k < big2.k")
+
+
+class TestAggregatePlanning:
+    def test_group_on_distkey_is_local(self, setup):
+        node = plan(setup, "SELECT k, count(*) FROM big GROUP BY k")
+        from repro.plan import PhysicalAggregate
+
+        agg = find(node, PhysicalAggregate)
+        assert agg.local_only
+
+    def test_group_on_other_column_needs_merge(self, setup):
+        node = plan(setup, "SELECT v, count(*) FROM big GROUP BY v")
+        from repro.plan import PhysicalAggregate
+
+        agg = find(node, PhysicalAggregate)
+        assert not agg.local_only
+
+
+class TestExplain:
+    def test_explain_mentions_strategy_and_filters(self, setup):
+        node = plan(
+            setup,
+            "SELECT big.k, count(*) FROM big JOIN big2 ON big.k = big2.k "
+            "WHERE big.v > 5 GROUP BY big.k",
+        )
+        text = explain(node)
+        assert "DS_DIST_NONE" in text
+        assert "Seq Scan on big" in text
+        assert "rows=" in text

@@ -1,0 +1,120 @@
+"""Transaction manager: snapshots, visibility, conflicts."""
+
+import pytest
+
+from repro.engine.transactions import BOOTSTRAP_XID, TransactionManager
+from repro.errors import SerializationError, TransactionError
+
+
+class TestLifecycle:
+    def test_begin_commit(self):
+        tm = TransactionManager()
+        xid = tm.begin()
+        assert not tm.is_committed(xid)
+        tm.commit(xid)
+        assert tm.is_committed(xid)
+
+    def test_rollback_never_commits(self):
+        tm = TransactionManager()
+        xid = tm.begin()
+        tm.rollback(xid)
+        assert not tm.is_committed(xid)
+
+    def test_double_commit_rejected(self):
+        tm = TransactionManager()
+        xid = tm.begin()
+        tm.commit(xid)
+        with pytest.raises(TransactionError):
+            tm.commit(xid)
+
+    def test_unknown_xid_rejected(self):
+        tm = TransactionManager()
+        with pytest.raises(TransactionError):
+            tm.snapshot(99)
+
+    def test_bootstrap_always_committed(self):
+        tm = TransactionManager()
+        assert tm.is_committed(BOOTSTRAP_XID)
+
+
+class TestVisibility:
+    def test_own_writes_visible(self):
+        tm = TransactionManager()
+        xid = tm.begin()
+        snap = tm.snapshot(xid)
+        assert snap.can_see(insert_xid=xid, delete_xid=None)
+
+    def test_uncommitted_others_invisible(self):
+        tm = TransactionManager()
+        writer = tm.begin()
+        reader = tm.begin()
+        snap = tm.snapshot(reader)
+        assert not snap.can_see(insert_xid=writer, delete_xid=None)
+
+    def test_snapshot_taken_at_begin(self):
+        tm = TransactionManager()
+        reader = tm.begin()
+        writer = tm.begin()
+        tm.commit(writer)
+        # Repeatable read: the commit happened after the reader began.
+        snap = tm.snapshot(reader)
+        assert not snap.can_see(insert_xid=writer, delete_xid=None)
+
+    def test_committed_before_begin_visible(self):
+        tm = TransactionManager()
+        writer = tm.begin()
+        tm.commit(writer)
+        reader = tm.begin()
+        snap = tm.snapshot(reader)
+        assert snap.can_see(insert_xid=writer, delete_xid=None)
+
+    def test_delete_visibility(self):
+        tm = TransactionManager()
+        writer = tm.begin()
+        tm.commit(writer)
+        deleter = tm.begin()
+        reader = tm.begin()
+        # Deleter sees its own delete; concurrent reader does not.
+        assert not tm.snapshot(deleter).can_see(BOOTSTRAP_XID, deleter)
+        assert tm.snapshot(reader).can_see(BOOTSTRAP_XID, deleter)
+
+
+class TestConflicts:
+    def test_concurrent_delete_conflict(self):
+        tm = TransactionManager()
+        a = tm.begin()
+        b = tm.begin()
+        tm.record_delete(a, "t", "s0", 5)
+        tm.record_delete(b, "t", "s0", 5)
+        tm.commit(a)  # first committer wins
+        with pytest.raises(SerializationError):
+            tm.commit(b)
+
+    def test_sequential_deletes_ok(self):
+        tm = TransactionManager()
+        a = tm.begin()
+        tm.record_delete(a, "t", "s0", 5)
+        tm.commit(a)
+        b = tm.begin()  # begins after a committed: sees the delete
+        tm.record_delete(b, "t", "s0", 5)
+        tm.commit(b)
+
+    def test_disjoint_rows_no_conflict(self):
+        tm = TransactionManager()
+        a = tm.begin()
+        b = tm.begin()
+        tm.record_delete(a, "t", "s0", 1)
+        tm.record_delete(b, "t", "s0", 2)
+        tm.commit(a)
+        tm.commit(b)
+
+    def test_failed_commit_removes_transaction(self):
+        tm = TransactionManager()
+        a = tm.begin()
+        b = tm.begin()
+        tm.record_delete(a, "t", "s0", 1)
+        tm.record_delete(b, "t", "s0", 1)
+        tm.commit(a)
+        with pytest.raises(SerializationError):
+            tm.commit(b)
+        assert tm.active_count == 0

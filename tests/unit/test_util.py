@@ -1,0 +1,124 @@
+"""Units, RNG and statistics helpers."""
+
+import pytest
+
+from repro.util import (
+    DeterministicRng,
+    format_bytes,
+    format_duration,
+    mean,
+    median,
+    percentile,
+    stdev,
+)
+from repro.util.units import GB, HOUR, KB, MB, MINUTE
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(10) == "10 B"
+
+    def test_kilobytes(self):
+        assert format_bytes(1536) == "1.50 KB"
+
+    def test_gigabytes(self):
+        assert format_bytes(3 * GB) == "3.00 GB"
+
+    def test_boundary_is_inclusive(self):
+        assert format_bytes(KB) == "1.00 KB"
+        assert format_bytes(KB - 1) == "1023 B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatDuration:
+    def test_milliseconds(self):
+        assert format_duration(0.25) == "250 ms"
+
+    def test_seconds(self):
+        assert format_duration(12.34) == "12.3 s"
+
+    def test_minutes(self):
+        assert format_duration(90) == "1.5 min"
+
+    def test_hours(self):
+        assert format_duration(2 * HOUR) == "2.0 h"
+
+    def test_days(self):
+        assert format_duration(36 * HOUR) == "1.5 d"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-0.1)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_string_seeds_supported(self):
+        a = DeterministicRng("hello")
+        b = DeterministicRng("hello")
+        assert a.random() == b.random()
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRng(1).random() != DeterministicRng(2).random()
+
+    def test_children_are_independent(self):
+        parent = DeterministicRng(7)
+        child_a = parent.child("a")
+        # Drawing from one child must not perturb a sibling created later.
+        first = child_a.random()
+        parent2 = DeterministicRng(7)
+        a2 = parent2.child("a")
+        _ = parent2.child("b").random()
+        assert a2.random() == first
+
+    def test_exponential_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).exponential(0)
+
+    def test_bounded_normal_respects_bounds(self):
+        rng = DeterministicRng(3)
+        for _ in range(100):
+            v = rng.bounded_normal(0.0, 10.0, -1.0, 1.0)
+            assert -1.0 <= v <= 1.0
+
+    def test_bounded_normal_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).bounded_normal(0, 1, 5, -5)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd(self):
+        assert median([5, 1, 3]) == 3
+
+    def test_median_even_interpolates(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_percentile_bounds(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+        assert percentile(data, 50) == 50
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_stdev_single_value(self):
+        assert stdev([5]) == 0.0
+
+    def test_stdev_known(self):
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=0.001)
