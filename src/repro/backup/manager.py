@@ -9,8 +9,10 @@ from dataclasses import dataclass, field
 from repro.cloud.s3 import SimS3
 from repro.cloud.simclock import SimClock
 from repro.engine.cluster import Cluster
-from repro.errors import SnapshotNotFoundError
+from repro.errors import S3TransientError, SnapshotNotFoundError
+from repro.faults.retry import RetryPolicy, with_backoff
 from repro.security.keyhierarchy import ClusterKeyHierarchy
+from repro.util.rng import DeterministicRng
 
 _snapshot_ids = itertools.count(1)
 
@@ -66,10 +68,24 @@ class BackupManager:
         self._bucket = bucket
         self._clock = clock
         self._encryption = encryption
-        s3.create_bucket(bucket)
+        self._retry_rng = DeterministicRng(f"backup-retry/{bucket}")
+        self._s3_call(lambda: s3.create_bucket(bucket))
         self.snapshots: list[SnapshotRecord] = []
         self._uploaded_blocks: set[str] = set()
         self._dr_regions: list[SimS3] = []
+
+    def _s3_call(self, fn):
+        """Run one S3 request with backed-off retry of transient errors.
+
+        Declared outages are persistent and re-raise immediately; only the
+        per-request 503 analogue is retried."""
+        return with_backoff(
+            fn,
+            clock=self._clock,
+            policy=RetryPolicy(),
+            rng=self._retry_rng,
+            retry_on=(S3TransientError,),
+        )
 
     # ---- DR ------------------------------------------------------------------
 
@@ -113,7 +129,11 @@ class BackupManager:
                                     data = self._encryption.encrypt_block(
                                         block.block_id, data
                                     ).ciphertext
-                                self._s3.put_object(self._bucket, key, data)
+                                self._s3_call(
+                                    lambda key=key, data=data: self._s3.put_object(
+                                        self._bucket, key, data
+                                    )
+                                )
                                 self._uploaded_blocks.add(block.block_id)
                                 blocks_uploaded += 1
                                 bytes_uploaded += len(data)
@@ -166,7 +186,11 @@ class BackupManager:
         }
         manifest_key = f"manifests/{snapshot_id}"
         manifest_bytes = pickle.dumps(manifest, protocol=4)
-        self._s3.put_object(self._bucket, manifest_key, manifest_bytes)
+        self._s3_call(
+            lambda: self._s3.put_object(
+                self._bucket, manifest_key, manifest_bytes
+            )
+        )
 
         # Uploads run in parallel per node: wall time tracks the busiest
         # node — "proportional to the data changed on a single node".
@@ -203,7 +227,11 @@ class BackupManager:
         system = [s for s in self.snapshots if s.kind == "system"]
         excess = len(system) - self.SYSTEM_RETENTION
         for record in system[:max(0, excess)]:
-            self._s3.delete_object(self._bucket, record.manifest_key)
+            self._s3_call(
+                lambda record=record: self._s3.delete_object(
+                    self._bucket, record.manifest_key
+                )
+            )
             self.snapshots.remove(record)
         if excess > 0:
             self._collect_unreferenced_blocks()
@@ -216,16 +244,22 @@ class BackupManager:
                 for table in slice_entry["tables"].values():
                     for metas in table["columns"].values():
                         referenced.update(m["s3_key"] for m in metas)
-        for key in self._s3.list_objects(self._bucket, "blocks/"):
+        for key in self._s3_call(
+            lambda: self._s3.list_objects(self._bucket, "blocks/")
+        ):
             if key not in referenced:
-                self._s3.delete_object(self._bucket, key)
+                self._s3_call(
+                    lambda key=key: self._s3.delete_object(self._bucket, key)
+                )
                 self._uploaded_blocks.discard(key.removeprefix("blocks/"))
 
     # ---- lookups ------------------------------------------------------------------
 
     def delete_snapshot(self, snapshot_id: str) -> None:
         record = self.find(snapshot_id)
-        self._s3.delete_object(self._bucket, record.manifest_key)
+        self._s3_call(
+            lambda: self._s3.delete_object(self._bucket, record.manifest_key)
+        )
         self.snapshots.remove(record)
         self._collect_unreferenced_blocks()
 
@@ -237,7 +271,9 @@ class BackupManager:
 
     def _load_manifest(self, snapshot_id: str) -> dict:
         record = self.find(snapshot_id)
-        data = self._s3.get_object(self._bucket, record.manifest_key).data
+        data = self._s3_call(
+            lambda: self._s3.get_object(self._bucket, record.manifest_key)
+        ).data
         return pickle.loads(data)
 
     def s3_block_reader(self, block_id: str) -> bytes | None:
@@ -245,7 +281,9 @@ class BackupManager:
         key = f"blocks/{block_id}"
         if not self._s3.has_object(self._bucket, key):
             return None
-        data = self._s3.get_object(self._bucket, key).data
+        data = self._s3_call(
+            lambda: self._s3.get_object(self._bucket, key)
+        ).data
         if self._encryption is not None:
             from repro.security.keyhierarchy import EncryptedBlob
 

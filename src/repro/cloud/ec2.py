@@ -16,6 +16,8 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import InsufficientCapacityError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultSpec
 from repro.util.rng import DeterministicRng
 from repro.util.units import MINUTE
 
@@ -51,13 +53,17 @@ class SimEC2:
         config: Ec2Config | None = None,
         clock=None,
         rng: DeterministicRng | None = None,
+        injector: FaultInjector | None = None,
     ):
         self.config = config or Ec2Config()
         self._clock = clock
         self._rng = rng or DeterministicRng("ec2")
+        self._injector = injector or FaultInjector(
+            clock=clock, rng=self._rng.child("faults")
+        )
+        self._interruption_spec: FaultSpec | None = None
         self._ids = itertools.count(1)
         self._warm_pool: dict[str, int] = {}
-        self._interruption = False
         self.instances: dict[str, Instance] = {}
 
     # ---- warm pool --------------------------------------------------------
@@ -75,13 +81,33 @@ class SimEC2:
 
     # ---- failure injection --------------------------------------------------
 
+    def attach_injector(self, injector: FaultInjector) -> None:
+        """Route capacity decisions through a shared fault injector."""
+        self._injector = injector
+        self._interruption_spec = None
+
+    @property
+    def injector(self) -> FaultInjector:
+        return self._injector
+
     def start_capacity_interruption(self) -> None:
         """Cold provisioning fails until the interruption ends; warm-pool
         claims keep working — the paper's escalator-not-elevator example."""
-        self._interruption = True
+        if self._interruption_spec is None:
+            self._interruption_spec = self._injector.add(
+                FaultSpec(
+                    FaultKind.EC2_CAPACITY_WINDOW, at_s=self._injector.now
+                )
+            )
 
     def end_capacity_interruption(self) -> None:
-        self._interruption = False
+        if self._interruption_spec is not None:
+            self._injector.cancel(self._interruption_spec)
+            self._interruption_spec = None
+
+    @property
+    def _interruption(self) -> bool:
+        return self._injector.ec2_capacity_interrupted()
 
     # ---- provisioning ----------------------------------------------------------
 

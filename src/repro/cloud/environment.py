@@ -12,6 +12,8 @@ from repro.cloud.s3 import S3Config, SimS3
 from repro.cloud.simclock import SimClock
 from repro.cloud.sns import SimSNS
 from repro.cloud.swf import SimWorkflowService
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.util.rng import DeterministicRng
 
 
@@ -25,13 +27,25 @@ class CloudEnvironment:
         s3_config: S3Config | None = None,
         ec2_config: Ec2Config | None = None,
         clock: SimClock | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.region = region
         self.rng = DeterministicRng(seed)
         self.clock = clock or SimClock()
-        self.s3 = SimS3(region, s3_config, self.clock, self.rng.child("s3"))
-        self.ec2 = SimEC2(ec2_config, self.clock, self.rng.child("ec2"))
-        self.swf = SimWorkflowService(self.clock)
+        #: One injector shared by every service in the region, so a single
+        #: FaultPlan drives (and a single log records) the whole timeline.
+        self.faults = FaultInjector(
+            fault_plan, self.clock, rng=self.rng.child("faults")
+        )
+        self.s3 = SimS3(
+            region, s3_config, self.clock, self.rng.child("s3"),
+            injector=self.faults,
+        )
+        self.ec2 = SimEC2(
+            ec2_config, self.clock, self.rng.child("ec2"),
+            injector=self.faults,
+        )
+        self.swf = SimWorkflowService(self.clock, rng=self.rng.child("swf"))
         self.cloudwatch = SimCloudWatch(self.clock)
         self.sns = SimSNS(self.clock)
         self.kms = SimKMS(self.rng.child("kms"))

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import NoSuchBucketError, NoSuchKeyError, ServiceUnavailableError
+from repro.errors import NoSuchBucketError, NoSuchKeyError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultSpec
 from repro.util.rng import DeterministicRng
 from repro.util.units import MB
 
@@ -49,13 +51,17 @@ class SimS3:
         config: S3Config | None = None,
         clock=None,
         rng: DeterministicRng | None = None,
+        injector: FaultInjector | None = None,
     ):
         self.region = region
         self.config = config or S3Config()
         self._clock = clock
         self._rng = rng or DeterministicRng(f"s3-{region}")
+        self._injector = injector or FaultInjector(
+            clock=clock, rng=self._rng.child("faults")
+        )
+        self._outage_spec: FaultSpec | None = None
         self._buckets: dict[str, dict[str, S3Object]] = {}
-        self._outage = False
         self.bytes_in = 0
         self.bytes_out = 0
         self.put_count = 0
@@ -63,21 +69,46 @@ class SimS3:
 
     # ---- failure injection -----------------------------------------------
 
+    def attach_injector(self, injector: FaultInjector) -> None:
+        """Route this store's fault decisions through a shared injector."""
+        self._injector = injector
+        self._outage_spec = None
+
+    @property
+    def injector(self) -> FaultInjector:
+        return self._injector
+
     def start_outage(self) -> None:
         """Inject a regional S3 outage; all requests fail until ended."""
-        self._outage = True
+        if self._outage_spec is None:
+            self._outage_spec = self._injector.add(
+                FaultSpec(
+                    FaultKind.S3_OUTAGE,
+                    at_s=self._injector.now,
+                    target=self.region,
+                )
+            )
 
     def end_outage(self) -> None:
-        self._outage = False
+        if self._outage_spec is not None:
+            self._injector.cancel(self._outage_spec)
+            self._outage_spec = None
 
-    def _check_available(self) -> None:
-        if self._outage:
-            raise ServiceUnavailableError(f"S3 {self.region} is unavailable")
+    def set_outage(self, active: bool) -> None:
+        """Compatibility wrapper over the injector-driven outage window."""
+        if active:
+            self.start_outage()
+        else:
+            self.end_outage()
+
+    def _check_available(self, op: str = "request") -> None:
+        """Per-request fault consultation: outages and transient 503s."""
+        self._injector.s3_request(self.region, op)
 
     # ---- bucket/object API ----------------------------------------------------
 
     def create_bucket(self, bucket: str) -> None:
-        self._check_available()
+        self._check_available("create_bucket")
         self._buckets.setdefault(bucket, {})
 
     def has_bucket(self, bucket: str) -> bool:
@@ -93,7 +124,7 @@ class SimS3:
         self, bucket: str, key: str, data: bytes, metadata: dict | None = None
     ) -> float:
         """Store an object; returns the simulated transfer duration."""
-        self._check_available()
+        self._check_available("put_object")
         now = self._clock.now if self._clock is not None else 0.0
         self._bucket(bucket)[key] = S3Object(
             key=key, data=bytes(data), metadata=dict(metadata or {}), stored_at=now
@@ -103,7 +134,7 @@ class SimS3:
         return self.transfer_time(len(data))
 
     def get_object(self, bucket: str, key: str) -> S3Object:
-        self._check_available()
+        self._check_available("get_object")
         obj = self._bucket(bucket).get(key)
         if obj is None:
             raise NoSuchKeyError(bucket, key)
@@ -113,7 +144,7 @@ class SimS3:
 
     def head_object(self, bucket: str, key: str) -> S3Object:
         """Metadata-only read (no transfer accounting)."""
-        self._check_available()
+        self._check_available("head_object")
         obj = self._bucket(bucket).get(key)
         if obj is None:
             raise NoSuchKeyError(bucket, key)
@@ -123,11 +154,11 @@ class SimS3:
         return key in self._buckets.get(bucket, {})
 
     def delete_object(self, bucket: str, key: str) -> None:
-        self._check_available()
+        self._check_available("delete_object")
         self._bucket(bucket).pop(key, None)
 
     def list_objects(self, bucket: str, prefix: str = "") -> list[str]:
-        self._check_available()
+        self._check_available("list_objects")
         return sorted(
             key for key in self._bucket(bucket) if key.startswith(prefix)
         )
@@ -138,11 +169,15 @@ class SimS3:
     # ---- models -------------------------------------------------------------------
 
     def transfer_time(self, nbytes: int) -> float:
-        """Simulated seconds to move *nbytes* in or out of the store."""
-        return (
+        """Simulated seconds to move *nbytes* in or out of the store.
+
+        Active slow-request fault windows stretch the duration.
+        """
+        base = (
             self.config.request_latency_s
             + nbytes / self.config.throughput_bytes_per_s
         )
+        return base * self._injector.s3_slow_factor(self.region)
 
     def simulate_annual_losses(self, bucket: str) -> int:
         """Draw object losses for one simulated year of storage and delete
@@ -163,7 +198,7 @@ class SimS3:
         Returns the number of objects copied. Existing objects with the
         same key are overwritten, mirroring S3 replication semantics.
         """
-        self._check_available()
+        self._check_available("replicate")
         other.create_bucket(bucket)
         copied = 0
         for key in self.list_objects(bucket, prefix):

@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.cloud.simclock import SimClock
 from repro.errors import WorkflowError
+from repro.util.rng import DeterministicRng
 
 
 class StepStatus(enum.Enum):
@@ -35,6 +36,22 @@ class WorkflowStep:
     action: Callable[[], float]
     max_attempts: int = 3
     retry_delay_s: float = 30.0
+    #: Exponential backoff multiplier between attempts; 1.0 keeps the
+    #: classic fixed-delay retry schedule.
+    backoff_factor: float = 1.0
+    max_delay_s: float = float("inf")
+    #: Fraction of extra random delay (0 disables jitter).
+    jitter_fraction: float = 0.0
+
+    def delay_before(self, attempt: int, rng: DeterministicRng | None) -> float:
+        """Backoff after failed attempt number *attempt* (1-based)."""
+        delay = min(
+            self.max_delay_s,
+            self.retry_delay_s * self.backoff_factor ** (attempt - 1),
+        )
+        if rng is not None and self.jitter_fraction > 0.0:
+            delay *= 1.0 + self.jitter_fraction * rng.random()
+        return delay
 
 
 @dataclass
@@ -64,9 +81,22 @@ class Workflow:
         action: Callable[[], float],
         max_attempts: int = 3,
         retry_delay_s: float = 30.0,
+        backoff_factor: float = 1.0,
+        max_delay_s: float = float("inf"),
+        jitter_fraction: float = 0.0,
     ) -> "Workflow":
         """Append a step (builder style)."""
-        self.steps.append(WorkflowStep(name, action, max_attempts, retry_delay_s))
+        self.steps.append(
+            WorkflowStep(
+                name,
+                action,
+                max_attempts,
+                retry_delay_s,
+                backoff_factor,
+                max_delay_s,
+                jitter_fraction,
+            )
+        )
         return self
 
 
@@ -78,6 +108,9 @@ class WorkflowExecution:
     finished_at: float = 0.0
     succeeded: bool = False
     results: list[StepResult] = field(default_factory=list)
+    #: Every attempt, including the RETRIED ones that preceded a step's
+    #: final result (``results`` keeps its one-entry-per-step shape).
+    attempt_history: list[StepResult] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -87,8 +120,9 @@ class WorkflowExecution:
 class SimWorkflowService:
     """Runs workflows on the simulation clock, keeping full history."""
 
-    def __init__(self, clock: SimClock):
+    def __init__(self, clock: SimClock, rng: DeterministicRng | None = None):
         self._clock = clock
+        self._rng = rng
         self._ids = itertools.count(1)
         self.history: list[WorkflowExecution] = []
 
@@ -102,7 +136,7 @@ class SimWorkflowService:
         )
         self.history.append(execution)
         for step in workflow.steps:
-            result = self._run_step(step)
+            result = self._run_step(step, execution)
             execution.results.append(result)
             if result.status is StepStatus.FAILED:
                 execution.finished_at = self._clock.now
@@ -114,10 +148,13 @@ class SimWorkflowService:
         execution.succeeded = True
         return execution
 
-    def _run_step(self, step: WorkflowStep) -> StepResult:
+    def _run_step(
+        self, step: WorkflowStep, execution: WorkflowExecution
+    ) -> StepResult:
         started = self._clock.now
         error: str | None = None
         for attempt in range(1, step.max_attempts + 1):
+            attempt_started = self._clock.now
             try:
                 duration = step.action()
             except WorkflowError:
@@ -125,17 +162,29 @@ class SimWorkflowService:
             except Exception as exc:  # noqa: BLE001 - retries need breadth
                 error = str(exc)
                 if attempt < step.max_attempts:
-                    self._clock.advance(step.retry_delay_s)
+                    execution.attempt_history.append(
+                        StepResult(
+                            step_name=step.name,
+                            status=StepStatus.RETRIED,
+                            attempts=attempt,
+                            started_at=attempt_started,
+                            finished_at=self._clock.now,
+                            error=error,
+                        )
+                    )
+                    self._clock.advance(step.delay_before(attempt, self._rng))
                 continue
             self._clock.advance(max(0.0, duration))
-            return StepResult(
+            result = StepResult(
                 step_name=step.name,
                 status=StepStatus.SUCCEEDED,
                 attempts=attempt,
                 started_at=started,
                 finished_at=self._clock.now,
             )
-        return StepResult(
+            execution.attempt_history.append(result)
+            return result
+        result = StepResult(
             step_name=step.name,
             status=StepStatus.FAILED,
             attempts=step.max_attempts,
@@ -143,6 +192,8 @@ class SimWorkflowService:
             finished_at=self._clock.now,
             error=error,
         )
+        execution.attempt_history.append(result)
+        return result
 
     def executions_of(self, workflow_name: str) -> list[WorkflowExecution]:
         return [e for e in self.history if e.workflow_name == workflow_name]

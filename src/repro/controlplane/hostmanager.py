@@ -22,6 +22,8 @@ class HostEventKind(enum.Enum):
     NODE_UNHEALTHY = "node_unhealthy"
     REPLACEMENT_REQUESTED = "replacement_requested"
     LOG_ROTATED = "log_rotated"
+    SCRUB_COMPLETED = "scrub_completed"
+    BLOCK_REPAIRED = "block_repaired"
 
 
 @dataclass(frozen=True)
@@ -88,6 +90,41 @@ class HostManager:
             self.events.append(escalation)
             return escalation
         return restarted
+
+    #: per-block checksum verification cost charged by :meth:`run_scrub`
+    SCRUB_SECONDS_PER_BLOCK = 0.01
+
+    def run_scrub(self, replication, s3_reader=None) -> HostEvent:
+        """Monitoring pass over this node's blocks: checksum-verify every
+        replicated copy the node holds and repair corrupt ones via the
+        replication manager (mirror first, S3 backup as the fallback).
+
+        This is the host manager's "monitoring ... for errors" duty
+        extended to silent data corruption. Returns the summary event.
+        """
+        report = replication.scrub(s3_reader, node_id=self.node_id)
+        self.clock.advance(report.blocks_checked * self.SCRUB_SECONDS_PER_BLOCK)
+        for block_id in report.repaired:
+            self.events.append(
+                HostEvent(
+                    self.node_id,
+                    HostEventKind.BLOCK_REPAIRED,
+                    self.clock.now,
+                    detail=block_id,
+                )
+            )
+        summary = HostEvent(
+            self.node_id,
+            HostEventKind.SCRUB_COMPLETED,
+            self.clock.now,
+            detail=(
+                f"{report.blocks_checked} checked, "
+                f"{len(report.repaired)} repaired, "
+                f"{len(report.unrepairable)} unrepairable"
+            ),
+        )
+        self.events.append(summary)
+        return summary
 
     def rotate_logs(self) -> HostEvent:
         event = HostEvent(self.node_id, HostEventKind.LOG_ROTATED, self.clock.now)

@@ -22,8 +22,12 @@ from repro.controlplane.hostmanager import HostManager
 from repro.engine.cluster import Cluster
 from repro.errors import (
     ClusterNotFoundError,
+    InsufficientCapacityError,
     InvalidClusterStateError,
+    TransientServiceError,
 )
+from repro.faults.recovery import RecoveryCoordinator
+from repro.faults.retry import RetryPolicy, with_backoff
 from repro.replication.mirror import ReplicationManager
 from repro.restore.manager import RestoreManager, RestoreResult
 from repro.security.keyhierarchy import ClusterKeyHierarchy
@@ -104,6 +108,7 @@ class RedshiftService:
         self.clusters: dict[str, ManagedCluster] = {}
         self._ids = itertools.count(1)
         self.operation_log: list[tuple[str, OperationTiming]] = []
+        self._retry_rng = self.env.rng.child("controlplane-retry")
 
     # ---- helpers ------------------------------------------------------------
 
@@ -130,6 +135,52 @@ class RedshiftService:
             parameters={
                 "automated_seconds": f"{timing.automated_seconds:.1f}",
             },
+        )
+
+    def _provision(self, node_type: str, count: int, allow_cold: bool = True):
+        """EC2 provision with backed-off retry: transient service errors
+        and capacity gaps get a few spaced attempts before the typed error
+        surfaces to the caller."""
+        return with_backoff(
+            lambda: self.env.ec2.provision(node_type, count, allow_cold),
+            clock=self.env.clock,
+            policy=RetryPolicy(max_attempts=4, base_delay_s=2.0, max_delay_s=20.0),
+            rng=self._retry_rng,
+            retry_on=(TransientServiceError, InsufficientCapacityError),
+        )
+
+    def _install_recovery(self, managed: ManagedCluster) -> None:
+        """Attach the shared fault injector and stand up query recovery.
+
+        Every cluster the service runs gets leader-side segment retry with
+        replica failover and scrub-and-repair; redundancy loss flips the
+        managed state to READ_ONLY instead of failing the cluster."""
+        engine = managed.engine
+        engine.attach_faults(self.env.faults)
+        if managed.replication is None:
+            return
+        clock = self.env.clock
+
+        def on_degraded(reason: str) -> None:
+            managed.state = ClusterState.READ_ONLY
+            managed.record(clock.now, f"degraded: {reason}")
+
+        def on_recovered() -> None:
+            managed.state = ClusterState.AVAILABLE
+            managed.record(clock.now, "redundancy restored")
+
+        RecoveryCoordinator(
+            engine,
+            replication=managed.replication,
+            s3_reader=(
+                managed.backups.s3_block_reader
+                if managed.backups is not None
+                else None
+            ),
+            injector=self.env.faults,
+            clock=clock,
+            on_degraded=on_degraded,
+            on_recovered=on_recovered,
         )
 
     # ---- create -----------------------------------------------------------------
@@ -172,7 +223,14 @@ class RedshiftService:
         workflow = (
             Workflow(name="create_cluster")
             .step("setup_network", lambda: NETWORK_SETUP_S)
-            .step("acquire_instances", acquire_instances)
+            .step(
+                "acquire_instances",
+                acquire_instances,
+                max_attempts=4,
+                retry_delay_s=10.0,
+                backoff_factor=2.0,
+                max_delay_s=120.0,
+            )
             .step("install_engine", lambda: ENGINE_INSTALL_S)
             .step("create_endpoint", lambda: ENDPOINT_S)
         )
@@ -209,6 +267,7 @@ class RedshiftService:
             managed.host_managers[node.node_id] = HostManager(
                 node_id=node.node_id, clock=clock
             )
+        self._install_recovery(managed)
         self.clusters[cluster_id] = managed
         managed.record(clock.now, "cluster created")
 
@@ -310,9 +369,7 @@ class RedshiftService:
         )
         # Instances first (the restored cluster needs hardware too).
         manifest_nodes = source.engine.node_count
-        _instances, boot = self.env.ec2.provision(
-            source.node_type, manifest_nodes
-        )
+        _instances, boot = self._provision(source.node_type, manifest_nodes)
         clock.advance(boot)
         result = (
             manager.streaming_restore(snapshot_id)
@@ -338,6 +395,7 @@ class RedshiftService:
             if result.cluster.node_count >= 2
             else None
         )
+        self._install_recovery(managed)
         self.clusters[new_cluster_id] = managed
         managed.record(clock.now, f"restored from {snapshot_id}")
         timing = OperationTiming(
@@ -374,7 +432,7 @@ class RedshiftService:
         node_type = new_node_type or managed.node_type
 
         # 1. Provision the target (warm pool first).
-        _instances, boot = self.env.ec2.provision(node_type, new_node_count)
+        _instances, boot = self._provision(node_type, new_node_count)
         clock.advance(boot + ENGINE_INSTALL_S)
 
         # 2. Source goes read-only; reads keep working.
@@ -423,6 +481,7 @@ class RedshiftService:
             node.node_id: HostManager(node_id=node.node_id, clock=clock)
             for node in target.nodes
         }
+        self._install_recovery(managed)
         managed.record(clock.now, f"resized to {new_node_count} nodes")
         timing = OperationTiming(
             operation=AdminOperation.RESIZE,
@@ -477,7 +536,7 @@ class RedshiftService:
             )
 
         # 1. Acquire replacement hardware (warm pool first, §5).
-        instances, boot = self.env.ec2.provision(managed.node_type, 1)
+        instances, boot = self._provision(managed.node_type, 1)
         clock.advance(boot + ENGINE_INSTALL_S)
         managed.instance_ids.append(instances[0].instance_id)
 

@@ -100,6 +100,41 @@ class Cluster:
         self.block_capacity = block_capacity
         self._sources: dict[str, SourceProvider] = {}
         self._row_counters: dict[str, int] = {}
+        #: Shared fault injector; None until :meth:`attach_faults`.
+        self.fault_injector = None
+        #: Callable(exc) -> bool set by a RecoveryCoordinator; sessions
+        #: consult it before retrying a failed query segment.
+        self.recovery_handler: Callable[[Exception], bool] | None = None
+        self._read_only_reason: str | None = None
+
+    # ---- fault plumbing & degraded mode ------------------------------------
+
+    def attach_faults(self, injector) -> None:
+        """Route this cluster's fault decisions through *injector*: every
+        slice disk consults it for media errors, and executors use it for
+        node-crash checkpoints."""
+        self.fault_injector = injector
+        for store in self.slice_stores:
+            store.disk.attach_injector(injector)
+
+    @property
+    def read_only(self) -> bool:
+        return self._read_only_reason is not None
+
+    @property
+    def read_only_reason(self) -> str | None:
+        return self._read_only_reason
+
+    def set_read_only(self, reason: str) -> None:
+        """Degrade to read-only: reads keep working, writes raise.
+
+        The escalator stance — while redundancy is lost the cluster keeps
+        answering queries instead of going fully unavailable.
+        """
+        self._read_only_reason = reason
+
+    def clear_read_only(self) -> None:
+        self._read_only_reason = None
 
     # ---- topology ------------------------------------------------------------
 

@@ -24,10 +24,13 @@ from repro.engine.catalog import (
 from repro.engine.cluster import Cluster
 from repro.engine.transactions import BOOTSTRAP_XID
 from repro.errors import (
+    QUERY_RECOVERABLE_ERRORS,
     AnalysisError,
+    ClusterReadOnlyError,
     CopyError,
     DataError,
     ExecutionError,
+    QueryRetryExhaustedError,
     ReproError,
     TableNotFoundError,
     TransactionError,
@@ -70,8 +73,24 @@ class QueryResult:
         return [row[index] for row in self.rows]
 
 
+#: Statement types refused while the cluster is degraded to read-only.
+_WRITE_STATEMENTS = (
+    ast.CreateTableStatement,
+    ast.CreateTableAsStatement,
+    ast.DropTableStatement,
+    ast.InsertStatement,
+    ast.DeleteStatement,
+    ast.UpdateStatement,
+    ast.CopyStatement,
+    ast.VacuumStatement,
+)
+
+
 class Session:
     """One client connection to a cluster."""
+
+    #: Leader-side segment retries before a recoverable fault becomes fatal.
+    MAX_SEGMENT_RETRIES = 3
 
     def __init__(self, cluster: Cluster, executor: str = "compiled"):
         if executor not in ("compiled", "volcano"):
@@ -151,6 +170,10 @@ class Session:
         return result
 
     def _dispatch(self, statement: ast.Statement, xid: int) -> QueryResult:
+        if self._cluster.read_only and isinstance(statement, _WRITE_STATEMENTS):
+            # Degraded mode keeps answering reads (§5's escalator): only
+            # statements that would mutate storage are refused.
+            raise ClusterReadOnlyError(self._cluster.read_only_reason or "")
         if isinstance(statement, ast.SelectStatement):
             return self._run_select(statement.query, xid)
         if isinstance(statement, ast.CreateTableStatement):
@@ -186,6 +209,7 @@ class Session:
             slices=self._cluster.slice_stores,
             snapshot=self._cluster.transactions.snapshot(xid),
             interconnect=Interconnect(),
+            fault_injector=self._cluster.fault_injector,
         )
         ctx.stats.network = ctx.interconnect.stats
         return ctx
@@ -200,16 +224,31 @@ class Session:
         columns = [c.name for c in logical.output]
         physical = self._planner.plan(logical)
         self._cluster.workload.record_plan(physical)
-        ctx = self._context(xid)
-        ctx.stats.executor = self._executor_kind
-        ctx.stats.plan_text = explain(physical)
-        executor = (
-            CompiledExecutor(ctx)
-            if self._executor_kind == "compiled"
-            else VolcanoExecutor(ctx)
-        )
-        start = time.perf_counter()
-        rows = executor.execute(physical)
+        retries = 0
+        while True:
+            # Each attempt gets a fresh context: a retried segment restarts
+            # with clean scan/network accounting against repaired storage.
+            ctx = self._context(xid)
+            ctx.stats.executor = self._executor_kind
+            ctx.stats.plan_text = explain(physical)
+            ctx.stats.segment_retries = retries
+            executor = (
+                CompiledExecutor(ctx)
+                if self._executor_kind == "compiled"
+                else VolcanoExecutor(ctx)
+            )
+            start = time.perf_counter()
+            try:
+                rows = executor.execute(physical)
+            except QUERY_RECOVERABLE_ERRORS as exc:
+                handler = self._cluster.recovery_handler
+                if handler is None:
+                    raise
+                retries += 1
+                if retries > self.MAX_SEGMENT_RETRIES or not handler(exc):
+                    raise QueryRetryExhaustedError(retries, exc) from exc
+                continue
+            break
         ctx.stats.execute_seconds = time.perf_counter() - start
         ctx.stats.rows_returned = len(rows)
         self._cluster.interconnect.stats.merge(ctx.interconnect.stats)

@@ -14,10 +14,21 @@ separate short-query queue cut p95 wait?), exercised by the tests.
 
 from __future__ import annotations
 
+import enum
 import heapq
 from dataclasses import dataclass, field
 
 from repro.util.stats import mean, percentile
+
+
+class AdmissionStatus(enum.Enum):
+    """How one query left the admission system."""
+
+    COMPLETED = "completed"
+    #: Waited longer than the queue's admission timeout and gave up.
+    TIMED_OUT = "timed_out"
+    #: Rejected on arrival because the queue was already at max depth.
+    SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -27,6 +38,10 @@ class QueueConfig:
     name: str
     slots: int
     memory_fraction: float
+    #: Arrivals beyond this many waiting queries are shed (None: unbounded).
+    max_queue_depth: int | None = None
+    #: Queries abandon the queue after waiting this long (None: wait forever).
+    admission_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.slots < 1:
@@ -34,6 +49,14 @@ class QueueConfig:
         if not 0.0 < self.memory_fraction <= 1.0:
             raise ValueError(
                 f"queue {self.name!r} memory fraction must be in (0, 1]"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ValueError(
+                f"queue {self.name!r} max_queue_depth must be non-negative"
+            )
+        if self.admission_timeout_s is not None and self.admission_timeout_s < 0:
+            raise ValueError(
+                f"queue {self.name!r} admission timeout must be non-negative"
             )
 
 
@@ -52,6 +75,7 @@ class QueryOutcome:
     arrival: QueryArrival
     started_s: float
     finished_s: float
+    status: AdmissionStatus = AdmissionStatus.COMPLETED
 
     @property
     def wait_s(self) -> float:
@@ -66,14 +90,32 @@ class QueueReport:
     outcomes: list[QueryOutcome] = field(default_factory=list)
 
     @property
+    def completed(self) -> list[QueryOutcome]:
+        return [
+            o for o in self.outcomes if o.status is AdmissionStatus.COMPLETED
+        ]
+
+    @property
+    def timed_out_count(self) -> int:
+        return sum(
+            1 for o in self.outcomes if o.status is AdmissionStatus.TIMED_OUT
+        )
+
+    @property
+    def shed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status is AdmissionStatus.SHED)
+
+    @property
     def mean_wait_s(self) -> float:
-        return mean([o.wait_s for o in self.outcomes]) if self.outcomes else 0.0
+        completed = self.completed
+        return mean([o.wait_s for o in completed]) if completed else 0.0
 
     @property
     def p95_wait_s(self) -> float:
-        if not self.outcomes:
+        completed = self.completed
+        if not completed:
             return 0.0
-        return percentile([o.wait_s for o in self.outcomes], 95)
+        return percentile([o.wait_s for o in completed], 95)
 
     @property
     def max_queue_depth(self) -> int:
@@ -131,19 +173,55 @@ class WorkloadManager:
             by_queue[arrival.queue].append(arrival)
 
         for name, arrivals in by_queue.items():
-            slots = self.queue(name).slots
+            config = self.queue(name)
+            slots = config.slots
             arrivals.sort(key=lambda a: a.arrival_s)
             # Min-heap of slot-free times, one entry per slot.
             free_at: list[float] = [0.0] * slots
             heapq.heapify(free_at)
+            admitted: list[QueryOutcome] = []
             for arrival in arrivals:
-                slot_free = heapq.heappop(free_at)
-                start = max(arrival.arrival_s, slot_free)
+                now = arrival.arrival_s
+                if config.max_queue_depth is not None:
+                    waiting = sum(1 for o in admitted if o.started_s > now)
+                    if waiting >= config.max_queue_depth:
+                        # Overload shedding: fail fast at the door instead
+                        # of letting the backlog grow without bound.
+                        reports[name].outcomes.append(
+                            QueryOutcome(
+                                arrival=arrival,
+                                started_s=now,
+                                finished_s=now,
+                                status=AdmissionStatus.SHED,
+                            )
+                        )
+                        continue
+                slot_free = free_at[0]
+                wait = max(0.0, slot_free - now)
+                if (
+                    config.admission_timeout_s is not None
+                    and wait > config.admission_timeout_s
+                ):
+                    # The query abandons without ever taking a slot.
+                    gave_up = now + config.admission_timeout_s
+                    outcome = QueryOutcome(
+                        arrival=arrival,
+                        started_s=gave_up,
+                        finished_s=gave_up,
+                        status=AdmissionStatus.TIMED_OUT,
+                    )
+                    reports[name].outcomes.append(outcome)
+                    admitted.append(outcome)
+                    continue
+                heapq.heappop(free_at)
+                start = max(now, slot_free)
                 finish = start + arrival.duration_s
                 heapq.heappush(free_at, finish)
-                reports[name].outcomes.append(
-                    QueryOutcome(arrival=arrival, started_s=start, finished_s=finish)
+                outcome = QueryOutcome(
+                    arrival=arrival, started_s=start, finished_s=finish
                 )
+                reports[name].outcomes.append(outcome)
+                admitted.append(outcome)
         return reports
 
     def memory_per_slot_fraction(self, queue_name: str) -> float:

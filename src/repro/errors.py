@@ -94,6 +94,26 @@ class DivisionByZeroError(ExecutionError):
         super().__init__("division by zero")
 
 
+class NodeFailureError(ExecutionError):
+    """Raised when a compute node dies while a query is touching it."""
+
+    def __init__(self, node_id: str, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"compute node {node_id} failed mid-query{suffix}")
+        self.node_id = node_id
+
+
+class QueryRetryExhaustedError(ExecutionError):
+    """Raised when segment retry gives up after repeated recoverable faults."""
+
+    def __init__(self, attempts: int, last_error: Exception):
+        super().__init__(
+            f"query failed after {attempts} segment retries: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class CopyError(ReproError):
     """Raised when a COPY load fails (malformed source, missing object...)."""
 
@@ -120,6 +140,16 @@ class BlockCorruptionError(StorageError):
 
 class DiskFailureError(StorageError):
     """Raised when a simulated disk has failed and cannot serve IO."""
+
+
+class DiskMediaError(StorageError):
+    """Raised for a transient per-IO media error (a bad sector read/write
+    that succeeds on retry or is served from a replica)."""
+
+    def __init__(self, disk_id: str, op: str = "io"):
+        super().__init__(f"media error during {op} on disk {disk_id}")
+        self.disk_id = disk_id
+        self.op = op
 
 
 class DurabilityLossError(StorageError):
@@ -150,7 +180,24 @@ class NoSuchBucketError(CloudError):
 
 
 class ServiceUnavailableError(CloudError):
-    """Raised when a simulated service is in an injected outage."""
+    """Raised when a simulated service is in an injected outage.
+
+    An outage is *persistent*: it lasts until the injected window ends, so
+    retrying inside it is pointless and clients surface the error instead.
+    """
+
+
+class TransientServiceError(CloudError):
+    """Base class for per-request errors that a backed-off retry may clear."""
+
+
+class S3TransientError(TransientServiceError):
+    """A single S3 request failed (HTTP 503 SlowDown analogue)."""
+
+    def __init__(self, region: str, detail: str = ""):
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"S3 {region} transient request failure{suffix}")
+        self.region = region
 
 
 class InsufficientCapacityError(CloudError):
@@ -179,6 +226,14 @@ class InvalidClusterStateError(ControlPlaneError):
     """Raised when an operation is not legal in the cluster's current state."""
 
 
+class ClusterReadOnlyError(InvalidClusterStateError):
+    """Raised when a write reaches a cluster degraded to read-only mode."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"cluster is read-only: {reason}")
+        self.reason = reason
+
+
 class WorkflowError(ControlPlaneError):
     """Raised when a control-plane workflow fails after exhausting retries."""
 
@@ -187,3 +242,8 @@ class SnapshotNotFoundError(ControlPlaneError):
     def __init__(self, snapshot_id: str):
         super().__init__(f"snapshot {snapshot_id!r} does not exist")
         self.snapshot_id = snapshot_id
+
+
+#: Faults a leader-side segment retry can clear once a recovery handler has
+#: repaired the cause (node failover, scrub-and-repair, transient media IO).
+QUERY_RECOVERABLE_ERRORS = (NodeFailureError, BlockCorruptionError, DiskMediaError)

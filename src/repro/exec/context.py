@@ -26,6 +26,8 @@ class QueryStats:
     execute_seconds: float = 0.0
     executor: str = "volcano"
     plan_text: str = ""
+    #: Segments re-run by the leader after a recoverable fault.
+    segment_retries: int = 0
 
 
 @dataclass
@@ -36,7 +38,20 @@ class ExecutionContext:
     snapshot: Snapshot
     interconnect: Interconnect
     stats: QueryStats = field(default_factory=QueryStats)
+    #: Shared fault injector; None means no faults are being injected.
+    fault_injector: object = None
 
     @property
     def slice_count(self) -> int:
         return len(self.slices)
+
+    def check_faults(self) -> None:
+        """Fault checkpoint: fire any node crash scheduled for a node that
+        owns one of this query's slices. Executors call this at segment
+        boundaries — the points where a real leader detects a dead node."""
+        if self.fault_injector is None:
+            return
+        for store in self.slices:
+            # Slice ids look like "node-1-s0"; the prefix is the node id.
+            node_id = store.slice_id.rsplit("-s", 1)[0]
+            self.fault_injector.check_node(node_id)

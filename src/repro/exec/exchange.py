@@ -25,6 +25,7 @@ def broadcast(
     hold it; the combined list object is shared across slices (consumers
     must not mutate rows).
     """
+    ctx.check_faults()
     combined: list = []
     for rows in per_slice:
         combined.extend(rows)
@@ -44,6 +45,7 @@ def shuffle(
     Rows whose target slice equals their current slice do not move; only
     the bytes that actually cross the interconnect are accounted.
     """
+    ctx.check_faults()
     n = ctx.slice_count
     out: PerSlice = [[] for _ in range(n)]
     moved = 0
@@ -61,6 +63,7 @@ def gather(
     per_slice: PerSlice, ctx: ExecutionContext, row_width: int
 ) -> list:
     """Collect all rows at the leader node."""
+    ctx.check_faults()
     combined: list = []
     for rows in per_slice:
         combined.extend(rows)

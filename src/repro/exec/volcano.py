@@ -57,6 +57,7 @@ class VolcanoExecutor:
 
     def execute(self, plan: PhysicalNode) -> list[tuple]:
         """Run the plan and return the result rows at the leader."""
+        self._ctx.check_faults()
         per_slice = self._run(plan)
         return self._collect_at_leader(plan, per_slice)
 

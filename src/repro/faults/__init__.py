@@ -1,0 +1,29 @@
+"""Deterministic fault injection and end-to-end recovery.
+
+The paper's §5 lesson — "design escalators, not elevators" — is a claim
+about behaviour under dependency failure. This package gives every
+resilience experiment a shared, reproducible fault vocabulary
+(:class:`FaultPlan`), a single consultation point for the simulated
+dependencies (:class:`FaultInjector`), the retry/backoff policy for cloud
+clients (:func:`with_backoff`), and the recovery paths the claims rest on
+(:class:`RecoveryCoordinator`, :class:`ChaosOrchestrator`).
+"""
+
+from repro.faults.chaos import ChaosOrchestrator
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.recovery import RecoveryCoordinator, RecoveryReport
+from repro.faults.retry import RetryPolicy, with_backoff
+
+__all__ = [
+    "ChaosOrchestrator",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryCoordinator",
+    "RecoveryReport",
+    "RetryPolicy",
+    "with_backoff",
+]

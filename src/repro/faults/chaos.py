@@ -1,0 +1,137 @@
+"""Chaos orchestration: bind a fault plan to a running system.
+
+The orchestrator is the one place that knows how to aim a
+:class:`~repro.faults.plan.FaultPlan` at live objects: it attaches the
+injector to every simulated dependency (S3, EC2, disks, query execution),
+schedules point faults (disk failures, block bit-flips) as SimClock
+events, and stands up a :class:`~repro.faults.recovery.RecoveryCoordinator`
+so the system under test recovers the way the paper says it should.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.recovery import RecoveryCoordinator
+
+
+class ChaosOrchestrator:
+    """Wires one fault plan into one cluster and its cloud environment."""
+
+    def __init__(self, env, target, plan: FaultPlan | None = None):
+        """*target* is a ManagedCluster (control-plane drills) or a bare
+        engine Cluster; *plan* defaults to the environment's own plan."""
+        self.env = env
+        self._managed = target if hasattr(target, "engine") else None
+        self.cluster = target.engine if self._managed is not None else target
+        self.replication = (
+            self._managed.replication if self._managed is not None else None
+        )
+        self._s3_reader = (
+            self._managed.backups.s3_block_reader
+            if self._managed is not None and self._managed.backups is not None
+            else None
+        )
+        if plan is not None:
+            self.injector = FaultInjector(
+                plan, env.clock, rng=env.rng.child(f"chaos/{plan.seed}")
+            )
+        else:
+            self.injector = env.faults
+        self.coordinator: RecoveryCoordinator | None = None
+        self._installed = False
+
+    # ---- installation ------------------------------------------------------
+
+    def install(self) -> FaultInjector:
+        """Attach the injector everywhere and schedule point faults."""
+        if self._installed:
+            return self.injector
+        self._installed = True
+        self.env.s3.attach_injector(self.injector)
+        self.env.ec2.attach_injector(self.injector)
+        self.cluster.attach_faults(self.injector)
+        self.coordinator = RecoveryCoordinator(
+            self.cluster,
+            replication=self.replication,
+            s3_reader=self._s3_reader,
+            injector=self.injector,
+            clock=self.env.clock,
+            on_degraded=self._on_degraded,
+            on_recovered=self._on_recovered,
+        )
+        now = self.env.clock.now
+        for spec in self.injector.specs_of(FaultKind.DISK_FAIL):
+            self._schedule(now, spec, self._fire_disk_fail)
+        for spec in self.injector.specs_of(FaultKind.BLOCK_BITFLIP):
+            self._schedule(now, spec, self._fire_bitflip)
+        return self.injector
+
+    def _schedule(self, now: float, spec: FaultSpec, fire) -> None:
+        self.env.clock.schedule(max(0.0, spec.at_s - now), lambda: fire(spec))
+
+    # ---- degraded-state plumbing -------------------------------------------
+
+    def _on_degraded(self, reason: str) -> None:
+        if self._managed is not None:
+            from repro.controlplane.service import ClusterState
+
+            self._managed.state = ClusterState.READ_ONLY
+            self._managed.record(self.env.clock.now, f"degraded: {reason}")
+
+    def _on_recovered(self) -> None:
+        if self._managed is not None:
+            from repro.controlplane.service import ClusterState
+
+            self._managed.state = ClusterState.AVAILABLE
+            self._managed.record(self.env.clock.now, "redundancy restored")
+
+    # ---- point-fault firing ------------------------------------------------
+
+    def _fire_disk_fail(self, spec: FaultSpec) -> None:
+        for store in self.cluster.slice_stores:
+            if store.disk.disk_id == spec.target:
+                if self.injector.fire_once(spec):
+                    store.disk.fail()
+                return
+        self.injector.record(
+            "chaos:unresolved_target", spec.target, "no such disk"
+        )
+
+    def _fire_bitflip(self, spec: FaultSpec) -> None:
+        try:
+            block_id, block = self._resolve_block(spec.target)
+        except StorageError as exc:
+            self.injector.record("chaos:unresolved_target", spec.target, str(exc))
+            return
+        if self.injector.fire_once(spec, detail=block_id):
+            block.corrupt()
+
+    def _resolve_block(self, selector: str):
+        """A block selector is a block id or ``"#n"`` (n-th replicated
+        block in sorted id order). Returns (block_id, primary Block)."""
+        if selector.startswith("#"):
+            index = int(selector[1:])
+            if self.replication is not None and self.replication.replicas:
+                ids = sorted(self.replication.replicas)
+            else:
+                ids = sorted(
+                    block.block_id
+                    for store in self.cluster.slice_stores
+                    for shard in store.shards.values()
+                    for chain in shard.chains.values()
+                    for block in chain.blocks
+                )
+            if not ids:
+                raise StorageError("no blocks exist to corrupt")
+            block_id = ids[index % len(ids)]
+        else:
+            block_id = selector
+        for store in self.cluster.slice_stores:
+            for shard in store.shards.values():
+                for chain in shard.chains.values():
+                    for block in chain.blocks:
+                        if block.block_id == block_id:
+                            return block_id, block
+        raise StorageError(f"block {block_id!r} not found in any chain")

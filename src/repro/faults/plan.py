@@ -1,0 +1,183 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultPlan` is the shared vocabulary of every resilience
+experiment: a seed plus a list of :class:`FaultSpec` entries placed on the
+:class:`~repro.cloud.simclock.SimClock` timeline. Window faults (S3 error
+rates, slow-request windows, EC2 capacity gaps, disk media-error windows)
+are consulted live by the dependency they target; point faults (disk
+failures, block bit-flips, node crashes) fire once. Because the plan and
+the per-stream RNGs both derive from the seed, re-running the same plan
+reproduces the identical fault timeline.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class FaultKind(enum.Enum):
+    S3_OUTAGE = "s3_outage"
+    S3_ERROR_WINDOW = "s3_error_window"
+    S3_SLOW_WINDOW = "s3_slow_window"
+    EC2_CAPACITY_WINDOW = "ec2_capacity_window"
+    DISK_FAIL = "disk_fail"
+    DISK_MEDIA_WINDOW = "disk_media_window"
+    BLOCK_BITFLIP = "block_bitflip"
+    NODE_CRASH = "node_crash"
+
+
+#: Kinds that are active over a [at_s, until_s) window rather than firing once.
+WINDOW_KINDS = frozenset(
+    {
+        FaultKind.S3_OUTAGE,
+        FaultKind.S3_ERROR_WINDOW,
+        FaultKind.S3_SLOW_WINDOW,
+        FaultKind.EC2_CAPACITY_WINDOW,
+        FaultKind.DISK_MEDIA_WINDOW,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        kind: what breaks.
+        at_s: window start (window kinds) or firing time (point kinds).
+        until_s: window end; ignored by point kinds.
+        target: what it hits — an S3 region, a disk id, a node id, or a
+            block selector (a block id, or ``"#n"`` for the n-th replicated
+            block in sorted order). Empty string matches any target.
+        rate: per-request firing probability for rate-driven windows.
+        slow_factor: transfer-time multiplier for slow-request windows.
+    """
+
+    kind: FaultKind
+    at_s: float = 0.0
+    until_s: float = math.inf
+    target: str = ""
+    rate: float = 1.0
+    slow_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.until_s < self.at_s:
+            raise ValueError(
+                f"fault window ends before it starts: "
+                f"[{self.at_s}, {self.until_s})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.slow_factor < 1.0:
+            raise ValueError(
+                f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+
+    def matches(self, target: str) -> bool:
+        return self.target == "" or self.target == target
+
+    def active_at(self, now: float) -> bool:
+        return self.at_s <= now < self.until_s
+
+
+@dataclass
+class FaultPlan:
+    """A seeded fault schedule, built fluently.
+
+    >>> plan = (FaultPlan(seed=7)
+    ...         .s3_errors(at_s=0, until_s=600, rate=0.2)
+    ...         .node_crash(at_s=100, node_id="node-1")
+    ...         .block_bitflip(at_s=50, block="#3"))
+    """
+
+    seed: int | str = 0
+    faults: list[FaultSpec] = field(default_factory=list)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.faults.append(spec)
+        return self
+
+    # ---- cloud substrate ---------------------------------------------------
+
+    def s3_outage(
+        self, at_s: float = 0.0, until_s: float = math.inf, region: str = ""
+    ) -> "FaultPlan":
+        """Regional outage: every request fails until the window closes."""
+        return self.add(
+            FaultSpec(FaultKind.S3_OUTAGE, at_s, until_s, target=region)
+        )
+
+    def s3_errors(
+        self,
+        at_s: float,
+        until_s: float,
+        rate: float,
+        region: str = "",
+    ) -> "FaultPlan":
+        """Transient 503s: each request fails independently with *rate*."""
+        return self.add(
+            FaultSpec(
+                FaultKind.S3_ERROR_WINDOW, at_s, until_s, target=region, rate=rate
+            )
+        )
+
+    def s3_slow(
+        self,
+        at_s: float,
+        until_s: float,
+        factor: float,
+        region: str = "",
+    ) -> "FaultPlan":
+        """Slow-request window: transfers take *factor* times longer."""
+        return self.add(
+            FaultSpec(
+                FaultKind.S3_SLOW_WINDOW,
+                at_s,
+                until_s,
+                target=region,
+                slow_factor=factor,
+            )
+        )
+
+    def ec2_capacity_gap(
+        self, at_s: float, until_s: float = math.inf
+    ) -> "FaultPlan":
+        """Insufficient-capacity window: cold provisioning fails; warm-pool
+        claims keep working (the paper's escalator)."""
+        return self.add(
+            FaultSpec(FaultKind.EC2_CAPACITY_WINDOW, at_s, until_s)
+        )
+
+    # ---- storage -----------------------------------------------------------
+
+    def disk_failure(self, at_s: float, disk_id: str) -> "FaultPlan":
+        """Permanent media failure of one disk at *at_s*."""
+        return self.add(FaultSpec(FaultKind.DISK_FAIL, at_s, target=disk_id))
+
+    def disk_media_errors(
+        self, at_s: float, until_s: float, rate: float, disk_id: str = ""
+    ) -> "FaultPlan":
+        """Window of transient per-IO media errors on one (or any) disk."""
+        return self.add(
+            FaultSpec(
+                FaultKind.DISK_MEDIA_WINDOW,
+                at_s,
+                until_s,
+                target=disk_id,
+                rate=rate,
+            )
+        )
+
+    def block_bitflip(self, at_s: float, block: str = "#0") -> "FaultPlan":
+        """Silent corruption of one block at *at_s*; *block* is a block id
+        or ``"#n"`` selecting the n-th replicated block in sorted order."""
+        return self.add(FaultSpec(FaultKind.BLOCK_BITFLIP, at_s, target=block))
+
+    # ---- nodes -------------------------------------------------------------
+
+    def node_crash(self, at_s: float, node_id: str) -> "FaultPlan":
+        """Node crash armed at *at_s*: the next query execution that touches
+        the node observes the failure."""
+        return self.add(FaultSpec(FaultKind.NODE_CRASH, at_s, target=node_id))

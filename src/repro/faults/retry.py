@@ -1,0 +1,81 @@
+"""Exponential backoff with deterministic jitter for cloud-client calls.
+
+The control plane talks to simulated AWS services that can now fail per
+request; bare raises become :func:`with_backoff` calls so transient errors
+cost simulated time instead of failing workflows. Jitter draws from a
+:class:`~repro.util.rng.DeterministicRng`, so retry timing is reproducible
+run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import TransientServiceError
+from repro.util.rng import DeterministicRng
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: base * factor^(attempt-1), capped, jittered."""
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.5
+    factor: float = 2.0
+    max_delay_s: float = 30.0
+    jitter_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be positive, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+
+    def delay_for(self, attempt: int, rng: DeterministicRng | None = None) -> float:
+        """Backoff before retry number *attempt* (1-based failed attempts)."""
+        delay = min(
+            self.max_delay_s, self.base_delay_s * self.factor ** (attempt - 1)
+        )
+        if rng is not None and self.jitter_fraction > 0.0:
+            delay *= 1.0 + self.jitter_fraction * rng.random()
+        return delay
+
+
+def with_backoff(
+    fn: Callable[[], T],
+    *,
+    clock=None,
+    policy: RetryPolicy | None = None,
+    rng: DeterministicRng | None = None,
+    retry_on: tuple[type[Exception], ...] = (TransientServiceError,),
+    on_retry: Callable[[int, Exception, float], None] | None = None,
+) -> T:
+    """Call *fn*, retrying *retry_on* errors with backoff on *clock*.
+
+    The last error re-raises unchanged once attempts are exhausted, so
+    callers still observe the typed failure they would have seen bare.
+    """
+    policy = policy or RetryPolicy()
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == policy.max_attempts:
+                raise
+            delay = policy.delay_for(attempt, rng)
+            if clock is not None:
+                clock.advance(delay)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+    raise AssertionError("unreachable")  # pragma: no cover

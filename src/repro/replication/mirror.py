@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.cluster import Cluster
-from repro.errors import DurabilityLossError, StorageError
+from repro.errors import (
+    BlockCorruptionError,
+    DiskMediaError,
+    DurabilityLossError,
+    StorageError,
+)
 from repro.replication.cohort import CohortPlan
 from repro.storage.block import Block
 from repro.storage.slicestore import TableShard
@@ -30,6 +35,17 @@ class ReplicaInfo:
     table: str
     column: str
     in_s3: bool = False
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub pass over the replicated block set found and fixed."""
+
+    blocks_checked: int = 0
+    repaired: list[str] = field(default_factory=list)
+    corrupt_primary: list[str] = field(default_factory=list)
+    corrupt_secondary: list[str] = field(default_factory=list)
+    unrepairable: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -159,22 +175,33 @@ class ReplicationManager:
         if info is None:
             raise StorageError(f"block {block_id!r} is not replicated")
         primary_store = self._store(info.primary_slice)
-        if not primary_store.disk.failed:
+        if not primary_store.disk.failed and primary_store.has_shard(info.table):
             shard = primary_store.shard(info.table)
             for block in shard.chain(info.column).blocks:
                 if block.block_id == block_id:
-                    primary_store.disk.record_read(block.encoded_bytes)
-                    return block
+                    try:
+                        primary_store.disk.record_read(block.encoded_bytes)
+                        block.read()  # checksum gate before serving
+                        return block
+                    except (BlockCorruptionError, DiskMediaError):
+                        break  # fail over to the secondary copy
         secondary_store = self._store(info.secondary_slice)
         if not secondary_store.disk.failed:
             data = self._secondary_store.get(info.secondary_slice, {}).get(block_id)
             if data is not None:
-                secondary_store.disk.record_read(len(data))
-                return Block.deserialize(data)
+                try:
+                    secondary_store.disk.record_read(len(data))
+                    candidate = Block.deserialize(data)
+                    candidate.read()
+                    return candidate
+                except (BlockCorruptionError, DiskMediaError):
+                    pass  # fall through to the S3 backup copy
         if s3_reader is not None:
             data = s3_reader(block_id)
             if data is not None:
-                return Block.deserialize(data)
+                candidate = Block.deserialize(data)
+                candidate.read()
+                return candidate
         raise DurabilityLossError(
             f"no surviving replica of block {block_id!r}"
         )
@@ -184,6 +211,93 @@ class ReplicationManager:
             if store.slice_id == slice_id:
                 return store
         raise StorageError(f"unknown slice {slice_id!r}")
+
+    # ---- scrub-and-repair ----------------------------------------------------
+
+    def _primary_block(self, info: ReplicaInfo):
+        """Locate a replica's primary chain and block; (None, None) when the
+        primary disk is down or the shard has been dropped."""
+        store = self._store(info.primary_slice)
+        if store.disk.failed or not store.has_shard(info.table):
+            return None, None
+        chain = store.shard(info.table).chain(info.column)
+        for block in chain.blocks:
+            if block.block_id == info.block_id:
+                return chain, block
+        return chain, None
+
+    @staticmethod
+    def _verified(block: Block) -> bool:
+        try:
+            block.read()
+            return True
+        except BlockCorruptionError:
+            return False
+
+    def scrub(self, s3_reader=None, node_id: str | None = None) -> ScrubReport:
+        """Checksum-verify every replicated copy and repair corrupt ones.
+
+        Each corrupt copy is rebuilt from a surviving good copy — mirror
+        first, then the S3 backup via *s3_reader*. Blocks with no intact
+        copy anywhere are reported unrepairable (durability lost). Pass
+        *node_id* to scrub only blocks with a copy on that node.
+        """
+        report = ScrubReport()
+        for block_id in sorted(self.replicas):
+            info = self.replicas[block_id]
+            if node_id is not None and node_id not in (
+                self._slice_node(info.primary_slice),
+                self._slice_node(info.secondary_slice),
+            ):
+                continue
+            report.blocks_checked += 1
+            chain, primary = self._primary_block(info)
+            primary_ok = primary is not None and self._verified(primary)
+            if primary is not None and not primary_ok:
+                report.corrupt_primary.append(block_id)
+            data = self._secondary_store.get(info.secondary_slice, {}).get(
+                block_id
+            )
+            secondary_ok = data is not None and self._verified(
+                Block.deserialize(data)
+            )
+            if data is not None and not secondary_ok:
+                report.corrupt_secondary.append(block_id)
+            if primary_ok and secondary_ok:
+                continue
+            source: bytes | None = None
+            if primary_ok:
+                source = primary.serialize()
+            elif secondary_ok:
+                source = data
+            elif s3_reader is not None:
+                candidate = s3_reader(block_id)
+                if candidate is not None and self._verified(
+                    Block.deserialize(candidate)
+                ):
+                    source = candidate
+            if source is None:
+                report.unrepairable.append(block_id)
+                continue
+            repaired_any = False
+            if chain is not None and primary is not None and not primary_ok:
+                fresh = Block.deserialize(source)
+                if chain.replace_block(block_id, fresh):
+                    self._store(info.primary_slice).disk.record_write(
+                        fresh.encoded_bytes
+                    )
+                    repaired_any = True
+            if not secondary_ok:
+                self._secondary_store.setdefault(info.secondary_slice, {})[
+                    block_id
+                ] = bytes(source)
+                secondary_store = self._store(info.secondary_slice)
+                if not secondary_store.disk.failed:
+                    secondary_store.disk.record_write(len(source))
+                repaired_any = True
+            if repaired_any:
+                report.repaired.append(block_id)
+        return report
 
     # ---- failure & recovery ------------------------------------------------------------
 

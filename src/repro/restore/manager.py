@@ -9,10 +9,12 @@ from repro.cloud.s3 import SimS3
 from repro.cloud.simclock import SimClock
 from repro.engine.cluster import Cluster
 from repro.engine.transactions import BOOTSTRAP_XID
-from repro.errors import SnapshotNotFoundError
+from repro.errors import S3TransientError, SnapshotNotFoundError
+from repro.faults.retry import RetryPolicy, with_backoff
 from repro.restore.lazyblock import LazyBlock
 from repro.security.keyhierarchy import ClusterKeyHierarchy, EncryptedBlob
 from repro.storage.block import Block
+from repro.util.rng import DeterministicRng
 
 
 @dataclass
@@ -59,6 +61,17 @@ class RestoreManager:
         self._bucket = bucket
         self._clock = clock
         self._encryption = encryption
+        self._retry_rng = DeterministicRng(f"restore-retry/{bucket}")
+
+    def _s3_call(self, fn):
+        """One S3 request with backed-off retry of transient errors."""
+        return with_backoff(
+            fn,
+            clock=self._clock,
+            policy=RetryPolicy(),
+            rng=self._retry_rng,
+            retry_on=(S3TransientError,),
+        )
 
     # ---- manifest plumbing ---------------------------------------------------
 
@@ -66,10 +79,14 @@ class RestoreManager:
         key = f"manifests/{snapshot_id}"
         if not self._s3.has_object(self._bucket, key):
             raise SnapshotNotFoundError(snapshot_id)
-        return pickle.loads(self._s3.get_object(self._bucket, key).data)
+        return pickle.loads(
+            self._s3_call(lambda: self._s3.get_object(self._bucket, key)).data
+        )
 
     def _fetch_block_bytes(self, block_id: str) -> bytes:
-        data = self._s3.get_object(self._bucket, f"blocks/{block_id}").data
+        data = self._s3_call(
+            lambda: self._s3.get_object(self._bucket, f"blocks/{block_id}")
+        ).data
         if self._encryption is not None:
             data = self._encryption.decrypt_block(
                 EncryptedBlob(block_id=block_id, ciphertext=data)

@@ -198,6 +198,18 @@ class ColumnChain:
                     done = True
         return out
 
+    def replace_block(self, block_id: str, block: Block) -> bool:
+        """Swap a sealed block for a repaired image with the same id.
+
+        Used by scrub-and-repair to splice a restored block back into the
+        chain in place. Returns False when no sealed block matches.
+        """
+        for i, existing in enumerate(self._blocks):
+            if existing.block_id == block_id:
+                self._blocks[i] = block
+                return True
+        return False
+
     def adopt_blocks(self, blocks: Sequence[Block]) -> None:
         """Replace this chain's contents with already-built blocks.
 

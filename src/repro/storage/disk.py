@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import DiskFailureError
+from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -32,6 +33,11 @@ class SimulatedDisk:
         self.stats = DiskStats()
         self._failed = False
         self._used_bytes = 0
+        self._injector: FaultInjector | None = None
+
+    def attach_injector(self, injector: FaultInjector | None) -> None:
+        """Consult *injector* for transient media errors on each IO."""
+        self._injector = injector
 
     @property
     def failed(self) -> bool:
@@ -54,15 +60,21 @@ class SimulatedDisk:
         if self._failed:
             raise DiskFailureError(f"disk {self.disk_id} has failed")
 
+    def _media(self, op: str) -> None:
+        if self._injector is not None:
+            self._injector.disk_io(self.disk_id, op)
+
     def record_read(self, nbytes: int) -> None:
         """Account a read of *nbytes*; raises if the disk has failed."""
         self._check()
+        self._media("read")
         self.stats.bytes_read += nbytes
         self.stats.read_ops += 1
 
     def record_write(self, nbytes: int) -> None:
         """Account a write of *nbytes*; raises if failed or over capacity."""
         self._check()
+        self._media("write")
         if (
             self.capacity_bytes is not None
             and self._used_bytes + nbytes > self.capacity_bytes

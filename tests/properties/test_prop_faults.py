@@ -1,0 +1,103 @@
+"""Property: under random seeded fault schedules, queries are never
+silently wrong — they either return the fault-free oracle's answer (the
+recovery machinery did its job) or raise a typed :class:`ReproError`.
+
+The second property is the framework's own contract: the same seed and
+plan reproduce the same fault/recovery timeline.
+"""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud import CloudEnvironment
+from repro.controlplane import RedshiftService
+from repro.errors import ReproError
+from repro.faults import ChaosOrchestrator, FaultPlan
+
+ROWS = 200
+ORACLE = [(ROWS, sum(range(ROWS)))]
+
+fault_mix = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10**6),
+        "s3_rate": st.one_of(st.none(), st.floats(0.05, 0.9)),
+        "disk_rate": st.one_of(st.none(), st.floats(0.001, 0.05)),
+        "crash_node": st.one_of(st.none(), st.integers(0, 1)),
+        "bitflips": st.lists(st.integers(0, 40), max_size=2),
+    }
+)
+
+
+def _drill(mix):
+    """Build a small managed cluster, aim the drawn fault mix at it, and
+    run the probe query. Returns (rows or None, injector)."""
+    env = CloudEnvironment(seed=mix["seed"])
+    env.ec2.preconfigure("dw2.large", 6)
+    service = RedshiftService(env)
+    managed, _ = service.create_cluster(node_count=2, block_capacity=16)
+    session = managed.connect()
+    session.execute("CREATE TABLE t (k int, v int) DISTKEY(k)")
+    session.execute(
+        "INSERT INTO t VALUES " + ",".join(f"({i},{i})" for i in range(ROWS))
+    )
+    managed.replication.sync_from_cluster()
+    service.snapshot_cluster(managed.cluster_id, label="pre")
+
+    now = env.clock.now
+    plan = FaultPlan(seed=mix["seed"])
+    if mix["s3_rate"] is not None:
+        plan.s3_errors(now, now + 3600.0, rate=mix["s3_rate"])
+    if mix["disk_rate"] is not None:
+        plan.disk_media_errors(now, now + 3600.0, rate=mix["disk_rate"])
+    if mix["crash_node"] is not None:
+        plan.node_crash(now, f"node-{mix['crash_node']}")
+    for index in mix["bitflips"]:
+        plan.block_bitflip(now, f"#{index}")
+
+    chaos = ChaosOrchestrator(env, managed, plan)
+    injector = chaos.install()
+    env.clock.advance(1.0)  # scheduled point faults fire
+    try:
+        rows = session.execute("SELECT count(*), sum(v) FROM t").rows
+    except ReproError:
+        rows = None  # a typed failure; the property allows it
+    return rows, injector
+
+
+@given(fault_mix)
+@settings(max_examples=15, deadline=None)
+def test_chaos_is_never_silently_wrong(mix):
+    rows, _ = _drill(mix)
+    assert rows is None or rows == ORACLE
+
+
+def _normalized(timeline):
+    """Block ids come from a process-global counter; rewrite them relative
+    to the run so two in-process timelines compare."""
+    numbers = [
+        int(m)
+        for key in timeline
+        for part in key
+        if isinstance(part, str)
+        for m in re.findall(r"blk-(\d+)", part)
+    ]
+    base = min(numbers) if numbers else 0
+
+    def fix(part):
+        if not isinstance(part, str):
+            return part
+        return re.sub(
+            r"blk-(\d+)", lambda m: f"blk+{int(m.group(1)) - base}", part
+        )
+
+    return [tuple(fix(part) for part in key) for key in timeline]
+
+
+@given(fault_mix)
+@settings(max_examples=8, deadline=None)
+def test_chaos_timeline_is_reproducible(mix):
+    rows_a, first = _drill(mix)
+    rows_b, second = _drill(mix)
+    assert rows_a == rows_b
+    assert _normalized(first.timeline()) == _normalized(second.timeline())

@@ -13,6 +13,7 @@ from repro.cloud import (
     attach_cloud_sources,
 )
 from repro.engine.wlm import (
+    AdmissionStatus,
     QueryArrival,
     QueueConfig,
     WorkloadManager,
@@ -222,6 +223,102 @@ class TestWlm:
         ]
         report = wlm.simulate(trace)["q"]
         assert report.max_queue_depth == 5
+
+
+class TestWlmAdmissionControl:
+    """Overload protection: timeouts and shedding keep a swamped queue from
+    taking the whole warehouse down with it (escalators, not elevators)."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueConfig("q", slots=1, memory_fraction=1.0, max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            QueueConfig(
+                "q", slots=1, memory_fraction=1.0, admission_timeout_s=-5.0
+            )
+
+    def test_defaults_never_shed_or_time_out(self):
+        wlm = WorkloadManager([QueueConfig("q", slots=1, memory_fraction=1.0)])
+        trace = [QueryArrival("q", 0.0, 100.0) for _ in range(50)]
+        report = wlm.simulate(trace)["q"]
+        assert report.shed_count == 0
+        assert report.timed_out_count == 0
+        assert len(report.completed) == 50
+
+    def test_admission_timeout_abandons_without_taking_a_slot(self):
+        wlm = WorkloadManager(
+            [
+                QueueConfig(
+                    "q", slots=1, memory_fraction=1.0, admission_timeout_s=30.0
+                )
+            ]
+        )
+        trace = [
+            QueryArrival("q", 0.0, 100.0, "long"),
+            QueryArrival("q", 1.0, 10.0, "victim"),  # would wait 99s
+            QueryArrival("q", 150.0, 10.0, "late"),  # slot free by then
+        ]
+        report = wlm.simulate(trace)["q"]
+        assert report.timed_out_count == 1
+        victim = next(
+            o for o in report.outcomes if o.arrival.label == "victim"
+        )
+        assert victim.status is AdmissionStatus.TIMED_OUT
+        # It gave up exactly at the timeout and consumed no slot time.
+        assert victim.finished_s == pytest.approx(31.0)
+        late = next(o for o in report.outcomes if o.arrival.label == "late")
+        assert late.status is AdmissionStatus.COMPLETED
+        assert late.wait_s == 0.0
+
+    def test_queue_shedding_at_max_depth(self):
+        wlm = WorkloadManager(
+            [
+                QueueConfig(
+                    "q", slots=1, memory_fraction=1.0, max_queue_depth=2
+                )
+            ]
+        )
+        # One running + two waiting; the fourth arrival is shed at the door.
+        trace = [QueryArrival("q", float(i), 100.0, f"q{i}") for i in range(4)]
+        report = wlm.simulate(trace)["q"]
+        assert report.shed_count == 1
+        shed = next(
+            o for o in report.outcomes if o.status is AdmissionStatus.SHED
+        )
+        assert shed.arrival.label == "q3"
+        assert shed.wait_s == 0.0  # rejected instantly, not queued
+
+    def test_shed_queries_free_no_capacity(self):
+        """Shedding keeps the survivors' waits bounded by the depth cap."""
+        capped = WorkloadManager(
+            [
+                QueueConfig(
+                    "q", slots=1, memory_fraction=1.0, max_queue_depth=1
+                )
+            ]
+        )
+        trace = [QueryArrival("q", float(i), 50.0) for i in range(10)]
+        report = capped.simulate(trace)["q"]
+        # With at most one query waiting, no admitted query waits > 50s.
+        assert all(o.wait_s <= 50.0 for o in report.completed)
+        assert report.shed_count > 0
+
+    def test_wait_statistics_exclude_non_completed(self):
+        wlm = WorkloadManager(
+            [
+                QueueConfig(
+                    "q", slots=1, memory_fraction=1.0, admission_timeout_s=5.0
+                )
+            ]
+        )
+        trace = [
+            QueryArrival("q", 0.0, 100.0),
+            QueryArrival("q", 1.0, 10.0),  # times out after 5s
+        ]
+        report = wlm.simulate(trace)["q"]
+        assert report.timed_out_count == 1
+        # The timed-out query's wait does not pollute the latency stats.
+        assert report.mean_wait_s == 0.0
 
 
 def mean_wait(outcomes) -> float:

@@ -1,0 +1,326 @@
+"""The fault-injection framework itself: plans, the injector, backoff.
+
+The framework's contract is determinism — the same seeded plan over the
+same call sequence fires the same faults at the same simulated times — so
+most tests here run a scenario twice and compare timelines.
+"""
+
+import math
+
+import pytest
+
+from repro.cloud import CloudEnvironment
+from repro.cloud.simclock import SimClock
+from repro.errors import (
+    DiskMediaError,
+    NodeFailureError,
+    S3TransientError,
+    ServiceUnavailableError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    with_backoff,
+)
+from repro.util.rng import DeterministicRng
+
+
+class TestFaultSpec:
+    def test_window_must_end_after_start(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.S3_OUTAGE, at_s=10.0, until_s=5.0)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.S3_ERROR_WINDOW, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.S3_ERROR_WINDOW, rate=-0.1)
+
+    def test_slow_factor_bound(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.S3_SLOW_WINDOW, slow_factor=0.5)
+
+    def test_empty_target_matches_everything(self):
+        spec = FaultSpec(FaultKind.S3_OUTAGE)
+        assert spec.matches("us-east-1")
+        assert spec.matches("anything")
+
+    def test_window_is_half_open(self):
+        spec = FaultSpec(FaultKind.S3_OUTAGE, at_s=10.0, until_s=20.0)
+        assert not spec.active_at(9.999)
+        assert spec.active_at(10.0)
+        assert spec.active_at(19.999)
+        assert not spec.active_at(20.0)
+
+
+class TestFaultPlanBuilders:
+    def test_builders_chain_and_accumulate(self):
+        plan = (
+            FaultPlan(seed=7)
+            .s3_outage(at_s=0, until_s=60)
+            .s3_errors(at_s=0, until_s=600, rate=0.2)
+            .s3_slow(at_s=0, until_s=600, factor=4.0)
+            .ec2_capacity_gap(at_s=100)
+            .disk_failure(at_s=50, disk_id="disk-node-0-s0")
+            .disk_media_errors(at_s=0, until_s=60, rate=0.1)
+            .block_bitflip(at_s=30, block="#3")
+            .node_crash(at_s=10, node_id="node-1")
+        )
+        kinds = [spec.kind for spec in plan.faults]
+        assert kinds == [
+            FaultKind.S3_OUTAGE,
+            FaultKind.S3_ERROR_WINDOW,
+            FaultKind.S3_SLOW_WINDOW,
+            FaultKind.EC2_CAPACITY_WINDOW,
+            FaultKind.DISK_FAIL,
+            FaultKind.DISK_MEDIA_WINDOW,
+            FaultKind.BLOCK_BITFLIP,
+            FaultKind.NODE_CRASH,
+        ]
+
+
+def _injector(plan: FaultPlan, clock: SimClock | None = None) -> FaultInjector:
+    return FaultInjector(plan, clock or SimClock())
+
+
+class TestInjectorWindows:
+    def test_s3_outage_only_inside_window(self):
+        clock = SimClock()
+        injector = _injector(
+            FaultPlan().s3_outage(at_s=10.0, until_s=20.0), clock
+        )
+        injector.s3_request("us-east-1")  # before: fine
+        clock.advance(15.0)
+        with pytest.raises(ServiceUnavailableError):
+            injector.s3_request("us-east-1")
+        clock.advance(10.0)
+        injector.s3_request("us-east-1")  # after: fine again
+
+    def test_s3_error_rate_one_always_fires(self):
+        injector = _injector(FaultPlan().s3_errors(0.0, math.inf, rate=1.0))
+        with pytest.raises(S3TransientError):
+            injector.s3_request("us-east-1", "get_object")
+
+    def test_s3_error_rate_zero_never_fires(self):
+        injector = _injector(FaultPlan().s3_errors(0.0, math.inf, rate=0.0))
+        for _ in range(100):
+            injector.s3_request("us-east-1")
+
+    def test_s3_errors_target_region_scoped(self):
+        injector = _injector(
+            FaultPlan().s3_errors(0.0, math.inf, rate=1.0, region="us-west-2")
+        )
+        injector.s3_request("us-east-1")  # other region unaffected
+        with pytest.raises(S3TransientError):
+            injector.s3_request("us-west-2")
+
+    def test_slow_factors_multiply(self):
+        injector = _injector(
+            FaultPlan()
+            .s3_slow(0.0, math.inf, factor=2.0)
+            .s3_slow(0.0, math.inf, factor=3.0)
+        )
+        assert injector.s3_slow_factor("us-east-1") == pytest.approx(6.0)
+        assert _injector(FaultPlan()).s3_slow_factor("r") == 1.0
+
+    def test_disk_media_errors_scoped_to_disk(self):
+        injector = _injector(
+            FaultPlan().disk_media_errors(0.0, math.inf, rate=1.0, disk_id="d1")
+        )
+        injector.disk_io("d2", "read")
+        with pytest.raises(DiskMediaError) as info:
+            injector.disk_io("d1", "read")
+        assert info.value.disk_id == "d1"
+
+    def test_ec2_capacity_window(self):
+        clock = SimClock()
+        injector = _injector(FaultPlan().ec2_capacity_gap(at_s=5.0, until_s=10.0), clock)
+        assert not injector.ec2_capacity_interrupted()
+        clock.advance(7.0)
+        assert injector.ec2_capacity_interrupted()
+        clock.advance(5.0)
+        assert not injector.ec2_capacity_interrupted()
+
+
+class TestInjectorPointFaults:
+    def test_node_crash_fires_once_at_its_time(self):
+        clock = SimClock()
+        injector = _injector(FaultPlan().node_crash(5.0, "node-1"), clock)
+        injector.check_node("node-1")  # not armed yet
+        clock.advance(5.0)
+        injector.check_node("node-0")  # other node unaffected
+        with pytest.raises(NodeFailureError) as info:
+            injector.check_node("node-1")
+        assert info.value.node_id == "node-1"
+        injector.check_node("node-1")  # consumed: does not re-fire
+        assert injector.crashed_nodes() == ["node-1"]
+        injector.mark_node_recovered("node-1")
+        assert injector.crashed_nodes() == []
+
+    def test_fire_once_is_single_shot(self):
+        injector = _injector(FaultPlan())
+        spec = FaultSpec(FaultKind.BLOCK_BITFLIP, target="b1")
+        assert injector.fire_once(spec, "hit")
+        assert not injector.fire_once(spec, "hit")
+        assert len(injector.log) == 1
+
+    def test_dynamic_add_and_cancel(self):
+        injector = _injector(FaultPlan())
+        spec = injector.add(FaultSpec(FaultKind.S3_OUTAGE))
+        with pytest.raises(ServiceUnavailableError):
+            injector.s3_request("r")
+        injector.cancel(spec)
+        injector.s3_request("r")
+
+
+class TestDeterminism:
+    def test_same_plan_same_call_sequence_same_timeline(self):
+        def run() -> list[tuple]:
+            clock = SimClock()
+            injector = FaultInjector(
+                FaultPlan(seed=42).s3_errors(0.0, math.inf, rate=0.5), clock
+            )
+            for _ in range(50):
+                clock.advance(1.0)
+                try:
+                    injector.s3_request("us-east-1", "get_object")
+                except S3TransientError:
+                    pass
+            return injector.timeline()
+
+        first, second = run(), run()
+        assert first == second
+        assert first  # rate 0.5 over 50 draws certainly fired at least once
+
+    def test_different_seeds_diverge(self):
+        def run(seed: int) -> list[tuple]:
+            injector = FaultInjector(
+                FaultPlan(seed=seed).s3_errors(0.0, math.inf, rate=0.5),
+                SimClock(),
+            )
+            fired = []
+            for i in range(50):
+                try:
+                    injector.s3_request("r")
+                except S3TransientError:
+                    fired.append(i)
+            return fired
+
+        assert run(1) != run(2)
+
+
+class TestRetryPolicy:
+    def test_exponential_delays(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, factor=2.0, max_delay_s=30.0, jitter_fraction=0.0
+        )
+        assert [policy.delay_for(a) for a in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=10.0, factor=10.0, max_delay_s=25.0, jitter_fraction=0.0
+        )
+        assert policy.delay_for(3) == 25.0
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay_s=10.0, factor=1.0, jitter_fraction=0.5)
+        delays = [policy.delay_for(1, DeterministicRng("j")) for _ in range(5)]
+        repeat = [policy.delay_for(1, DeterministicRng("j")) for _ in range(5)]
+        assert delays == repeat
+        assert all(10.0 <= d <= 15.0 for d in delays)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=2.0)
+
+
+class TestWithBackoff:
+    def test_retries_transient_then_succeeds_accounting_time(self):
+        clock = SimClock()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise S3TransientError("r", "503")
+            return "ok"
+
+        policy = RetryPolicy(base_delay_s=1.0, factor=2.0, jitter_fraction=0.0)
+        assert with_backoff(flaky, clock=clock, policy=policy) == "ok"
+        assert calls["n"] == 3
+        assert clock.now == pytest.approx(1.0 + 2.0)  # two backoffs
+
+    def test_exhaustion_reraises_original_error(self):
+        clock = SimClock()
+
+        def always_fails():
+            raise S3TransientError("r", "503")
+
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=1.0, factor=1.0, jitter_fraction=0.0
+        )
+        with pytest.raises(S3TransientError):
+            with_backoff(always_fails, clock=clock, policy=policy)
+        assert clock.now == pytest.approx(2.0)  # attempts-1 backoffs
+
+    def test_non_retryable_error_passes_straight_through(self):
+        clock = SimClock()
+
+        def outage():
+            raise ServiceUnavailableError("down")
+
+        with pytest.raises(ServiceUnavailableError):
+            with_backoff(
+                outage, clock=clock, retry_on=(S3TransientError,)
+            )
+        assert clock.now == 0.0  # no backoff was attempted
+
+    def test_on_retry_callback_sees_each_failure(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise S3TransientError("r", "x")
+            return 1
+
+        policy = RetryPolicy(base_delay_s=1.0, factor=2.0, jitter_fraction=0.0)
+        with_backoff(
+            flaky,
+            clock=SimClock(),
+            policy=policy,
+            on_retry=lambda a, e, d: seen.append((a, d)),
+        )
+        assert seen == [(1, 1.0), (2, 2.0)]
+
+
+class TestS3Integration:
+    def test_set_outage_compat_wrapper(self):
+        env = CloudEnvironment(seed=3)
+        env.s3.create_bucket("b")
+        env.s3.set_outage(True)
+        with pytest.raises(ServiceUnavailableError):
+            env.s3.put_object("b", "k", b"v")
+        env.s3.set_outage(False)
+        env.s3.put_object("b", "k", b"v")
+        assert env.s3.get_object("b", "k").data == b"v"
+
+    def test_environment_fault_plan_errors_fire_per_request(self):
+        plan = FaultPlan(seed=9).s3_errors(0.0, math.inf, rate=1.0)
+        env = CloudEnvironment(seed=9, fault_plan=plan)
+        with pytest.raises(S3TransientError):
+            env.s3.create_bucket("b")
+
+    def test_slow_window_stretches_transfer_time(self):
+        plan = FaultPlan(seed=1).s3_slow(0.0, math.inf, factor=4.0)
+        env = CloudEnvironment(seed=1, fault_plan=plan)
+        baseline = CloudEnvironment(seed=1)
+        assert env.s3.transfer_time(1 << 20) == pytest.approx(
+            4.0 * baseline.s3.transfer_time(1 << 20)
+        )

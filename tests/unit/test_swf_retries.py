@@ -1,0 +1,178 @@
+"""Workflow retry semantics: exhaustion, RETRIED history, clock accounting.
+
+The workflow engine's retry behaviour is what turns control-plane actions
+from elevators into escalators — these tests pin down exactly what each
+attempt costs in simulated time and what the execution history records.
+"""
+
+import pytest
+
+from repro.cloud.simclock import SimClock
+from repro.cloud.swf import (
+    SimWorkflowService,
+    StepStatus,
+    Workflow,
+)
+from repro.errors import WorkflowError
+from repro.util.rng import DeterministicRng
+
+
+def _failing_action(failures: int, duration: float = 5.0):
+    """An action that raises *failures* times, then succeeds."""
+    state = {"calls": 0}
+
+    def action() -> float:
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise RuntimeError(f"boom #{state['calls']}")
+        return duration
+
+    return action
+
+
+class TestRetryExhaustion:
+    def test_exhaustion_raises_and_records_failed_result(self):
+        swf = SimWorkflowService(SimClock())
+        wf = Workflow("doomed").step(
+            "never", _failing_action(failures=99), max_attempts=3,
+            retry_delay_s=10.0,
+        )
+        with pytest.raises(WorkflowError, match="doomed"):
+            swf.run(wf)
+        execution = swf.history[0]
+        assert not execution.succeeded
+        assert len(execution.results) == 1
+        result = execution.results[0]
+        assert result.status is StepStatus.FAILED
+        assert result.attempts == 3
+        assert result.error == "boom #3"
+
+    def test_failure_stops_later_steps(self):
+        swf = SimWorkflowService(SimClock())
+        ran = []
+        wf = (
+            Workflow("halts")
+            .step("bad", _failing_action(failures=99), max_attempts=2)
+            .step("good", lambda: ran.append(1) or 1.0)
+        )
+        with pytest.raises(WorkflowError):
+            swf.run(wf)
+        assert ran == []
+
+
+class TestAttemptHistory:
+    def test_retried_attempts_recorded_before_final_result(self):
+        swf = SimWorkflowService(SimClock())
+        wf = Workflow("flaky").step(
+            "s", _failing_action(failures=2), max_attempts=5, retry_delay_s=10.0
+        )
+        execution = swf.run(wf)
+        statuses = [r.status for r in execution.attempt_history]
+        assert statuses == [
+            StepStatus.RETRIED,
+            StepStatus.RETRIED,
+            StepStatus.SUCCEEDED,
+        ]
+        # results keeps its one-entry-per-step shape.
+        assert len(execution.results) == 1
+        assert execution.results[0].attempts == 3
+
+    def test_retried_entries_carry_the_attempt_error(self):
+        swf = SimWorkflowService(SimClock())
+        wf = Workflow("flaky").step("s", _failing_action(failures=1))
+        execution = swf.run(wf)
+        retried = execution.attempt_history[0]
+        assert retried.status is StepStatus.RETRIED
+        assert retried.attempts == 1
+        assert retried.error == "boom #1"
+
+    def test_failed_step_history_has_all_attempts(self):
+        swf = SimWorkflowService(SimClock())
+        wf = Workflow("doomed").step(
+            "s", _failing_action(failures=99), max_attempts=3
+        )
+        with pytest.raises(WorkflowError):
+            swf.run(wf)
+        statuses = [r.status for r in swf.history[0].attempt_history]
+        assert statuses == [
+            StepStatus.RETRIED,
+            StepStatus.RETRIED,
+            StepStatus.FAILED,
+        ]
+
+
+class TestClockAccounting:
+    def test_fixed_delay_schedule(self):
+        clock = SimClock()
+        swf = SimWorkflowService(clock)
+        wf = Workflow("w").step(
+            "s", _failing_action(failures=2, duration=5.0),
+            max_attempts=3, retry_delay_s=30.0,
+        )
+        execution = swf.run(wf)
+        # Two failed attempts cost 30s each; success costs its duration.
+        assert clock.now == pytest.approx(65.0)
+        assert execution.results[0].duration == pytest.approx(65.0)
+
+    def test_exponential_backoff_schedule(self):
+        clock = SimClock()
+        swf = SimWorkflowService(clock)
+        wf = Workflow("w").step(
+            "s", _failing_action(failures=3, duration=0.0),
+            max_attempts=5, retry_delay_s=10.0, backoff_factor=2.0,
+        )
+        swf.run(wf)
+        # Delays: 10, 20, 40.
+        assert clock.now == pytest.approx(70.0)
+
+    def test_backoff_respects_max_delay(self):
+        clock = SimClock()
+        swf = SimWorkflowService(clock)
+        wf = Workflow("w").step(
+            "s", _failing_action(failures=3, duration=0.0),
+            max_attempts=5, retry_delay_s=10.0, backoff_factor=10.0,
+            max_delay_s=25.0,
+        )
+        swf.run(wf)
+        # Delays: 10, min(100,25)=25, min(1000,25)=25.
+        assert clock.now == pytest.approx(60.0)
+
+    def test_retried_entries_account_backoff_gaps(self):
+        clock = SimClock()
+        swf = SimWorkflowService(clock)
+        wf = Workflow("w").step(
+            "s", _failing_action(failures=2, duration=0.0),
+            max_attempts=3, retry_delay_s=10.0, backoff_factor=2.0,
+        )
+        execution = swf.run(wf)
+        first, second, final = execution.attempt_history
+        assert first.started_at == 0.0
+        # The second attempt starts after the first 10s backoff.
+        assert second.started_at == pytest.approx(10.0)
+        # The final attempt starts after the 20s second backoff.
+        assert final.finished_at == pytest.approx(30.0)
+
+    def test_jitter_adds_bounded_deterministic_delay(self):
+        def run() -> float:
+            clock = SimClock()
+            swf = SimWorkflowService(clock, rng=DeterministicRng("swf-jitter"))
+            wf = Workflow("w").step(
+                "s", _failing_action(failures=2, duration=0.0),
+                max_attempts=3, retry_delay_s=10.0, jitter_fraction=0.5,
+            )
+            swf.run(wf)
+            return clock.now
+
+        first, second = run(), run()
+        assert first == second  # same seed, same jitter
+        assert 20.0 <= first <= 30.0  # each 10s delay stretched by <= 50%
+
+    def test_no_rng_means_no_jitter(self):
+        clock = SimClock()
+        swf = SimWorkflowService(clock)  # rng omitted
+        wf = Workflow("w").step(
+            "s", _failing_action(failures=1, duration=0.0),
+            max_attempts=2, retry_delay_s=10.0, jitter_fraction=0.5,
+        )
+        swf.run(wf)
+        assert clock.now == pytest.approx(10.0)
