@@ -1,0 +1,126 @@
+"""Observability: the warehouse explains itself through system tables.
+
+Runs a small workload, then answers the questions an operator actually
+asks — what ran, what was slow, what did zone maps skip, what faults
+fired — entirely through SQL over stl_*/stv_*/svl_* tables, the way the
+paper's service surfaces telemetry without a separate monitoring stack.
+Finishes with EXPLAIN ANALYZE: the plan annotated with actual row counts
+and per-operator timings.
+
+Run:  python examples/observability.py
+"""
+
+from repro import Cluster
+from repro.engine.wlm import QueryArrival, QueueConfig, WorkloadManager
+from repro.faults.injector import FaultInjector
+
+
+def show(title: str, result) -> None:
+    print(f"\n{title}")
+    print(f"  {' | '.join(result.columns)}")
+    for row in result.rows:
+        print(f"  {' | '.join(str(v) for v in row)}")
+
+
+def main() -> None:
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=512)
+    session = cluster.connect()
+
+    # ---- a workload to observe ------------------------------------------
+    session.execute(
+        "CREATE TABLE pageviews (ts int, url varchar(64), ms int) "
+        "DISTSTYLE EVEN SORTKEY(ts)"
+    )
+    cluster.register_inline_source(
+        "demo://pageviews",
+        [f"{i}|/page/{i % 50}|{(i * 7) % 400}" for i in range(50_000)],
+    )
+    session.execute("COPY pageviews FROM 'demo://pageviews'")
+    session.execute("SELECT count(*) FROM pageviews")
+    session.execute(
+        "SELECT url, avg(ms) FROM pageviews WHERE ts < 1000 "
+        "GROUP BY url ORDER BY avg(ms) DESC LIMIT 5"
+    )
+    session.execute(
+        "SELECT count(*) FROM pageviews WHERE ts BETWEEN 40000 AND 41000"
+    )
+
+    # ---- what ran, and how long? (stl_query) ----------------------------
+    show(
+        "slowest statements (stl_query):",
+        session.execute(
+            "SELECT query, elapsed_us, rows, querytxt FROM stl_query "
+            "WHERE state = 'success' ORDER BY elapsed_us DESC LIMIT 5"
+        ),
+    )
+
+    # ---- which scans pruned best? (svl_query_summary) -------------------
+    show(
+        "most zone-map pruning (svl_query_summary):",
+        session.execute(
+            "SELECT query, operator, blocks_read, blocks_skipped "
+            "FROM svl_query_summary WHERE blocks_skipped > 0 "
+            "ORDER BY blocks_skipped DESC LIMIT 5"
+        ),
+    )
+
+    # ---- what's on disk? (stv_blocklist, joined to a user table) --------
+    cluster.seal_table("pageviews")
+    session.execute("CREATE TABLE owners (tbl_name varchar(128), team varchar(32))")
+    session.execute("INSERT INTO owners VALUES ('pageviews', 'web-analytics')")
+    show(
+        "blocks per owned table (stv_blocklist JOIN owners):",
+        session.execute(
+            "SELECT o.team, b.col, count(*) blocks, sum(b.size_bytes) total_bytes "
+            "FROM stv_blocklist b JOIN owners o ON b.tbl = o.tbl_name "
+            "GROUP BY o.team, b.col ORDER BY b.col"
+        ),
+    )
+
+    # ---- admission control outcomes (stv_wlm_query_state) ---------------
+    wlm = WorkloadManager(
+        [
+            QueueConfig("dashboards", slots=2, memory_fraction=0.4,
+                        admission_timeout_s=5.0),
+            QueueConfig("etl", slots=1, memory_fraction=0.6),
+        ],
+        systables=cluster.systables,
+    )
+    wlm.simulate(
+        [
+            QueryArrival("dashboards", 0.0, 4.0, label="daily-kpis"),
+            QueryArrival("dashboards", 0.5, 4.0, label="funnel"),
+            QueryArrival("dashboards", 1.0, 4.0, label="retention"),  # waits
+            QueryArrival("etl", 0.0, 30.0, label="nightly-load"),
+        ]
+    )
+    show(
+        "WLM admission (stv_wlm_query_state):",
+        session.execute(
+            "SELECT queue, label, state, wait_s FROM stv_wlm_query_state "
+            "ORDER BY queue, arrival_s"
+        ),
+    )
+
+    # ---- fault history (stl_fault_events) -------------------------------
+    injector = FaultInjector()
+    cluster.attach_faults(injector)
+    injector.record("node_crash", target="node-1", detail="chaos drill")
+    injector.record("node_recovered", target="node-1")
+    show(
+        "fault timeline (stl_fault_events):",
+        session.execute("SELECT at_s, kind, target FROM stl_fault_events"),
+    )
+
+    # ---- EXPLAIN ANALYZE: the plan with actuals -------------------------
+    print("\nEXPLAIN ANALYZE:")
+    plan = session.execute(
+        "EXPLAIN ANALYZE SELECT url, count(*) FROM pageviews "
+        "WHERE ts < 5000 GROUP BY url ORDER BY count(*) DESC LIMIT 3"
+    )
+    for (line,) in plan.rows:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,15 @@ class SimCloudWatch:
         self._clock = clock
         self._series: dict[tuple, list[MetricPoint]] = {}
 
+    def bind_clock(self, clock: SimClock) -> None:
+        """Swap the time source (e.g. a rebuilt environment's clock).
+
+        Recorded points are retained across the reset: series keep their
+        original timestamps, and window aggregation simply measures from
+        the new clock's ``now``.
+        """
+        self._clock = clock
+
     @staticmethod
     def _key(name: str, dimensions: dict[str, str] | None) -> tuple:
         return (name, tuple(sorted((dimensions or {}).items())))

@@ -95,7 +95,17 @@ class SimS3:
             self._outage_spec = None
 
     def set_outage(self, active: bool) -> None:
-        """Compatibility wrapper over the injector-driven outage window."""
+        """Deprecated compatibility wrapper over the injector-driven
+        outage window; call :meth:`start_outage`/:meth:`end_outage` (or
+        schedule an S3_OUTAGE FaultSpec) instead."""
+        import warnings
+
+        warnings.warn(
+            "SimS3.set_outage is deprecated; use start_outage()/"
+            "end_outage() or an injector-scheduled S3_OUTAGE fault",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if active:
             self.start_outage()
         else:

@@ -48,3 +48,53 @@ class ConsoleModel:
     def click_time(self, operation: AdminOperation) -> float:
         """Human seconds spent in the console for *operation*."""
         return self.page_load_s + self.FIELDS[operation] * self.seconds_per_field
+
+
+# ---- observability pages --------------------------------------------------
+#
+# The monitoring side of the console renders straight from the cluster's
+# system tables through ordinary SQL — the same path a customer's client
+# uses, which is the paper's point about keeping the service simple: the
+# warehouse explains itself through tables, not a separate telemetry stack.
+
+
+def slowest_queries(session, limit: int = 5) -> list[tuple]:
+    """Top *limit* completed statements by elapsed time.
+
+    Rows: (query, querytxt, elapsed_us, rows).
+    """
+    result = session.execute(
+        "SELECT query, querytxt, elapsed_us, rows FROM stl_query "
+        f"WHERE state = 'success' ORDER BY elapsed_us DESC LIMIT {int(limit)}"
+    )
+    return result.rows
+
+
+def most_pruned_scans(session, limit: int = 5) -> list[tuple]:
+    """Scan steps that skipped the most blocks via zone maps.
+
+    Rows: (query, operator, blocks_read, blocks_skipped).
+    """
+    result = session.execute(
+        "SELECT query, operator, blocks_read, blocks_skipped "
+        "FROM svl_query_summary WHERE blocks_skipped > 0 "
+        f"ORDER BY blocks_skipped DESC LIMIT {int(limit)}"
+    )
+    return result.rows
+
+
+def fault_timeline(session) -> list[tuple]:
+    """The injected-fault history, oldest first: (at_s, kind, target)."""
+    result = session.execute(
+        "SELECT at_s, kind, target FROM stl_fault_events ORDER BY at_s"
+    )
+    return result.rows
+
+
+def storage_summary(session) -> list[tuple]:
+    """Per-table block count and on-disk bytes: (tbl, blocks, bytes)."""
+    result = session.execute(
+        "SELECT tbl, count(*) blocks, sum(size_bytes) total_bytes "
+        "FROM stv_blocklist GROUP BY tbl ORDER BY tbl"
+    )
+    return result.rows

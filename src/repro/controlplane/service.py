@@ -157,6 +157,9 @@ class RedshiftService:
         managed state to READ_ONLY instead of failing the cluster."""
         engine = managed.engine
         engine.attach_faults(self.env.faults)
+        # System-table timestamps follow the simulation clock so stl_query
+        # rows line up with CloudTrail entries and CloudWatch points.
+        engine.systables.bind_clock(self.env.clock)
         if managed.replication is None:
             return
         clock = self.env.clock
@@ -616,6 +619,40 @@ class RedshiftService:
         )
         self._log(cluster_id, timing)
         return timing
+
+    # ---- observability ---------------------------------------------------------------------------
+
+    def publish_query_metrics(self, cluster_id: str) -> dict[str, float]:
+        """Publish one cluster's query telemetry into CloudWatch.
+
+        The numbers come out of the cluster's own ``stl_query`` system
+        table through ordinary SQL — the control plane is just another
+        client of the warehouse's self-description. Emits ``QueryCount``,
+        ``QueryErrors`` and ``QueryLatencyUs`` (mean over successes) under
+        a ``cluster_id`` dimension and returns the published values.
+
+        The aggregation statement itself lands in ``stl_query`` only
+        after it completes, so it never counts itself; it will show up in
+        the *next* publish, like any other client query.
+        """
+        managed = self.cluster(cluster_id)
+        session = managed.connect()
+        rows = session.execute(
+            "SELECT state, count(*) n, sum(elapsed_us) total_us "
+            "FROM stl_query GROUP BY state"
+        ).rows
+        by_state = {state: (n, total_us or 0) for state, n, total_us in rows}
+        successes, success_us = by_state.get("success", (0, 0))
+        errors, _ = by_state.get("error", (0, 0))
+        metrics = {
+            "QueryCount": float(successes + errors),
+            "QueryErrors": float(errors),
+            "QueryLatencyUs": (success_us / successes) if successes else 0.0,
+        }
+        dimensions = {"cluster_id": cluster_id}
+        for name, value in metrics.items():
+            self.env.cloudwatch.put_metric(name, value, dimensions)
+        return metrics
 
     # ---- fleet view ------------------------------------------------------------------------------
 

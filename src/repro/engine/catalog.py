@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.datatypes.types import SqlType
 from repro.distribution.diststyle import Distribution, EvenDistribution
 from repro.errors import (
+    AnalysisError,
     ColumnNotFoundError,
     TableAlreadyExistsError,
     TableNotFoundError,
@@ -91,12 +92,34 @@ class TableInfo:
 
 
 class Catalog:
-    """Name → :class:`TableInfo` map with DDL-level integrity checks."""
+    """Name → :class:`TableInfo` map with DDL-level integrity checks.
+
+    System tables (``stl_*``/``stv_*``/``svl_*``) register through
+    :meth:`register_system_table` into a separate namespace: they resolve
+    through :meth:`table` like any relation — so the binder and planner
+    need no special cases — but stay invisible to :meth:`table_names`,
+    which drives whole-catalog maintenance (ANALYZE/VACUUM without a
+    table, resize) that must only touch user storage.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, TableInfo] = {}
+        self._system_tables: dict[str, TableInfo] = {}
+
+    def register_system_table(self, info: TableInfo) -> None:
+        self._system_tables[info.name] = info
+
+    def is_system_table(self, name: str) -> bool:
+        return name in self._system_tables
+
+    def system_table_names(self) -> list[str]:
+        return sorted(self._system_tables)
 
     def create_table(self, info: TableInfo) -> None:
+        if info.name in self._system_tables:
+            raise TableAlreadyExistsError(
+                f"{info.name!r} is a reserved system table name"
+            )
         if info.name in self._tables:
             raise TableAlreadyExistsError(info.name)
         seen: set[str] = set()
@@ -111,17 +134,22 @@ class Catalog:
     def drop_table(self, name: str) -> TableInfo:
         info = self._tables.pop(name, None)
         if info is None:
+            if name in self._system_tables:
+                raise AnalysisError(f"cannot drop system table {name!r}")
             raise TableNotFoundError(name)
         return info
 
     def table(self, name: str) -> TableInfo:
         info = self._tables.get(name)
         if info is None:
+            info = self._system_tables.get(name)
+        if info is None:
             raise TableNotFoundError(name)
         return info
 
     def has_table(self, name: str) -> bool:
-        return name in self._tables
+        return name in self._tables or name in self._system_tables
 
     def table_names(self) -> list[str]:
+        """User tables only (system tables never appear here)."""
         return sorted(self._tables)

@@ -78,6 +78,7 @@ class Cluster:
         block_capacity: int = BLOCK_CAPACITY_DEFAULT,
         node_type: str = "dw2.large",
         disk_capacity_bytes: int | None = None,
+        systable_max_rows: int | None = None,
     ):
         if node_count < 1:
             raise ValueError(f"node_count must be positive, got {node_count}")
@@ -97,6 +98,11 @@ class Cluster:
         from repro.engine.workload import WorkloadLog
 
         self.workload = WorkloadLog()
+        from repro.systables import SystemTables
+
+        #: SQL-queryable telemetry (stl_*/stv_*/svl_*); registers its
+        #: schemas into the catalog so sessions resolve them like tables.
+        self.systables = SystemTables(self, max_rows_per_table=systable_max_rows)
         self.block_capacity = block_capacity
         self._sources: dict[str, SourceProvider] = {}
         self._row_counters: dict[str, int] = {}

@@ -39,7 +39,7 @@ from repro.exec.codegen import CompiledExecutor
 from repro.exec.context import ExecutionContext, QueryStats
 from repro.exec.volcano import VolcanoExecutor
 from repro.plan.binder import Binder, infer_type
-from repro.plan.physical import PhysicalPlanner, explain
+from repro.plan.physical import PhysicalPlanner, PhysicalScan, explain
 from repro.sql import ast
 from repro.sql.expressions import compile_expression, literal_value
 from repro.sql.hll import HyperLogLog
@@ -140,6 +140,42 @@ class Session:
     # ---- dispatch ----------------------------------------------------------------
 
     def _execute_statement(self, statement: ast.Statement) -> QueryResult:
+        """Execute one statement, recording it into stl_query."""
+        systables = self._cluster.systables
+        if systables is None:
+            return self._execute_statement_inner(statement)
+        query_id = systables.next_query_id()
+        started = systables.now
+        t0 = time.perf_counter()
+        try:
+            result = self._execute_statement_inner(statement)
+        except ReproError as exc:
+            systables.record_query(
+                query_id,
+                text=statement.to_sql(),
+                state="error",
+                started=started,
+                ended=systables.now,
+                elapsed_us=int((time.perf_counter() - t0) * 1_000_000),
+                error=str(exc),
+            )
+            raise
+        systables.record_query(
+            query_id,
+            text=statement.to_sql(),
+            state="success",
+            started=started,
+            ended=systables.now,
+            elapsed_us=int((time.perf_counter() - t0) * 1_000_000),
+            executor=result.stats.executor if result.stats else None,
+            rows=result.rowcount,
+            segment_retries=result.stats.segment_retries if result.stats else 0,
+        )
+        if result.stats and result.stats.operators:
+            systables.record_query_summary(query_id, result.stats.operators)
+        return result
+
+    def _execute_statement_inner(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.BeginStatement):
             if self._xid is not None:
                 raise TransactionError("a transaction is already in progress")
@@ -158,7 +194,14 @@ class Session:
             self._xid = None
             return QueryResult(command="ROLLBACK")
         if isinstance(statement, ast.ExplainStatement):
-            return self._explain(statement.statement)
+            if not statement.analyze:
+                return self._explain(statement.statement)
+            if not isinstance(statement.statement, ast.SelectStatement):
+                raise AnalysisError(
+                    "EXPLAIN ANALYZE supports only SELECT statements"
+                )
+            # EXPLAIN ANALYZE runs the query, so it needs a snapshot
+            # like any SELECT; fall through to the transaction path.
 
         xid, autocommit = self._begin_statement_txn()
         try:
@@ -176,6 +219,8 @@ class Session:
             raise ClusterReadOnlyError(self._cluster.read_only_reason or "")
         if isinstance(statement, ast.SelectStatement):
             return self._run_select(statement.query, xid)
+        if isinstance(statement, ast.ExplainStatement):
+            return self._explain_analyze(statement.statement, xid)
         if isinstance(statement, ast.CreateTableStatement):
             return self._create_table(statement)
         if isinstance(statement, ast.CreateTableAsStatement):
@@ -224,11 +269,15 @@ class Session:
         columns = [c.name for c in logical.output]
         physical = self._planner.plan(logical)
         self._cluster.workload.record_plan(physical)
+        # System-table scans read from rows materialized once per query
+        # (a stable snapshot across retries), not from slice storage.
+        system_rows = self._system_scan_rows(physical)
         retries = 0
         while True:
             # Each attempt gets a fresh context: a retried segment restarts
             # with clean scan/network accounting against repaired storage.
             ctx = self._context(xid)
+            ctx.system_rows = system_rows
             ctx.stats.executor = self._executor_kind
             ctx.stats.plan_text = explain(physical)
             ctx.stats.segment_retries = retries
@@ -260,6 +309,25 @@ class Session:
             command="SELECT",
         )
 
+    def _system_scan_rows(self, plan) -> dict[str, list[tuple]]:
+        """Materialize provider rows for every system table the plan scans."""
+        catalog = self._cluster.catalog
+        systables = self._cluster.systables
+        out: dict[str, list[tuple]] = {}
+        if systables is None:
+            return out
+
+        def walk(node) -> None:
+            if isinstance(node, PhysicalScan):
+                name = node.table.name
+                if catalog.is_system_table(name) and name not in out:
+                    out[name] = systables.rows(name)
+            for child in node.children:
+                walk(child)
+
+        walk(plan)
+        return out
+
     def _explain(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
             logical = self._binder.bind_select(statement.query)
@@ -272,6 +340,35 @@ class Session:
                 command="EXPLAIN",
             )
         raise AnalysisError("EXPLAIN supports only SELECT statements")
+
+    def _explain_analyze(
+        self, statement: ast.SelectStatement, xid: int
+    ) -> QueryResult:
+        """Run the query and render the plan with per-step actuals inline.
+
+        The per-operator hooks live in the interpreted executor — the
+        compiled executor fuses pipelines and reports only the steps it
+        drives — so EXPLAIN ANALYZE always runs through the volcano path
+        for a complete per-step report.
+        """
+        previous = self._executor_kind
+        self._executor_kind = "volcano"
+        try:
+            result = self._run_select(statement.query, xid)
+        finally:
+            self._executor_kind = previous
+        lines = _annotate_plan(result.stats.plan_text, result.stats.operators)
+        lines.append(
+            f"Total runtime: {result.stats.execute_seconds * 1000.0:.3f} ms"
+            f" ({result.rowcount} rows)"
+        )
+        return QueryResult(
+            columns=["QUERY PLAN"],
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
+            stats=result.stats,
+            command="EXPLAIN",
+        )
 
     # ---- DDL -----------------------------------------------------------------------------
 
@@ -356,8 +453,16 @@ class Session:
 
     # ---- DML ------------------------------------------------------------------------------
 
+    def _require_user_table(self, name: str, operation: str) -> TableInfo:
+        """System tables are read-only: writes resolve here first."""
+        if self._cluster.catalog.is_system_table(name):
+            raise AnalysisError(
+                f"{operation} is not allowed on system table {name!r}"
+            )
+        return self._cluster.catalog.table(name)
+
     def _insert(self, statement: ast.InsertStatement, xid: int) -> QueryResult:
-        table = self._cluster.catalog.table(statement.table)
+        table = self._require_user_table(statement.table, "INSERT")
         target_columns = statement.columns or table.column_names
         for name in target_columns:
             table.column(name)
@@ -442,7 +547,7 @@ class Session:
         return results
 
     def _delete(self, statement: ast.DeleteStatement, xid: int) -> QueryResult:
-        table = self._cluster.catalog.table(statement.table)
+        table = self._require_user_table(statement.table, "DELETE")
         matches = self._matching_offsets(table, statement.where, xid)
         count = 0
         logical_rows = 0
@@ -464,7 +569,7 @@ class Session:
         return QueryResult(rowcount=logical_rows, command="DELETE")
 
     def _update(self, statement: ast.UpdateStatement, xid: int) -> QueryResult:
-        table = self._cluster.catalog.table(statement.table)
+        table = self._require_user_table(statement.table, "UPDATE")
         from repro.sql.subqueries import expand_in_expression
 
         assignment_fns = []
@@ -509,7 +614,7 @@ class Session:
     # ---- COPY ------------------------------------------------------------------------------
 
     def _copy(self, statement: ast.CopyStatement, xid: int) -> QueryResult:
-        table = self._cluster.catalog.table(statement.table)
+        table = self._require_user_table(statement.table, "COPY")
         target_columns = statement.columns or table.column_names
         for name in target_columns:
             table.column(name)
@@ -737,6 +842,33 @@ class Session:
                 distinct_count=hlls[column.name].cardinality(),
             )
         table.statistics = stats
+
+
+def _annotate_plan(plan_text: str, operators) -> list[str]:
+    """Append per-step actuals to the EXPLAIN text's "XN" lines.
+
+    ``explain()`` renders nodes in preorder and ``assign_steps`` numbers
+    them the same way, so the k-th "XN" line is plan step k.
+    """
+    by_step = {op.step: op for op in operators}
+    lines: list[str] = []
+    step = 0
+    for line in plan_text.splitlines():
+        if line.lstrip().startswith("XN "):
+            op = by_step.get(step)
+            if op is None:
+                line += " (never executed)"
+            else:
+                extra = f" (actual rows={op.rows} elapsed_us={op.elapsed_us}"
+                if op.blocks_read or op.blocks_skipped:
+                    extra += (
+                        f" blocks_read={op.blocks_read}"
+                        f" blocks_skipped={op.blocks_skipped}"
+                    )
+                line += extra + ")"
+            step += 1
+        lines.append(line)
+    return lines
 
 
 def _reject_column_refs(ref: ast.ColumnRef) -> int:

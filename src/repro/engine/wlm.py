@@ -140,7 +140,11 @@ class WorkloadManager:
     queue; callers define more queues to isolate workloads.
     """
 
-    def __init__(self, queues: list[QueueConfig] | None = None):
+    def __init__(
+        self,
+        queues: list[QueueConfig] | None = None,
+        systables=None,
+    ):
         self.queues = queues or [QueueConfig("default", slots=5, memory_fraction=1.0)]
         names = [q.name for q in self.queues]
         if len(set(names)) != len(names):
@@ -151,6 +155,13 @@ class WorkloadManager:
                 f"queue memory fractions sum to {total:.2f} (> 1.0)"
             )
         self._by_name = {q.name: q for q in self.queues}
+        #: Optional repro.systables.SystemTables sink: each simulation
+        #: refreshes stv_wlm_query_state and appends stl_wlm_rule_action.
+        self._systables = systables
+
+    def attach_systables(self, systables) -> None:
+        """Record simulation outcomes into *systables* from now on."""
+        self._systables = systables
 
     def queue(self, name: str) -> QueueConfig:
         config = self._by_name.get(name)
@@ -222,6 +233,8 @@ class WorkloadManager:
                 )
                 reports[name].outcomes.append(outcome)
                 admitted.append(outcome)
+        if self._systables is not None:
+            self._systables.record_wlm(reports)
         return reports
 
     def memory_per_slot_fraction(self, queue_name: str) -> float:

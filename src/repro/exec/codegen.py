@@ -26,7 +26,6 @@ from typing import Callable
 from repro.errors import ExecutionError
 from repro.exec import exchange
 from repro.exec.context import ExecutionContext
-from repro.exec.scan import scan_shard
 from repro.exec.volcano import VolcanoExecutor, sort_rows
 from repro.plan.physical import (
     PhysicalAggregate,
@@ -539,14 +538,14 @@ class CompiledExecutor(VolcanoExecutor):
     # Pipelines are fused across these node types.
     _FUSABLE = (PhysicalScan, PhysicalFilter, PhysicalProject, PhysicalHashJoin)
 
-    def _run(self, node: PhysicalNode) -> list:
+    def _run_node(self, node: PhysicalNode) -> list:
         if isinstance(node, PhysicalAggregate) and isinstance(
             node.child, self._FUSABLE
         ) and self._pipeline_ok(node.child):
             return self._run_compiled_aggregate(node)
         if isinstance(node, self._FUSABLE) and self._pipeline_ok(node):
             return self._run_compiled_pipeline(node)
-        return super()._run(node)
+        return super()._run_node(node)
 
     # ---- eligibility ------------------------------------------------------
 
@@ -594,30 +593,6 @@ class CompiledExecutor(VolcanoExecutor):
             probe = node.left if node.build_right else node.right
             return self._pipeline_source(probe)
         raise ExecutionError(f"no pipeline source under {type(node).__name__}")
-
-    def _scan_raw(self, node: PhysicalScan) -> list:
-        """Per-slice scan row iterators with zone-map pruning but *without*
-        the per-row filters — those are fused into the generated code."""
-        from repro.exec.volcano import scan_column_names
-
-        column_names = scan_column_names(node)
-        out: list = []
-        for store in self._ctx.slices:
-            if not store.has_shard(node.table.name):
-                out.append(iter(()))
-                continue
-            shard = store.shard(node.table.name)
-            out.append(
-                scan_shard(
-                    shard,
-                    column_names,
-                    node.zone_predicates,
-                    self._ctx.snapshot,
-                    self._ctx.stats.scan,
-                    store.disk,
-                )
-            )
-        return out
 
     def _build_join_tables(self, joins: list[PhysicalHashJoin]) -> list[list[dict]]:
         """Materialize, move and hash every fused join's build side.
@@ -672,7 +647,10 @@ class CompiledExecutor(VolcanoExecutor):
         a build side that is itself replicated. ``joins[-1]`` is the join
         adjacent to the scan (codegen appends outer joins first).
         """
-        per_slice = self._scan_raw(scan)
+        # Raw per-slice iterables come from the shared _scan_slices
+        # (zone-map pruning, scan accounting, system-table branch); the
+        # per-row filters are fused into the generated code instead.
+        per_slice = self._scan_slices(scan)
         if scan.partitioning.kind == "all" and joins:
             innermost = joins[-1]
             build_node = (

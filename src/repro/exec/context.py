@@ -11,6 +11,28 @@ from repro.storage.slicestore import SliceStorage
 
 
 @dataclass
+class OperatorStat:
+    """Per-plan-step execution counters (one svl_query_summary row).
+
+    ``step`` is the node's preorder index in the physical plan — the same
+    order ``explain()`` renders lines in. ``rows`` counts rows the
+    operator emitted (for scans: rows produced after zone-map pruning and
+    visibility, before the pushed-down filters). ``elapsed_us`` is span
+    time from the operator's start to the last row it produced; with lazy
+    pipelines this is inclusive of child time.
+    """
+
+    step: int
+    operator: str
+    rows: int = 0
+    elapsed_us: int = 0
+    #: Scan-only IO counters (zero for non-scan operators).
+    blocks_read: int = 0
+    blocks_skipped: int = 0
+    bytes_read: int = 0
+
+
+@dataclass
 class QueryStats:
     """Everything a query run reports besides its rows.
 
@@ -28,6 +50,10 @@ class QueryStats:
     plan_text: str = ""
     #: Segments re-run by the leader after a recoverable fault.
     segment_retries: int = 0
+    #: Per-plan-step counters (feeds svl_query_summary / EXPLAIN ANALYZE).
+    #: The compiled executor only reports the steps it actually drives
+    #: (fused pipeline interiors run inside generated code).
+    operators: list[OperatorStat] = field(default_factory=list)
 
 
 @dataclass
@@ -40,6 +66,10 @@ class ExecutionContext:
     stats: QueryStats = field(default_factory=QueryStats)
     #: Shared fault injector; None means no faults are being injected.
     fault_injector: object = None
+    #: System-table rows materialized by the session before execution,
+    #: keyed by table name. Scans of these tables read from here (rows
+    #: live at the leader / slice 0) instead of slice storage.
+    system_rows: dict = field(default_factory=dict)
 
     @property
     def slice_count(self) -> int:

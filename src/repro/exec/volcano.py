@@ -10,11 +10,12 @@ measures against.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 from repro.errors import ExecutionError
 from repro.exec import exchange
-from repro.exec.context import ExecutionContext
+from repro.exec.context import ExecutionContext, OperatorStat
 from repro.exec.scan import scan_shard
 from repro.plan.physical import (
     JoinDistribution,
@@ -30,9 +31,11 @@ from repro.plan.physical import (
     PhysicalSetOp,
     PhysicalSingleRow,
     PhysicalSort,
+    assign_steps,
 )
 from repro.sql import ast
 from repro.sql.expressions import compile_expression
+from repro.storage.chain import ScanStats
 
 PerSlice = list
 
@@ -52,14 +55,25 @@ class VolcanoExecutor:
 
     def __init__(self, ctx: ExecutionContext):
         self._ctx = ctx
+        #: id(node) -> preorder step; populated by execute().
+        self._steps: dict[int, int] = {}
+        self._stats_by_step: dict[int, OperatorStat] = {}
+        self._start_times: dict[int, float] = {}
+        #: step -> node-local ScanStats, merged into ctx.stats.scan at end.
+        self._scan_locals: dict[int, ScanStats] = {}
 
     # ---- public -----------------------------------------------------------
 
     def execute(self, plan: PhysicalNode) -> list[tuple]:
         """Run the plan and return the result rows at the leader."""
         self._ctx.check_faults()
-        per_slice = self._run(plan)
-        return self._collect_at_leader(plan, per_slice)
+        self._steps = assign_steps(plan)
+        try:
+            per_slice = self._run(plan)
+            rows = self._collect_at_leader(plan, per_slice)
+        finally:
+            self._finish_stats()
+        return rows
 
     def _collect_at_leader(
         self, plan: PhysicalNode, per_slice: PerSlice
@@ -75,9 +89,75 @@ class VolcanoExecutor:
         materialized = [list(rows) for rows in per_slice]
         return exchange.gather(materialized, self._ctx, width)
 
+    # ---- per-operator instrumentation ------------------------------------------
+
+    def _begin_stat(self, node: PhysicalNode) -> OperatorStat | None:
+        """The node's OperatorStat, created (and its clock started) on
+        first sight. None when the plan has no step numbering (a node run
+        outside execute())."""
+        step = self._steps.get(id(node))
+        if step is None:
+            return None
+        stat = self._stats_by_step.get(step)
+        if stat is None:
+            stat = OperatorStat(step=step, operator=node.label())
+            self._stats_by_step[step] = stat
+            self._start_times[step] = time.perf_counter()
+            self._ctx.stats.operators.append(stat)
+        return stat
+
+    def _touch(self, stat: OperatorStat, start: float) -> None:
+        elapsed = int((time.perf_counter() - start) * 1_000_000)
+        if elapsed > stat.elapsed_us:
+            stat.elapsed_us = elapsed
+
+    def _counted_iter(self, rows: Iterable[tuple], stat: OperatorStat, start: float):
+        count = 0
+        try:
+            for row in rows:
+                count += 1
+                yield row
+        finally:
+            stat.rows += count
+            self._touch(stat, start)
+
+    def _count_slices(self, per_slice: PerSlice, stat: OperatorStat) -> PerSlice:
+        start = self._start_times[stat.step]
+        out: PerSlice = []
+        for rows in per_slice:
+            if isinstance(rows, list):
+                stat.rows += len(rows)
+                out.append(rows)
+            else:
+                out.append(self._counted_iter(rows, stat, start))
+        self._touch(stat, start)
+        return out
+
+    def _finish_stats(self) -> None:
+        """Fold node-local scan counters into the stats and into their
+        OperatorStats, then fix the report order to plan-step order."""
+        for step, local in self._scan_locals.items():
+            stat = self._stats_by_step.get(step)
+            if stat is not None:
+                stat.blocks_read = local.blocks_read
+                stat.blocks_skipped = local.blocks_skipped
+                stat.bytes_read = local.bytes_read
+            self._ctx.stats.scan.merge(local)
+        self._scan_locals.clear()
+        self._ctx.stats.operators.sort(key=lambda s: s.step)
+
     # ---- dispatch ------------------------------------------------------------
 
     def _run(self, node: PhysicalNode) -> PerSlice:
+        stat = self._begin_stat(node)
+        per_slice = self._run_node(node)
+        if stat is None or isinstance(node, PhysicalScan):
+            # Scan output is counted at the raw-scan level (shared with
+            # the compiled executor), before the pushed-down filters.
+            return per_slice
+        return self._count_slices(per_slice, stat)
+
+    def _run_node(self, node: PhysicalNode) -> PerSlice:
         if isinstance(node, PhysicalScan):
             return self._run_scan(node)
         if isinstance(node, PhysicalFilter):
@@ -142,9 +222,31 @@ class VolcanoExecutor:
 
     # ---- leaf / pipeline operators ------------------------------------------
 
-    def _run_scan(self, node: PhysicalScan) -> PerSlice:
+    def _scan_slices(self, node: PhysicalScan) -> PerSlice:
+        """Per-slice raw scan iterables: zone-map pruning and MVCC
+        visibility applied, pushed-down filters NOT applied (the volcano
+        path wraps them, the compiled path fuses them). Shared by both
+        executors so scan accounting and the system-table branch live in
+        one place."""
+        stat = self._begin_stat(node)
+        system = self._ctx.system_rows.get(node.table.name)
+        if system is not None:
+            rows = [
+                tuple(row[i] for i in node.column_indexes) for row in system
+            ]
+            if stat is not None:
+                stat.rows += len(rows)
+                self._touch(stat, self._start_times[stat.step])
+            # System rows live at the leader; slice 0 carries all of
+            # them, a valid round-robin placement for downstream
+            # exchanges, joins and aggregates.
+            return [rows] + [[] for _ in range(self._ctx.slice_count - 1)]
         column_names = scan_column_names(node)
-        predicates = [_compile(f) for f in node.filters]
+        if stat is None:
+            local = self._ctx.stats.scan
+        else:
+            local = ScanStats()
+            self._scan_locals[stat.step] = local
         out: PerSlice = []
         for store in self._ctx.slices:
             if not store.has_shard(node.table.name):
@@ -156,9 +258,20 @@ class VolcanoExecutor:
                 column_names,
                 node.zone_predicates,
                 self._ctx.snapshot,
-                self._ctx.stats.scan,
+                local,
                 store.disk,
             )
+            if stat is not None:
+                rows = self._counted_iter(
+                    rows, stat, self._start_times[stat.step]
+                )
+            out.append(rows)
+        return out
+
+    def _run_scan(self, node: PhysicalScan) -> PerSlice:
+        predicates = [_compile(f) for f in node.filters]
+        out: PerSlice = []
+        for rows in self._scan_slices(node):
             for predicate in predicates:
                 rows = self._filtered(rows, predicate)
             out.append(rows)

@@ -973,3 +973,20 @@ def explain(node: PhysicalNode, indent: int = 0) -> str:
     for child in node.children:
         lines.append(explain(child, indent + 1))
     return "\n".join(lines)
+
+
+def assign_steps(
+    node: PhysicalNode, out: dict[int, int] | None = None
+) -> dict[int, int]:
+    """Preorder step numbers by ``id(node)``.
+
+    The numbering matches the order :func:`explain` renders "XN" lines,
+    which is what lets EXPLAIN ANALYZE annotate the plan text with the
+    per-step counters the executors collect.
+    """
+    if out is None:
+        out = {}
+    out[id(node)] = len(out)
+    for child in node.children:
+        assign_steps(child, out)
+    return out

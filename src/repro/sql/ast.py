@@ -625,9 +625,12 @@ class VacuumStatement(Statement):
 @dataclass
 class ExplainStatement(Statement):
     statement: Statement
+    #: EXPLAIN ANALYZE: run the statement and report per-step actuals.
+    analyze: bool = False
 
     def to_sql(self) -> str:
-        return f"EXPLAIN {self.statement.to_sql()}"
+        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{keyword} {self.statement.to_sql()}"
 
 
 @dataclass

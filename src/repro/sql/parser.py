@@ -790,7 +790,8 @@ class Parser:
 
     def _parse_explain(self) -> ast.ExplainStatement:
         self._expect_keyword("explain")
-        return ast.ExplainStatement(self.parse_statement())
+        analyze = bool(self._accept_keyword("analyze"))
+        return ast.ExplainStatement(self.parse_statement(), analyze=analyze)
 
     def _parse_begin(self) -> ast.BeginStatement:
         self._expect_keyword("begin")

@@ -1,0 +1,21 @@
+"""System tables: SQL-queryable telemetry (STL/STV/SVL).
+
+The paper's §4–5 argument is that operators and users diagnose the fleet
+through built-in telemetry instead of shell access. Real Redshift exposes
+that telemetry as system tables queryable with ordinary SQL; this package
+reproduces the design: an in-memory, bounded-retention event store fed by
+instrumentation hooks in the session, executors and WLM, materialized as
+virtual tables the binder and planner resolve like any user relation.
+"""
+
+from repro.systables.store import SystemEventStore
+from repro.systables.tables import (
+    SYSTEM_TABLE_COLUMNS,
+    SystemTables,
+)
+
+__all__ = [
+    "SystemEventStore",
+    "SystemTables",
+    "SYSTEM_TABLE_COLUMNS",
+]

@@ -1,0 +1,66 @@
+"""Bounded in-memory event store backing the system tables.
+
+Rows are plain tuples appended per table into a fixed-size ring: when a
+table reaches ``max_rows_per_table`` the oldest rows fall off (STL tables
+in real Redshift similarly retain "two to five days" of log history, not
+forever). Eviction is purely count-based, so retention is deterministic —
+the same sequence of appends always leaves the same rows regardless of
+wall-clock timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+#: Default per-table retention. Small enough that a long-lived cluster
+#: cannot grow without bound, large enough that tests and examples never
+#: notice eviction unless they ask for it.
+DEFAULT_MAX_ROWS = 10_000
+
+
+class SystemEventStore:
+    """Per-table bounded FIFO of telemetry rows."""
+
+    def __init__(self, max_rows_per_table: int = DEFAULT_MAX_ROWS):
+        if max_rows_per_table < 1:
+            raise ValueError(
+                f"max_rows_per_table must be positive, got {max_rows_per_table}"
+            )
+        self.max_rows_per_table = max_rows_per_table
+        self._tables: dict[str, deque[tuple]] = {}
+
+    def _ring(self, table: str) -> deque[tuple]:
+        ring = self._tables.get(table)
+        if ring is None:
+            ring = deque(maxlen=self.max_rows_per_table)
+            self._tables[table] = ring
+        return ring
+
+    def append(self, table: str, row: Iterable[object]) -> None:
+        """Append one row; the oldest row is evicted once full."""
+        self._ring(table).append(tuple(row))
+
+    def extend(self, table: str, rows: Iterable[Iterable[object]]) -> None:
+        ring = self._ring(table)
+        for row in rows:
+            ring.append(tuple(row))
+
+    def replace(self, table: str, rows: Iterable[Iterable[object]]) -> None:
+        """Replace a table's contents (STV tables are snapshots, not logs)."""
+        ring = self._ring(table)
+        ring.clear()
+        for row in rows:
+            ring.append(tuple(row))
+
+    def rows(self, table: str) -> list[tuple]:
+        return list(self._tables.get(table, ()))
+
+    def row_count(self, table: str) -> int:
+        return len(self._tables.get(table, ()))
+
+    def clear(self, table: str | None = None) -> None:
+        if table is None:
+            self._tables.clear()
+        else:
+            self._tables.pop(table, None)

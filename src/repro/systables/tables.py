@@ -1,0 +1,288 @@
+"""System table schemas, recording API and virtual-table providers.
+
+One :class:`SystemTables` instance rides on each cluster. It registers the
+schemas below into the cluster catalog (so the binder and planner resolve
+them like ordinary relations), offers the recording API the session, WLM
+and executors call, and materializes rows on demand:
+
+- ``stl_query`` — one row per completed statement (log).
+- ``svl_query_summary`` — one row per executed plan step of a query (log),
+  fed by the volcano/scan instrumentation hooks.
+- ``stv_wlm_query_state`` — per-query admission outcomes of the most
+  recent WLM simulation (snapshot: replaced each run).
+- ``stl_wlm_rule_action`` — shed/timeout events from WLM admission (log).
+- ``stv_blocklist`` — per-slice block/column/encoding/size, computed live
+  from slice storage (snapshot: never stored).
+- ``stl_fault_events`` — the fault injector's event log as a table,
+  computed live from the attached injector.
+
+Timestamps come from a bound :class:`~repro.cloud.simclock.SimClock` when
+the control plane manages the cluster (deterministic), and from wall
+clock otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+
+from repro.datatypes.types import BIGINT, DOUBLE, INTEGER, varchar_type
+from repro.engine.catalog import ColumnInfo, TableInfo
+from repro.engine.wlm import AdmissionStatus
+
+#: table name -> [(column name, SqlType)]
+SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
+    "stl_query": [
+        ("query", INTEGER),
+        ("querytxt", varchar_type(4096)),
+        ("queue", varchar_type(64)),
+        ("state", varchar_type(16)),       # 'success' | 'error'
+        ("error", varchar_type(1024)),
+        ("starttime", DOUBLE),
+        ("endtime", DOUBLE),
+        ("elapsed_us", BIGINT),
+        ("executor", varchar_type(16)),
+        ("rows", BIGINT),
+        ("segment_retries", INTEGER),
+    ],
+    "svl_query_summary": [
+        ("query", INTEGER),
+        ("step", INTEGER),
+        ("operator", varchar_type(128)),
+        ("rows", BIGINT),
+        ("bytes", BIGINT),
+        ("elapsed_us", BIGINT),
+        ("blocks_read", BIGINT),
+        ("blocks_skipped", BIGINT),
+    ],
+    "stv_wlm_query_state": [
+        ("query", INTEGER),
+        ("queue", varchar_type(64)),
+        ("state", varchar_type(16)),       # AdmissionStatus values
+        ("arrival_s", DOUBLE),
+        ("started_s", DOUBLE),
+        ("wait_s", DOUBLE),
+        ("exec_s", DOUBLE),
+        ("peak_queue_depth", INTEGER),
+        ("label", varchar_type(128)),
+    ],
+    "stl_wlm_rule_action": [
+        ("recorded_at", DOUBLE),
+        ("queue", varchar_type(64)),
+        ("action", varchar_type(16)),      # 'shed' | 'timeout'
+        ("label", varchar_type(128)),
+        ("wait_s", DOUBLE),
+    ],
+    "stv_blocklist": [
+        ("slice", varchar_type(32)),
+        ("tbl", varchar_type(128)),
+        ("col", varchar_type(128)),
+        ("blocknum", INTEGER),
+        ("num_values", INTEGER),
+        ("encoding", varchar_type(32)),
+        ("size_bytes", BIGINT),
+        ("minvalue", varchar_type(256)),
+        ("maxvalue", varchar_type(256)),
+    ],
+    "stl_fault_events": [
+        ("at_s", DOUBLE),
+        ("kind", varchar_type(64)),
+        ("target", varchar_type(128)),
+        ("detail", varchar_type(512)),
+    ],
+}
+
+#: Tables whose rows live in the event store (the rest are computed live).
+_STORED_TABLES = frozenset(
+    (
+        "stl_query",
+        "svl_query_summary",
+        "stv_wlm_query_state",
+        "stl_wlm_rule_action",
+    )
+)
+
+_RULE_ACTIONS = {
+    AdmissionStatus.SHED: "shed",
+    AdmissionStatus.TIMED_OUT: "timeout",
+}
+
+
+def _table_info(name: str) -> TableInfo:
+    return TableInfo(
+        name=name,
+        columns=[
+            ColumnInfo(name=column, sql_type=sql_type)
+            for column, sql_type in SYSTEM_TABLE_COLUMNS[name]
+        ],
+    )
+
+
+class SystemTables:
+    """Per-cluster system-table facade: schemas, recording, providers."""
+
+    def __init__(self, cluster, max_rows_per_table: int | None = None):
+        from repro.systables.store import DEFAULT_MAX_ROWS, SystemEventStore
+
+        self._cluster = cluster
+        self.store = SystemEventStore(max_rows_per_table or DEFAULT_MAX_ROWS)
+        self._clock = None
+        self._query_ids = itertools.count(1)
+        for name in SYSTEM_TABLE_COLUMNS:
+            cluster.catalog.register_system_table(_table_info(name))
+
+    # ---- time ----------------------------------------------------------------
+
+    def bind_clock(self, clock) -> None:
+        """Stamp rows from *clock* (a SimClock) instead of wall time."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        if self._clock is not None:
+            return self._clock.now
+        return _time.time()
+
+    # ---- recording: queries ---------------------------------------------------
+
+    def next_query_id(self) -> int:
+        return next(self._query_ids)
+
+    def record_query(
+        self,
+        query_id: int,
+        text: str,
+        state: str,
+        started: float,
+        ended: float,
+        elapsed_us: int,
+        queue: str = "default",
+        error: str | None = None,
+        executor: str | None = None,
+        rows: int = 0,
+        segment_retries: int = 0,
+    ) -> None:
+        self.store.append(
+            "stl_query",
+            (
+                query_id,
+                text[:4096],
+                queue,
+                state,
+                error,
+                started,
+                ended,
+                elapsed_us,
+                executor,
+                rows,
+                segment_retries,
+            ),
+        )
+
+    def record_query_summary(self, query_id: int, operators) -> None:
+        """One svl_query_summary row per executed plan step.
+
+        *operators* are :class:`repro.exec.context.OperatorStat` objects.
+        """
+        for op in sorted(operators, key=lambda o: o.step):
+            self.store.append(
+                "svl_query_summary",
+                (
+                    query_id,
+                    op.step,
+                    op.operator,
+                    op.rows,
+                    op.bytes_read,
+                    op.elapsed_us,
+                    op.blocks_read,
+                    op.blocks_skipped,
+                ),
+            )
+
+    # ---- recording: WLM -------------------------------------------------------
+
+    def record_wlm(self, reports: dict) -> None:
+        """Record one WLM admission simulation.
+
+        ``stv_wlm_query_state`` is a snapshot of the latest run (replaced);
+        shed/timeout events append to ``stl_wlm_rule_action``.
+        """
+        state_rows: list[tuple] = []
+        query_seq = 0
+        for name in sorted(reports):
+            report = reports[name]
+            depth = report.max_queue_depth
+            for outcome in sorted(
+                report.outcomes, key=lambda o: o.arrival.arrival_s
+            ):
+                query_seq += 1
+                state_rows.append(
+                    (
+                        query_seq,
+                        name,
+                        outcome.status.value,
+                        outcome.arrival.arrival_s,
+                        outcome.started_s,
+                        outcome.wait_s,
+                        outcome.finished_s - outcome.started_s,
+                        depth,
+                        outcome.arrival.label,
+                    )
+                )
+                action = _RULE_ACTIONS.get(outcome.status)
+                if action is not None:
+                    self.store.append(
+                        "stl_wlm_rule_action",
+                        (
+                            outcome.started_s,
+                            name,
+                            action,
+                            outcome.arrival.label,
+                            outcome.wait_s,
+                        ),
+                    )
+        self.store.replace("stv_wlm_query_state", state_rows)
+
+    # ---- providers ------------------------------------------------------------
+
+    def rows(self, name: str) -> list[tuple]:
+        """Materialize the current rows of one system table."""
+        if name in _STORED_TABLES:
+            return self.store.rows(name)
+        if name == "stv_blocklist":
+            return self._blocklist_rows()
+        if name == "stl_fault_events":
+            return self._fault_rows()
+        raise KeyError(f"unknown system table {name!r}")
+
+    def _blocklist_rows(self) -> list[tuple]:
+        rows: list[tuple] = []
+        for store in self._cluster.slice_stores:
+            for shard in store.shards.values():
+                for column_name in shard.column_names:
+                    chain = shard.chain(column_name)
+                    for blocknum, block in enumerate(chain.blocks):
+                        zone = block.zone_map
+                        rows.append(
+                            (
+                                store.slice_id,
+                                shard.table_name,
+                                column_name,
+                                blocknum,
+                                block.count,
+                                block.codec_name,
+                                block.encoded_bytes,
+                                None if zone.low is None else str(zone.low),
+                                None if zone.high is None else str(zone.high),
+                            )
+                        )
+        return rows
+
+    def _fault_rows(self) -> list[tuple]:
+        injector = self._cluster.fault_injector
+        if injector is None:
+            return []
+        return [
+            (event.at_s, event.kind, event.target, event.detail)
+            for event in injector.log
+        ]

@@ -1,0 +1,45 @@
+"""Every script in examples/ must run clean: they are living documentation.
+
+Each example executes in a subprocess the way a reader would run it
+(``python examples/<name>.py``), with src/ on PYTHONPATH. A failure means
+the README's promises drifted from the code.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_all_examples_discovered():
+    # Guard against the glob silently matching nothing (e.g. after a move).
+    assert len(EXAMPLES) >= 8
+    assert any(p.stem == "observability" for p in EXAMPLES)

@@ -5,6 +5,7 @@ import pytest
 from repro.cloud import (
     CloudEnvironment,
     SimClock,
+    SimCloudWatch,
     SimEC2,
     SimKMS,
     SimS3,
@@ -264,3 +265,35 @@ class TestEnvironment:
         env.sns.publish("other", "s", "m")
         assert len(got) == 1
         assert len(env.sns.topic_history("alarms")) == 1
+
+
+class TestSimCloudWatch:
+    def test_empty_series_aggregation(self):
+        cw = SimCloudWatch(SimClock())
+        assert cw.get_series("Missing") == []
+        assert cw.average("Missing", window_s=60.0) is None
+        assert cw.total("Missing", window_s=60.0) == 0.0
+
+    def test_dimension_key_ordering_equivalent(self):
+        clock = SimClock()
+        cw = SimCloudWatch(clock)
+        cw.put_metric("Lag", 1.0, {"region": "us-east-1", "node": "n0"})
+        cw.put_metric("Lag", 3.0, {"node": "n0", "region": "us-east-1"})
+        series = cw.get_series("Lag", {"region": "us-east-1", "node": "n0"})
+        assert [p.value for p in series] == [1.0, 3.0]
+        assert cw.average("Lag", 60.0, {"node": "n0", "region": "us-east-1"}) == 2.0
+        # A different dimension set stays a separate series.
+        assert cw.get_series("Lag", {"node": "n0"}) == []
+
+    def test_points_survive_clock_reset(self):
+        clock = SimClock()
+        cw = SimCloudWatch(clock)
+        clock.advance(100.0)
+        cw.put_metric("Errors", 5.0)
+        cw.bind_clock(SimClock())  # fresh clock at t=0
+        series = cw.get_series("Errors")
+        assert [(p.timestamp, p.value) for p in series] == [(100.0, 5.0)]
+        # Window aggregation measures from the new clock's now: the old
+        # point sits in the future of the reset clock, outside no window.
+        assert cw.total("Errors", window_s=1.0) == 5.0
+        assert cw.average("Errors", window_s=1.0) == 5.0

@@ -1,0 +1,70 @@
+"""EXPLAIN ANALYZE: execute the query, annotate the plan with actuals."""
+
+import pytest
+
+from repro import Cluster
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def session():
+    cluster = Cluster(node_count=2, slices_per_node=2)
+    s = cluster.connect()
+    s.execute("CREATE TABLE t (a INT, b INT)")
+    s.execute(
+        "INSERT INTO t VALUES " + ", ".join(f"({i}, {i * 2})" for i in range(50))
+    )
+    return s
+
+
+class TestExplainAnalyze:
+    def test_plain_explain_has_no_actuals(self, session):
+        lines = [r[0] for r in session.execute("EXPLAIN SELECT a FROM t").rows]
+        assert any(line.lstrip().startswith("XN ") for line in lines)
+        assert not any("actual" in line for line in lines)
+
+    def test_every_plan_step_gets_actuals(self, session):
+        result = session.execute(
+            "EXPLAIN ANALYZE SELECT a, sum(b) FROM t WHERE a < 30 GROUP BY a"
+        )
+        lines = [r[0] for r in result.rows]
+        plan_lines = [l for l in lines if l.lstrip().startswith("XN ")]
+        assert len(plan_lines) >= 2
+        for line in plan_lines:
+            assert "(actual rows=" in line or "(never executed)" in line
+
+    def test_scan_actual_rows_match_table(self, session):
+        result = session.execute("EXPLAIN ANALYZE SELECT a FROM t")
+        scan_lines = [
+            r[0] for r in result.rows if "Seq Scan" in r[0] and "actual" in r[0]
+        ]
+        assert len(scan_lines) == 1
+        # Scan reports rows emitted by storage: all 50, pre-filter.
+        assert "actual rows=50" in scan_lines[0]
+
+    def test_filter_counts_post_predicate_rows(self, session):
+        result = session.execute(
+            "EXPLAIN ANALYZE SELECT a FROM t WHERE a < 10"
+        )
+        lines = [r[0] for r in result.rows]
+        # The scan still reads all rows; the result has 10.
+        assert any("actual rows=50" in l for l in lines if "Seq Scan" in l)
+        assert any("(10 rows)" in l for l in lines if "Total runtime" in l)
+
+    def test_runtime_trailer_present(self, session):
+        result = session.execute("EXPLAIN ANALYZE SELECT count(*) FROM t")
+        assert result.rows[-1][0].startswith("Total runtime: ")
+
+    def test_analyze_rejects_non_select(self, session):
+        with pytest.raises(AnalysisError):
+            session.execute("EXPLAIN ANALYZE INSERT INTO t VALUES (999, 0)")
+        # The rejected statement must not have executed.
+        assert session.execute("SELECT count(*) FROM t WHERE a = 999").scalar() == 0
+
+    def test_analyze_records_summary_rows(self, session):
+        session.execute("EXPLAIN ANALYZE SELECT a FROM t WHERE a < 5")
+        rows = session.execute(
+            "SELECT operator, rows FROM svl_query_summary "
+            "WHERE query = (SELECT max(query) FROM svl_query_summary)"
+        ).rows
+        assert any("Seq Scan" in op for op, _ in rows)

@@ -304,10 +304,12 @@ class TestS3Integration:
     def test_set_outage_compat_wrapper(self):
         env = CloudEnvironment(seed=3)
         env.s3.create_bucket("b")
-        env.s3.set_outage(True)
+        with pytest.deprecated_call():
+            env.s3.set_outage(True)
         with pytest.raises(ServiceUnavailableError):
             env.s3.put_object("b", "k", b"v")
-        env.s3.set_outage(False)
+        with pytest.deprecated_call():
+            env.s3.set_outage(False)
         env.s3.put_object("b", "k", b"v")
         assert env.s3.get_object("b", "k").data == b"v"
 

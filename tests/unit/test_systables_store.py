@@ -1,0 +1,100 @@
+"""System-table event store: bounded retention, snapshots, clock binding."""
+
+import pytest
+
+from repro import Cluster
+from repro.cloud.simclock import SimClock
+from repro.errors import AnalysisError, TableAlreadyExistsError
+from repro.systables import SYSTEM_TABLE_COLUMNS, SystemEventStore
+
+
+class TestSystemEventStore:
+    def test_append_and_read_back(self):
+        store = SystemEventStore(max_rows_per_table=10)
+        store.append("stl_query", (1, "a"))
+        store.append("stl_query", (2, "b"))
+        assert store.rows("stl_query") == [(1, "a"), (2, "b")]
+        assert store.row_count("stl_query") == 2
+        assert store.rows("svl_query_summary") == []
+
+    def test_retention_is_bounded_fifo(self):
+        store = SystemEventStore(max_rows_per_table=3)
+        for i in range(10):
+            store.append("stl_query", (i,))
+        # Deterministic count-based eviction: exactly the last 3 survive.
+        assert store.rows("stl_query") == [(7,), (8,), (9,)]
+        assert store.row_count("stl_query") == 3
+
+    def test_retention_is_per_table(self):
+        store = SystemEventStore(max_rows_per_table=2)
+        for i in range(5):
+            store.append("stl_query", (i,))
+            store.append("stl_wlm_rule_action", (i * 10,))
+        assert store.rows("stl_query") == [(3,), (4,)]
+        assert store.rows("stl_wlm_rule_action") == [(30,), (40,)]
+
+    def test_replace_swaps_snapshot(self):
+        store = SystemEventStore(max_rows_per_table=10)
+        store.replace("stv_wlm_query_state", [(1,), (2,)])
+        store.replace("stv_wlm_query_state", [(3,)])
+        assert store.rows("stv_wlm_query_state") == [(3,)]
+
+    def test_replace_respects_bound(self):
+        store = SystemEventStore(max_rows_per_table=2)
+        store.replace("stv_wlm_query_state", [(i,) for i in range(5)])
+        assert store.rows("stv_wlm_query_state") == [(3,), (4,)]
+
+    def test_clear(self):
+        store = SystemEventStore(max_rows_per_table=10)
+        store.append("stl_query", (1,))
+        store.clear()
+        assert store.rows("stl_query") == []
+
+
+class TestSystemTablesOnCluster:
+    def test_schemas_registered_in_catalog(self):
+        cluster = Cluster(node_count=1)
+        for name in SYSTEM_TABLE_COLUMNS:
+            assert cluster.catalog.has_table(name)
+            assert cluster.catalog.is_system_table(name)
+            # System tables stay out of the user-table listing that drives
+            # ANALYZE-all / VACUUM-all / resize.
+            assert name not in cluster.catalog.table_names()
+
+    def test_user_table_cannot_shadow_system_name(self):
+        cluster = Cluster(node_count=1)
+        s = cluster.connect()
+        with pytest.raises(TableAlreadyExistsError):
+            s.execute("CREATE TABLE stl_query (a INT)")
+
+    def test_system_tables_cannot_be_dropped_or_written(self):
+        cluster = Cluster(node_count=1)
+        s = cluster.connect()
+        with pytest.raises(AnalysisError):
+            s.execute("DROP TABLE stl_query")
+        with pytest.raises(AnalysisError):
+            s.execute("INSERT INTO stl_query VALUES (1)")
+
+    def test_bound_clock_stamps_rows_deterministically(self):
+        clock = SimClock()
+        cluster = Cluster(node_count=1)
+        cluster.systables.bind_clock(clock)
+        s = cluster.connect()
+        clock.advance(100.0)
+        s.execute("SELECT 1 x")
+        clock.advance(50.0)
+        s.execute("SELECT 2 y")
+        rows = s.execute(
+            "SELECT query, starttime, endtime FROM stl_query ORDER BY query"
+        ).rows
+        # SimClock does not move during execution, so start == end and
+        # both stamps are exact simulation times.
+        assert [(r[1], r[2]) for r in rows] == [(100.0, 100.0), (150.0, 150.0)]
+
+    def test_stl_query_retention_bounded_on_cluster(self):
+        cluster = Cluster(node_count=1, systable_max_rows=4)
+        s = cluster.connect()
+        for i in range(10):
+            s.execute(f"SELECT {i} x")
+        rows = s.execute("SELECT query FROM stl_query ORDER BY query").rows
+        assert [r[0] for r in rows] == [7, 8, 9, 10]
