@@ -1,15 +1,25 @@
-"""Benchmark fixtures and the results reporter.
+"""Benchmark fixtures, the results reporter, and the JSON perf trajectory.
 
 Every benchmark regenerates one paper artefact (figure/table) or ablation.
 Besides pytest-benchmark's timing table, each writes its paper-shaped
 series through :func:`report`, collected into ``benchmarks/RESULTS.md`` at
 session end so the regenerated numbers are inspectable after a
 ``--benchmark-only`` run (where stdout is captured).
+
+Every bench file additionally emits a machine-readable
+``bench-results/BENCH_<id>.json`` (the id comes from the file name,
+``test_bench_<id>_*.py``): wall seconds per test, plus whatever metrics
+the test attached through the :func:`bench_record` fixture (rows, blocks
+read/skipped, cache hits). CI uploads these next to the junit files so
+perf trajectories can be diffed across commits without parsing logs.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
+import time
 from dataclasses import dataclass, field
 
 import pytest
@@ -17,6 +27,60 @@ import pytest
 from repro import Cluster
 
 _REPORTS: list[str] = []
+
+#: bench id -> test name -> {"seconds": float, **attached metrics}
+_BENCH_JSON: dict[str, dict[str, dict]] = {}
+
+_BENCH_ID = re.compile(r"test_bench_([a-z0-9]+)_")
+
+
+def _bench_id(request) -> str | None:
+    match = _BENCH_ID.match(os.path.basename(str(request.node.fspath)))
+    return match.group(1) if match else None
+
+
+@pytest.fixture(autouse=True)
+def _bench_json_entry(request):
+    """Time every benchmark test and register it in the JSON trajectory."""
+    bench = _bench_id(request)
+    if bench is None:
+        yield
+        return
+    entry = _BENCH_JSON.setdefault(bench, {}).setdefault(
+        request.node.name, {}
+    )
+    start = time.perf_counter()
+    yield
+    entry["seconds"] = round(time.perf_counter() - start, 6)
+
+
+@pytest.fixture
+def bench_record(request):
+    """Attach metrics to the current test's BENCH_<id>.json entry.
+
+    Usage: ``bench_record(rows=..., blocks_read=..., cache_hits=...)``;
+    repeated calls merge, and a ``QueryResult``-shaped ``stats`` keyword
+    expands into the standard scan counters.
+    """
+    bench = _bench_id(request)
+    entry = _BENCH_JSON.setdefault(bench or "misc", {}).setdefault(
+        request.node.name, {}
+    )
+
+    def record(stats=None, **metrics):
+        if stats is not None:
+            scan = stats.scan
+            metrics.setdefault("rows", stats.rows_returned)
+            metrics.update(
+                blocks_read=scan.blocks_read,
+                blocks_skipped=scan.blocks_skipped,
+                chains_read=scan.chains_read,
+                cache_hits=scan.cache_hits,
+                cache_misses=scan.cache_misses,
+            )
+        entry.update(metrics)
+
+    return record
 
 
 def report(title: str, lines: list[str]) -> None:
@@ -34,6 +98,19 @@ def reporter():
 
 
 def pytest_sessionfinish(session, exitstatus):
+    if _BENCH_JSON:
+        out_dir = os.path.join(os.path.dirname(__file__), "bench-results")
+        os.makedirs(out_dir, exist_ok=True)
+        for bench, tests in sorted(_BENCH_JSON.items()):
+            payload = {
+                "bench": bench,
+                "recorded_at": time.time(),
+                "tests": tests,
+            }
+            path = os.path.join(out_dir, f"BENCH_{bench}.json")
+            with open(path, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
     if not _REPORTS:
         return
     path = os.path.join(os.path.dirname(__file__), "RESULTS.md")

@@ -94,23 +94,6 @@ class SimS3:
             self._injector.cancel(self._outage_spec)
             self._outage_spec = None
 
-    def set_outage(self, active: bool) -> None:
-        """Deprecated compatibility wrapper over the injector-driven
-        outage window; call :meth:`start_outage`/:meth:`end_outage` (or
-        schedule an S3_OUTAGE FaultSpec) instead."""
-        import warnings
-
-        warnings.warn(
-            "SimS3.set_outage is deprecated; use start_outage()/"
-            "end_outage() or an injector-scheduled S3_OUTAGE fault",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if active:
-            self.start_outage()
-        else:
-            self.end_outage()
-
     def _check_available(self, op: str = "request") -> None:
         """Per-request fault consultation: outages and transient 503s."""
         self._injector.s3_request(self.region, op)

@@ -103,6 +103,11 @@ class Cluster:
         #: SQL-queryable telemetry (stl_*/stv_*/svl_*); registers its
         #: schemas into the catalog so sessions resolve them like tables.
         self.systables = SystemTables(self, max_rows_per_table=systable_max_rows)
+        from repro.storage.blockcache import BlockDecodeCache
+
+        #: Cluster-wide decoded-block cache; vectorized scans serve
+        #: repeat block reads from here (see stv_block_cache).
+        self.block_cache = BlockDecodeCache()
         self.block_capacity = block_capacity
         self._sources: dict[str, SourceProvider] = {}
         self._row_counters: dict[str, int] = {}

@@ -37,6 +37,7 @@ from repro.errors import (
 )
 from repro.exec.codegen import CompiledExecutor
 from repro.exec.context import ExecutionContext, QueryStats
+from repro.exec.vectorized import VectorizedExecutor
 from repro.exec.volcano import VolcanoExecutor
 from repro.plan.binder import Binder, infer_type
 from repro.plan.physical import PhysicalPlanner, PhysicalScan, explain
@@ -73,6 +74,13 @@ class QueryResult:
         return [row[index] for row in self.rows]
 
 
+#: The selectable execution engines (``SET executor = <name>``).
+_EXECUTORS = {
+    "volcano": VolcanoExecutor,
+    "compiled": CompiledExecutor,
+    "vectorized": VectorizedExecutor,
+}
+
 #: Statement types refused while the cluster is degraded to read-only.
 _WRITE_STATEMENTS = (
     ast.CreateTableStatement,
@@ -93,7 +101,7 @@ class Session:
     MAX_SEGMENT_RETRIES = 3
 
     def __init__(self, cluster: Cluster, executor: str = "compiled"):
-        if executor not in ("compiled", "volcano"):
+        if executor not in _EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}")
         self._cluster = cluster
         self._executor_kind = executor
@@ -113,7 +121,7 @@ class Session:
         return [self._execute_statement(s) for s in parse_statements(sql)]
 
     def set_executor(self, executor: str) -> None:
-        if executor not in ("compiled", "volcano"):
+        if executor not in _EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}")
         self._executor_kind = executor
 
@@ -193,6 +201,8 @@ class Session:
             self._cluster.transactions.rollback(self._xid)
             self._xid = None
             return QueryResult(command="ROLLBACK")
+        if isinstance(statement, ast.SetStatement):
+            return self._set_parameter(statement)
         if isinstance(statement, ast.ExplainStatement):
             if not statement.analyze:
                 return self._explain(statement.statement)
@@ -243,6 +253,18 @@ class Session:
             f"unsupported statement {type(statement).__name__}"
         )
 
+    def _set_parameter(self, statement: ast.SetStatement) -> QueryResult:
+        """``SET name = value``: session parameters. ``executor`` selects
+        the execution engine (volcano | compiled | vectorized)."""
+        name = statement.name.lower()
+        if name == "executor":
+            try:
+                self.set_executor(statement.value.lower())
+            except ValueError as exc:
+                raise AnalysisError(str(exc)) from exc
+            return QueryResult(command="SET")
+        raise AnalysisError(f"unknown session parameter {statement.name!r}")
+
     # ---- SELECT ---------------------------------------------------------------------
 
     def _context(self, xid: int) -> ExecutionContext:
@@ -255,6 +277,7 @@ class Session:
             snapshot=self._cluster.transactions.snapshot(xid),
             interconnect=Interconnect(),
             fault_injector=self._cluster.fault_injector,
+            block_cache=self._cluster.block_cache,
         )
         ctx.stats.network = ctx.interconnect.stats
         return ctx
@@ -281,11 +304,7 @@ class Session:
             ctx.stats.executor = self._executor_kind
             ctx.stats.plan_text = explain(physical)
             ctx.stats.segment_retries = retries
-            executor = (
-                CompiledExecutor(ctx)
-                if self._executor_kind == "compiled"
-                else VolcanoExecutor(ctx)
-            )
+            executor = _EXECUTORS[self._executor_kind](ctx)
             start = time.perf_counter()
             try:
                 rows = executor.execute(physical)
@@ -346,18 +365,27 @@ class Session:
     ) -> QueryResult:
         """Run the query and render the plan with per-step actuals inline.
 
-        The per-operator hooks live in the interpreted executor — the
-        compiled executor fuses pipelines and reports only the steps it
-        drives — so EXPLAIN ANALYZE always runs through the volcano path
-        for a complete per-step report.
+        The per-operator hooks live in the interpreted and vectorized
+        executors; the compiled executor fuses pipelines and reports only
+        the steps it drives, so a compiled session's EXPLAIN ANALYZE runs
+        through the volcano path for a complete per-step report. A
+        vectorized session keeps its own executor (and so also reports
+        block-decode cache traffic).
         """
         previous = self._executor_kind
-        self._executor_kind = "volcano"
+        if previous == "compiled":
+            self._executor_kind = "volcano"
         try:
             result = self._run_select(statement.query, xid)
         finally:
             self._executor_kind = previous
         lines = _annotate_plan(result.stats.plan_text, result.stats.operators)
+        scan = result.stats.scan
+        if scan.cache_hits or scan.cache_misses:
+            lines.append(
+                f"Block decode cache: {scan.cache_hits} hits, "
+                f"{scan.cache_misses} misses"
+            )
         lines.append(
             f"Total runtime: {result.stats.execute_seconds * 1000.0:.3f} ms"
             f" ({result.rowcount} rows)"
@@ -864,6 +892,11 @@ def _annotate_plan(plan_text: str, operators) -> list[str]:
                     extra += (
                         f" blocks_read={op.blocks_read}"
                         f" blocks_skipped={op.blocks_skipped}"
+                    )
+                if op.cache_hits or op.cache_misses:
+                    extra += (
+                        f" cache_hits={op.cache_hits}"
+                        f" cache_misses={op.cache_misses}"
                     )
                 line += extra + ")"
             step += 1

@@ -1,0 +1,278 @@
+"""Column-vector batches and the vector kernels that run over them.
+
+A :class:`ColumnBatch` is the unit of data flow in the vectorized
+executor: one Python list per output column (``None`` for dead columns,
+late-materialized only if something actually consumes them) plus a row
+count. Batches are immutable by convention — columns may alias decoded
+block vectors served by the shared :class:`BlockDecodeCache`, so no
+consumer ever mutates a column in place.
+
+Kernels are built **once per operator** from a bound expression and then
+applied to every batch:
+
+- :func:`make_mask_kernel` produces selection masks (``expr IS TRUE``
+  per row) with comprehension fast paths for the comparison shapes the
+  compiled executor also inlines (``col <op> literal``, ``col <op> col``,
+  AND/OR of masks, BETWEEN, IS NULL), falling back to the interpreted
+  closure over transposed rows otherwise.
+- :func:`make_value_kernel` produces output vectors for projections,
+  group keys and aggregate arguments, with the same inlining rules.
+
+The AND/OR fast paths are sound under SQL's three-valued logic because a
+mask encodes ``IS TRUE``: ``(a AND b) IS TRUE`` iff both are TRUE, and
+``(a OR b) IS TRUE`` iff either is. ``NOT`` has no such identity (NOT of
+UNKNOWN is UNKNOWN, not TRUE) and always takes the fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.expressions import compile_expression, literal_value
+
+#: SQL comparison -> the Python spelling used in generated comprehensions.
+_PY_OPS = {
+    "=": "==",
+    "<>": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+}
+
+_COMPARISONS = frozenset(["=", "<>", "<", "<=", ">", ">="])
+
+
+class ColumnBatch:
+    """One block's worth of rows as per-column vectors.
+
+    ``columns[i]`` is the value list of output column *i*, or ``None``
+    for a dead (never-read) column; ``count`` is the row count shared by
+    every column. Dead columns materialize to all-NULL vectors only on
+    first access.
+    """
+
+    __slots__ = ("columns", "count", "_rows")
+
+    def __init__(self, columns: list, count: int):
+        self.columns = columns
+        self.count = count
+        self._rows: list | None = None
+
+    @classmethod
+    def from_rows(cls, rows: list, width: int) -> "ColumnBatch":
+        """Transpose row tuples into a batch (test/fallback helper)."""
+        if not rows:
+            return cls([[] for _ in range(width)], 0)
+        return cls([list(col) for col in zip(*rows)], len(rows))
+
+    def column(self, index: int) -> list:
+        """The value vector of one column, materializing dead columns."""
+        values = self.columns[index]
+        if values is None:
+            values = [None] * self.count
+            self.columns[index] = values
+        return values
+
+    def rows(self) -> list:
+        """The batch as row tuples (memoized; the late-materialization
+        boundary for operators that need full rows)."""
+        if self._rows is None:
+            if not self.columns:
+                self._rows = [()] * self.count
+            else:
+                self._rows = list(
+                    zip(*(self.column(i) for i in range(len(self.columns))))
+                )
+        return self._rows
+
+    def take(self, selection: list) -> "ColumnBatch":
+        """A new batch holding the rows at *selection* (in order); dead
+        columns stay dead."""
+        columns = [
+            None if col is None else [col[i] for i in selection]
+            for col in self.columns
+        ]
+        return ColumnBatch(columns, len(selection))
+
+
+def _no_unresolved(ref: ast.ColumnRef) -> int:
+    raise ExecutionError(f"unresolved column reference {ref.to_sql()!r}")
+
+
+def _inlinable(expr: ast.BinaryOp) -> bool:
+    # Deferred import: codegen pulls in the volcano executor, which
+    # imports the scan module that consumes batches.
+    from repro.exec.codegen import _inlinable as inlinable
+
+    return inlinable(expr)
+
+
+def _comparable_literal(expr: ast.Expression) -> bool:
+    return isinstance(expr, ast.Literal) and literal_value(expr) is not None
+
+
+def _build(source: str, env: dict) -> Callable:
+    """Compile one kernel function from generated source."""
+    namespace = dict(env)
+    exec(source, namespace)  # noqa: S102 - same technique as codegen.py
+    return namespace["_kernel"]
+
+
+# ---------------------------------------------------------------------------
+# Mask kernels (filter position: SQL TRUE -> keep)
+# ---------------------------------------------------------------------------
+
+def make_mask_kernel(expr: ast.Expression) -> Callable[[ColumnBatch], list]:
+    """A function mapping a batch to a list of plain bools (``expr IS
+    TRUE`` per row)."""
+    kernel = _try_mask_fast_path(expr)
+    if kernel is not None:
+        return kernel
+    fn = compile_expression(expr, _no_unresolved)
+
+    def fallback(batch: ColumnBatch) -> list:
+        return [fn(row) is True for row in batch.rows()]
+
+    return fallback
+
+
+def _try_mask_fast_path(expr: ast.Expression):
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op
+        if op == "AND":
+            left = make_mask_kernel(expr.left)
+            right = make_mask_kernel(expr.right)
+            return lambda batch: [
+                a and b for a, b in zip(left(batch), right(batch))
+            ]
+        if op == "OR":
+            left = make_mask_kernel(expr.left)
+            right = make_mask_kernel(expr.right)
+            return lambda batch: [
+                a or b for a, b in zip(left(batch), right(batch))
+            ]
+        if op in _COMPARISONS and _inlinable(expr):
+            return _comparison_mask(expr)
+        return None
+    if isinstance(expr, ast.IsNullExpr) and isinstance(
+        expr.operand, ast.BoundRef
+    ):
+        index = expr.operand.index
+        if expr.negated:
+            return lambda batch: [v is not None for v in batch.column(index)]
+        return lambda batch: [v is None for v in batch.column(index)]
+    if isinstance(expr, ast.BetweenExpr) and not expr.negated:
+        return _between_mask(expr)
+    return None
+
+
+def _comparison_mask(expr: ast.BinaryOp):
+    pyop = _PY_OPS[expr.op]
+    left, right = expr.left, expr.right
+    if isinstance(left, ast.BoundRef) and _comparable_literal(right):
+        source = (
+            "def _kernel(batch):\n"
+            f"    lit = _lit\n"
+            f"    return [v is not None and v {pyop} lit"
+            f" for v in batch.column({left.index})]\n"
+        )
+        return _build(source, {"_lit": literal_value(right)})
+    if isinstance(right, ast.BoundRef) and _comparable_literal(left):
+        source = (
+            "def _kernel(batch):\n"
+            f"    lit = _lit\n"
+            f"    return [v is not None and lit {pyop} v"
+            f" for v in batch.column({right.index})]\n"
+        )
+        return _build(source, {"_lit": literal_value(left)})
+    if isinstance(left, ast.BoundRef) and isinstance(right, ast.BoundRef):
+        source = (
+            "def _kernel(batch):\n"
+            f"    return [a is not None and b is not None and a {pyop} b"
+            f" for a, b in zip(batch.column({left.index}),"
+            f" batch.column({right.index}))]\n"
+        )
+        return _build(source, {})
+    return None
+
+
+def _between_mask(expr: ast.BetweenExpr):
+    operand = expr.operand
+    if not isinstance(operand, ast.BoundRef):
+        return None
+    if not (_comparable_literal(expr.low) and _comparable_literal(expr.high)):
+        return None
+    # Reuse the codegen type rules: BETWEEN is two inlined comparisons.
+    low_cmp = ast.BinaryOp(">=", operand, expr.low)
+    high_cmp = ast.BinaryOp("<=", operand, expr.high)
+    if not (_inlinable(low_cmp) and _inlinable(high_cmp)):
+        return None
+    source = (
+        "def _kernel(batch):\n"
+        "    lo, hi = _lo, _hi\n"
+        f"    return [v is not None and lo <= v <= hi"
+        f" for v in batch.column({operand.index})]\n"
+    )
+    return _build(
+        source, {"_lo": literal_value(expr.low), "_hi": literal_value(expr.high)}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Value kernels (projection / group key / aggregate argument position)
+# ---------------------------------------------------------------------------
+
+def make_value_kernel(expr: ast.Expression) -> Callable[[ColumnBatch], list]:
+    """A function mapping a batch to the expression's output vector."""
+    if isinstance(expr, ast.BoundRef):
+        index = expr.index
+        return lambda batch: batch.column(index)
+    if isinstance(expr, ast.Literal):
+        value = literal_value(expr)
+        return lambda batch: [value] * batch.count
+    if isinstance(expr, ast.BinaryOp) and expr.op in _PY_OPS and _inlinable(expr):
+        kernel = _binary_value(expr)
+        if kernel is not None:
+            return kernel
+    fn = compile_expression(expr, _no_unresolved)
+
+    def fallback(batch: ColumnBatch) -> list:
+        return [fn(row) for row in batch.rows()]
+
+    return fallback
+
+
+def _binary_value(expr: ast.BinaryOp):
+    pyop = _PY_OPS[expr.op]
+    left, right = expr.left, expr.right
+    if isinstance(left, ast.BoundRef) and _comparable_literal(right):
+        source = (
+            "def _kernel(batch):\n"
+            "    lit = _lit\n"
+            f"    return [None if v is None else v {pyop} lit"
+            f" for v in batch.column({left.index})]\n"
+        )
+        return _build(source, {"_lit": literal_value(right)})
+    if isinstance(right, ast.BoundRef) and _comparable_literal(left):
+        source = (
+            "def _kernel(batch):\n"
+            "    lit = _lit\n"
+            f"    return [None if v is None else lit {pyop} v"
+            f" for v in batch.column({right.index})]\n"
+        )
+        return _build(source, {"_lit": literal_value(left)})
+    if isinstance(left, ast.BoundRef) and isinstance(right, ast.BoundRef):
+        source = (
+            "def _kernel(batch):\n"
+            f"    return [None if a is None or b is None else a {pyop} b"
+            f" for a, b in zip(batch.column({left.index}),"
+            f" batch.column({right.index}))]\n"
+        )
+        return _build(source, {})
+    return None

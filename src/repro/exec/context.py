@@ -30,6 +30,9 @@ class OperatorStat:
     blocks_read: int = 0
     blocks_skipped: int = 0
     bytes_read: int = 0
+    #: Block-decode cache traffic (nonzero only for vectorized scans).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -70,6 +73,9 @@ class ExecutionContext:
     #: keyed by table name. Scans of these tables read from here (rows
     #: live at the leader / slice 0) instead of slice storage.
     system_rows: dict = field(default_factory=dict)
+    #: Cluster-wide decoded-block cache consumed by the vectorized
+    #: executor's batch scans; None disables caching.
+    block_cache: object = None
 
     @property
     def slice_count(self) -> int:

@@ -35,6 +35,10 @@ def scan_shard(
     block is skipped when any predicate's zone map proves it empty of
     matches. Skipping is conservative — surviving rows are re-checked by
     the caller's filters. Predicate columns must be live.
+
+    Stats count logical row blocks once each (``blocks_total`` /
+    ``blocks_read`` / ``blocks_skipped``); the per-column chain-block
+    reads are ``chains_read``.
     """
     width = len(column_names)
     if width == 0:
@@ -72,9 +76,11 @@ def scan_shard(
                 skip = True
                 break
         if stats is not None:
-            stats.blocks_total += len(live)
+            stats.blocks_total += 1
             if skip:
-                stats.blocks_skipped += len(live)
+                stats.blocks_skipped += 1
+            else:
+                stats.blocks_read += 1
         if skip:
             offset += row_count
             continue
@@ -83,7 +89,7 @@ def scan_shard(
         for chain_blocks in blocks_per_chain:
             block = chain_blocks[k]
             if stats is not None:
-                stats.blocks_read += 1
+                stats.chains_read += 1
                 stats.bytes_read += block.encoded_bytes
                 stats.values_read += block.count
             if disk is not None:
@@ -122,6 +128,134 @@ def scan_shard(
             yield tuple(row)
     if stats is not None and tail_count:
         stats.values_read += tail_count * len(live)
+
+
+def scan_shard_batches(
+    shard: TableShard,
+    column_names: Sequence[str | None],
+    zone_predicates: Sequence[tuple[int, str, object]],
+    snapshot: Snapshot,
+    stats: ScanStats | None = None,
+    disk: SimulatedDisk | None = None,
+    block_cache=None,
+) -> Iterator["ColumnBatch"]:
+    """Yield visible rows as :class:`ColumnBatch`es, one per surviving block.
+
+    The column-vector twin of :func:`scan_shard`: same zone-map skipping,
+    MVCC visibility and IO accounting, but each block's decoded columns
+    are handed onward as whole vectors instead of being re-zipped into
+    row tuples. When every row of a block is visible the decoded lists
+    are passed through without copying — this is where the batch engine's
+    decode-once economics come from.
+
+    *block_cache* (a :class:`repro.storage.blockcache.BlockDecodeCache`)
+    serves decoded vectors across queries; cache hits skip the simulated
+    disk read and byte accounting (the IO they avoid) while block/value
+    counts stay identical to the row path.
+    """
+    from repro.exec.batch import ColumnBatch
+
+    width = len(column_names)
+    if width == 0:
+        return
+    live = [
+        (position, shard.chain(name))
+        for position, name in enumerate(column_names)
+        if name is not None
+    ]
+    insert_xids = shard.insert_xids
+    delete_xids = shard.delete_xids
+
+    if not live:
+        # Pure row-count scans: no chain IO, one batch of all-dead columns
+        # sized by visibility metadata alone.
+        visible = sum(
+            1
+            for offset in range(shard.row_count)
+            if snapshot.can_see(insert_xids[offset], delete_xids[offset])
+        )
+        if visible:
+            yield ColumnBatch([None] * width, visible)
+        return
+
+    live_positions = {position: i for i, (position, _) in enumerate(live)}
+    blocks_per_chain = [chain.blocks for _, chain in live]
+    block_count = len(blocks_per_chain[0])
+
+    offset = 0
+    for k in range(block_count):
+        row_count = blocks_per_chain[0][k].count
+        skip = False
+        for col_pos, op, literal in zone_predicates:
+            chain_index = live_positions[col_pos]
+            if not blocks_per_chain[chain_index][k].zone_map.might_satisfy(
+                op, literal
+            ):
+                skip = True
+                break
+        if stats is not None:
+            stats.blocks_total += 1
+            if skip:
+                stats.blocks_skipped += 1
+            else:
+                stats.blocks_read += 1
+        if skip:
+            offset += row_count
+            continue
+        vectors = []
+        for chain_blocks in blocks_per_chain:
+            block = chain_blocks[k]
+            if block_cache is not None:
+                values, hit = block_cache.lookup(block)
+            else:
+                values, hit = block.read_vector(), False
+            if stats is not None:
+                stats.chains_read += 1
+                stats.values_read += block.count
+                if hit:
+                    stats.cache_hits += 1
+                else:
+                    stats.cache_misses += 1
+                    stats.bytes_read += block.encoded_bytes
+            if not hit and disk is not None:
+                disk.record_read(block.encoded_bytes)
+            vectors.append(values)
+        end = offset + row_count
+        columns: list = [None] * width
+        if _block_fully_visible(insert_xids, delete_xids, offset, end, snapshot):
+            for (position, _), values in zip(live, vectors):
+                columns[position] = values
+            yield ColumnBatch(columns, row_count)
+        else:
+            selection = [
+                i
+                for i in range(row_count)
+                if snapshot.can_see(
+                    insert_xids[offset + i], delete_xids[offset + i]
+                )
+            ]
+            if selection:
+                for (position, _), values in zip(live, vectors):
+                    columns[position] = [values[i] for i in selection]
+                yield ColumnBatch(columns, len(selection))
+        offset += row_count
+
+    # Open tail buffers (rows loaded but not yet sealed into blocks).
+    tails = [chain.tail_values for _, chain in live]
+    tail_count = len(tails[0])
+    if tail_count:
+        selection = [
+            i
+            for i in range(tail_count)
+            if snapshot.can_see(insert_xids[offset + i], delete_xids[offset + i])
+        ]
+        if selection:
+            columns = [None] * width
+            for (position, _), tail in zip(live, tails):
+                columns[position] = [tail[i] for i in selection]
+            yield ColumnBatch(columns, len(selection))
+        if stats is not None:
+            stats.values_read += tail_count * len(live)
 
 
 def _block_fully_visible(

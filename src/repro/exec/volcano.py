@@ -142,6 +142,8 @@ class VolcanoExecutor:
                 stat.blocks_read = local.blocks_read
                 stat.blocks_skipped = local.blocks_skipped
                 stat.bytes_read = local.bytes_read
+                stat.cache_hits = local.cache_hits
+                stat.cache_misses = local.cache_misses
             self._ctx.stats.scan.merge(local)
         self._scan_locals.clear()
         self._ctx.stats.operators.sort(key=lambda s: s.step)
@@ -508,22 +510,36 @@ class VolcanoExecutor:
             for call in node.aggregates
         ]
         aggregates = [call.aggregate for call in node.aggregates]
-        global_agg = not node.group_exprs
 
         partials: list[dict] = []
         for rows in child:
             states: dict[tuple, list] = {}
-            for row in rows:
-                key = tuple(fn(row) for fn in group_fns)
-                entry = states.get(key)
-                if entry is None:
-                    entry = [agg.create() for agg in aggregates]
-                    states[key] = entry
-                for i, agg in enumerate(aggregates):
-                    fn = arg_fns[i]
-                    entry[i] = agg.accumulate(entry[i], 1 if fn is None else fn(row))
+            self._accumulate_rows(states, rows, group_fns, arg_fns, aggregates)
             partials.append(states)
+        return self._merge_partials(node, partials, aggregates)
 
+    @staticmethod
+    def _accumulate_rows(
+        states: dict, rows, group_fns, arg_fns, aggregates
+    ) -> None:
+        """Fold row tuples into per-group partial states (shared with the
+        vectorized executor's row-input fallback)."""
+        for row in rows:
+            key = tuple(fn(row) for fn in group_fns)
+            entry = states.get(key)
+            if entry is None:
+                entry = [agg.create() for agg in aggregates]
+                states[key] = entry
+            for i, agg in enumerate(aggregates):
+                fn = arg_fns[i]
+                entry[i] = agg.accumulate(entry[i], 1 if fn is None else fn(row))
+
+    def _merge_partials(
+        self, node: PhysicalAggregate, partials: list[dict], aggregates
+    ) -> PerSlice:
+        """Local finalize or leader merge of per-slice partial states —
+        identical across executors so network accounting matches."""
+        global_agg = not node.group_exprs
         width = exchange.row_width(node.output) if node.output else 8
 
         if node.local_only:

@@ -85,6 +85,12 @@ class PhysicalNode:
     partitioning: Partitioning
     est_rows: float
 
+    #: Whether the vectorized executor has a column-batch implementation
+    #: for this operator shape. Non-capable operators (sorts, limits,
+    #: set ops, nested loops) consume materialized rows — the vectorized
+    #: engine converts batches to rows at these boundaries.
+    batch_capable: bool = False
+
     @property
     def children(self) -> list["PhysicalNode"]:
         return []
@@ -123,6 +129,8 @@ class PhysicalScan(PhysicalNode):
     est_rows: float = _DEFAULT_ROWS
     live_columns: frozenset[int] | None = None
 
+    batch_capable = True
+
     def label(self) -> str:
         out = f"Seq Scan on {self.table.name}"
         if self.binding != self.table.name:
@@ -137,6 +145,8 @@ class PhysicalFilter(PhysicalNode):
     output: list[BoundColumn] = field(default_factory=list)
     partitioning: Partitioning = RR
     est_rows: float = _DEFAULT_ROWS
+
+    batch_capable = True
 
     @property
     def children(self):
@@ -153,6 +163,8 @@ class PhysicalProject(PhysicalNode):
     output: list[BoundColumn] = field(default_factory=list)
     partitioning: Partitioning = RR
     est_rows: float = _DEFAULT_ROWS
+
+    batch_capable = True
 
     @property
     def children(self):
@@ -176,6 +188,8 @@ class PhysicalHashJoin(PhysicalNode):
     output: list[BoundColumn] = field(default_factory=list)
     partitioning: Partitioning = RR
     est_rows: float = _DEFAULT_ROWS
+
+    batch_capable = True
 
     @property
     def children(self):
@@ -228,6 +242,8 @@ class PhysicalAggregate(PhysicalNode):
     output: list[BoundColumn] = field(default_factory=list)
     partitioning: Partitioning = RR
     est_rows: float = _DEFAULT_ROWS
+
+    batch_capable = True
 
     @property
     def children(self):

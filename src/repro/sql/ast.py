@@ -651,6 +651,18 @@ class RollbackStatement(Statement):
         return "ROLLBACK"
 
 
+@dataclass
+class SetStatement(Statement):
+    """``SET name = value`` / ``SET name TO value``: session parameters
+    (e.g. ``SET executor = vectorized``)."""
+
+    name: str
+    value: str
+
+    def to_sql(self) -> str:
+        return f"SET {self.name} = {self.value}"
+
+
 def walk_expressions(expr: Expression):
     """Yield *expr* and every expression nested inside it, depth first.
 

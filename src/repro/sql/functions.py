@@ -338,6 +338,15 @@ class Aggregate:
         """Fold one input value into a partial state; returns the state."""
         raise NotImplementedError
 
+    def accumulate_many(self, state: object, values) -> object:
+        """Fold a whole value vector into a partial state (the vectorized
+        executor's per-batch path). Subclasses override when a bulk form
+        beats the per-value loop."""
+        accumulate = self.accumulate
+        for value in values:
+            state = accumulate(state, value)
+        return state
+
     def merge(self, left: object, right: object) -> object:
         """Combine two partial states."""
         raise NotImplementedError
@@ -361,6 +370,9 @@ class CountAggregate(Aggregate):
     def accumulate(self, state, value):
         return state + (value is not None)
 
+    def accumulate_many(self, state, values):
+        return state + sum(1 for value in values if value is not None)
+
     def merge(self, left, right):
         return left + right
 
@@ -383,6 +395,13 @@ class SumAggregate(Aggregate):
         if value is None:
             return state
         return value if state is None else state + value
+
+    def accumulate_many(self, state, values):
+        present = [value for value in values if value is not None]
+        if not present:
+            return state
+        total = sum(present[1:], present[0])
+        return total if state is None else state + total
 
     def merge(self, left, right):
         if left is None:
@@ -432,6 +451,13 @@ class MinAggregate(Aggregate):
             return state
         return value if state is None or value < state else state
 
+    def accumulate_many(self, state, values):
+        present = [value for value in values if value is not None]
+        if not present:
+            return state
+        low = min(present)
+        return low if state is None or low < state else state
+
     def merge(self, left, right):
         return self.accumulate(left, right)
 
@@ -446,6 +472,13 @@ class MaxAggregate(MinAggregate):
         if value is None:
             return state
         return value if state is None or value > state else state
+
+    def accumulate_many(self, state, values):
+        present = [value for value in values if value is not None]
+        if not present:
+            return state
+        high = max(present)
+        return high if state is None or high > state else state
 
 
 class StddevAggregate(Aggregate):

@@ -128,6 +128,7 @@ class Parser:
             "begin": self._parse_begin,
             "commit": self._parse_commit,
             "rollback": self._parse_rollback,
+            "set": self._parse_set,
         }
         handler = handlers.get(word)
         if handler is None:
@@ -807,6 +808,30 @@ class Parser:
         self._expect_keyword("rollback")
         self._accept_keyword("transaction") or self._accept_keyword("work")
         return ast.RollbackStatement()
+
+    def _parse_set(self) -> ast.SetStatement:
+        """``SET <name> = <value>`` / ``SET <name> TO <value>``."""
+        self._expect_keyword("set")
+        name = self._expect_name()
+        if not self._accept_operator("="):
+            token = self._peek()
+            if (
+                token.type in (TokenType.IDENT, TokenType.KEYWORD)
+                and token.text.lower() == "to"
+            ):
+                self._advance()
+            else:
+                raise ParseError(f"expected = or TO, found {token!r}")
+        token = self._peek()
+        if token.type in (
+            TokenType.IDENT,
+            TokenType.KEYWORD,
+            TokenType.STRING,
+            TokenType.NUMBER,
+        ):
+            self._advance()
+            return ast.SetStatement(name=name, value=token.text)
+        raise ParseError(f"expected a value, found {token!r}")
 
     def expect_eof(self) -> None:
         self._accept_operator(";")

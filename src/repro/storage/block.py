@@ -19,6 +19,7 @@ from typing import Sequence
 from repro.compression.codecs import Codec, EncodedVector, codec_by_name
 from repro.datatypes.types import SqlType
 from repro.errors import BlockCorruptionError
+from repro.storage import blockcache
 from repro.storage.zonemap import ZoneMap
 
 #: Default number of values per block. Real Redshift blocks are a fixed
@@ -65,6 +66,11 @@ class Block:
     _decoded_cache: list[object] | None = field(
         default=None, repr=False, compare=False
     )
+    #: True once the decoded content passed checksum verification; reset
+    #: whenever the content can have changed (corrupt()), so the hot read
+    #: path pays the per-value CRC pickle walk once per block, not once
+    #: per read.
+    _verified: bool = field(default=False, repr=False, compare=False)
 
     @classmethod
     def build(
@@ -100,26 +106,44 @@ class Block:
     def read(self, verify: bool = True) -> list[object]:
         """Decode the block's values, verifying the checksum.
 
+        Verification is memoized: the CRC walk runs once per decoded
+        content, not once per read. :meth:`corrupt` resets the memo so
+        injected bit-flips are still detected.
+
         Raises :class:`BlockCorruptionError` if the decoded content does
         not match the checksum recorded at build time.
         """
+        return list(self.read_vector(verify))
+
+    def read_vector(self, verify: bool = True) -> list[object]:
+        """Like :meth:`read` but returns the shared decoded list without
+        copying — the batch-scan fast path. Callers must not mutate it."""
         if self._decoded_cache is None:
             codec = codec_by_name(self.vector.codec_name)
             self._decoded_cache = codec.decode(self.vector)
-        if verify and _checksum(self._decoded_cache) != self.checksum:
-            raise BlockCorruptionError(
-                f"block {self.block_id} failed checksum verification"
-            )
-        return list(self._decoded_cache)
+            self._verified = False
+        if verify and not self._verified:
+            if _checksum(self._decoded_cache) != self.checksum:
+                raise BlockCorruptionError(
+                    f"block {self.block_id} failed checksum verification"
+                )
+            self._verified = True
+        return self._decoded_cache
 
     def corrupt(self) -> None:
-        """Deliberately corrupt the block (test/failure-injection hook)."""
+        """Deliberately corrupt the block (test/failure-injection hook).
+
+        Resets the verified-checksum memo and evicts the block from every
+        decode cache, so the next read re-verifies and fails.
+        """
         values = self.read(verify=False)
         if values:
             values[0] = "☠CORRUPTED" if values[0] is None else None
         else:
             values.append("☠CORRUPTED")
         self._decoded_cache = values
+        self._verified = False
+        blockcache.invalidate_everywhere(self.block_id)
 
     def serialize(self) -> bytes:
         """Produce the byte image shipped to replicas and to S3 backup."""

@@ -14,6 +14,7 @@ from typing import Callable, Iterator, Sequence
 
 from repro.compression.codecs import Codec, codec_by_name
 from repro.datatypes.types import SqlType
+from repro.storage import blockcache
 from repro.storage.block import BLOCK_CAPACITY_DEFAULT, Block
 from repro.storage.zonemap import ZoneMap
 
@@ -21,20 +22,34 @@ from repro.storage.zonemap import ZoneMap
 @dataclass
 class ScanStats:
     """IO accounting for one chain scan — the currency of the zone-map
-    experiments (blocks skipped are disk reads avoided)."""
+    experiments (blocks skipped are disk reads avoided).
+
+    ``blocks_total``/``blocks_read``/``blocks_skipped`` count logical row
+    blocks once each, regardless of how many column chains a scan touches;
+    ``chains_read`` counts the per-column chain-block reads (so a 3-column
+    scan reading one block reports blocks_read=1, chains_read=3).
+    """
 
     blocks_total: int = 0
     blocks_read: int = 0
     blocks_skipped: int = 0
+    #: Per-column chain-block reads (>= blocks_read for multi-column scans).
+    chains_read: int = 0
     bytes_read: int = 0
     values_read: int = 0
+    #: Block-decode cache traffic (batch scan path only).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def merge(self, other: "ScanStats") -> None:
         self.blocks_total += other.blocks_total
         self.blocks_read += other.blocks_read
         self.blocks_skipped += other.blocks_skipped
+        self.chains_read += other.chains_read
         self.bytes_read += other.bytes_read
         self.values_read += other.values_read
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
 
 
 class ColumnChain:
@@ -140,6 +155,7 @@ class ColumnChain:
                     stats.blocks_skipped += 1
                 else:
                     stats.blocks_read += 1
+                    stats.chains_read += 1
                     stats.bytes_read += block.encoded_bytes
                     stats.values_read += block.count
             if skip:
@@ -207,6 +223,9 @@ class ColumnChain:
         for i, existing in enumerate(self._blocks):
             if existing.block_id == block_id:
                 self._blocks[i] = block
+                # The repaired image reuses the id; drop any stale
+                # decoded entry so caches serve the new content.
+                blockcache.invalidate_everywhere(block_id)
                 return True
         return False
 
@@ -216,11 +235,19 @@ class ColumnChain:
         Used by recovery and restore paths that reconstruct a chain from
         replicated or backed-up block images. Any open tail is discarded.
         """
+        for existing in self._blocks:
+            blockcache.invalidate_everywhere(existing.block_id)
         self._blocks = list(blocks)
         self._tail = []
 
     def rewrite_in_order(self, order: Sequence[int]) -> "ColumnChain":
-        """Produce a new chain with rows permuted by *order* (VACUUM/sort)."""
+        """Produce a new chain with rows permuted by *order* (VACUUM/sort).
+
+        The retired blocks' decode-cache entries are invalidated; the
+        rewritten chain gets fresh block ids.
+        """
+        for existing in self._blocks:
+            blockcache.invalidate_everywhere(existing.block_id)
         values = self.read_all()
         fresh = ColumnChain(
             self.column_name, self.sql_type, self.codec, self.block_capacity

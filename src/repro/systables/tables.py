@@ -54,6 +54,8 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("elapsed_us", BIGINT),
         ("blocks_read", BIGINT),
         ("blocks_skipped", BIGINT),
+        ("cache_hits", BIGINT),
+        ("cache_misses", BIGINT),
     ],
     "stv_wlm_query_state": [
         ("query", INTEGER),
@@ -89,6 +91,14 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("kind", varchar_type(64)),
         ("target", varchar_type(128)),
         ("detail", varchar_type(512)),
+    ],
+    "stv_block_cache": [
+        ("capacity", INTEGER),
+        ("entries", INTEGER),
+        ("hits", BIGINT),
+        ("misses", BIGINT),
+        ("evictions", BIGINT),
+        ("invalidations", BIGINT),
     ],
 }
 
@@ -196,6 +206,8 @@ class SystemTables:
                     op.elapsed_us,
                     op.blocks_read,
                     op.blocks_skipped,
+                    op.cache_hits,
+                    op.cache_misses,
                 ),
             )
 
@@ -253,7 +265,24 @@ class SystemTables:
             return self._blocklist_rows()
         if name == "stl_fault_events":
             return self._fault_rows()
+        if name == "stv_block_cache":
+            return self._block_cache_rows()
         raise KeyError(f"unknown system table {name!r}")
+
+    def _block_cache_rows(self) -> list[tuple]:
+        cache = getattr(self._cluster, "block_cache", None)
+        if cache is None:
+            return []
+        return [
+            (
+                cache.capacity,
+                len(cache),
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+                cache.invalidations,
+            )
+        ]
 
     def _blocklist_rows(self) -> list[tuple]:
         rows: list[tuple] = []

@@ -301,15 +301,13 @@ class TestWithBackoff:
 
 
 class TestS3Integration:
-    def test_set_outage_compat_wrapper(self):
+    def test_outage_window_blocks_and_releases_requests(self):
         env = CloudEnvironment(seed=3)
         env.s3.create_bucket("b")
-        with pytest.deprecated_call():
-            env.s3.set_outage(True)
+        env.s3.start_outage()
         with pytest.raises(ServiceUnavailableError):
             env.s3.put_object("b", "k", b"v")
-        with pytest.deprecated_call():
-            env.s3.set_outage(False)
+        env.s3.end_outage()
         env.s3.put_object("b", "k", b"v")
         assert env.s3.get_object("b", "k").data == b"v"
 

@@ -1,0 +1,367 @@
+"""Block-decode cache, column batches, vector kernels, vectorized executor."""
+
+import pytest
+
+from repro import Cluster
+from repro.compression import codec_by_name
+from repro.datatypes import INTEGER
+from repro.errors import AnalysisError, BlockCorruptionError
+from repro.exec.batch import ColumnBatch, make_mask_kernel, make_value_kernel
+from repro.sql import ast
+from repro.storage import Block, ColumnChain
+from repro.storage.blockcache import BlockDecodeCache
+
+
+def _block(values):
+    return Block.build(values, INTEGER, codec_by_name("raw"))
+
+
+class TestBlockDecodeCache:
+    def test_miss_then_hit_shares_decoded_list(self):
+        cache = BlockDecodeCache(capacity=4)
+        block = _block([1, 2, 3])
+        values, hit = cache.lookup(block)
+        assert (values, hit) == ([1, 2, 3], False)
+        again, hit = cache.lookup(block)
+        assert hit
+        assert again is values
+        assert (cache.hits, cache.misses, len(cache)) == (1, 1, 1)
+
+    def test_lru_evicts_oldest(self):
+        cache = BlockDecodeCache(capacity=2)
+        a, b, c = _block([1]), _block([2]), _block([3])
+        cache.lookup(a)
+        cache.lookup(b)
+        cache.lookup(c)
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        _, hit = cache.lookup(a)  # a was evicted
+        assert not hit
+
+    def test_hit_refreshes_recency(self):
+        cache = BlockDecodeCache(capacity=2)
+        a, b, c = _block([1]), _block([2]), _block([3])
+        cache.lookup(a)
+        cache.lookup(b)
+        cache.lookup(a)  # a is now most-recent; b should be evicted next
+        cache.lookup(c)
+        _, hit_a = cache.lookup(a)
+        assert hit_a
+        _, hit_b = cache.lookup(b)
+        assert not hit_b
+
+    def test_invalidate(self):
+        cache = BlockDecodeCache()
+        block = _block([1])
+        cache.lookup(block)
+        assert cache.invalidate(block.block_id)
+        assert not cache.invalidate(block.block_id)
+        assert cache.invalidations == 1
+        _, hit = cache.lookup(block)
+        assert not hit
+
+    def test_clear_keeps_counters(self):
+        cache = BlockDecodeCache()
+        cache.lookup(_block([1]))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BlockDecodeCache(capacity=0)
+
+    def test_corrupt_invalidates_every_live_cache(self):
+        first, second = BlockDecodeCache(), BlockDecodeCache()
+        block = _block([1, 2])
+        first.lookup(block)
+        second.lookup(block)
+        block.corrupt()
+        assert len(first) == 0 and len(second) == 0
+        # The re-read goes back to the block and fails its checksum:
+        # corruption is never masked by a stale cache entry.
+        with pytest.raises(BlockCorruptionError):
+            first.lookup(block)
+
+    def test_replace_block_invalidates(self):
+        chain = ColumnChain("c", INTEGER, "raw", block_capacity=2)
+        chain.append([1, 2])
+        chain.seal()
+        old = chain.blocks[0]
+        cache = BlockDecodeCache()
+        cache.lookup(old)
+        repaired = Block.build(
+            [7, 8], INTEGER, codec_by_name("raw"), block_id=old.block_id
+        )
+        assert chain.replace_block(old.block_id, repaired)
+        values, hit = cache.lookup(repaired)
+        assert not hit
+        assert values == [7, 8]
+
+    def test_vacuum_rewrite_invalidates(self):
+        chain = ColumnChain("c", INTEGER, "raw", block_capacity=4)
+        chain.append([3, 1, 2, 0])
+        chain.seal()
+        cache = BlockDecodeCache()
+        cache.lookup(chain.blocks[0])
+        chain.rewrite_in_order([3, 1, 2, 0])
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+
+    def test_adopt_blocks_invalidates_retired_set(self):
+        chain = ColumnChain("c", INTEGER, "raw", block_capacity=2)
+        chain.append([1, 2])
+        chain.seal()
+        cache = BlockDecodeCache()
+        cache.lookup(chain.blocks[0])
+        chain.adopt_blocks([_block([9, 8])])
+        assert len(cache) == 0
+
+
+class TestChecksumMemoization:
+    def test_read_vector_returns_shared_list(self):
+        block = _block([1, 2, 3])
+        assert block.read_vector() is block.read_vector()
+        # read() still hands out a private copy.
+        assert block.read() is not block.read_vector()
+
+    def test_verification_runs_once_per_content(self, monkeypatch):
+        import repro.storage.block as blockmod
+
+        calls = []
+        real = blockmod._checksum
+        monkeypatch.setattr(
+            blockmod, "_checksum", lambda v: calls.append(1) or real(v)
+        )
+        block = _block([1, 2, 3])
+        calls.clear()
+        block.read()
+        block.read()
+        block.read_vector()
+        assert len(calls) == 1
+
+    def test_corrupt_resets_memo(self):
+        block = _block([1, 2, 3])
+        block.read()  # verified and memoized
+        block.corrupt()
+        with pytest.raises(BlockCorruptionError):
+            block.read()
+
+
+class TestColumnBatch:
+    def test_from_rows_roundtrip(self):
+        batch = ColumnBatch.from_rows([(1, "a"), (2, "b")], width=2)
+        assert batch.count == 2
+        assert batch.column(0) == [1, 2]
+        assert batch.rows() == [(1, "a"), (2, "b")]
+
+    def test_empty(self):
+        batch = ColumnBatch.from_rows([], width=3)
+        assert batch.count == 0
+        assert batch.rows() == []
+
+    def test_dead_column_materializes_as_nulls(self):
+        batch = ColumnBatch([[1, 2], None], 2)
+        assert batch.column(1) == [None, None]
+        assert batch.rows() == [(1, None), (2, None)]
+
+    def test_take_preserves_dead_columns(self):
+        batch = ColumnBatch([[10, 20, 30], None], 3)
+        taken = batch.take([0, 2])
+        assert taken.count == 2
+        assert taken.columns[1] is None
+        assert taken.column(0) == [10, 30]
+
+
+def _ref(index):
+    return ast.BoundRef(index=index, sql_type=INTEGER, name=f"c{index}")
+
+
+def _lit(value):
+    return ast.Literal(value)
+
+
+class TestKernels:
+    def _batch(self):
+        return ColumnBatch([[1, None, 3, 4], [4, 5, None, 1]], 4)
+
+    def test_comparison_col_lit(self):
+        mask = make_mask_kernel(ast.BinaryOp(">", _ref(0), _lit(2)))
+        assert mask(self._batch()) == [False, False, True, True]
+
+    def test_comparison_lit_col(self):
+        mask = make_mask_kernel(ast.BinaryOp(">=", _lit(3), _ref(0)))
+        assert mask(self._batch()) == [True, False, True, False]
+
+    def test_comparison_col_col_null_safe(self):
+        mask = make_mask_kernel(ast.BinaryOp("<", _ref(0), _ref(1)))
+        assert mask(self._batch()) == [True, False, False, False]
+
+    def test_and_or_three_valued(self):
+        cond = ast.BinaryOp(
+            "OR",
+            ast.BinaryOp("AND",
+                         ast.BinaryOp(">", _ref(0), _lit(0)),
+                         ast.BinaryOp(">", _ref(1), _lit(4))),
+            ast.BinaryOp("=", _ref(0), _lit(4)),
+        )
+        # Row 2 has NULL in c0: every comparison on it is UNKNOWN -> drop.
+        assert make_mask_kernel(cond)(self._batch()) == [
+            False, False, False, True,
+        ]
+
+    def test_between(self):
+        expr = ast.BetweenExpr(
+            operand=_ref(0), low=_lit(2), high=_lit(3), negated=False
+        )
+        assert make_mask_kernel(expr)(self._batch()) == [
+            False, False, True, False,
+        ]
+
+    def test_is_null(self):
+        expr = ast.IsNullExpr(operand=_ref(0), negated=False)
+        assert make_mask_kernel(expr)(self._batch()) == [
+            False, True, False, False,
+        ]
+        negated = ast.IsNullExpr(operand=_ref(0), negated=True)
+        assert make_mask_kernel(negated)(self._batch()) == [
+            True, False, True, True,
+        ]
+
+    def test_value_kernel_column_is_zero_copy(self):
+        batch = self._batch()
+        assert make_value_kernel(_ref(1))(batch) is batch.column(1)
+
+    def test_value_kernel_literal_broadcasts(self):
+        assert make_value_kernel(_lit(7))(self._batch()) == [7, 7, 7, 7]
+
+    def test_value_kernel_arithmetic_propagates_null(self):
+        expr = ast.BinaryOp("+", _ref(0), _ref(1))
+        assert make_value_kernel(expr)(self._batch()) == [5, None, None, 5]
+
+    def test_value_kernel_col_lit_arithmetic(self):
+        expr = ast.BinaryOp("*", _ref(0), _lit(10))
+        assert make_value_kernel(expr)(self._batch()) == [10, None, 30, 40]
+
+
+class TestAccumulateMany:
+    def test_bulk_matches_looped(self):
+        from repro.sql.functions import make_aggregate
+
+        values = [3, None, 1, 4, None, 1, 5, 9, 2, 6]
+        for name in ("count", "sum", "min", "max", "avg"):
+            agg = make_aggregate(name)
+            looped = agg.create()
+            for v in values:
+                looped = agg.accumulate(looped, v)
+            bulk = agg.accumulate_many(agg.create(), values)
+            assert agg.finalize(bulk) == agg.finalize(looped), name
+
+    def test_bulk_on_all_null_vector(self):
+        from repro.sql.functions import make_aggregate
+
+        for name in ("count", "sum", "min", "max"):
+            agg = make_aggregate(name)
+            state = agg.accumulate_many(agg.create(), [None, None])
+            assert agg.finalize(state) == (0 if name == "count" else None)
+
+
+@pytest.fixture
+def small_cluster():
+    cluster = Cluster(node_count=1, slices_per_node=2, block_capacity=8)
+    s = cluster.connect(executor="vectorized")
+    s.execute("CREATE TABLE t (a int, b int) DISTSTYLE EVEN")
+    rows = ",".join(f"({i % 5}, {i})" for i in range(64))
+    s.execute(f"INSERT INTO t VALUES {rows}")
+    return cluster
+
+
+class TestVectorizedExecutor:
+    def test_connect_with_vectorized(self, small_cluster):
+        s = small_cluster.connect(executor="vectorized")
+        assert s.execute("SELECT count(*) FROM t").rows == [(64,)]
+
+    def test_set_executor_statement(self, small_cluster):
+        s = small_cluster.connect(executor="volcano")
+        r = s.execute("SET executor = vectorized")
+        assert r.command == "SET"
+        assert s.execute("SELECT sum(b) FROM t").stats.executor == "vectorized"
+        s.execute("SET executor TO compiled")
+        assert s.execute("SELECT sum(b) FROM t").stats.executor == "compiled"
+
+    def test_set_unknown_parameter_rejected(self, small_cluster):
+        s = small_cluster.connect()
+        with pytest.raises(AnalysisError):
+            s.execute("SET wlm_mode = auto")
+        with pytest.raises(AnalysisError):
+            s.execute("SET executor = turbo")
+
+    def test_scan_stats_block_granularity(self, small_cluster):
+        s = small_cluster.connect(executor="vectorized")
+        r = s.execute("SELECT count(*) FROM t WHERE b >= 48")
+        scan = r.stats.scan
+        # 64 rows over 2 slices at capacity 8 = 8 logical blocks; blocks
+        # are counted once regardless of the table's column count, while
+        # chains_read counts each per-column block decode.
+        assert scan.blocks_total == scan.blocks_read + scan.blocks_skipped
+        assert scan.blocks_skipped > 0
+        assert scan.chains_read >= scan.blocks_read
+
+    def test_warm_cache_hits(self, small_cluster):
+        s = small_cluster.connect(executor="vectorized")
+        s.execute("SELECT sum(b) FROM t")
+        cache = small_cluster.block_cache
+        baseline = cache.hits
+        r = s.execute("SELECT sum(b) FROM t")
+        assert cache.hits > baseline
+        assert r.stats.scan.cache_hits > 0
+        assert r.stats.scan.cache_misses == 0
+
+    def test_stv_block_cache_queryable(self, small_cluster):
+        s = small_cluster.connect(executor="vectorized")
+        s.execute("SELECT sum(b) FROM t")
+        s.execute("SELECT sum(b) FROM t")
+        rows = s.execute(
+            "SELECT hits, misses, entries FROM stv_block_cache"
+        ).rows
+        assert len(rows) == 1
+        hits, misses, entries = rows[0]
+        assert hits > 0 and misses > 0 and entries > 0
+
+    def test_svl_query_summary_records_cache_columns(self, small_cluster):
+        s = small_cluster.connect(executor="vectorized")
+        s.execute("SELECT sum(b) FROM t")
+        s.execute("SELECT sum(b) FROM t")
+        rows = s.execute(
+            "SELECT cache_hits FROM svl_query_summary "
+            "WHERE operator LIKE 'Seq Scan%' AND cache_hits > 0"
+        ).rows
+        assert rows
+
+    def test_explain_analyze_reports_cache(self, small_cluster):
+        s = small_cluster.connect(executor="vectorized")
+        s.execute("SELECT sum(b) FROM t")
+        lines = "\n".join(
+            row[0]
+            for row in s.execute("EXPLAIN ANALYZE SELECT sum(b) FROM t").rows
+        )
+        assert "cache_hits=" in lines
+        assert "Block decode cache:" in lines
+
+    def test_update_visible_to_vectorized_scan(self, small_cluster):
+        s = small_cluster.connect(executor="vectorized")
+        s.execute("UPDATE t SET a = 99 WHERE b = 63")
+        assert s.execute("SELECT a FROM t WHERE b = 63").rows == [(99,)]
+        s.execute("DELETE FROM t WHERE b >= 32")
+        assert s.execute("SELECT count(*) FROM t").rows == [(32,)]
+
+    def test_corruption_detected_through_cache(self, small_cluster):
+        from repro.errors import ExecutionError
+
+        s = small_cluster.connect(executor="vectorized")
+        s.execute("SELECT sum(b) FROM t")  # populate the cache
+        store = small_cluster.slice_stores[0]
+        shard = store.shard("t")
+        shard.chain("b").blocks[0].corrupt()
+        with pytest.raises((BlockCorruptionError, ExecutionError)):
+            s.execute("SELECT sum(b) FROM t")
