@@ -13,6 +13,7 @@ maps a source URI to an iterable of text lines.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -109,6 +110,17 @@ class Cluster:
         #: repeat block reads from here (see stv_block_cache).
         self.block_cache = BlockDecodeCache()
         self.block_capacity = block_capacity
+        from repro.exec.workers import PoolManager, register_slices
+
+        #: Morsel worker pools for the parallel executor: one cached pool
+        #: per cluster, re-forked when storage mutates (see exec.workers).
+        self.pool_manager = PoolManager()
+        #: Key of this cluster's slice list in the worker-side registry;
+        #: registered before any pool forks so children inherit it.
+        self.worker_registry_id = register_slices(self.slice_stores)
+        self._worker_finalizer = weakref.finalize(
+            self, _release_workers, self.pool_manager, self.worker_registry_id
+        )
         self._sources: dict[str, SourceProvider] = {}
         self._row_counters: dict[str, int] = {}
         #: Shared fault injector; None until :meth:`attach_faults`.
@@ -165,11 +177,32 @@ class Cluster:
     def node_count(self) -> int:
         return len(self.nodes)
 
-    def connect(self, executor: str = "compiled"):
-        """Open a session (the ODBC/JDBC connection analogue)."""
+    def connect(
+        self,
+        executor: str = "compiled",
+        parallelism: int | None = None,
+        pool_mode: str | None = None,
+    ):
+        """Open a session (the ODBC/JDBC connection analogue).
+
+        ``parallelism`` and ``pool_mode`` configure the parallel executor
+        (``executor="parallel"``): worker count per pipeline, and "fork" /
+        "thread" / "serial" (defaults to fork where available).
+        """
         from repro.engine.session import Session
 
-        return Session(self, executor=executor)
+        return Session(
+            self, executor=executor, parallelism=parallelism, pool_mode=pool_mode
+        )
+
+    def close(self) -> None:
+        """Shut down worker pools and release the slice registry entry.
+
+        Optional — a garbage-collected cluster cleans up the same way —
+        but deterministic shutdown keeps forked workers from outliving
+        tests that count processes.
+        """
+        self._worker_finalizer()
 
     # ---- storage lifecycle ------------------------------------------------------
 
@@ -283,3 +316,11 @@ class Cluster:
 
     def total_bytes(self) -> int:
         return sum(store.used_bytes for store in self.slice_stores)
+
+
+def _release_workers(pool_manager, registry_id: int) -> None:
+    """Cluster finalizer (must not close over the cluster itself)."""
+    from repro.exec.workers import unregister_slices
+
+    pool_manager.close()
+    unregister_slices(registry_id)

@@ -8,6 +8,7 @@ ANALYZE [COMPRESSION], VACUUM [REINDEX], EXPLAIN, and transaction control.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -35,8 +36,10 @@ from repro.errors import (
     TableNotFoundError,
     TransactionError,
 )
+from repro.exec import workers
 from repro.exec.codegen import CompiledExecutor
-from repro.exec.context import ExecutionContext, QueryStats
+from repro.exec.context import ExecutionContext, ParallelConfig, QueryStats
+from repro.exec.parallel import ParallelExecutor
 from repro.exec.vectorized import VectorizedExecutor
 from repro.exec.volcano import VolcanoExecutor
 from repro.plan.binder import Binder, infer_type
@@ -79,6 +82,7 @@ _EXECUTORS = {
     "volcano": VolcanoExecutor,
     "compiled": CompiledExecutor,
     "vectorized": VectorizedExecutor,
+    "parallel": ParallelExecutor,
 }
 
 #: Statement types refused while the cluster is degraded to read-only.
@@ -100,11 +104,25 @@ class Session:
     #: Leader-side segment retries before a recoverable fault becomes fatal.
     MAX_SEGMENT_RETRIES = 3
 
-    def __init__(self, cluster: Cluster, executor: str = "compiled"):
+    def __init__(
+        self,
+        cluster: Cluster,
+        executor: str = "compiled",
+        parallelism: int | None = None,
+        pool_mode: str | None = None,
+    ):
         if executor not in _EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}")
+        if parallelism is not None and parallelism < 1:
+            raise ValueError(f"parallelism must be positive, got {parallelism}")
+        if pool_mode is not None and pool_mode not in ("fork", "thread", "serial"):
+            raise ValueError(f"unknown pool mode {pool_mode!r}")
         self._cluster = cluster
         self._executor_kind = executor
+        #: Workers per parallel pipeline; None = one per slice (capped to
+        #: the machine's cores), the paper's slice-per-core layout.
+        self._parallelism = parallelism
+        self._pool_mode = pool_mode
         self._binder = Binder(cluster.catalog)
         self._planner = PhysicalPlanner(cluster.catalog, cluster.slice_count)
         self._xid: int | None = None  # explicit transaction, if any
@@ -181,6 +199,8 @@ class Session:
         )
         if result.stats and result.stats.operators:
             systables.record_query_summary(query_id, result.stats.operators)
+        if result.stats and result.stats.slice_exec:
+            systables.record_slice_exec(query_id, result.stats.slice_exec)
         return result
 
     def _execute_statement_inner(self, statement: ast.Statement) -> QueryResult:
@@ -255,7 +275,8 @@ class Session:
 
     def _set_parameter(self, statement: ast.SetStatement) -> QueryResult:
         """``SET name = value``: session parameters. ``executor`` selects
-        the execution engine (volcano | compiled | vectorized)."""
+        the execution engine (volcano | compiled | vectorized | parallel);
+        ``parallelism`` sets the parallel executor's workers per pipeline."""
         name = statement.name.lower()
         if name == "executor":
             try:
@@ -263,9 +284,29 @@ class Session:
             except ValueError as exc:
                 raise AnalysisError(str(exc)) from exc
             return QueryResult(command="SET")
+        if name == "parallelism":
+            try:
+                degree = int(statement.value)
+            except (TypeError, ValueError):
+                raise AnalysisError(
+                    f"parallelism must be an integer, got {statement.value!r}"
+                ) from None
+            if degree < 1:
+                raise AnalysisError(
+                    f"parallelism must be positive, got {degree}"
+                )
+            self._parallelism = degree
+            return QueryResult(command="SET")
         raise AnalysisError(f"unknown session parameter {statement.name!r}")
 
     # ---- SELECT ---------------------------------------------------------------------
+
+    def effective_parallelism(self) -> int:
+        """Workers per parallel pipeline: the configured degree, or one
+        worker per slice capped to the machine's cores."""
+        if self._parallelism is not None:
+            return self._parallelism
+        return max(1, min(self._cluster.slice_count, os.cpu_count() or 1))
 
     def _context(self, xid: int) -> ExecutionContext:
         # Each query gets its own interconnect so its stats are scoped to
@@ -279,6 +320,13 @@ class Session:
             fault_injector=self._cluster.fault_injector,
             block_cache=self._cluster.block_cache,
         )
+        if self._executor_kind == "parallel":
+            ctx.parallel = ParallelConfig(
+                degree=self.effective_parallelism(),
+                mode=self._pool_mode or workers.default_mode(),
+                pool_manager=self._cluster.pool_manager,
+                registry_id=self._cluster.worker_registry_id,
+            )
         ctx.stats.network = ctx.interconnect.stats
         return ctx
 
@@ -351,7 +399,10 @@ class Session:
         if isinstance(statement, ast.SelectStatement):
             logical = self._binder.bind_select(statement.query)
             physical = self._planner.plan(logical)
-            lines = explain(physical).splitlines()
+            header = f"Executor: {self._executor_kind}"
+            if self._executor_kind == "parallel":
+                header += f" (parallelism {self.effective_parallelism()})"
+            lines = [header] + explain(physical).splitlines()
             return QueryResult(
                 columns=["QUERY PLAN"],
                 rows=[(line,) for line in lines],
@@ -370,7 +421,9 @@ class Session:
         the steps it drives, so a compiled session's EXPLAIN ANALYZE runs
         through the volcano path for a complete per-step report. A
         vectorized session keeps its own executor (and so also reports
-        block-decode cache traffic).
+        block-decode cache traffic); a parallel session keeps its own
+        executor too and annotates fused steps with their degree of
+        parallelism (``workers=... morsels=...``).
         """
         previous = self._executor_kind
         if previous == "compiled":
@@ -898,6 +951,8 @@ def _annotate_plan(plan_text: str, operators) -> list[str]:
                         f" cache_hits={op.cache_hits}"
                         f" cache_misses={op.cache_misses}"
                     )
+                if op.workers:
+                    extra += f" workers={op.workers} morsels={op.morsels}"
                 line += extra + ")"
             step += 1
         lines.append(line)

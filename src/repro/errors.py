@@ -103,6 +103,21 @@ class NodeFailureError(ExecutionError):
         self.node_id = node_id
 
 
+class WorkerCrashError(ExecutionError):
+    """Raised inside a parallel worker killed by an injected crash.
+
+    Deliberately NOT in :data:`QUERY_RECOVERABLE_ERRORS`: the parallel
+    executor recovers from it internally by re-executing the failed
+    morsel serially on the leader, so it never reaches the session's
+    segment-retry loop.
+    """
+
+    def __init__(self, slice_id: str, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"parallel worker for {slice_id} crashed{suffix}")
+        self.slice_id = slice_id
+
+
 class QueryRetryExhaustedError(ExecutionError):
     """Raised when segment retry gives up after repeated recoverable faults."""
 

@@ -11,11 +11,12 @@ per-row execution — exactly the trade-off §2.1 of the paper describes for
 Redshift's compilation to machine code.
 """
 
-from repro.exec.context import ExecutionContext, QueryStats
+from repro.exec.context import ExecutionContext, ParallelConfig, QueryStats
 from repro.exec.volcano import VolcanoExecutor
 from repro.exec.codegen import CompiledExecutor
+from repro.exec.parallel import ParallelExecutor
 
 __all__ = [
-    "ExecutionContext", "QueryStats",
-    "VolcanoExecutor", "CompiledExecutor",
+    "ExecutionContext", "ParallelConfig", "QueryStats",
+    "VolcanoExecutor", "CompiledExecutor", "ParallelExecutor",
 ]

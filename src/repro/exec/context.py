@@ -33,6 +33,10 @@ class OperatorStat:
     #: Block-decode cache traffic (nonzero only for vectorized scans).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Parallel-executor pushdown (zero for serial executors): the worker
+    #: count the pipeline ran with and the morsels it was split into.
+    workers: int = 0
+    morsels: int = 0
 
 
 @dataclass
@@ -57,6 +61,46 @@ class QueryStats:
     #: The compiled executor only reports the steps it actually drives
     #: (fused pipeline interiors run inside generated code).
     operators: list[OperatorStat] = field(default_factory=list)
+    #: Parallel executor only: one SliceExec per slice that ran morsels
+    #: (feeds stv_slice_exec).
+    slice_exec: list["SliceExec"] = field(default_factory=list)
+
+
+@dataclass
+class SliceExec:
+    """Per-slice worker accounting for one parallel query (stv_slice_exec)."""
+
+    slice_id: str
+    node_id: str
+    mode: str
+    morsels: int = 0
+    rows: int = 0
+    scanned_rows: int = 0
+    elapsed_us: int = 0
+    crashes: int = 0
+
+
+@dataclass
+class ParallelConfig:
+    """How the parallel executor runs its per-slice workers.
+
+    ``mode`` is "fork" (process pool, workers inherit slice stores),
+    "thread" (fallback where fork is unavailable), or "serial"
+    (parallelism 1: morsels run inline on the leader — same machinery,
+    no pool). ``pool_manager`` is the cluster's
+    :class:`repro.exec.workers.PoolManager`; ``registry_id`` keys the
+    cluster's slice list in the worker-side registry.
+    """
+
+    degree: int = 2
+    mode: str = "fork"
+    pool_manager: object = None
+    registry_id: int = 0
+    #: Blocks per morsel: the scheduling quantum workers pull.
+    morsel_blocks: int = 4
+    #: Row pipelines whose morsel output exceeds this fall back to
+    #: leader execution instead of shipping the rows across the pool.
+    row_ship_limit: int = 100_000
 
 
 @dataclass
@@ -76,10 +120,16 @@ class ExecutionContext:
     #: Cluster-wide decoded-block cache consumed by the vectorized
     #: executor's batch scans; None disables caching.
     block_cache: object = None
+    #: Parallel-executor configuration; None for serial executors.
+    parallel: "ParallelConfig | None" = None
 
     @property
     def slice_count(self) -> int:
         return len(self.slices)
+
+    @property
+    def parallelism(self) -> int:
+        return self.parallel.degree if self.parallel is not None else 1
 
     def check_faults(self) -> None:
         """Fault checkpoint: fire any node crash scheduled for a node that

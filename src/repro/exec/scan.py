@@ -130,6 +130,142 @@ def scan_shard(
         stats.values_read += tail_count * len(live)
 
 
+def shard_block_count(shard: TableShard) -> int:
+    """Number of sealed row blocks in *shard* (chains are in lockstep)."""
+    if not shard.chains:
+        return 0
+    return len(next(iter(shard.chains.values())).blocks)
+
+
+def scan_shard_morsel(
+    shard: TableShard,
+    column_names: Sequence[str | None],
+    zone_predicates: Sequence[tuple[int, str, object]],
+    snapshot: Snapshot,
+    block_start: int,
+    block_end: int,
+    include_tail: bool,
+    stats: ScanStats | None = None,
+    io_log: list[int] | None = None,
+) -> Iterator[tuple]:
+    """Yield visible rows from the block range [*block_start*, *block_end*).
+
+    The morsel-sized twin of :func:`scan_shard` for the parallel
+    executor: identical zone-map skipping, MVCC visibility and stats
+    accounting, restricted to a contiguous range of row blocks (plus the
+    open tail buffers when *include_tail* — exactly one morsel per shard
+    carries the tail). Concatenating every morsel of a shard in block
+    order reproduces the serial scan row-for-row and stat-for-stat.
+
+    Instead of charging a :class:`SimulatedDisk` directly, chain-block
+    reads append their encoded byte counts to *io_log*; workers run
+    without their slice's disk object and the leader replays the log
+    through ``disk.record_read`` in morsel order, so disk accounting and
+    injected media faults fire in the same sequence as a serial scan.
+    """
+    width = len(column_names)
+    if width == 0:
+        return
+    live = [
+        (position, shard.chain(name))
+        for position, name in enumerate(column_names)
+        if name is not None
+    ]
+    insert_xids = shard.insert_xids
+    delete_xids = shard.delete_xids
+
+    if not live:
+        # Pure row-count scans: synthesize rows from visibility metadata
+        # for the offsets this morsel's block range (and tail) covers.
+        reference = (
+            next(iter(shard.chains.values())) if shard.chains else None
+        )
+        blocks = reference.blocks if reference is not None else []
+        start = sum(block.count for block in blocks[:block_start])
+        end = start + sum(
+            block.count for block in blocks[block_start:block_end]
+        )
+        ranges = [(start, end)]
+        if include_tail:
+            sealed = sum(block.count for block in blocks)
+            ranges.append((sealed, shard.row_count))
+        empty = (None,) * width
+        for lo, hi in ranges:
+            for offset in range(lo, hi):
+                if snapshot.can_see(insert_xids[offset], delete_xids[offset]):
+                    yield empty
+        return
+
+    live_positions = {position: i for i, (position, _) in enumerate(live)}
+    blocks_per_chain = [chain.blocks for _, chain in live]
+
+    offset = sum(block.count for block in blocks_per_chain[0][:block_start])
+    for k in range(block_start, block_end):
+        row_count = blocks_per_chain[0][k].count
+        skip = False
+        for col_pos, op, literal in zone_predicates:
+            chain_index = live_positions[col_pos]
+            if not blocks_per_chain[chain_index][k].zone_map.might_satisfy(
+                op, literal
+            ):
+                skip = True
+                break
+        if stats is not None:
+            stats.blocks_total += 1
+            if skip:
+                stats.blocks_skipped += 1
+            else:
+                stats.blocks_read += 1
+        if skip:
+            offset += row_count
+            continue
+        row_template: list = [None] * width
+        columns = []
+        for chain_blocks in blocks_per_chain:
+            block = chain_blocks[k]
+            if stats is not None:
+                stats.chains_read += 1
+                stats.bytes_read += block.encoded_bytes
+                stats.values_read += block.count
+            if io_log is not None:
+                io_log.append(block.encoded_bytes)
+            columns.append(block.read())
+        end = offset + row_count
+        fully_visible = _block_fully_visible(
+            insert_xids, delete_xids, offset, end, snapshot
+        )
+        if len(live) == width and fully_visible:
+            yield from zip(*columns)
+        else:
+            positions = [position for position, _ in live]
+            for i in range(row_count):
+                row_offset = offset + i
+                if fully_visible or snapshot.can_see(
+                    insert_xids[row_offset], delete_xids[row_offset]
+                ):
+                    row = row_template.copy()
+                    for position, col in zip(positions, columns):
+                        row[position] = col[i]
+                    yield tuple(row)
+        offset += row_count
+
+    if not include_tail:
+        return
+    # Open tail buffers (rows loaded but not yet sealed into blocks).
+    tail_offset = sum(block.count for block in blocks_per_chain[0])
+    tails = [(position, chain.tail_values) for position, chain in live]
+    tail_count = len(tails[0][1])
+    for i in range(tail_count):
+        row_offset = tail_offset + i
+        if snapshot.can_see(insert_xids[row_offset], delete_xids[row_offset]):
+            row = [None] * width
+            for position, tail in tails:
+                row[position] = tail[i]
+            yield tuple(row)
+    if stats is not None and tail_count:
+        stats.values_read += tail_count * len(live)
+
+
 def scan_shard_batches(
     shard: TableShard,
     column_names: Sequence[str | None],

@@ -340,35 +340,12 @@ class VolcanoExecutor:
                 )
                 right = self._one_copy(node.right, right)
         else:
-            redistribute_left = strategy in (
-                JoinDistribution.DS_DIST_BOTH,
-            ) or (
-                strategy is JoinDistribution.DS_DIST_INNER and not node.build_right
-            ) or (
-                strategy is JoinDistribution.DS_DIST_OUTER and node.build_right
-            )
-            redistribute_right = strategy in (
-                JoinDistribution.DS_DIST_BOTH,
-            ) or (
-                strategy is JoinDistribution.DS_DIST_INNER and node.build_right
-            ) or (
-                strategy is JoinDistribution.DS_DIST_OUTER and not node.build_right
-            )
+            redistribute_left, redistribute_right = redistributed_sides(node)
             lk, rk = node.keys[0]
             if redistribute_left:
-                left = exchange.shuffle(
-                    self._one_copy(node.left, left),
-                    lambda row: row[lk],
-                    self._ctx,
-                    left_width,
-                )
+                left = self._shuffle_side(node.left, left, lk, left_width)
             if redistribute_right:
-                right = exchange.shuffle(
-                    self._one_copy(node.right, right),
-                    lambda row: row[rk],
-                    self._ctx,
-                    right_width,
-                )
+                right = self._shuffle_side(node.right, right, rk, right_width)
 
         residual = _compile(node.residual) if node.residual is not None else None
         left_null = (None,) * len(node.left.output)
@@ -389,6 +366,18 @@ class VolcanoExecutor:
                 )
             )
         return out
+
+    def _shuffle_side(
+        self, side: PhysicalNode, per_slice: PerSlice, key_index: int, width: int
+    ) -> PerSlice:
+        """Hash-redistribute one join input. The parallel executor
+        overrides this to consume worker-side pre-partitioned buckets."""
+        return exchange.shuffle(
+            self._one_copy(side, per_slice),
+            lambda row: row[key_index],
+            self._ctx,
+            width,
+        )
 
     def _join_slice(
         self,
@@ -626,6 +615,32 @@ class VolcanoExecutor:
         start = node.offset or 0
         end = start + node.limit if node.limit is not None else None
         return [rows[start:end]] + [[] for _ in range(self._ctx.slice_count - 1)]
+
+
+def redistributed_sides(node: PhysicalHashJoin) -> tuple[bool, bool]:
+    """Which inputs of a hash join get hash-shuffled under its strategy.
+
+    (False, False) for co-located and broadcast joins. Shared with the
+    parallel executor, which must know before running a side whether its
+    rows will be redistributed (to push the bucketing into workers).
+    """
+    strategy = node.strategy
+    if strategy in (
+        JoinDistribution.DS_DIST_NONE,
+        JoinDistribution.DS_BCAST_INNER,
+    ):
+        return False, False
+    redistribute_left = strategy is JoinDistribution.DS_DIST_BOTH or (
+        strategy is JoinDistribution.DS_DIST_INNER and not node.build_right
+    ) or (
+        strategy is JoinDistribution.DS_DIST_OUTER and node.build_right
+    )
+    redistribute_right = strategy is JoinDistribution.DS_DIST_BOTH or (
+        strategy is JoinDistribution.DS_DIST_INNER and node.build_right
+    ) or (
+        strategy is JoinDistribution.DS_DIST_OUTER and not node.build_right
+    )
+    return redistribute_left, redistribute_right
 
 
 def scan_column_names(node: PhysicalScan) -> list:

@@ -1,0 +1,326 @@
+"""Per-slice worker pools and the morsel tasks they execute.
+
+The parallel executor (:mod:`repro.exec.parallel`) splits each eligible
+scan pipeline into *morsels* — contiguous block ranges of one shard —
+and runs them on a pool of workers. On Linux the pool is a fork-based
+``ProcessPoolExecutor``: forked children inherit the leader's in-memory
+slice stores through :data:`_SLICES` (a module-level registry populated
+before the fork), so a task ships only a small :class:`MorselTask` spec
+and a result ships only partial-aggregate states or a bounded row list.
+Where fork is unavailable a ``ThreadPoolExecutor`` runs the same tasks
+against shared memory.
+
+Staleness: a forked child sees the memory image of fork time. Every
+storage mutation bumps :mod:`repro.storage.epoch`, and
+:class:`PoolManager` re-forks whenever the epoch moved, so workers never
+scan stale blocks. Thread pools share memory and never go stale.
+
+Determinism: workers compute no side effects on shared engine state —
+no disk accounting, no fault draws, no interconnect records. Disk reads
+are logged per chain block into :attr:`MorselResult.io_log` and replayed
+by the leader in morsel order; crash decisions are drawn on the leader
+at dispatch time. Result merge order is fixed by morsel index, so the
+output is bit-identical to a serial run regardless of OS scheduling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.engine.transactions import Snapshot
+from repro.errors import ExecutionError, WorkerCrashError
+from repro.exec.scan import scan_shard_morsel
+from repro.sql import ast
+from repro.sql.expressions import compile_expression
+from repro.storage import epoch
+from repro.storage.chain import ScanStats
+
+
+def _no_unresolved(ref: ast.ColumnRef) -> int:
+    raise ExecutionError(f"unresolved column reference {ref.to_sql()!r}")
+
+
+def _compile(expr: ast.Expression):
+    return compile_expression(expr, _no_unresolved)
+
+
+# ---------------------------------------------------------------------------
+# Slice registry (fork-inherited)
+# ---------------------------------------------------------------------------
+
+#: registry id -> that cluster's slice stores, in slice order. Populated
+#: in the leader BEFORE any pool forks so children inherit it; fork-mode
+#: workers resolve MorselTask.registry_id against their inherited copy.
+_SLICES: dict[int, list] = {}
+
+_registry_ids = itertools.count(1)
+
+
+def register_slices(slices: list) -> int:
+    """Register a cluster's slice stores; returns the registry id.
+
+    Bumps the storage epoch: any already-forked pool predates this
+    registration and must not serve tasks that reference it.
+    """
+    registry_id = next(_registry_ids)
+    _SLICES[registry_id] = list(slices)
+    epoch.bump()
+    return registry_id
+
+
+def unregister_slices(registry_id: int) -> None:
+    _SLICES.pop(registry_id, None)
+
+
+# ---------------------------------------------------------------------------
+# Task / result shapes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A fused scan pipeline, self-contained and picklable.
+
+    Expressions travel as AST nodes and are compiled inside the worker
+    (compiled closures don't pickle). ``stages`` are applied bottom-up
+    above the scan's own pushed-down ``filters``; each is ``("filter",
+    condition)`` or ``("project", expressions)``. When ``group_exprs``
+    is not None the pipeline ends in partial aggregation and the result
+    carries per-group states instead of rows; ``aggregates`` pairs each
+    aggregate object with its argument expression (None = COUNT(*)-style).
+    ``partition_slices`` > 0 asks for hash-join build-side partitioning:
+    rows come back pre-bucketed by ``stable_hash(row[partition_key])``
+    into that many destination lists.
+    """
+
+    table: str
+    column_names: tuple
+    zone_predicates: tuple
+    filters: tuple = ()
+    stages: tuple = ()
+    group_exprs: tuple | None = None
+    aggregates: tuple = ()
+    partition_key: int = 0
+    partition_slices: int = 0
+
+
+@dataclass(frozen=True)
+class MorselTask:
+    """One schedulable unit: a block range of one slice's shard."""
+
+    registry_id: int
+    slice_index: int
+    slice_id: str
+    block_start: int
+    block_end: int
+    include_tail: bool
+    pipeline: PipelineSpec
+    snapshot: Snapshot
+    row_ship_limit: int = 0
+    #: Leader-drawn fault decision: the worker raises WorkerCrashError.
+    crash: bool = False
+
+
+@dataclass
+class MorselResult:
+    """What a worker ships back for one morsel."""
+
+    #: Pipeline output rows (row pipelines), or None.
+    rows: list | None = None
+    #: Per-destination-slice row buckets (partition pipelines), or None.
+    buckets: list | None = None
+    #: Per-group partial aggregate states (aggregate pipelines), or None.
+    partial: dict | None = None
+    scan: ScanStats = field(default_factory=ScanStats)
+    #: Encoded bytes per chain-block read, in read order — replayed
+    #: through the leader's disk accounting.
+    io_log: list = field(default_factory=list)
+    #: Rows the raw scan produced (pre-filter; feeds the scan step stat).
+    scanned_rows: int = 0
+    #: Rows emitted after each pipeline stage, in stage order.
+    stage_rows: tuple = ()
+    elapsed_us: int = 0
+    #: Row pipeline exceeded row_ship_limit: everything else is unset and
+    #: the leader re-executes the morsel locally.
+    overflow: bool = False
+
+
+def run_morsel(task: MorselTask, slices: list | None = None) -> MorselResult:
+    """Execute one morsel; runs inside a worker (or inline on the leader).
+
+    Pool workers resolve the slice stores from the fork-inherited
+    registry; the leader's inline path (parallelism 1, crash re-runs,
+    overflow fallbacks) passes its own *slices* directly.
+    """
+    if task.crash:
+        raise WorkerCrashError(task.slice_id, "injected crash")
+    started = time.perf_counter()
+    pipeline = task.pipeline
+    if slices is None:
+        slices = _SLICES.get(task.registry_id)
+    if slices is None:
+        raise ExecutionError(
+            f"worker has no slice registry {task.registry_id} "
+            "(pool predates cluster registration)"
+        )
+    store = slices[task.slice_index]
+    shard = store.shard(pipeline.table)
+    stats = ScanStats()
+    io_log: list[int] = []
+    rows = list(
+        scan_shard_morsel(
+            shard,
+            list(pipeline.column_names),
+            list(pipeline.zone_predicates),
+            task.snapshot,
+            task.block_start,
+            task.block_end,
+            task.include_tail,
+            stats,
+            io_log,
+        )
+    )
+    scanned = len(rows)
+    for condition in pipeline.filters:
+        predicate = _compile(condition)
+        rows = [row for row in rows if predicate(row) is True]
+    stage_rows = []
+    for kind, payload in pipeline.stages:
+        if kind == "filter":
+            predicate = _compile(payload)
+            rows = [row for row in rows if predicate(row) is True]
+        else:  # project
+            fns = [_compile(expr) for expr in payload]
+            rows = [tuple(fn(row) for fn in fns) for row in rows]
+        stage_rows.append(len(rows))
+
+    result = MorselResult(
+        scan=stats,
+        io_log=io_log,
+        scanned_rows=scanned,
+        stage_rows=tuple(stage_rows),
+    )
+    if pipeline.group_exprs is not None:
+        group_fns = [_compile(expr) for expr in pipeline.group_exprs]
+        arg_fns = [
+            _compile(arg) if arg is not None else None
+            for _, arg in pipeline.aggregates
+        ]
+        aggregates = [agg for agg, _ in pipeline.aggregates]
+        states: dict[tuple, list] = {}
+        for row in rows:
+            key = tuple(fn(row) for fn in group_fns)
+            entry = states.get(key)
+            if entry is None:
+                entry = [agg.create() for agg in aggregates]
+                states[key] = entry
+            for i, agg in enumerate(aggregates):
+                fn = arg_fns[i]
+                entry[i] = agg.accumulate(entry[i], 1 if fn is None else fn(row))
+        result.partial = states
+    elif pipeline.partition_slices:
+        from repro.distribution.hashing import stable_hash
+
+        if task.row_ship_limit and len(rows) > task.row_ship_limit:
+            result.overflow = True
+        else:
+            buckets: list[list] = [[] for _ in range(pipeline.partition_slices)]
+            key = pipeline.partition_key
+            for row in rows:
+                buckets[stable_hash(row[key]) % pipeline.partition_slices].append(
+                    row
+                )
+            result.buckets = buckets
+    else:
+        if task.row_ship_limit and len(rows) > task.row_ship_limit:
+            result.overflow = True
+        else:
+            result.rows = rows
+    result.elapsed_us = int((time.perf_counter() - started) * 1_000_000)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Pools
+# ---------------------------------------------------------------------------
+
+def default_mode() -> str:
+    """"fork" where the platform supports it, else "thread"."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "thread"
+
+
+class WorkerPool:
+    """A fixed-size pool of morsel workers (fork processes or threads)."""
+
+    def __init__(self, workers: int, mode: str):
+        if workers < 1:
+            raise ValueError(f"pool needs at least one worker, got {workers}")
+        if mode not in ("fork", "thread"):
+            raise ValueError(f"unknown pool mode {mode!r}")
+        self.workers = workers
+        self.mode = mode
+        #: Storage epoch the pool's memory image reflects (fork mode).
+        self.epoch = epoch.current()
+        if mode == "fork":
+            context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="morsel"
+            )
+
+    def submit(self, task: MorselTask) -> Future:
+        return self._pool.submit(run_morsel, task)
+
+    def stale(self) -> bool:
+        """Fork pools go stale when storage mutated after the fork."""
+        return self.mode == "fork" and self.epoch != epoch.current()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+class PoolManager:
+    """Caches one live pool per cluster; re-forks on staleness.
+
+    Owned by the cluster so consecutive queries reuse warm workers; a
+    storage mutation between queries just costs one re-fork (cheap on
+    Linux: copy-on-write, no state to ship).
+    """
+
+    def __init__(self) -> None:
+        self._pool: WorkerPool | None = None
+        self._lock = threading.Lock()
+
+    def pool(self, workers: int, mode: str) -> WorkerPool:
+        with self._lock:
+            current = self._pool
+            if (
+                current is not None
+                and current.workers == workers
+                and current.mode == mode
+                and not current.stale()
+            ):
+                return current
+            if current is not None:
+                current.close()
+            self._pool = WorkerPool(workers, mode)
+            return self._pool
+
+    def invalidate(self) -> None:
+        """Drop the cached pool (e.g. after a BrokenProcessPool)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+    def close(self) -> None:
+        self.invalidate()

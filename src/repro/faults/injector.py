@@ -178,6 +178,20 @@ class FaultInjector:
     def mark_node_recovered(self, node_id: str) -> None:
         self._recovered_nodes.add(node_id)
 
+    # ---- parallel workers --------------------------------------------------
+
+    def worker_crash(self, slice_id: str) -> bool:
+        """Consulted by the parallel executor's leader once per dispatched
+        morsel; True means that morsel's worker must die. The draw happens
+        on the leader (one shared "worker" stream, in dispatch order) so
+        the fault sequence is deterministic regardless of how the OS
+        schedules the actual worker processes. The crash itself is logged
+        by the executor when the worker's death is observed."""
+        for spec in self._active(FaultKind.WORKER_CRASH, slice_id):
+            if self._stream("worker").random() < spec.rate:
+                return True
+        return False
+
     # ---- one-shot firing for scheduled point faults ------------------------
 
     def fire_once(self, spec: FaultSpec, detail: str = "") -> bool:

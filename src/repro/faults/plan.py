@@ -26,6 +26,7 @@ class FaultKind(enum.Enum):
     DISK_MEDIA_WINDOW = "disk_media_window"
     BLOCK_BITFLIP = "block_bitflip"
     NODE_CRASH = "node_crash"
+    WORKER_CRASH = "worker_crash"
 
 
 #: Kinds that are active over a [at_s, until_s) window rather than firing once.
@@ -36,6 +37,7 @@ WINDOW_KINDS = frozenset(
         FaultKind.S3_SLOW_WINDOW,
         FaultKind.EC2_CAPACITY_WINDOW,
         FaultKind.DISK_MEDIA_WINDOW,
+        FaultKind.WORKER_CRASH,
     }
 )
 
@@ -181,3 +183,23 @@ class FaultPlan:
         """Node crash armed at *at_s*: the next query execution that touches
         the node observes the failure."""
         return self.add(FaultSpec(FaultKind.NODE_CRASH, at_s, target=node_id))
+
+    def worker_crashes(
+        self,
+        at_s: float = 0.0,
+        until_s: float = math.inf,
+        rate: float = 1.0,
+        slice_id: str = "",
+    ) -> "FaultPlan":
+        """Window of parallel-worker crashes: each dispatched morsel on the
+        targeted (or any) slice dies independently with *rate*; the parallel
+        executor re-runs dead morsels serially on the leader."""
+        return self.add(
+            FaultSpec(
+                FaultKind.WORKER_CRASH,
+                at_s,
+                until_s,
+                target=slice_id,
+                rate=rate,
+            )
+        )

@@ -91,6 +91,13 @@ class PhysicalNode:
     #: engine converts batches to rows at these boundaries.
     batch_capable: bool = False
 
+    #: Whether the parallel executor can push this node's subtree down to
+    #: per-slice workers as one fused morsel pipeline. Set by
+    #: :func:`mark_parallel_eligible`: true for scan-rooted chains of
+    #: Scan / Filter / Project (an Aggregate directly above such a chain
+    #: additionally pushes partial aggregation into the workers).
+    parallel_eligible: bool = False
+
     @property
     def children(self) -> list["PhysicalNode"]:
         return []
@@ -361,6 +368,7 @@ class PhysicalPlanner:
         pushed = _push_filters(logical)
         physical = self._convert(pushed)
         compute_live_columns(physical)
+        mark_parallel_eligible(physical)
         return physical
 
     # ---- conversion -------------------------------------------------------
@@ -964,6 +972,28 @@ def _live(node: PhysicalNode, needed: set[int]) -> None:
         return
     for child in node.children:  # pragma: no cover - future node kinds
         _live(child, set(range(len(child.output))))
+
+
+# ---------------------------------------------------------------------------
+# Parallel-eligibility marking
+# ---------------------------------------------------------------------------
+
+def mark_parallel_eligible(root: PhysicalNode) -> None:
+    """Annotate subtrees the parallel executor can ship to slice workers.
+
+    Eligible means the subtree is a pure per-slice pipeline: a Scan
+    optionally topped by Filter / Project nodes. Such a chain reads one
+    shard's blocks and touches no other slice's data, so it can run as
+    independent block-range morsels. Aggregates are not marked themselves
+    — the executor checks ``node.child.parallel_eligible`` and pushes
+    partial aggregation into the same worker pipeline when it holds.
+    """
+    for child in root.children:
+        mark_parallel_eligible(child)
+    if isinstance(root, PhysicalScan):
+        root.parallel_eligible = True
+    elif isinstance(root, (PhysicalFilter, PhysicalProject)):
+        root.parallel_eligible = root.child.parallel_eligible
 
 
 # ---------------------------------------------------------------------------

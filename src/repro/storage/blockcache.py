@@ -24,8 +24,11 @@ Counters (hits / misses / evictions / invalidations) feed the
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
+
+from repro.storage import epoch
 
 #: Every live cache instance; Block.corrupt() and chain rewrites reach
 #: all of them without holding strong references.
@@ -36,7 +39,14 @@ DEFAULT_CAPACITY = 4096
 
 
 def invalidate_everywhere(block_id: str) -> None:
-    """Drop *block_id* from every live cache (bit-flips, rewrites)."""
+    """Drop *block_id* from every live cache (bit-flips, rewrites).
+
+    Every caller of this function is rewriting block content in place
+    (corruption, scrub repair, adopt_blocks, VACUUM), which also makes
+    any forked worker-pool memory image stale — so this doubles as the
+    storage-epoch bump for those mutation paths.
+    """
+    epoch.bump()
     for cache in list(_instances):
         cache.invalidate(block_id)
 
@@ -49,6 +59,9 @@ class BlockDecodeCache:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[str, list]" = OrderedDict()
+        #: Guards LRU mutation: the threaded parallel fallback shares one
+        #: cache across workers, and OrderedDict reordering is not atomic.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -65,26 +78,35 @@ class BlockDecodeCache:
         :meth:`Block.read_vector` and the resulting list is cached; the
         returned list is shared — callers must never mutate it.
         """
-        values = self._entries.get(block.block_id)
-        if values is not None:
-            self._entries.move_to_end(block.block_id)
-            self.hits += 1
-            return values, True
-        self.misses += 1
+        with self._lock:
+            values = self._entries.get(block.block_id)
+            if values is not None:
+                self._entries.move_to_end(block.block_id)
+                self.hits += 1
+                return values, True
+            self.misses += 1
+        # Decode outside the lock: read_vector() is the expensive part and
+        # is safe to race (worst case two threads decode the same block).
         values = block.read_vector()
-        self._entries[block.block_id] = values
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            existing = self._entries.get(block.block_id)
+            if existing is not None:
+                return existing, False
+            self._entries[block.block_id] = values
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return values, False
 
     def invalidate(self, block_id: str) -> bool:
         """Drop one entry; True when it was present."""
-        if self._entries.pop(block_id, None) is not None:
-            self.invalidations += 1
-            return True
-        return False
+        with self._lock:
+            if self._entries.pop(block_id, None) is not None:
+                self.invalidations += 1
+                return True
+            return False
 
     def clear(self) -> None:
         """Drop all entries (counters keep accumulating)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,36 @@
+"""A process-global storage version counter.
+
+Fork-based parallel workers (see :mod:`repro.exec.workers`) execute
+against the memory image they inherited when the worker pool forked. Any
+mutation of slice storage after that fork — appended rows, tombstones,
+sealed tails, VACUUM rewrites, scrub repairs, injected bit-flips — makes
+that image stale, so every storage mutation path bumps this counter and
+the pool manager re-forks when the counter no longer matches the value
+the pool was created at.
+
+The counter is deliberately global (not per cluster): it is a cheap
+monotonic "anything changed anywhere" signal, and a spurious re-fork is
+only a small cost while a missed one is a correctness bug.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+_counter = itertools.count(1)
+_current = 0
+_lock = threading.Lock()
+
+
+def bump() -> int:
+    """Record a storage mutation; returns the new version."""
+    global _current
+    with _lock:
+        _current = next(_counter)
+        return _current
+
+
+def current() -> int:
+    """The version of the most recent storage mutation."""
+    return _current

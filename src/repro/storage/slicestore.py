@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 from repro.compression.codecs import Codec
 from repro.datatypes.types import SqlType
 from repro.errors import StorageError
+from repro.storage import epoch
 from repro.storage.block import BLOCK_CAPACITY_DEFAULT
 from repro.storage.chain import ColumnChain
 from repro.storage.disk import SimulatedDisk
@@ -80,6 +81,7 @@ class TableShard:
             self.chains[name].append(buffer)
         self.insert_xids.extend([xid] * count)
         self.delete_xids.extend([None] * count)
+        epoch.bump()
         return count
 
     def append_columns(
@@ -99,12 +101,14 @@ class TableShard:
             self.chains[name].append(vector)
         self.insert_xids.extend([xid] * count)
         self.delete_xids.extend([None] * count)
+        epoch.bump()
         return count
 
     def seal(self) -> None:
         """Seal the open tail block of every chain (end of a load)."""
         for chain in self.chains.values():
             chain.seal()
+        epoch.bump()
 
     def mark_deleted(self, offsets: Iterable[int], xid: int) -> int:
         """Tombstone rows at *offsets* as deleted by *xid*."""
@@ -113,6 +117,8 @@ class TableShard:
             if self.delete_xids[offset] is None:
                 self.delete_xids[offset] = xid
                 n += 1
+        if n:
+            epoch.bump()
         return n
 
     def chain(self, column: str) -> ColumnChain:
@@ -136,6 +142,7 @@ class TableShard:
         self.insert_xids = [xid] * len(order)
         self.delete_xids = [None] * len(order)
         self.sorted_prefix = len(order)
+        epoch.bump()
 
 
 @dataclass
@@ -161,12 +168,14 @@ class SliceStorage:
             )
         shard = TableShard(table_name, columns, codecs, self.block_capacity)
         self._shards[table_name] = shard
+        epoch.bump()
         return shard
 
     def drop_shard(self, table_name: str) -> None:
         shard = self._shards.pop(table_name, None)
         if shard is not None:
             self.disk.record_delete(shard.encoded_bytes)
+            epoch.bump()
 
     def shard(self, table_name: str) -> TableShard:
         shard = self._shards.get(table_name)

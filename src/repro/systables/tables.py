@@ -15,6 +15,8 @@ and executors call, and materializes rows on demand:
   from slice storage (snapshot: never stored).
 - ``stl_fault_events`` — the fault injector's event log as a table,
   computed live from the attached injector.
+- ``stv_slice_exec`` — per-slice worker accounting of the most recent
+  parallel-executor query (snapshot: replaced each parallel run).
 
 Timestamps come from a bound :class:`~repro.cloud.simclock.SimClock` when
 the control plane manages the cluster (deterministic), and from wall
@@ -56,6 +58,19 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("blocks_skipped", BIGINT),
         ("cache_hits", BIGINT),
         ("cache_misses", BIGINT),
+        ("workers", INTEGER),
+        ("morsels", INTEGER),
+    ],
+    "stv_slice_exec": [
+        ("query", INTEGER),
+        ("slice", varchar_type(32)),
+        ("node", varchar_type(32)),
+        ("mode", varchar_type(16)),        # 'fork' | 'thread' | 'serial'
+        ("morsels", INTEGER),
+        ("rows", BIGINT),
+        ("scanned_rows", BIGINT),
+        ("elapsed_us", BIGINT),
+        ("crashes", INTEGER),
     ],
     "stv_wlm_query_state": [
         ("query", INTEGER),
@@ -109,6 +124,7 @@ _STORED_TABLES = frozenset(
         "svl_query_summary",
         "stv_wlm_query_state",
         "stl_wlm_rule_action",
+        "stv_slice_exec",
     )
 )
 
@@ -208,8 +224,32 @@ class SystemTables:
                     op.blocks_skipped,
                     op.cache_hits,
                     op.cache_misses,
+                    op.workers,
+                    op.morsels,
                 ),
             )
+
+    def record_slice_exec(self, query_id: int, slice_execs) -> None:
+        """Snapshot per-slice worker accounting of the latest parallel
+        query (stv_slice_exec; *slice_execs* are
+        :class:`repro.exec.context.SliceExec` objects)."""
+        self.store.replace(
+            "stv_slice_exec",
+            [
+                (
+                    query_id,
+                    s.slice_id,
+                    s.node_id,
+                    s.mode,
+                    s.morsels,
+                    s.rows,
+                    s.scanned_rows,
+                    s.elapsed_us,
+                    s.crashes,
+                )
+                for s in slice_execs
+            ],
+        )
 
     # ---- recording: WLM -------------------------------------------------------
 

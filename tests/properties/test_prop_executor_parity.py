@@ -1,13 +1,19 @@
-"""Property: volcano, compiled and vectorized agree on generated queries.
+"""Property: volcano, compiled, vectorized and parallel agree on
+generated queries.
 
 A NULL-heavy fact/dimension pair is loaded once into a multi-slice,
 small-block cluster; hypothesis then generates SELECTs combining filters,
 joins, aggregates, sorts and limits, and every query is run through all
-three executors. Results must match row-for-row (sorted, floats rounded
+four executors. Results must match row-for-row (sorted, floats rounded
 to soak up non-associative summation order) and the scan layer must skip
 exactly the same blocks — the vectorized batch path may change *how*
 blocks are decoded (cache, whole-vector reads) but never *which* blocks a
-query touches.
+query touches, and the parallel engine's morsel split must neither read
+extra blocks nor lose the skips.
+
+The parallel engine additionally runs degenerate (parallelism 1, inline)
+and adversarial (every-morsel worker-crash injection, forcing serial
+re-execution of each morsel) variants, which must also match.
 """
 
 import re
@@ -15,8 +21,10 @@ import re
 from hypothesis import given, settings, strategies as st
 
 from repro import Cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 
-EXECUTORS = ("volcano", "compiled", "vectorized")
+EXECUTORS = ("volcano", "compiled", "vectorized", "parallel")
 
 
 def _build():
@@ -43,6 +51,19 @@ def _build():
 
 _CLUSTER = _build()
 _SESSIONS = {name: _CLUSTER.connect(executor=name) for name in EXECUTORS}
+
+# Degenerate and adversarial parallel variants: parallelism 1 (morsels
+# run inline on the leader) and a cluster where every dispatched morsel's
+# worker crashes, so each one is recovered by serial re-execution.
+_SESSIONS["parallel-1"] = _CLUSTER.connect(executor="parallel", parallelism=1)
+_CRASH_CLUSTER = _build()
+_CRASH_CLUSTER.attach_faults(
+    FaultInjector(FaultPlan(seed=11).worker_crashes(rate=1.0))
+)
+_SESSIONS["parallel-crashy"] = _CRASH_CLUSTER.connect(
+    executor="parallel", parallelism=2
+)
+_VARIANTS = tuple(_SESSIONS)
 
 
 def normalize(rows):
@@ -118,13 +139,14 @@ def queries(draw):
 
 @given(queries())
 @settings(max_examples=60, deadline=None)
-def test_three_way_parity(sql):
-    results = {name: _SESSIONS[name].execute(sql) for name in EXECUTORS}
+def test_four_way_parity(sql):
+    results = {name: _SESSIONS[name].execute(sql) for name in _VARIANTS}
     reference = normalize(results["volcano"].rows)
-    for name in ("compiled", "vectorized"):
-        assert normalize(results[name].rows) == reference, (name, sql)
+    for name in _VARIANTS:
+        if name != "volcano":
+            assert normalize(results[name].rows) == reference, (name, sql)
     skipped = {
-        name: results[name].stats.scan.blocks_skipped for name in EXECUTORS
+        name: results[name].stats.scan.blocks_skipped for name in _VARIANTS
     }
     assert len(set(skipped.values())) == 1, (skipped, sql)
 
@@ -133,7 +155,7 @@ def test_three_way_parity(sql):
 @settings(max_examples=30, deadline=None)
 def test_scan_row_and_block_accounting_matches(pred):
     sql = f"SELECT count(*) FROM t WHERE {pred}"
-    results = [_SESSIONS[name].execute(sql) for name in EXECUTORS]
+    results = [_SESSIONS[name].execute(sql) for name in _VARIANTS]
     assert len({r.rows[0][0] for r in results}) == 1
     assert len({r.stats.scan.blocks_read for r in results}) == 1
     assert len({r.stats.scan.blocks_total for r in results}) == 1

@@ -1,0 +1,228 @@
+"""The parallel per-slice executor: morsels, pools, recovery, telemetry."""
+
+import pytest
+
+from repro import Cluster
+from repro.exec import workers
+from repro.exec.scan import shard_block_count
+from repro.exec.workers import (
+    MorselTask,
+    PipelineSpec,
+    PoolManager,
+    WorkerPool,
+    run_morsel,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.storage import epoch
+
+
+def _load(cluster, rows=300):
+    s = cluster.connect()
+    s.execute("CREATE TABLE t (a int, b int) DISTKEY(a)")
+    s.execute(
+        "INSERT INTO t VALUES "
+        + ",".join(f"({i}, {i % 7})" for i in range(rows))
+    )
+    return s
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(node_count=2, slices_per_node=2, block_capacity=16)
+    _load(c)
+    yield c
+    c.close()
+
+
+def _spec(scan_filters=()):
+    return PipelineSpec(
+        table="t", column_names=["a", "b"], zone_predicates=[],
+        filters=tuple(scan_filters),
+    )
+
+
+def _tasks_for(cluster, spec, morsel_blocks=2, row_ship_limit=0):
+    """Morselize table t by hand, mirroring the executor's split."""
+    tasks = []
+    snapshot = cluster.transactions.snapshot_latest()
+    for index, store in enumerate(cluster.slice_stores):
+        blocks = shard_block_count(store.shard("t"))
+        starts = list(range(0, blocks, morsel_blocks)) or [0]
+        for j, start in enumerate(starts):
+            tasks.append(
+                MorselTask(
+                    registry_id=cluster.worker_registry_id,
+                    slice_index=index,
+                    slice_id=store.slice_id,
+                    block_start=start,
+                    block_end=min(start + morsel_blocks, blocks),
+                    include_tail=(j == len(starts) - 1),
+                    pipeline=spec,
+                    snapshot=snapshot,
+                    row_ship_limit=row_ship_limit,
+                )
+            )
+    return tasks
+
+
+class TestMorsels:
+    def test_concatenated_morsels_reproduce_the_serial_scan(self, cluster):
+        """Every row exactly once, in serial scan order, however the
+        block ranges are cut."""
+        for quantum in (1, 2, 3, 100):
+            rows = []
+            for task in _tasks_for(cluster, _spec(), morsel_blocks=quantum):
+                rows.extend(run_morsel(task, cluster.slice_stores).rows)
+            assert sorted(rows) == [(i, i % 7) for i in range(300)]
+
+    def test_morsel_scan_stats_sum_to_the_serial_scan(self, cluster):
+        serial = cluster.connect(executor="volcano")
+        want = serial.execute("SELECT a, b FROM t").stats.scan
+        got_blocks = got_values = 0
+        for task in _tasks_for(cluster, _spec()):
+            result = run_morsel(task, cluster.slice_stores)
+            got_blocks += result.scan.blocks_read
+            got_values += result.scan.values_read
+        assert got_blocks == want.blocks_read
+        assert got_values == want.values_read
+
+    def test_overflow_flags_instead_of_shipping(self, cluster):
+        task = _tasks_for(cluster, _spec(), row_ship_limit=3)[0]
+        result = run_morsel(task, cluster.slice_stores)
+        assert result.overflow and result.rows is None
+
+    def test_worker_registry_resolves_tasks_without_explicit_slices(
+        self, cluster
+    ):
+        task = _tasks_for(cluster, _spec())[0]
+        assert run_morsel(task).rows == run_morsel(
+            task, cluster.slice_stores
+        ).rows
+
+
+class TestPools:
+    def test_fork_pool_goes_stale_when_storage_mutates(self, cluster):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("platform has no fork")
+        pool = WorkerPool(2, "fork")
+        try:
+            assert not pool.stale()
+            epoch.bump()
+            assert pool.stale()
+        finally:
+            pool.close()
+
+    def test_thread_pool_never_goes_stale(self):
+        pool = WorkerPool(2, "thread")
+        try:
+            epoch.bump()
+            assert not pool.stale()
+        finally:
+            pool.close()
+
+    def test_manager_reuses_then_replaces_on_mutation(self):
+        manager = PoolManager()
+        try:
+            first = manager.pool(2, "thread")
+            assert manager.pool(2, "thread") is first
+            assert manager.pool(3, "thread") is not first
+        finally:
+            manager.close()
+
+    def test_insert_between_queries_refreshes_fork_workers(self, cluster):
+        """A forked worker must see rows loaded after the fork."""
+        mode = workers.default_mode()
+        s = cluster.connect(executor="parallel", parallelism=2, pool_mode=mode)
+        assert s.execute("SELECT count(*) FROM t").scalar() == 300
+        s.execute("INSERT INTO t VALUES (1000, 1), (1001, 2)")
+        assert s.execute("SELECT count(*) FROM t").scalar() == 302
+
+
+class TestRecovery:
+    def test_injected_crashes_recover_and_are_logged(self, cluster):
+        injector = FaultInjector(FaultPlan(seed=3).worker_crashes(rate=1.0))
+        cluster.attach_faults(injector)
+        s = cluster.connect(executor="parallel", parallelism=2)
+        assert s.execute("SELECT sum(a) FROM t").scalar() == sum(range(300))
+        kinds = {event.kind for event in injector.log}
+        assert "worker_crash" in kinds
+        assert "recovery:morsel_rerun" in kinds
+
+    def test_crash_counts_reach_stv_slice_exec(self, cluster):
+        injector = FaultInjector(FaultPlan(seed=3).worker_crashes(rate=1.0))
+        cluster.attach_faults(injector)
+        s = cluster.connect(executor="parallel", parallelism=2)
+        s.execute("SELECT count(*) FROM t")
+        total = s.execute("SELECT sum(crashes) FROM stv_slice_exec").scalar()
+        morsels = s.execute("SELECT sum(morsels) FROM stv_slice_exec").scalar()
+        assert total == morsels  # rate 1.0: every morsel crashed once
+
+
+class TestTelemetry:
+    def test_stv_slice_exec_covers_every_slice(self, cluster):
+        s = cluster.connect(executor="parallel", parallelism=2)
+        s.execute("SELECT count(*) FROM t")
+        rows = s.execute(
+            "SELECT slice, node, morsels, scanned_rows FROM stv_slice_exec"
+            " ORDER BY slice"
+        ).rows
+        assert [r[0] for r in rows] == [
+            st.slice_id for st in cluster.slice_stores
+        ]
+        assert all(r[0].startswith(r[1]) for r in rows)
+        assert sum(r[3] for r in rows) == 300
+
+    def test_query_summary_reports_workers_and_morsels(self, cluster):
+        s = cluster.connect(executor="parallel", parallelism=3)
+        s.execute("SELECT count(*) FROM t")
+        rows = s.execute(
+            "SELECT operator, workers, morsels FROM svl_query_summary "
+            "WHERE workers > 0"
+        ).rows
+        assert rows and all(r[1] == 3 and r[2] > 0 for r in rows)
+
+    def test_explain_prints_executor_and_degree(self, cluster):
+        s = cluster.connect(executor="parallel", parallelism=4)
+        header = s.execute("EXPLAIN SELECT count(*) FROM t").rows[0][0]
+        assert header == "Executor: parallel (parallelism 4)"
+        serial = cluster.connect(executor="compiled")
+        assert (
+            serial.execute("EXPLAIN SELECT 1").rows[0][0]
+            == "Executor: compiled"
+        )
+
+    def test_explain_analyze_annotates_parallel_steps(self, cluster):
+        s = cluster.connect(executor="parallel", parallelism=2)
+        text = "\n".join(
+            r[0] for r in s.execute("EXPLAIN ANALYZE SELECT sum(a) FROM t").rows
+        )
+        assert "workers=2" in text and "morsels=" in text
+
+
+class TestSessionConfig:
+    def test_set_statements_select_parallel_execution(self, cluster):
+        s = cluster.connect()
+        s.execute("SET executor = parallel")
+        s.execute("SET parallelism = 2")
+        result = s.execute("SELECT count(*) FROM t")
+        assert result.scalar() == 300
+        assert result.stats.slice_exec  # ran through the parallel engine
+
+    def test_bad_parallelism_is_rejected(self, cluster):
+        from repro.errors import AnalysisError
+
+        s = cluster.connect()
+        with pytest.raises(AnalysisError):
+            s.execute("SET parallelism = 0")
+        with pytest.raises(ValueError):
+            cluster.connect(executor="parallel", parallelism=0)
+
+    def test_thread_mode_matches_fork_results(self, cluster):
+        sql = "SELECT b, count(*), sum(a) FROM t GROUP BY b ORDER BY b"
+        want = cluster.connect(executor="volcano").execute(sql).rows
+        for mode in ("serial", "thread", workers.default_mode()):
+            s = cluster.connect(
+                executor="parallel", parallelism=2, pool_mode=mode
+            )
+            assert s.execute(sql).rows == want, mode
