@@ -40,6 +40,16 @@ def _bench_id(request) -> str | None:
 
 
 @pytest.fixture(autouse=True)
+def _result_cache_off(monkeypatch):
+    """Benchmarks measure the execution path, so repeated identical
+    queries must really execute — Redshift's own benchmarking guidance
+    is ``SET enable_result_cache TO off``. Flipping the parameter-group
+    default keeps every bench honest; a12 (the result-cache ablation)
+    turns it back on per session."""
+    monkeypatch.setattr(Cluster, "enable_result_cache_default", False)
+
+
+@pytest.fixture(autouse=True)
 def _bench_json_entry(request):
     """Time every benchmark test and register it in the JSON trajectory."""
     bench = _bench_id(request)

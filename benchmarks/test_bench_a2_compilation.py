@@ -67,24 +67,35 @@ def test_a2_compiled_wins_at_scale(benchmark, reporter):
 def test_a2_fixed_overhead_visible_on_tiny_input(benchmark, reporter):
     cluster = build(50)
     volcano_s, _ = run_timed(cluster, "volcano", repeats=5)
-    compiled_s, compile_cost = run_timed(cluster, "compiled", repeats=5)
+    # The fixed overhead is a *first-execution* cost: the segment cache
+    # reuses the compiled pipeline afterwards ("compiled code ... is
+    # cached", §2), so it must be measured on the cold run.
+    session = cluster.connect("compiled")
+    start = time.perf_counter()
+    cold = session.execute(QUERY)
+    cold_s = time.perf_counter() - start
+    cold_share = cold.stats.compile_seconds / cold_s if cold_s else 0
+    warm_s, warm_compile = run_timed(cluster, "compiled", repeats=5)
     benchmark.pedantic(
         lambda: cluster.connect("compiled").execute(QUERY),
         iterations=1, rounds=1,
     )
-    share = compile_cost / compiled_s if compiled_s else 0
     reporter(
         "a2 — fixed overhead on a 50-row input",
         [
-            f"volcano:  {volcano_s * 1000:6.2f} ms",
-            f"compiled: {compiled_s * 1000:6.2f} ms "
-            f"({share:.0%} of it compile)",
-            "the paper's 'fixed overhead per query' is the dominant cost "
-            "at this scale",
+            f"volcano:        {volcano_s * 1000:6.2f} ms",
+            f"compiled, cold: {cold_s * 1000:6.2f} ms "
+            f"({cold_share:.0%} of it compile)",
+            f"compiled, warm: {warm_s * 1000:6.2f} ms "
+            f"({warm_compile * 1000:.2f} ms compile — segment-cache reuse)",
+            "the paper's 'fixed overhead per query' dominates at this "
+            "scale, until the compiled-object cache removes it",
         ],
     )
-    # The compile cost dominates tiny queries (>20% of runtime).
-    assert share > 0.2
+    # The compile cost dominates the first tiny query (>20% of runtime) —
+    # and the segment cache then eliminates it on repeats.
+    assert cold_share > 0.2
+    assert warm_compile < cold.stats.compile_seconds
 
 
 def test_a2_amortization_curve(benchmark, reporter):

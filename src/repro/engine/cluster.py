@@ -72,6 +72,12 @@ class Cluster:
     slices' storage.
     """
 
+    #: Default for new sessions' ``enable_result_cache`` — the
+    #: parameter-group default in real Redshift. Sessions override it
+    #: with ``SET enable_result_cache``; benchmarks flip it off so
+    #: repeated queries measure execution, not cache lookups.
+    enable_result_cache_default = True
+
     def __init__(
         self,
         node_count: int = 2,
@@ -110,6 +116,21 @@ class Cluster:
         #: repeat block reads from here (see stv_block_cache).
         self.block_cache = BlockDecodeCache()
         self.block_capacity = block_capacity
+        from repro.engine.resultcache import QueryResultCache
+
+        #: Leader-side query result cache: repeat SELECTs over unchanged
+        #: tables return their cached rows without execution (see
+        #: stv_result_cache; per-session SET enable_result_cache).
+        self.result_cache = QueryResultCache()
+        from repro.exec.segmentcache import SegmentCache
+
+        #: Compiled-pipeline fragment cache shared by every session's
+        #: compiled executor (see svl_compile_cache).
+        self.segment_cache = SegmentCache()
+        #: Optional inline admission hook (an
+        #: :class:`~repro.engine.wlm.AdmissionGate`): consulted before a
+        #: SELECT executes, bypassed on result-cache hits.
+        self.wlm_gate = None
         from repro.exec.workers import PoolManager, register_slices
 
         #: Morsel worker pools for the parallel executor: one cached pool
@@ -235,6 +256,10 @@ class Cluster:
         Rows are validated against column types and NOT NULL constraints
         unless the caller already validated them.
         """
+        # The insert funnel: every INSERT/COPY/CTAS/UPDATE lands here, so
+        # this is where the writing transaction learns it touched the
+        # table (commit/rollback re-bump its epoch for the result cache).
+        self.transactions.record_write(xid, table.name)
         dist = table.distribution
         n = self.slice_count
         key_index: int | None = None

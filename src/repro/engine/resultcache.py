@@ -1,0 +1,167 @@
+"""The leader-side query result cache.
+
+Real Redshift grew a leader-node result cache on the same principle as
+its compiled-object cache (paper §2, "compiled code ... is cached"):
+repeat queries over unchanged data should not pay execution again. An
+entry stores the finished row set of one SELECT keyed on
+
+- the normalized SQL text of the (subquery-expanded) query,
+- the bound physical plan's EXPLAIN rendering (plan signature — two
+  textually equal queries planned differently, e.g. after ANALYZE moved
+  statistics, do not share an entry), and
+- the executor kind (a hit must be bit-identical to what *that*
+  executor would recompute; parallel float aggregation may legally
+  re-associate).
+
+Validity is epoch-based, not push-based: the entry records the
+per-table mutation epoch (:mod:`repro.storage.epoch`) of every user
+table the plan scans, captured *before* execution started, and a lookup
+revalidates them. Any mutation path — INSERT/DELETE/VACUUM, scrub
+repair, restore, ``Block.corrupt()``, or a writing transaction's
+commit/rollback — moves an epoch and the entry dies lazily on its next
+lookup. Sessions bypass the cache entirely inside explicit transactions
+and for system-table scans (see ``Session._run_select``).
+
+Counters feed the ``stv_result_cache`` system table and the bench a12
+experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.storage import epoch
+
+#: Default number of cached result sets kept resident.
+DEFAULT_CAPACITY = 256
+
+#: Result sets larger than this many rows are not cached (the copy-out
+#: on a hit would rival re-execution and the memory cost is unbounded).
+DEFAULT_MAX_ROWS = 100_000
+
+
+def result_cache_key(sql: str, plan_signature: str, executor: str) -> str:
+    """The cache key of one (query, plan, executor) combination."""
+    digest = hashlib.sha256()
+    digest.update(sql.encode())
+    digest.update(b"\x00")
+    digest.update(plan_signature.encode())
+    digest.update(b"\x00")
+    digest.update(executor.encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached result set."""
+
+    key: str
+    sql: str
+    executor: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    #: User tables the plan scanned, with the epoch each had before the
+    #: cached execution began. The entry is valid while none has moved.
+    tables: tuple[str, ...]
+    epochs: tuple[int, ...]
+    hits: int = field(default=0)
+
+    def valid(self) -> bool:
+        return all(
+            epoch.table_epoch(table) == stored
+            for table, stored in zip(self.tables, self.epochs)
+        )
+
+
+class QueryResultCache:
+    """LRU of result-cache key -> :class:`CacheEntry`."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        max_rows: int = DEFAULT_MAX_ROWS,
+    ):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.max_rows = max_rows
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> CacheEntry | None:
+        """The valid entry under *key*, or None.
+
+        A present-but-stale entry (some table epoch moved) is dropped
+        here — epoch invalidation is lazy — and counted as both an
+        invalidation and a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if not entry.valid():
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            entry.hits += 1
+            return entry
+
+    def store(
+        self,
+        key: str,
+        sql: str,
+        executor: str,
+        columns: list[str],
+        rows: list[tuple],
+        tables: tuple[str, ...],
+        epochs: tuple[int, ...],
+    ) -> None:
+        """Insert one finished result set.
+
+        *epochs* must be the referenced tables' epochs captured before
+        the execution that produced *rows* began: "valid" then means "no
+        mutation since before we read".
+        """
+        if len(rows) > self.max_rows:
+            return
+        entry = CacheEntry(
+            key=key,
+            sql=sql,
+            executor=executor,
+            columns=tuple(columns),
+            rows=tuple(rows),
+            tables=tables,
+            epochs=epochs,
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stores += 1
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters keep accumulating)."""
+        with self._lock:
+            self._entries.clear()
+
+    def entries(self) -> list[CacheEntry]:
+        """A stable snapshot of the current entries (stv_result_cache)."""
+        with self._lock:
+            return list(self._entries.values())

@@ -48,6 +48,7 @@ from repro.sql import ast
 from repro.sql.expressions import compile_expression, literal_value
 from repro.sql.hll import HyperLogLog
 from repro.sql.parser import parse_statement, parse_statements
+from repro.storage import epoch
 
 
 @dataclass
@@ -126,6 +127,15 @@ class Session:
         self._binder = Binder(cluster.catalog)
         self._planner = PhysicalPlanner(cluster.catalog, cluster.slice_count)
         self._xid: int | None = None  # explicit transaction, if any
+        #: ``SET enable_result_cache``; the cluster's parameter-group
+        #: default (on, as in Redshift) unless overridden per session.
+        self._enable_result_cache = bool(
+            getattr(cluster, "enable_result_cache_default", True)
+        )
+        #: SELECT nesting depth — only the outermost SELECT of a
+        #: statement consults the WLM admission gate (subqueries ride
+        #: their parent's admission).
+        self._select_depth = 0
 
     # ---- public API ---------------------------------------------------------
 
@@ -198,7 +208,11 @@ class Session:
             segment_retries=result.stats.segment_retries if result.stats else 0,
         )
         if result.stats and result.stats.operators:
-            systables.record_query_summary(query_id, result.stats.operators)
+            systables.record_query_summary(
+                query_id,
+                result.stats.operators,
+                result_cache_hit=result.stats.result_cache_hit,
+            )
         if result.stats and result.stats.slice_exec:
             systables.record_slice_exec(query_id, result.stats.slice_exec)
         return result
@@ -297,6 +311,18 @@ class Session:
                 )
             self._parallelism = degree
             return QueryResult(command="SET")
+        if name == "enable_result_cache":
+            value = str(statement.value).lower()
+            if value in ("on", "true", "1"):
+                self._enable_result_cache = True
+            elif value in ("off", "false", "0"):
+                self._enable_result_cache = False
+            else:
+                raise AnalysisError(
+                    "enable_result_cache expects on/off, got "
+                    f"{statement.value!r}"
+                )
+            return QueryResult(command="SET")
         raise AnalysisError(f"unknown session parameter {statement.name!r}")
 
     # ---- SELECT ---------------------------------------------------------------------
@@ -319,6 +345,7 @@ class Session:
             interconnect=Interconnect(),
             fault_injector=self._cluster.fault_injector,
             block_cache=self._cluster.block_cache,
+            segment_cache=self._cluster.segment_cache,
         )
         if self._executor_kind == "parallel":
             ctx.parallel = ParallelConfig(
@@ -331,6 +358,16 @@ class Session:
         return ctx
 
     def _run_select(self, query, xid: int) -> QueryResult:
+        # Depth tracking: subqueries re-enter here recursively, but only
+        # the outermost SELECT of a statement faces WLM admission.
+        top_level = self._select_depth == 0
+        self._select_depth += 1
+        try:
+            return self._select(query, xid, top_level)
+        finally:
+            self._select_depth -= 1
+
+    def _select(self, query, xid: int, top_level: bool) -> QueryResult:
         from repro.sql.subqueries import expand_subqueries
 
         expand_subqueries(
@@ -343,10 +380,48 @@ class Session:
         # System-table scans read from rows materialized once per query
         # (a stable snapshot across retries), not from slice storage.
         system_rows = self._system_scan_rows(physical)
+
+        # Result cache: only autocommit SELECTs over user tables are
+        # eligible. Inside an explicit transaction this session may read
+        # its own uncommitted writes — rows no other query should be
+        # served — and system-table rows have no mutation epochs to
+        # validate against.
+        result_cache = self._cluster.result_cache
+        cache_key: str | None = None
+        sql_text = ""
+        scan_tables: tuple[str, ...] = ()
+        entry_epochs: tuple[int, ...] = ()
+        if (
+            result_cache is not None
+            and self._enable_result_cache
+            and self._xid is None
+            and not system_rows
+        ):
+            from repro.engine.resultcache import result_cache_key
+
+            sql_text = query.to_sql()
+            scan_tables = self._user_scan_tables(physical)
+            cache_key = result_cache_key(
+                sql_text, explain(physical), self._executor_kind
+            )
+            entry = result_cache.lookup(cache_key)
+            if entry is not None:
+                return self._serve_cached(entry, physical, top_level)
+
+        gate = self._cluster.wlm_gate
+        if gate is not None and top_level:
+            gate.admit(sql_text or query.to_sql())
         retries = 0
         while True:
             # Each attempt gets a fresh context: a retried segment restarts
             # with clean scan/network accounting against repaired storage.
+            # Referenced-table epochs are re-captured per attempt for the
+            # same reason — recovery repairs storage (moving epochs)
+            # between attempts, and the stored entry must be validated
+            # against the state the winning attempt actually read.
+            entry_epochs = tuple(
+                epoch.table_epoch(table) for table in scan_tables
+            )
             ctx = self._context(xid)
             ctx.system_rows = system_rows
             ctx.stats.executor = self._executor_kind
@@ -368,6 +443,17 @@ class Session:
         ctx.stats.execute_seconds = time.perf_counter() - start
         ctx.stats.rows_returned = len(rows)
         self._cluster.interconnect.stats.merge(ctx.interconnect.stats)
+        if cache_key is not None:
+            result_cache.store(
+                cache_key,
+                sql_text,
+                self._executor_kind,
+                columns,
+                rows,
+                scan_tables,
+                entry_epochs,
+            )
+            ctx.stats.result_cache_status = "miss"
         return QueryResult(
             columns=columns,
             rows=rows,
@@ -375,6 +461,52 @@ class Session:
             stats=ctx.stats,
             command="SELECT",
         )
+
+    def _serve_cached(self, entry, physical, top_level: bool) -> QueryResult:
+        """Answer a SELECT from the result cache: no execution, and no
+        WLM admission — the gate records a bypass instead."""
+        from repro.exec.context import OperatorStat
+
+        stats = QueryStats()
+        stats.executor = entry.executor
+        stats.plan_text = explain(physical)
+        stats.result_cache_hit = True
+        stats.result_cache_status = "hit"
+        rows = list(entry.rows)
+        stats.rows_returned = len(rows)
+        # One synthetic step (-1 never collides with a plan step, so
+        # EXPLAIN ANALYZE renders every plan line "(never executed)"):
+        # the hit still lands a row in svl_query_summary.
+        stats.operators = [
+            OperatorStat(step=-1, operator="Result Cache", rows=len(rows))
+        ]
+        gate = self._cluster.wlm_gate
+        if gate is not None and top_level:
+            gate.record_bypass(entry.sql)
+        return QueryResult(
+            columns=list(entry.columns),
+            rows=rows,
+            rowcount=len(rows),
+            stats=stats,
+            command="SELECT",
+        )
+
+    def _user_scan_tables(self, plan) -> tuple[str, ...]:
+        """The user tables the physical plan scans, sorted (the result
+        cache entry's invalidation dependencies)."""
+        catalog = self._cluster.catalog
+        names: set[str] = set()
+
+        def walk(node) -> None:
+            if isinstance(node, PhysicalScan) and not catalog.is_system_table(
+                node.table.name
+            ):
+                names.add(node.table.name)
+            for child in node.children:
+                walk(child)
+
+        walk(plan)
+        return tuple(sorted(names))
 
     def _system_scan_rows(self, plan) -> dict[str, list[tuple]]:
         """Materialize provider rows for every system table the plan scans."""
@@ -438,6 +570,15 @@ class Session:
             lines.append(
                 f"Block decode cache: {scan.cache_hits} hits, "
                 f"{scan.cache_misses} misses"
+            )
+        if result.stats.result_cache_status == "hit":
+            lines.append("Result cache: hit (execution skipped)")
+        elif result.stats.result_cache_status == "miss":
+            lines.append("Result cache: miss (result stored)")
+        if result.stats.segment_cache_hits or result.stats.segment_cache_misses:
+            lines.append(
+                f"Segment cache: {result.stats.segment_cache_hits} hits, "
+                f"{result.stats.segment_cache_misses} misses"
             )
         lines.append(
             f"Total runtime: {result.stats.execute_seconds * 1000.0:.3f} ms"
@@ -629,6 +770,9 @@ class Session:
 
     def _delete(self, statement: ast.DeleteStatement, xid: int) -> QueryResult:
         table = self._require_user_table(statement.table, "DELETE")
+        # DELETE never routes through distribute_rows, so register the
+        # write here (commit/rollback re-bump the table's epoch).
+        self._cluster.transactions.record_write(xid, table.name)
         matches = self._matching_offsets(table, statement.where, xid)
         count = 0
         logical_rows = 0
@@ -834,6 +978,7 @@ class Session:
         self, table: TableInfo, xid: int, reclaim: bool = False
     ) -> None:
         """Per-slice sort (and, for VACUUM, dead-row reclamation)."""
+        self._cluster.transactions.record_write(xid, table.name)
         snapshot = self._cluster.transactions.snapshot(xid)
         sort_key = table.sort_key
         for store in self._cluster.slice_stores:

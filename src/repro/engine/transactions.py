@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SerializationError, TransactionError
+from repro.storage import epoch
 
 #: xid used for data created outside any user transaction (bootstrap).
 BOOTSTRAP_XID = 0
@@ -45,6 +46,11 @@ class _Transaction:
     xid: int
     snapshot_committed: frozenset[int]
     deleted_rows: set[tuple[str, str, int]] = field(default_factory=set)
+    #: Tables this transaction wrote (insert/delete/vacuum funnels call
+    #: record_write). Their epochs bump again when the outcome resolves —
+    #: commit makes the rows visible without touching storage, which a
+    #: result-cache entry stored mid-flight would otherwise survive.
+    written_tables: set[str] = field(default_factory=set)
     active: bool = True
 
 
@@ -80,6 +86,22 @@ class TransactionManager:
         """Note that *xid* deleted a row (for conflict detection at commit)."""
         self._require(xid).deleted_rows.add((table, slice_id, offset))
 
+    def record_write(self, xid: int, table: str) -> None:
+        """Note that *xid* wrote *table*, so the table's mutation epoch
+        bumps again when the transaction commits or rolls back.
+
+        The write paths already bump the epoch at write time (forked
+        worker pools must not scan half-written storage), but visibility
+        changes at *resolution* time: a result-cache entry stored while
+        the writer was in flight was computed against a snapshot that
+        excluded its rows, and only the commit-time bump invalidates it.
+        Rollback bumps too — spurious but safe. Writes outside any live
+        transaction (bootstrap loads) are ignored.
+        """
+        txn = self._active.get(xid)
+        if txn is not None:
+            txn.written_tables.add(table)
+
     def commit(self, xid: int) -> None:
         """Commit, failing with SerializationError on write-write conflict."""
         txn = self._require(xid)
@@ -88,6 +110,8 @@ class TransactionManager:
             if winner is not None and winner not in txn.snapshot_committed:
                 txn.active = False
                 del self._active[xid]
+                for table in txn.written_tables:
+                    epoch.bump(table)
                 raise SerializationError(
                     f"transaction {xid} conflicts with concurrent delete of "
                     f"row {key} by transaction {winner}"
@@ -96,12 +120,16 @@ class TransactionManager:
             self._committed_deletes[key] = xid
         self._committed.add(xid)
         del self._active[xid]
+        for table in txn.written_tables:
+            epoch.bump(table)
 
     def rollback(self, xid: int) -> None:
         """Abort: the xid never enters the committed set, so its effects are
         invisible forever."""
-        self._require(xid)
+        txn = self._require(xid)
         del self._active[xid]
+        for table in txn.written_tables:
+            epoch.bump(table)
 
     def snapshot_latest(self) -> Snapshot:
         """A read-only snapshot of everything committed so far (used by

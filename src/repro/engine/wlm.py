@@ -241,3 +241,37 @@ class WorkloadManager:
         """The memory share one running query in this queue gets."""
         config = self.queue(queue_name)
         return config.memory_fraction / config.slots
+
+
+class AdmissionGate:
+    """Inline admission hook on the session's query execution path.
+
+    The :class:`WorkloadManager` above answers sizing questions over
+    traces; this gate is the live seam the leader consults before it
+    actually *executes* a SELECT. Its load-bearing property is what it
+    is **not** asked to do: a result-cache hit returns rows without ever
+    reaching the gate (``record_bypass`` fires instead), so cached
+    queries consume no admission slot — the WLM-bypass behaviour real
+    Redshift gives result-cache hits.
+
+    ``on_admit`` lets tests and control planes attach queueing logic or
+    accounting; the gate itself only counts.
+    """
+
+    def __init__(self, queue: str = "default", on_admit=None):
+        self.queue = queue
+        self._on_admit = on_admit
+        #: Queries that reached execution and took an admission slot.
+        self.admissions = 0
+        #: Queries answered from the result cache without admission.
+        self.bypasses = 0
+
+    def admit(self, label: str = "") -> None:
+        """One query is about to execute (result-cache miss or uncached)."""
+        self.admissions += 1
+        if self._on_admit is not None:
+            self._on_admit(label)
+
+    def record_bypass(self, label: str = "") -> None:
+        """One query was served from the result cache without admission."""
+        self.bypasses += 1

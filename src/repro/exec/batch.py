@@ -26,6 +26,9 @@ UNKNOWN is UNKNOWN, not TRUE) and always takes the fallback.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from typing import Callable
 
 from repro.errors import ExecutionError
@@ -117,10 +120,72 @@ def _comparable_literal(expr: ast.Expression) -> bool:
     return isinstance(expr, ast.Literal) and literal_value(expr) is not None
 
 
+#: Kernel sources with the same text always compile to the same code
+#: object, and everything run-specific (the literal operands) arrives
+#: through the exec environment — so the ``compile()`` step is cached
+#: process-wide by source text (the kernel-level analogue of the
+#: compiled executor's segment cache; feeds svl_compile_cache).
+_KERNEL_CODE_CAPACITY = 512
+
+#: source text -> [code object, hit count]
+_kernel_code: "OrderedDict[str, list]" = OrderedDict()
+_kernel_lock = threading.Lock()
+
+
+class _KernelCacheStats:
+    """Process-wide kernel compile-cache counters."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+KERNEL_CACHE_STATS = _KernelCacheStats()
+
+
+def _compile_kernel(source: str):
+    with _kernel_lock:
+        entry = _kernel_code.get(source)
+        if entry is not None:
+            _kernel_code.move_to_end(source)
+            entry[1] += 1
+            KERNEL_CACHE_STATS.hits += 1
+            return entry[0]
+        KERNEL_CACHE_STATS.misses += 1
+    code = compile(source, "<batch-kernel>", "exec")
+    with _kernel_lock:
+        _kernel_code[source] = [code, 0]
+        if len(_kernel_code) > _KERNEL_CODE_CAPACITY:
+            _kernel_code.popitem(last=False)
+            KERNEL_CACHE_STATS.evictions += 1
+    return code
+
+
+def kernel_cache_rows() -> list[tuple]:
+    """(signature, hits) per cached kernel source (svl_compile_cache)."""
+    with _kernel_lock:
+        return [
+            (hashlib.sha256(source.encode()).hexdigest(), entry[1])
+            for source, entry in _kernel_code.items()
+        ]
+
+
+def clear_kernel_cache() -> None:
+    """Drop cached kernel code objects (counters keep accumulating)."""
+    with _kernel_lock:
+        _kernel_code.clear()
+
+
 def _build(source: str, env: dict) -> Callable:
-    """Compile one kernel function from generated source."""
+    """Compile one kernel function from generated source.
+
+    The expensive ``compile()`` is served from the process-wide code
+    cache; the ``exec`` that binds the (per-call) literal environment is
+    a single cheap ``def``.
+    """
     namespace = dict(env)
-    exec(source, namespace)  # noqa: S102 - same technique as codegen.py
+    exec(_compile_kernel(source), namespace)  # noqa: S102 - as codegen.py
     return namespace["_kernel"]
 
 

@@ -575,12 +575,29 @@ class CompiledExecutor(VolcanoExecutor):
     def _prepare_pipeline(
         self, node: PhysicalNode, mode: str, aggregate: PhysicalAggregate | None
     ) -> tuple[Callable, list[PhysicalHashJoin], dict]:
+        from repro.exec.segmentcache import fragment_signature, pipeline_joins
+
+        cache = self._ctx.segment_cache
         start = time.perf_counter()
+        signature = None
+        if cache is not None:
+            signature = fragment_signature(node, mode, aggregate)
+            entry = cache.lookup(signature)
+            if entry is not None:
+                # Reuse the compiled function; the join *nodes* must come
+                # from the current plan (build sides run per query).
+                joins = pipeline_joins(node)
+                self._ctx.stats.segment_cache_hits += 1
+                self._ctx.stats.compile_seconds += time.perf_counter() - start
+                return entry.fn, joins, dict(entry.env_template)
+            self._ctx.stats.segment_cache_misses += 1
         compiler = _PipelineCompiler()
         if mode == "aggregate":
             fn = compiler.compile_aggregate(node, aggregate)
         else:
             fn = compiler.compile_collect(node)
+        if cache is not None:
+            cache.store(signature, mode, fn, fn.env_template)
         self._ctx.stats.compile_seconds += time.perf_counter() - start
         return fn, compiler.joins, dict(fn.env_template)
 

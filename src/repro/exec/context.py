@@ -57,6 +57,17 @@ class QueryStats:
     plan_text: str = ""
     #: Segments re-run by the leader after a recoverable fault.
     segment_retries: int = 0
+    #: True when the rows were served from the leader's result cache
+    #: without execution (svl_query_summary.result_cache_hit).
+    result_cache_hit: bool = False
+    #: "hit" | "miss" for cache-eligible SELECTs, "" when the cache was
+    #: bypassed (explicit transaction, system tables, SET off). Drives
+    #: the EXPLAIN ANALYZE annotation.
+    result_cache_status: str = ""
+    #: Compiled-pipeline fragments reused from / inserted into the
+    #: cluster's segment cache by this query (compiled executor only).
+    segment_cache_hits: int = 0
+    segment_cache_misses: int = 0
     #: Per-plan-step counters (feeds svl_query_summary / EXPLAIN ANALYZE).
     #: The compiled executor only reports the steps it actually drives
     #: (fused pipeline interiors run inside generated code).
@@ -120,6 +131,9 @@ class ExecutionContext:
     #: Cluster-wide decoded-block cache consumed by the vectorized
     #: executor's batch scans; None disables caching.
     block_cache: object = None
+    #: Cluster-wide compiled-segment cache consulted by the compiled
+    #: executor's pipeline codegen; None disables reuse.
+    segment_cache: object = None
     #: Parallel-executor configuration; None for serial executors.
     parallel: "ParallelConfig | None" = None
 

@@ -313,8 +313,9 @@ class ParallelExecutor(VolcanoExecutor):
                 results[i] = self._run_or_recover(i, task)
         else:
             manager = self._cfg.pool_manager
+            scanned = {task.pipeline.table for task in prepared}
             try:
-                pool = manager.pool(workers, mode)
+                pool = manager.pool(workers, mode, tables=scanned)
                 futures = [pool.submit(task) for task in prepared]
             except (BrokenProcessPool, OSError):
                 manager.invalidate()

@@ -1,0 +1,192 @@
+"""The compiled-segment cache: reusing generated pipelines across queries.
+
+"The use of query compilation adds a fixed overhead per query ...
+compiled code is cached" (paper §2.1). The compiled executor
+(:mod:`repro.exec.codegen`) fuses each pipeline into one generated
+Python function; that function's *source* is fully determined by the
+pipeline's plan-fragment shape — the fused operators, their bound
+expressions (``BoundRef.to_sql()`` is index-qualified, so structural
+equality via SQL text is exact), the join probe metadata, and the
+consumer mode. Two queries whose pipelines share that shape can share
+the compiled function: everything run-specific (output accumulators,
+prebuilt join hash tables, aggregate state factories) enters through the
+per-run environment dict, and the join *nodes* are re-derived from the
+current plan by :func:`pipeline_joins` so build sides execute against
+current storage.
+
+The table a fragment scans is deliberately NOT part of the signature —
+the generated code never names it (rows arrive through ``_src``), so one
+compiled fragment serves every table with the same column layout.
+
+Entries feed the ``svl_compile_cache`` system table; the vectorized
+executor's exec-compiled batch kernels (:mod:`repro.exec.batch`) are the
+second population of that table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ExecutionError
+from repro.plan.physical import (
+    PhysicalAggregate,
+    PhysicalFilter,
+    PhysicalHashJoin,
+    PhysicalNode,
+    PhysicalProject,
+    PhysicalScan,
+)
+
+#: Default number of compiled fragments kept resident.
+DEFAULT_CAPACITY = 256
+
+
+def fragment_signature(
+    node: PhysicalNode, mode: str, aggregate: PhysicalAggregate | None
+) -> str:
+    """A digest identifying the code generated for one pipeline fragment.
+
+    Serializes exactly the plan properties ``_PipelineCompiler`` consults
+    while emitting source: fused filters/projections (as bound SQL text),
+    each fused join's probe-side metadata, and — in aggregate mode — the
+    group keys and aggregate arguments. Equal signatures generate equal
+    source, so the compiled function and its hoisted-constant environment
+    template are interchangeable.
+    """
+    parts: list[str] = [f"mode={mode}"]
+    current = node
+    while True:
+        if isinstance(current, PhysicalScan):
+            filters = ";".join(f.to_sql() for f in current.filters)
+            parts.append(f"scan[{filters}]")
+            break
+        if isinstance(current, PhysicalFilter):
+            parts.append(f"filter[{current.condition.to_sql()}]")
+            current = current.child
+            continue
+        if isinstance(current, PhysicalProject):
+            exprs = ";".join(e.to_sql() for e in current.expressions)
+            parts.append(f"project[{exprs}]")
+            current = current.child
+            continue
+        if isinstance(current, PhysicalHashJoin):
+            build_node = (
+                current.right if current.build_right else current.left
+            )
+            residual = (
+                current.residual.to_sql()
+                if current.residual is not None
+                else ""
+            )
+            parts.append(
+                "join["
+                f"kind={current.kind.name},"
+                f"build_right={current.build_right},"
+                f"keys={tuple(current.keys)},"
+                f"null_width={len(build_node.output)},"
+                f"residual={residual}]"
+            )
+            current = current.left if current.build_right else current.right
+            continue
+        raise ExecutionError(
+            f"node {type(current).__name__} cannot be fused into a pipeline"
+        )
+    if mode == "aggregate" and aggregate is not None:
+        groups = ";".join(e.to_sql() for e in aggregate.group_exprs)
+        args = ";".join(
+            "*" if call.argument is None else call.argument.to_sql()
+            for call in aggregate.aggregates
+        )
+        parts.append(f"aggregate[groups={groups};args={args}]")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def pipeline_joins(node: PhysicalNode) -> list[PhysicalHashJoin]:
+    """The fused joins of *node*'s pipeline, in codegen emission order.
+
+    ``_PipelineCompiler`` appends joins while descending the probe spine
+    top-down, and the generated code indexes its prebuilt hash tables
+    (``_ht0``, ``_ht1`` ...) in that order. A cached function must be fed
+    tables built from the *current* plan's join nodes — build sides are
+    materialized per query — so this walk re-derives them.
+    """
+    joins: list[PhysicalHashJoin] = []
+    current = node
+    while not isinstance(current, PhysicalScan):
+        if isinstance(current, (PhysicalFilter, PhysicalProject)):
+            current = current.child
+        elif isinstance(current, PhysicalHashJoin):
+            joins.append(current)
+            current = current.left if current.build_right else current.right
+        else:
+            raise ExecutionError(
+                f"no pipeline source under {type(current).__name__}"
+            )
+    return joins
+
+
+@dataclass
+class SegmentEntry:
+    """One cached compiled pipeline."""
+
+    signature: str
+    mode: str
+    fn: Callable
+    env_template: dict
+    hits: int = field(default=0)
+
+
+class SegmentCache:
+    """LRU of fragment signature -> compiled pipeline function."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, SegmentEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, signature: str) -> SegmentEntry | None:
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.hits += 1
+            entry.hits += 1
+            return entry
+
+    def store(
+        self, signature: str, mode: str, fn: Callable, env_template: dict
+    ) -> None:
+        with self._lock:
+            self._entries[signature] = SegmentEntry(
+                signature=signature, mode=mode, fn=fn,
+                env_template=env_template,
+            )
+            self._entries.move_to_end(signature)
+            self.stores += 1
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def entries(self) -> list[SegmentEntry]:
+        """A stable snapshot of the current entries (svl_compile_cache)."""
+        with self._lock:
+            return list(self._entries.values())

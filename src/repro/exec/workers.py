@@ -284,6 +284,16 @@ class WorkerPool:
         """Fork pools go stale when storage mutated after the fork."""
         return self.mode == "fork" and self.epoch != epoch.current()
 
+    def stale_for(self, tables) -> bool:
+        """Staleness restricted to *tables* — the ones a dispatch will
+        scan. Mutations of other tables leave the inherited image stale
+        only where this dispatch never reads, so the pool stays usable
+        (per-table epochs share the global counter's value space, making
+        ``table_epoch(t) > fork epoch`` a valid ordering test)."""
+        return self.mode == "fork" and any(
+            epoch.table_epoch(table) > self.epoch for table in tables
+        )
+
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
 
@@ -299,20 +309,38 @@ class PoolManager:
     def __init__(self) -> None:
         self._pool: WorkerPool | None = None
         self._lock = threading.Lock()
+        #: Pools created over this manager's lifetime (first fork included);
+        #: the per-table staleness experiments assert on the delta.
+        self.forks = 0
+        #: Pools replaced specifically because they went stale.
+        self.reforks = 0
 
-    def pool(self, workers: int, mode: str) -> WorkerPool:
+    def pool(
+        self, workers: int, mode: str, tables: "set[str] | None" = None
+    ) -> WorkerPool:
+        """The cached pool, re-forked if unusable for this dispatch.
+
+        With *tables* (the tables the dispatch scans) staleness is
+        per-table: a fork-mode pool survives mutations of tables it will
+        not read. Without it, any storage mutation forces a re-fork.
+        """
         with self._lock:
             current = self._pool
-            if (
-                current is not None
-                and current.workers == workers
-                and current.mode == mode
-                and not current.stale()
+            if current is not None and current.workers == workers and (
+                current.mode == mode
             ):
-                return current
+                stale = (
+                    current.stale_for(tables)
+                    if tables is not None
+                    else current.stale()
+                )
+                if not stale:
+                    return current
+                self.reforks += 1
             if current is not None:
                 current.close()
             self._pool = WorkerPool(workers, mode)
+            self.forks += 1
             return self._pool
 
     def invalidate(self) -> None:

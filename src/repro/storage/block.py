@@ -71,6 +71,10 @@ class Block:
     #: path pays the per-value CRC pickle walk once per block, not once
     #: per read.
     _verified: bool = field(default=False, repr=False, compare=False)
+    #: Owning table, stamped by the chain that sealed/adopted the block.
+    #: Attributes corrupt()'s cache/epoch invalidation to the table;
+    #: None (blocks built outside a shard) falls back to the wildcard.
+    table_name: str | None = field(default=None, repr=False, compare=False)
 
     @classmethod
     def build(
@@ -143,7 +147,7 @@ class Block:
             values.append("☠CORRUPTED")
         self._decoded_cache = values
         self._verified = False
-        blockcache.invalidate_everywhere(self.block_id)
+        blockcache.invalidate_everywhere(self.block_id, self.table_name)
 
     def serialize(self) -> bytes:
         """Produce the byte image shipped to replicas and to S3 backup."""

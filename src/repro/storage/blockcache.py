@@ -38,15 +38,17 @@ _instances: "weakref.WeakSet" = weakref.WeakSet()
 DEFAULT_CAPACITY = 4096
 
 
-def invalidate_everywhere(block_id: str) -> None:
+def invalidate_everywhere(block_id: str, table: str | None = None) -> None:
     """Drop *block_id* from every live cache (bit-flips, rewrites).
 
     Every caller of this function is rewriting block content in place
     (corruption, scrub repair, adopt_blocks, VACUUM), which also makes
     any forked worker-pool memory image stale — so this doubles as the
-    storage-epoch bump for those mutation paths.
+    storage-epoch bump for those mutation paths. *table* attributes the
+    bump to the owning table (precise pool/result-cache invalidation);
+    None falls back to the wildcard epoch.
     """
-    epoch.bump()
+    epoch.bump(table)
     for cache in list(_instances):
         cache.invalidate(block_id)
 
@@ -66,6 +68,12 @@ class BlockDecodeCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Monotonic invalidation generation. A miss records the value it
+        #: saw under the lock; the post-decode insert is discarded if any
+        #: invalidation (or clear) landed in between, so a decode of
+        #: pre-mutation content can never re-populate the cache after the
+        #: mutation already evicted it.
+        self._generation = 0
         _instances.add(self)
 
     def __len__(self) -> int:
@@ -85,13 +93,24 @@ class BlockDecodeCache:
                 self.hits += 1
                 return values, True
             self.misses += 1
+            generation = self._generation
         # Decode outside the lock: read_vector() is the expensive part and
         # is safe to race (worst case two threads decode the same block).
         values = block.read_vector()
         with self._lock:
             existing = self._entries.get(block.block_id)
             if existing is not None:
-                return existing, False
+                # Lost the insert race to another thread: the caller gets
+                # the cached vector, so account it as a hit (the miss was
+                # provisional).
+                self.misses -= 1
+                self.hits += 1
+                return existing, True
+            if self._generation != generation:
+                # An invalidation landed between the miss and here; this
+                # decode may predate the mutation that caused it, so it
+                # must not re-populate the cache. Serve it uncached.
+                return values, False
             self._entries[block.block_id] = values
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -99,8 +118,14 @@ class BlockDecodeCache:
         return values, False
 
     def invalidate(self, block_id: str) -> bool:
-        """Drop one entry; True when it was present."""
+        """Drop one entry; True when it was present.
+
+        Always advances the invalidation generation — even when the entry
+        is absent, an in-flight miss for this block must not insert its
+        (possibly pre-mutation) decode.
+        """
         with self._lock:
+            self._generation += 1
             if self._entries.pop(block_id, None) is not None:
                 self.invalidations += 1
                 return True
@@ -109,4 +134,5 @@ class BlockDecodeCache:
     def clear(self) -> None:
         """Drop all entries (counters keep accumulating)."""
         with self._lock:
+            self._generation += 1
             self._entries.clear()

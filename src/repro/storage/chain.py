@@ -70,6 +70,9 @@ class ColumnChain:
         self.block_capacity = block_capacity
         self._blocks: list[Block] = []
         self._tail: list[object] = []
+        #: Owning table, set by TableShard; attributes cache/epoch
+        #: invalidations to the table so per-table staleness stays precise.
+        self.table_name: str | None = None
 
     # ---- writes -----------------------------------------------------------
 
@@ -86,9 +89,11 @@ class ColumnChain:
             self._seal_tail()
 
     def _seal_tail(self) -> None:
-        self._blocks.append(
-            Block.build(self._tail, self.sql_type, self.codec)
-        )
+        block = Block.build(self._tail, self.sql_type, self.codec)
+        # Blocks learn their owning table so Block.corrupt() can attribute
+        # its invalidation (it only knows the block).
+        block.table_name = self.table_name
+        self._blocks.append(block)
         self._tail = []
 
     def set_codec(self, codec: Codec | str) -> None:
@@ -222,10 +227,11 @@ class ColumnChain:
         """
         for i, existing in enumerate(self._blocks):
             if existing.block_id == block_id:
+                block.table_name = self.table_name
                 self._blocks[i] = block
                 # The repaired image reuses the id; drop any stale
                 # decoded entry so caches serve the new content.
-                blockcache.invalidate_everywhere(block_id)
+                blockcache.invalidate_everywhere(block_id, self.table_name)
                 return True
         return False
 
@@ -236,8 +242,10 @@ class ColumnChain:
         replicated or backed-up block images. Any open tail is discarded.
         """
         for existing in self._blocks:
-            blockcache.invalidate_everywhere(existing.block_id)
+            blockcache.invalidate_everywhere(existing.block_id, self.table_name)
         self._blocks = list(blocks)
+        for block in self._blocks:
+            block.table_name = self.table_name
         self._tail = []
 
     def rewrite_in_order(self, order: Sequence[int]) -> "ColumnChain":
@@ -247,11 +255,12 @@ class ColumnChain:
         rewritten chain gets fresh block ids.
         """
         for existing in self._blocks:
-            blockcache.invalidate_everywhere(existing.block_id)
+            blockcache.invalidate_everywhere(existing.block_id, self.table_name)
         values = self.read_all()
         fresh = ColumnChain(
             self.column_name, self.sql_type, self.codec, self.block_capacity
         )
+        fresh.table_name = self.table_name
         fresh.append([values[i] for i in order])
         fresh.seal()
         return fresh

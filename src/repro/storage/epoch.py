@@ -1,16 +1,29 @@
-"""A process-global storage version counter.
+"""Process-global storage version counters, per table.
 
-Fork-based parallel workers (see :mod:`repro.exec.workers`) execute
-against the memory image they inherited when the worker pool forked. Any
-mutation of slice storage after that fork — appended rows, tombstones,
-sealed tails, VACUUM rewrites, scrub repairs, injected bit-flips — makes
-that image stale, so every storage mutation path bumps this counter and
-the pool manager re-forks when the counter no longer matches the value
-the pool was created at.
+Two consumers depend on knowing when slice storage mutated:
 
-The counter is deliberately global (not per cluster): it is a cheap
-monotonic "anything changed anywhere" signal, and a spurious re-fork is
-only a small cost while a missed one is a correctness bug.
+- Fork-based parallel workers (see :mod:`repro.exec.workers`) execute
+  against the memory image they inherited when the worker pool forked.
+  Any mutation of a table a pipeline scans — appended rows, tombstones,
+  sealed tails, VACUUM rewrites, scrub repairs, injected bit-flips —
+  makes that image stale for that pipeline, so the pool manager re-forks
+  when one of the *scanned* tables moved past the pool's fork epoch.
+- The leader-side query result cache (:mod:`repro.engine.resultcache`)
+  keys entries on the epochs of every referenced table and drops an
+  entry the moment any of them moved.
+
+All tables share one monotonic counter, so epoch values are totally
+ordered across tables: ``table_epoch(t) > pool.epoch`` is a valid
+staleness test no matter which tables bumped in between. A bump that
+cannot be attributed to a table (``bump()`` with no name) raises the
+*wildcard* epoch, which every ``table_epoch`` reflects — a spurious
+invalidation is only a small cost while a missed one is a correctness
+bug.
+
+The counters are deliberately global (not per cluster): they are a cheap
+"did anything change" signal, and reads/writes all take the module lock
+(an unlocked read could observe a torn update under free-threaded
+builds, and the lock also orders the per-table map with the counter).
 """
 
 from __future__ import annotations
@@ -20,17 +33,45 @@ import threading
 
 _counter = itertools.count(1)
 _current = 0
+_wildcard = 0
+#: table name -> counter value at that table's most recent mutation.
+_tables: dict[str, int] = {}
 _lock = threading.Lock()
 
 
-def bump() -> int:
-    """Record a storage mutation; returns the new version."""
-    global _current
+def bump(table: str | None = None) -> int:
+    """Record a storage mutation; returns the new version.
+
+    With *table* the mutation is attributed to that table alone; without
+    it the wildcard epoch moves and every table reads as mutated.
+    """
+    global _current, _wildcard
     with _lock:
         _current = next(_counter)
+        if table is None:
+            _wildcard = _current
+        else:
+            _tables[table] = _current
         return _current
 
 
 def current() -> int:
-    """The version of the most recent storage mutation."""
-    return _current
+    """The version of the most recent storage mutation (any table)."""
+    with _lock:
+        return _current
+
+
+def table_epoch(table: str) -> int:
+    """The version of *table*'s most recent mutation.
+
+    Includes the wildcard epoch: an unattributed mutation conservatively
+    counts against every table.
+    """
+    with _lock:
+        return max(_tables.get(table, 0), _wildcard)
+
+
+def wildcard_epoch() -> int:
+    """The version of the most recent unattributed mutation."""
+    with _lock:
+        return _wildcard

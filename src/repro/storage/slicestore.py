@@ -40,6 +40,8 @@ class TableShard:
             )
             for name, sql_type in columns
         }
+        for chain in self.chains.values():
+            chain.table_name = table_name
         #: Transaction id that inserted each row (parallel to row offsets).
         self.insert_xids: list[int] = []
         #: Transaction id that deleted each row, or None while live.
@@ -81,7 +83,7 @@ class TableShard:
             self.chains[name].append(buffer)
         self.insert_xids.extend([xid] * count)
         self.delete_xids.extend([None] * count)
-        epoch.bump()
+        epoch.bump(self.table_name)
         return count
 
     def append_columns(
@@ -101,14 +103,14 @@ class TableShard:
             self.chains[name].append(vector)
         self.insert_xids.extend([xid] * count)
         self.delete_xids.extend([None] * count)
-        epoch.bump()
+        epoch.bump(self.table_name)
         return count
 
     def seal(self) -> None:
         """Seal the open tail block of every chain (end of a load)."""
         for chain in self.chains.values():
             chain.seal()
-        epoch.bump()
+        epoch.bump(self.table_name)
 
     def mark_deleted(self, offsets: Iterable[int], xid: int) -> int:
         """Tombstone rows at *offsets* as deleted by *xid*."""
@@ -118,7 +120,7 @@ class TableShard:
                 self.delete_xids[offset] = xid
                 n += 1
         if n:
-            epoch.bump()
+            epoch.bump(self.table_name)
         return n
 
     def chain(self, column: str) -> ColumnChain:
@@ -142,7 +144,7 @@ class TableShard:
         self.insert_xids = [xid] * len(order)
         self.delete_xids = [None] * len(order)
         self.sorted_prefix = len(order)
-        epoch.bump()
+        epoch.bump(self.table_name)
 
 
 @dataclass
@@ -168,14 +170,14 @@ class SliceStorage:
             )
         shard = TableShard(table_name, columns, codecs, self.block_capacity)
         self._shards[table_name] = shard
-        epoch.bump()
+        epoch.bump(table_name)
         return shard
 
     def drop_shard(self, table_name: str) -> None:
         shard = self._shards.pop(table_name, None)
         if shard is not None:
             self.disk.record_delete(shard.encoded_bytes)
-            epoch.bump()
+            epoch.bump(table_name)
 
     def shard(self, table_name: str) -> TableShard:
         shard = self._shards.get(table_name)

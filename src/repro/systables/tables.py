@@ -60,6 +60,7 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("cache_misses", BIGINT),
         ("workers", INTEGER),
         ("morsels", INTEGER),
+        ("result_cache_hit", INTEGER),
     ],
     "stv_slice_exec": [
         ("query", INTEGER),
@@ -114,6 +115,21 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("misses", BIGINT),
         ("evictions", BIGINT),
         ("invalidations", BIGINT),
+    ],
+    "stv_result_cache": [
+        ("key", varchar_type(64)),
+        ("querytxt", varchar_type(4096)),
+        ("executor", varchar_type(16)),
+        ("rows", BIGINT),
+        ("tables", varchar_type(256)),
+        ("hits", BIGINT),
+        ("valid", INTEGER),
+    ],
+    "svl_compile_cache": [
+        ("kind", varchar_type(16)),        # 'pipeline' | 'kernel'
+        ("signature", varchar_type(64)),
+        ("mode", varchar_type(16)),
+        ("hits", BIGINT),
     ],
 }
 
@@ -205,10 +221,14 @@ class SystemTables:
             ),
         )
 
-    def record_query_summary(self, query_id: int, operators) -> None:
+    def record_query_summary(
+        self, query_id: int, operators, result_cache_hit: bool = False
+    ) -> None:
         """One svl_query_summary row per executed plan step.
 
         *operators* are :class:`repro.exec.context.OperatorStat` objects.
+        A result-cache hit records its one synthetic "Result Cache" step
+        with ``result_cache_hit`` set on the row.
         """
         for op in sorted(operators, key=lambda o: o.step):
             self.store.append(
@@ -226,6 +246,7 @@ class SystemTables:
                     op.cache_misses,
                     op.workers,
                     op.morsels,
+                    int(result_cache_hit),
                 ),
             )
 
@@ -307,7 +328,46 @@ class SystemTables:
             return self._fault_rows()
         if name == "stv_block_cache":
             return self._block_cache_rows()
+        if name == "stv_result_cache":
+            return self._result_cache_rows()
+        if name == "svl_compile_cache":
+            return self._compile_cache_rows()
         raise KeyError(f"unknown system table {name!r}")
+
+    def _result_cache_rows(self) -> list[tuple]:
+        cache = getattr(self._cluster, "result_cache", None)
+        if cache is None:
+            return []
+        return [
+            (
+                entry.key,
+                entry.sql[:4096],
+                entry.executor,
+                len(entry.rows),
+                ",".join(entry.tables)[:256],
+                entry.hits,
+                int(entry.valid()),
+            )
+            for entry in cache.entries()
+        ]
+
+    def _compile_cache_rows(self) -> list[tuple]:
+        from repro.exec.batch import kernel_cache_rows
+
+        rows: list[tuple] = []
+        cache = getattr(self._cluster, "segment_cache", None)
+        if cache is not None:
+            rows.extend(
+                ("pipeline", entry.signature, entry.mode, entry.hits)
+                for entry in cache.entries()
+            )
+        # Kernel code objects are process-wide (shared by every cluster
+        # in the process), unlike the per-cluster pipeline cache.
+        rows.extend(
+            ("kernel", signature, "", hits)
+            for signature, hits in kernel_cache_rows()
+        )
+        return rows
 
     def _block_cache_rows(self) -> list[tuple]:
         cache = getattr(self._cluster, "block_cache", None)

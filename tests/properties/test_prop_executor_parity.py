@@ -63,6 +63,10 @@ _CRASH_CLUSTER.attach_faults(
 _SESSIONS["parallel-crashy"] = _CRASH_CLUSTER.connect(
     executor="parallel", parallelism=2
 )
+# Stats parity needs every variant to really execute: a result-cache hit
+# (legitimately) scans nothing, so the cache is off for these sessions.
+for _session in _SESSIONS.values():
+    _session.execute("SET enable_result_cache = off")
 _VARIANTS = tuple(_SESSIONS)
 
 

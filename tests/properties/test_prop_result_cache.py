@@ -1,0 +1,168 @@
+"""Properties of the query result cache.
+
+1. **Bit-identity**: for generated queries under every executor, a warm
+   hit returns exactly the rows a fresh (cache-off) execution computes —
+   same values, same order, floats compared exactly (the executor kind
+   is part of the cache key precisely so this can hold bit-for-bit).
+2. **Exact invalidation**: every mutation path — INSERT, DELETE, UPDATE,
+   VACUUM, block corruption — invalidates the entries of exactly the
+   mutated table: its entries go invalid, the other table's entries
+   stay valid and keep hitting.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Cluster
+
+EXECUTORS = ("volcano", "compiled", "vectorized", "parallel")
+
+
+def _build():
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=16)
+    s = cluster.connect()
+    s.execute(
+        "CREATE TABLE t (k int, v int, f float, s varchar(8)) DISTKEY(k)"
+    )
+    s.execute("CREATE TABLE d (k int, label varchar(8)) DISTSTYLE ALL")
+    rows = []
+    for i in range(150):
+        v = "NULL" if i % 9 == 0 else str((i * 7) % 90 - 20)
+        f = "NULL" if i % 11 == 0 else str(round((i % 29) * 0.37, 4))
+        sv = f"'s{i % 6}'"
+        rows.append(f"({i % 17}, {v}, {f}, {sv})")
+    s.execute(f"INSERT INTO t VALUES {','.join(rows)}")
+    s.execute(
+        "INSERT INTO d VALUES "
+        + ",".join(f"({k}, 'd{k % 3}')" for k in range(0, 17, 2))
+    )
+    return cluster
+
+
+_CLUSTER = _build()
+#: Cached sessions per executor, plus cache-off twins for the recompute.
+_CACHED = {name: _CLUSTER.connect(executor=name) for name in EXECUTORS}
+_UNCACHED = {name: _CLUSTER.connect(executor=name) for name in EXECUTORS}
+for _s in _UNCACHED.values():
+    _s.execute("SET enable_result_cache = off")
+
+
+@st.composite
+def queries(draw):
+    pred = draw(
+        st.sampled_from(
+            [
+                "v > 10",
+                "v <= 0 OR f > 5.0",
+                "f BETWEEN 1.0 AND 8.0",
+                "v IS NOT NULL AND s <> 's2'",
+                "k < 9 AND v <> 3",
+            ]
+        )
+    )
+    shape = draw(st.integers(0, 3))
+    if shape == 0:
+        return f"SELECT k, v, s FROM t WHERE {pred} ORDER BY k, v, s"
+    if shape == 1:
+        return (
+            f"SELECT k, count(*), sum(v), avg(f) FROM t WHERE {pred} "
+            "GROUP BY k ORDER BY k"
+        )
+    if shape == 2:
+        return f"SELECT sum(f), min(v), max(v), count(s) FROM t WHERE {pred}"
+    return (
+        "SELECT d.label, count(*), sum(t.f) FROM t JOIN d ON t.k = d.k "
+        f"WHERE t.{pred.split(' ', 1)[0]} {pred.split(' ', 1)[1]} "
+        "GROUP BY d.label ORDER BY d.label"
+    )
+
+
+@given(queries(), st.sampled_from(EXECUTORS))
+@settings(max_examples=40, deadline=None)
+def test_warm_hit_bit_identical_to_recompute(sql, executor):
+    cached = _CACHED[executor]
+    cached.execute(sql)  # prime (miss or hit — both fine)
+    warm = cached.execute(sql)
+    assert warm.stats.result_cache_hit
+    recomputed = _UNCACHED[executor].execute(sql)
+    assert not recomputed.stats.result_cache_hit
+    # Exact equality: same values, same order, floats bit-for-bit.
+    assert warm.rows == recomputed.rows
+    assert warm.columns == recomputed.columns
+
+
+_ids = itertools.count()
+
+_MUTATIONS = ("insert", "delete", "update", "vacuum", "corrupt")
+
+
+def _entry_for(table):
+    return next(
+        (
+            e
+            for e in _CLUSTER.result_cache.entries()
+            if e.tables == (table,)
+        ),
+        None,
+    )
+
+
+@given(st.sampled_from(_MUTATIONS), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_each_mutation_path_invalidates_exactly_its_table(mutation, hit_a):
+    n = next(_ids)
+    ta, tb = f"ma_{n}", f"mb_{n}"
+    target, other = (ta, tb) if hit_a else (tb, ta)
+    s = _CLUSTER.connect()
+    for name in (ta, tb):
+        s.execute(f"CREATE TABLE {name} (k int, v int)")
+        # Enough rows that every slice seals at least one block — the
+        # corrupt path bit-flips a *sealed* block (the tail is a buffer).
+        s.execute(
+            f"INSERT INTO {name} VALUES "
+            + ",".join(f"({i}, {i + 1})" for i in range(120))
+        )
+    try:
+        sql = {name: f"SELECT sum(v) FROM {name}" for name in (ta, tb)}
+        baseline = {name: s.execute(sql[name]).rows for name in (ta, tb)}
+        assert _entry_for(target).valid() and _entry_for(other).valid()
+
+        if mutation == "insert":
+            s.execute(f"INSERT INTO {target} VALUES (100, 100)")
+            expected = [(baseline[target][0][0] + 100,)]
+        elif mutation == "delete":
+            s.execute(f"DELETE FROM {target} WHERE k < 5")
+            expected = [(baseline[target][0][0] - sum(range(1, 6)),)]
+        elif mutation == "update":
+            s.execute(f"UPDATE {target} SET v = 0 WHERE k = 0")
+            expected = [(baseline[target][0][0] - 1,)]
+        elif mutation == "vacuum":
+            s.execute(f"VACUUM {target}")
+            expected = baseline[target]
+        else:  # corrupt: the fault injector's bit-flip path
+            block = next(
+                block
+                for store in _CLUSTER.slice_stores
+                if store.has_shard(target)
+                for block in store.shard(target).chain("v").blocks
+            )
+            block.corrupt()
+            expected = None  # the table is unreadable until repaired
+
+        # Exactly the mutated table's entry died ...
+        stale = _entry_for(target)
+        assert stale is None or not stale.valid()
+        assert _entry_for(other) is not None and _entry_for(other).valid()
+        # ... its next read recomputes fresh (and correct) rows ...
+        if expected is not None:
+            fresh = s.execute(sql[target])
+            assert not fresh.stats.result_cache_hit
+            assert fresh.rows == expected
+        # ... and the untouched table keeps hitting.
+        kept = s.execute(sql[other])
+        assert kept.stats.result_cache_hit
+        assert kept.rows == baseline[other]
+    finally:
+        for name in (ta, tb):
+            s.execute(f"DROP TABLE {name}")

@@ -1,0 +1,144 @@
+"""The compiled-segment cache: pipeline fragment reuse across queries.
+
+The compiled executor's generated source depends only on the pipeline's
+plan-fragment shape (bound expressions render index-qualified SQL), so
+equal :func:`fragment_signature` values may share one compiled function.
+These tests pin the signature's soundness boundaries — equal shapes
+share, different literals/shapes don't — correctness of reuse (including
+join pipelines, whose hash tables are rebuilt per query from re-derived
+join nodes), and the vectorized executor's kernel-code cache that forms
+the second population of svl_compile_cache.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.exec.batch import KERNEL_CACHE_STATS
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(node_count=1, slices_per_node=2, block_capacity=16)
+    s = c.connect()
+    s.execute("CREATE TABLE t1 (k int, v int)")
+    s.execute("CREATE TABLE t2 (k int, v int)")
+    s.execute("CREATE TABLE dim (k int, label varchar(8))")
+    s.execute(
+        "INSERT INTO t1 VALUES " + ",".join(f"({i}, {i * 2})" for i in range(48))
+    )
+    s.execute(
+        "INSERT INTO t2 VALUES " + ",".join(f"({i}, {i * 5})" for i in range(48))
+    )
+    s.execute(
+        "INSERT INTO dim VALUES "
+        + ",".join(f"({k}, 'd{k % 3}')" for k in range(0, 48, 4))
+    )
+    return c
+
+
+def _fresh_session(cluster):
+    s = cluster.connect(executor="compiled")
+    s.execute("SET enable_result_cache = off")  # measure compilation only
+    return s
+
+
+class TestPipelineReuse:
+    def test_repeat_query_hits_segment_cache(self, cluster):
+        s = _fresh_session(cluster)
+        sql = "SELECT sum(v) FROM t1 WHERE k > 10"
+        cold = s.execute(sql)
+        assert cold.stats.segment_cache_misses > 0
+        assert cold.stats.segment_cache_hits == 0
+        warm = s.execute(sql)
+        assert warm.stats.segment_cache_hits > 0
+        assert warm.stats.segment_cache_misses == 0
+        assert warm.rows == cold.rows
+
+    def test_same_shape_shares_across_tables(self, cluster):
+        """The table is not part of the signature: the same fragment shape
+        over a same-layout table reuses the compiled function."""
+        s = _fresh_session(cluster)
+        r1 = s.execute("SELECT sum(v) FROM t1 WHERE k > 10")
+        r2 = s.execute("SELECT sum(v) FROM t2 WHERE k > 10")
+        assert r2.stats.segment_cache_hits > 0
+        # And the shared code still computes each table's own answer.
+        assert r1.rows == [(sum(i * 2 for i in range(11, 48)),)]
+        assert r2.rows == [(sum(i * 5 for i in range(11, 48)),)]
+
+    def test_different_literals_do_not_share(self, cluster):
+        s = _fresh_session(cluster)
+        s.execute("SELECT sum(v) FROM t1 WHERE k > 10")
+        other = s.execute("SELECT sum(v) FROM t1 WHERE k > 20")
+        assert other.stats.segment_cache_misses > 0
+        assert other.rows == [(sum(i * 2 for i in range(21, 48)),)]
+
+    def test_join_pipeline_reuses_with_fresh_hash_tables(self, cluster):
+        """A cached join pipeline must execute against hash tables built
+        from the *current* plan (build sides are per-query state)."""
+        s = _fresh_session(cluster)
+        sql = (
+            "SELECT dim.label, count(*) FROM t1 "
+            "JOIN dim ON t1.k = dim.k GROUP BY dim.label ORDER BY dim.label"
+        )
+        cold = s.execute(sql)
+        warm = s.execute(sql)
+        assert warm.stats.segment_cache_hits > 0
+        assert warm.rows == cold.rows
+        # Mutating the build side must flow into the cached pipeline's
+        # next run — nothing about the data may be baked into the code.
+        s.execute("INSERT INTO dim VALUES (1, 'dX')")
+        after = s.execute(sql)
+        assert after.stats.segment_cache_hits > 0
+        assert after.rows != cold.rows
+
+    def test_cache_survives_across_sessions(self, cluster):
+        a = _fresh_session(cluster)
+        b = _fresh_session(cluster)
+        sql = "SELECT count(*) FROM t1 WHERE v > 8"
+        a.execute(sql)
+        assert b.execute(sql).stats.segment_cache_hits > 0
+
+    def test_compile_time_drops_on_hit(self, cluster):
+        s = _fresh_session(cluster)
+        sql = "SELECT k, sum(v) FROM t1 WHERE v > 4 GROUP BY k"
+        cold = s.execute(sql)
+        warm = s.execute(sql)
+        assert warm.stats.compile_seconds <= cold.stats.compile_seconds
+
+
+class TestKernelCodeCache:
+    def test_vectorized_kernel_code_reused(self, cluster):
+        s = cluster.connect(executor="vectorized")
+        s.execute("SET enable_result_cache = off")
+        s.execute("SELECT count(*) FROM t1 WHERE v > 6")
+        hits_before = KERNEL_CACHE_STATS.hits
+        # Same comparison shape over the other table: the generated
+        # kernel source is identical (literal arrives via the env).
+        s.execute("SELECT count(*) FROM t2 WHERE v > 6")
+        assert KERNEL_CACHE_STATS.hits > hits_before
+
+
+class TestSvlCompileCache:
+    def test_pipeline_and_kernel_rows(self, cluster):
+        s = cluster.connect(executor="compiled")
+        s.execute("SELECT sum(v) FROM t1 WHERE k > 3")
+        s.execute("SET executor = vectorized")
+        s.execute("SELECT sum(v) FROM t1 WHERE k > 3")
+        rows = s.execute(
+            "SELECT kind, signature, hits FROM svl_compile_cache"
+        ).rows
+        kinds = {row[0] for row in rows}
+        assert "pipeline" in kinds
+        assert "kernel" in kinds
+        assert all(len(row[1]) == 64 for row in rows)  # sha256 hex
+
+    def test_hits_column_counts_reuse(self, cluster):
+        s = _fresh_session(cluster)
+        sql = "SELECT max(v) FROM t1 WHERE k >= 7"
+        s.execute(sql)
+        s.execute(sql)
+        s.execute(sql)
+        rows = s.execute(
+            "SELECT hits FROM svl_compile_cache WHERE kind = 'pipeline'"
+        ).rows
+        assert rows and max(h for (h,) in rows) >= 2

@@ -309,6 +309,8 @@ class TestVectorizedExecutor:
 
     def test_warm_cache_hits(self, small_cluster):
         s = small_cluster.connect(executor="vectorized")
+        # Result cache off: the repeat query must reach the block cache.
+        s.execute("SET enable_result_cache = off")
         s.execute("SELECT sum(b) FROM t")
         cache = small_cluster.block_cache
         baseline = cache.hits
@@ -319,6 +321,7 @@ class TestVectorizedExecutor:
 
     def test_stv_block_cache_queryable(self, small_cluster):
         s = small_cluster.connect(executor="vectorized")
+        s.execute("SET enable_result_cache = off")
         s.execute("SELECT sum(b) FROM t")
         s.execute("SELECT sum(b) FROM t")
         rows = s.execute(
@@ -330,6 +333,7 @@ class TestVectorizedExecutor:
 
     def test_svl_query_summary_records_cache_columns(self, small_cluster):
         s = small_cluster.connect(executor="vectorized")
+        s.execute("SET enable_result_cache = off")
         s.execute("SELECT sum(b) FROM t")
         s.execute("SELECT sum(b) FROM t")
         rows = s.execute(
@@ -340,6 +344,7 @@ class TestVectorizedExecutor:
 
     def test_explain_analyze_reports_cache(self, small_cluster):
         s = small_cluster.connect(executor="vectorized")
+        s.execute("SET enable_result_cache = off")
         s.execute("SELECT sum(b) FROM t")
         lines = "\n".join(
             row[0]
