@@ -77,6 +77,11 @@ class Cluster:
     #: with ``SET enable_result_cache``; benchmarks flip it off so
     #: repeated queries measure execution, not cache lookups.
     enable_result_cache_default = True
+    #: Default for new sessions' ``enable_spill``: memory-governed
+    #: queries spill to accounted temp files instead of growing without
+    #: bound. (A session with no effective memory limit runs unbounded
+    #: either way.)
+    enable_spill_default = True
 
     def __init__(
         self,
@@ -86,6 +91,7 @@ class Cluster:
         node_type: str = "dw2.large",
         disk_capacity_bytes: int | None = None,
         systable_max_rows: int | None = None,
+        memory_bytes: int | None = None,
     ):
         if node_count < 1:
             raise ValueError(f"node_count must be positive, got {node_count}")
@@ -131,6 +137,14 @@ class Cluster:
         #: :class:`~repro.engine.wlm.AdmissionGate`): consulted before a
         #: SELECT executes, bypassed on result-cache hits.
         self.wlm_gate = None
+        #: Query-memory pool in bytes (None: unbounded). With a
+        #: :attr:`workload_manager` and a :attr:`wlm_gate` attached,
+        #: sessions derive their per-query budget as
+        #: ``memory_bytes * memory_per_slot_fraction(gate.queue)``.
+        self.memory_bytes = memory_bytes
+        #: Optional :class:`~repro.engine.wlm.WorkloadManager` whose queue
+        #: configuration prices the per-slot memory share above.
+        self.workload_manager = None
         from repro.exec.workers import PoolManager, register_slices
 
         #: Morsel worker pools for the parallel executor: one cached pool
@@ -203,17 +217,24 @@ class Cluster:
         executor: str = "compiled",
         parallelism: int | None = None,
         pool_mode: str | None = None,
+        memory_limit: int | None = None,
     ):
         """Open a session (the ODBC/JDBC connection analogue).
 
         ``parallelism`` and ``pool_mode`` configure the parallel executor
         (``executor="parallel"``): worker count per pipeline, and "fork" /
         "thread" / "serial" (defaults to fork where available).
+        ``memory_limit`` caps per-query operator memory in bytes
+        (queries over it spill; equivalent to ``SET query_memory_limit``).
         """
         from repro.engine.session import Session
 
         return Session(
-            self, executor=executor, parallelism=parallelism, pool_mode=pool_mode
+            self,
+            executor=executor,
+            parallelism=parallelism,
+            pool_mode=pool_mode,
+            memory_limit=memory_limit,
         )
 
     def close(self) -> None:

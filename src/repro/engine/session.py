@@ -33,12 +33,14 @@ from repro.errors import (
     ExecutionError,
     QueryRetryExhaustedError,
     ReproError,
+    SpillCapacityError,
     TableNotFoundError,
     TransactionError,
 )
 from repro.exec import workers
 from repro.exec.codegen import CompiledExecutor
 from repro.exec.context import ExecutionContext, ParallelConfig, QueryStats
+from repro.exec.spill import MemoryBudget
 from repro.exec.parallel import ParallelExecutor
 from repro.exec.vectorized import VectorizedExecutor
 from repro.exec.volcano import VolcanoExecutor
@@ -111,6 +113,7 @@ class Session:
         executor: str = "compiled",
         parallelism: int | None = None,
         pool_mode: str | None = None,
+        memory_limit: int | None = None,
     ):
         if executor not in _EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}")
@@ -132,6 +135,18 @@ class Session:
         self._enable_result_cache = bool(
             getattr(cluster, "enable_result_cache_default", True)
         )
+        if memory_limit is not None and memory_limit < 1:
+            raise ValueError(
+                f"memory_limit must be positive bytes, got {memory_limit}"
+            )
+        #: ``SET query_memory_limit``: explicit per-query operator-memory
+        #: cap in bytes. None derives one from the cluster's memory pool
+        #: and the admitting WLM queue's per-slot share (or runs
+        #: unbounded when neither is configured).
+        self._memory_limit = memory_limit
+        #: ``SET enable_spill``: off pins the pre-governor behaviour
+        #: (unbounded operator memory, never spills).
+        self._enable_spill = bool(getattr(cluster, "enable_spill_default", True))
         #: SELECT nesting depth — only the outermost SELECT of a
         #: statement consults the WLM admission gate (subqueries ride
         #: their parent's admission).
@@ -215,6 +230,8 @@ class Session:
             )
         if result.stats and result.stats.slice_exec:
             systables.record_slice_exec(query_id, result.stats.slice_exec)
+        if result.stats and result.stats.spill_events:
+            systables.record_query_spill(query_id, result.stats.spill_events)
         return result
 
     def _execute_statement_inner(self, statement: ast.Statement) -> QueryResult:
@@ -323,6 +340,35 @@ class Session:
                     f"{statement.value!r}"
                 )
             return QueryResult(command="SET")
+        if name == "query_memory_limit":
+            value = str(statement.value).lower()
+            if value in ("off", "unlimited", "none", "0"):
+                self._memory_limit = None
+                return QueryResult(command="SET")
+            try:
+                limit = int(statement.value)
+            except (TypeError, ValueError):
+                raise AnalysisError(
+                    "query_memory_limit expects bytes or off/unlimited, "
+                    f"got {statement.value!r}"
+                ) from None
+            if limit < 1:
+                raise AnalysisError(
+                    f"query_memory_limit must be positive, got {limit}"
+                )
+            self._memory_limit = limit
+            return QueryResult(command="SET")
+        if name == "enable_spill":
+            value = str(statement.value).lower()
+            if value in ("on", "true", "1"):
+                self._enable_spill = True
+            elif value in ("off", "false", "0"):
+                self._enable_spill = False
+            else:
+                raise AnalysisError(
+                    f"enable_spill expects on/off, got {statement.value!r}"
+                )
+            return QueryResult(command="SET")
         raise AnalysisError(f"unknown session parameter {statement.name!r}")
 
     # ---- SELECT ---------------------------------------------------------------------
@@ -333,6 +379,29 @@ class Session:
         if self._parallelism is not None:
             return self._parallelism
         return max(1, min(self._cluster.slice_count, os.cpu_count() or 1))
+
+    def effective_memory_limit(self) -> int | None:
+        """The per-query operator-memory cap in bytes, or None (unbounded).
+
+        Resolution order: ``SET enable_spill = off`` disables governance
+        outright; an explicit session limit (``SET query_memory_limit`` /
+        ``connect(memory_limit=...)``) wins; otherwise the cluster's
+        memory pool priced by the admitting WLM queue's per-slot share.
+        """
+        if not self._enable_spill:
+            return None
+        if self._memory_limit is not None:
+            return self._memory_limit
+        pool = getattr(self._cluster, "memory_bytes", None)
+        manager = getattr(self._cluster, "workload_manager", None)
+        gate = self._cluster.wlm_gate
+        if not pool or manager is None or gate is None:
+            return None
+        try:
+            fraction = manager.memory_per_slot_fraction(gate.queue)
+        except KeyError:
+            return None
+        return max(1, int(pool * fraction))
 
     def _context(self, xid: int) -> ExecutionContext:
         # Each query gets its own interconnect so its stats are scoped to
@@ -347,6 +416,12 @@ class Session:
             block_cache=self._cluster.block_cache,
             segment_cache=self._cluster.segment_cache,
         )
+        limit = self.effective_memory_limit()
+        if limit is not None:
+            from repro.storage.spillfile import SpillManager
+
+            ctx.memory_budget = MemoryBudget(limit)
+            ctx.spill = SpillManager(injector=self._cluster.fault_injector)
         if self._executor_kind == "parallel":
             ctx.parallel = ParallelConfig(
                 degree=self.effective_parallelism(),
@@ -431,6 +506,12 @@ class Session:
             start = time.perf_counter()
             try:
                 rows = executor.execute(physical)
+            except SpillCapacityError:
+                # Out of temp space (real capacity or an injected
+                # DISK_FULL window): shed the query cleanly — typed
+                # error to the client, a WLM rule action for operators.
+                self._record_spill_shed(sql_text or query.to_sql())
+                raise
             except QUERY_RECOVERABLE_ERRORS as exc:
                 handler = self._cluster.recovery_handler
                 if handler is None:
@@ -439,9 +520,17 @@ class Session:
                 if retries > self.MAX_SEGMENT_RETRIES or not handler(exc):
                     raise QueryRetryExhaustedError(retries, exc) from exc
                 continue
+            finally:
+                # Whatever way the attempt ended — success, retry, shed,
+                # abort — its spill files are reclaimed here, so no temp
+                # bytes ever leak onto the slice disks.
+                if ctx.spill is not None:
+                    ctx.spill.release_all()
             break
         ctx.stats.execute_seconds = time.perf_counter() - start
         ctx.stats.rows_returned = len(rows)
+        if ctx.memory_budget is not None:
+            ctx.stats.peak_memory_bytes = ctx.memory_budget.peak_bytes
         self._cluster.interconnect.stats.merge(ctx.interconnect.stats)
         if cache_key is not None:
             result_cache.store(
@@ -460,6 +549,24 @@ class Session:
             rowcount=len(rows),
             stats=ctx.stats,
             command="SELECT",
+        )
+
+    def _record_spill_shed(self, label: str) -> None:
+        """Log a spill-capacity shed into stl_wlm_rule_action, next to
+        the admission sheds it is the execution-time sibling of."""
+        systables = self._cluster.systables
+        if systables is None:
+            return
+        gate = self._cluster.wlm_gate
+        systables.store.append(
+            "stl_wlm_rule_action",
+            (
+                systables.now,
+                gate.queue if gate is not None else "default",
+                "shed",
+                label[:128],
+                0.0,
+            ),
         )
 
     def _serve_cached(self, entry, physical, top_level: bool) -> QueryResult:
@@ -1098,6 +1205,11 @@ def _annotate_plan(plan_text: str, operators) -> list[str]:
                     )
                 if op.workers:
                     extra += f" workers={op.workers} morsels={op.morsels}"
+                if op.spilled_bytes:
+                    extra += (
+                        f" spill={op.spilled_bytes}B"
+                        f" spill_partitions={op.spill_partitions}"
+                    )
                 line += extra + ")"
             step += 1
         lines.append(line)

@@ -118,6 +118,27 @@ class WorkerCrashError(ExecutionError):
         self.slice_id = slice_id
 
 
+class SpillCapacityError(ExecutionError):
+    """Raised when a query must spill but its slice's disk has no room
+    for more temp space (the disk is full, or a DISK_FULL fault window
+    is active).
+
+    Deliberately NOT in :data:`QUERY_RECOVERABLE_ERRORS`: retrying the
+    segment would just fill the disk again. The session converts it into
+    a clean WLM shed — the query fails with this typed error, its temp
+    files are reclaimed, and an ``stl_wlm_rule_action`` row records the
+    shed — rather than crashing or leaking spill bytes.
+    """
+
+    def __init__(self, disk_id: str, needed: int, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"no spill capacity on disk {disk_id} for {needed} bytes{suffix}"
+        )
+        self.disk_id = disk_id
+        self.needed = needed
+
+
 class QueryRetryExhaustedError(ExecutionError):
     """Raised when segment retry gives up after repeated recoverable faults."""
 

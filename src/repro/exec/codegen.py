@@ -26,6 +26,7 @@ from typing import Callable
 from repro.errors import ExecutionError
 from repro.exec import exchange
 from repro.exec.context import ExecutionContext
+from repro.exec.spill import SpillableHashTable
 from repro.exec.volcano import VolcanoExecutor, sort_rows
 from repro.plan.physical import (
     PhysicalAggregate,
@@ -642,13 +643,34 @@ class CompiledExecutor(VolcanoExecutor):
                     width,
                 )
             tables: list[dict] = []
-            for rows in build_data:
-                table: dict = {}
-                for row in rows:
-                    key = tuple(row[i] for i in keys)
-                    if any(v is None for v in key):
-                        continue
-                    table.setdefault(key, []).append(row)
+            for s, rows in enumerate(build_data):
+                # Governed build, as in the interpreted path. Fused joins
+                # are never FULL (_pipeline_ok rejects those), so
+                # grace-hash repartitioning is always order-safe here.
+                state = self._spill_state()
+                if state is not None:
+                    budget, manager = state
+                    disk = self._ctx.slices[s].disk
+                    spill_table = SpillableHashTable(
+                        budget,
+                        manager.file_factory(disk),
+                        self._spill_label(join, s),
+                    )
+                    for row in rows:
+                        key = tuple(row[i] for i in keys)
+                        if any(v is None for v in key):
+                            continue
+                        spill_table.insert(key, row)
+                    table = spill_table.build()
+                    self._note_spill(join, spill_table, disk.disk_id)
+                    spill_table.done()
+                else:
+                    table = {}
+                    for row in rows:
+                        key = tuple(row[i] for i in keys)
+                        if any(v is None for v in key):
+                            continue
+                        table.setdefault(key, []).append(row)
                 tables.append(table)
             per_join_tables.append(tables)
         return per_join_tables
@@ -719,12 +741,15 @@ class CompiledExecutor(VolcanoExecutor):
                 partials.append({})
                 continue
             slice_env = dict(env)
-            states: dict = {}
+            # A SpillableAggregateStates when governed: the generated
+            # code only uses _states.get / _states[_key] = _st, so a
+            # flushed key simply opens a fresh generation.
+            states = self._agg_states(node, s, aggregates)
             slice_env["_states"] = states
             for k in range(len(joins)):
                 slice_env[f"_ht{k}"] = tables[k][s]
             fn(source_rows[s], slice_env)
-            partials.append(states)
+            partials.append(self._finish_agg_states(node, s, states))
 
         width = exchange.row_width(node.output) if node.output else 8
         if node.local_only:
@@ -739,7 +764,7 @@ class CompiledExecutor(VolcanoExecutor):
                 ]
                 for states in partials
             ]
-        merged: dict = {}
+        merged = self._agg_states(node, 0, aggregates, tag="-merge")
         transferred = 0
         for states in partials:
             transferred += len(states)
@@ -751,6 +776,7 @@ class CompiledExecutor(VolcanoExecutor):
                     for i, agg in enumerate(aggregates):
                         target[i] = agg.merge(target[i], entry[i])
         self._ctx.interconnect.record_gather(transferred * width)
+        merged = self._finish_agg_states(node, 0, merged)
         if not node.group_exprs and not merged:
             merged[()] = [agg.create() for agg in aggregates]
         leader_rows = [

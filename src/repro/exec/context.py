@@ -37,6 +37,10 @@ class OperatorStat:
     #: count the pipeline ran with and the morsels it was split into.
     workers: int = 0
     morsels: int = 0
+    #: Spill accounting (zero while the operator fits its memory budget):
+    #: temp bytes written and partitions/runs spilled by this operator.
+    spilled_bytes: int = 0
+    spill_partitions: int = 0
 
 
 @dataclass
@@ -75,6 +79,27 @@ class QueryStats:
     #: Parallel executor only: one SliceExec per slice that ran morsels
     #: (feeds stv_slice_exec).
     slice_exec: list["SliceExec"] = field(default_factory=list)
+    #: Spill totals across operators (svl_query_summary columns) and the
+    #: per-operator/per-disk breakdown (feeds stv_query_spill).
+    spilled_bytes: int = 0
+    spill_partitions: int = 0
+    spill_events: list["SpillEvent"] = field(default_factory=list)
+    #: High-water mark of governed operator memory (hash builds, agg
+    #: state, sort buffers) — the working-set measurement bench a13
+    #: scales its budgets from. 0 when the query ran ungoverned.
+    peak_memory_bytes: int = 0
+
+
+@dataclass
+class SpillEvent:
+    """One operator's spill activity on one disk (stv_query_spill row)."""
+
+    step: int
+    operator: str
+    disk_id: str
+    partitions: int
+    bytes_written: int
+    bytes_read: int
 
 
 @dataclass
@@ -136,6 +161,13 @@ class ExecutionContext:
     segment_cache: object = None
     #: Parallel-executor configuration; None for serial executors.
     parallel: "ParallelConfig | None" = None
+    #: Per-query memory governor (:class:`repro.exec.spill.MemoryBudget`);
+    #: None runs unbounded with no spilling — the pre-governor behaviour.
+    memory_budget: object = None
+    #: The attempt's :class:`repro.storage.spillfile.SpillManager`. The
+    #: session releases it in a ``finally`` so temp bytes never leak,
+    #: whatever way the attempt ends.
+    spill: object = None
 
     @property
     def slice_count(self) -> int:

@@ -65,6 +65,16 @@ from repro.storage.chain import ScanStats
 _PIPELINE_NODES = (PhysicalScan, PhysicalFilter, PhysicalProject)
 
 
+class _WorkerSpill:
+    """Adapts one morsel's spill counters to _note_spill's interface."""
+
+    def __init__(self, result: MorselResult):
+        self.spilled = result.spilled_bytes > 0
+        self.bytes_written = result.spilled_bytes
+        self.partitions_spilled = result.spill_partitions
+        self.bytes_read = result.spill_bytes_read
+
+
 class ParallelExecutor(VolcanoExecutor):
     """Slice-parallel morsel execution with a leader-side ordered merge."""
 
@@ -229,13 +239,16 @@ class ParallelExecutor(VolcanoExecutor):
             self._begin_stat(fused)
         results = self._dispatch(tasks, workers, mode)
 
-        # Replay worker disk reads through the leader's disks in morsel
-        # order: identical accounting (and injected media-fault sequence)
-        # to a serial scan.
+        # Replay worker disk reads (and any spill IO) through the
+        # leader's disks in morsel order: identical accounting (and
+        # injected media-fault / DISK_FULL sequence) to a serial scan.
         for task, result in zip(tasks, results):
             disk = self._ctx.slices[task.slice_index].disk
             for nbytes in result.io_log:
                 disk.record_read(nbytes)
+            if result.spill_log:
+                self._ctx.spill.replay(disk, result.spill_log)
+                self._note_spill(aggregate, _WorkerSpill(result), disk.disk_id)
 
         self._pipeline_stats(
             top, scan, stage_nodes, aggregate, tasks, results, workers, mode
@@ -266,6 +279,14 @@ class ParallelExecutor(VolcanoExecutor):
             0 if for_aggregate
             else (cfg.row_ship_limit if cfg is not None else 0)
         )
+        # Aggregate morsels inherit the query's memory budget: their
+        # state maps are the only worker-side structures that grow
+        # unbounded (row pipelines are bounded by the ship limit).
+        memory_limit = 0
+        if for_aggregate:
+            state = self._spill_state()
+            if state is not None and state[0].limit_bytes:
+                memory_limit = state[0].limit_bytes
         tasks: list[MorselTask] = []
         registry_id = cfg.registry_id if cfg is not None else 0
         for index, store in enumerate(self._ctx.slices):
@@ -285,6 +306,7 @@ class ParallelExecutor(VolcanoExecutor):
                         pipeline=spec,
                         snapshot=self._ctx.snapshot,
                         row_ship_limit=ship_limit,
+                        memory_limit=memory_limit,
                     )
                 )
         return tasks

@@ -27,6 +27,7 @@ import time
 from repro.exec import exchange
 from repro.exec.batch import ColumnBatch, make_mask_kernel, make_value_kernel
 from repro.exec.scan import scan_shard_batches
+from repro.exec.spill import SpillableHashTable
 from repro.exec.volcano import PerSlice, VolcanoExecutor, _compile, scan_column_names
 from repro.plan.physical import (
     JoinDistribution,
@@ -205,8 +206,8 @@ class VectorizedExecutor(VolcanoExecutor):
         group_fns = arg_fns = None
 
         partials: list[dict] = []
-        for rows in child:
-            states: dict[tuple, list] = {}
+        for s, rows in enumerate(child):
+            states = self._agg_states(node, s, aggregates)
             if isinstance(rows, BatchList):
                 self._accumulate_batches(
                     states, rows, group_kernels, arg_kernels, aggregates
@@ -223,7 +224,7 @@ class VectorizedExecutor(VolcanoExecutor):
                 self._accumulate_rows(
                     states, rows, group_fns, arg_fns, aggregates
                 )
-            partials.append(states)
+            partials.append(self._finish_agg_states(node, s, states))
         return self._merge_partials(node, partials, aggregates)
 
     def _run_materialized_or_batches(self, node: PhysicalNode) -> PerSlice:
@@ -344,12 +345,32 @@ class VectorizedExecutor(VolcanoExecutor):
 
         out: PerSlice = []
         for s in range(self._ctx.slice_count):
-            table: dict[tuple, list] = {}
-            for row in build[s]:
-                key = tuple(row[i] for i in build_keys)
-                if any(v is None for v in key):
-                    continue  # NULL never equals anything
-                table.setdefault(key, []).append(row)
+            # Same governed build as the row path (never FULL here, so
+            # grace-hash partitioning is always order-safe).
+            state = self._spill_state()
+            spill_table = None
+            if state is not None:
+                budget, manager = state
+                disk = self._ctx.slices[s].disk
+                spill_table = SpillableHashTable(
+                    budget,
+                    manager.file_factory(disk),
+                    self._spill_label(node, s),
+                )
+                for row in build[s]:
+                    key = tuple(row[i] for i in build_keys)
+                    if any(v is None for v in key):
+                        continue  # NULL never equals anything
+                    spill_table.insert(key, row)
+                table = spill_table.build()
+                self._note_spill(node, spill_table, disk.disk_id)
+            else:
+                table = {}
+                for row in build[s]:
+                    key = tuple(row[i] for i in build_keys)
+                    if any(v is None for v in key):
+                        continue  # NULL never equals anything
+                    table.setdefault(key, []).append(row)
             probe_sl = probe[s]
             if isinstance(probe_sl, BatchList):
                 out.append(
@@ -375,6 +396,8 @@ class VectorizedExecutor(VolcanoExecutor):
                         preserve_probe,
                     )
                 )
+            if spill_table is not None:
+                spill_table.done()
         return out
 
     def _probe_batches(

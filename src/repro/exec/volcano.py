@@ -15,8 +15,13 @@ from typing import Iterable
 
 from repro.errors import ExecutionError
 from repro.exec import exchange
-from repro.exec.context import ExecutionContext, OperatorStat
+from repro.exec.context import ExecutionContext, OperatorStat, SpillEvent
 from repro.exec.scan import scan_shard
+from repro.exec.spill import (
+    SpillableAggregateStates,
+    SpillableHashTable,
+    SpillableSorter,
+)
 from repro.plan.physical import (
     JoinDistribution,
     PhysicalAggregate,
@@ -147,6 +152,74 @@ class VolcanoExecutor:
             self._ctx.stats.scan.merge(local)
         self._scan_locals.clear()
         self._ctx.stats.operators.sort(key=lambda s: s.step)
+
+    # ---- memory governor / spill ---------------------------------------------
+
+    def _spill_state(self):
+        """(budget, manager) when this query runs governed, else None."""
+        budget = self._ctx.memory_budget
+        manager = self._ctx.spill
+        if budget is None or manager is None:
+            return None
+        return budget, manager
+
+    def _spill_label(self, node: PhysicalNode, slice_index: int) -> str:
+        step = self._steps.get(id(node), 0)
+        return f"step{step}-s{slice_index}"
+
+    def _agg_states(
+        self, node: PhysicalNode, slice_index: int, aggregates, tag: str = ""
+    ) -> dict:
+        """A fresh per-group state map: plain dict when unbounded, a
+        budget-charged :class:`SpillableAggregateStates` when governed.
+        Leader-side maps (partial merge) use slice 0's disk — the repo's
+        convention for leader work — via ``slice_index=0``."""
+        state = self._spill_state()
+        if state is None:
+            return {}
+        budget, manager = state
+        disk = self._ctx.slices[slice_index].disk
+        label = self._spill_label(node, slice_index) + tag
+        return SpillableAggregateStates(
+            budget, manager.file_factory(disk), label, aggregates
+        )
+
+    def _finish_agg_states(
+        self, node: PhysicalNode, slice_index: int, states: dict
+    ) -> dict:
+        """Resolve a state map to a plain dict in first-seen order,
+        folding any spill activity into the operator's stats."""
+        if isinstance(states, SpillableAggregateStates):
+            finished = states.finish()
+            self._note_spill(
+                node, states, self._ctx.slices[slice_index].disk.disk_id
+            )
+            return finished
+        return states
+
+    def _note_spill(self, node: PhysicalNode, spilled, disk_id: str) -> None:
+        """Fold one structure's spill counters into the operator stat,
+        the query totals and the stv_query_spill event list."""
+        if spilled is None or not spilled.spilled:
+            return
+        stats = self._ctx.stats
+        stats.spilled_bytes += spilled.bytes_written
+        stats.spill_partitions += spilled.partitions_spilled
+        step = self._steps.get(id(node), 0)
+        stat = self._stats_by_step.get(step)
+        if stat is not None:
+            stat.spilled_bytes += spilled.bytes_written
+            stat.spill_partitions += spilled.partitions_spilled
+        stats.spill_events.append(
+            SpillEvent(
+                step=step,
+                operator=node.label(),
+                disk_id=disk_id,
+                partitions=spilled.partitions_spilled,
+                bytes_written=spilled.bytes_written,
+                bytes_read=spilled.bytes_read,
+            )
+        )
 
     # ---- dispatch ------------------------------------------------------------
 
@@ -363,6 +436,7 @@ class VolcanoExecutor:
                     residual,
                     left_null,
                     right_null,
+                    slice_index=s,
                 )
             )
         return out
@@ -389,6 +463,7 @@ class VolcanoExecutor:
         residual,
         left_null: tuple,
         right_null: tuple,
+        slice_index: int = 0,
     ) -> list:
         kind = node.kind
         build_right = node.build_right
@@ -397,12 +472,33 @@ class VolcanoExecutor:
         build_keys = right_keys if build_right else left_keys
         probe_keys = left_keys if build_right else right_keys
 
-        table: dict[tuple, list] = {}
-        for row in build_rows:
-            key = tuple(row[i] for i in build_keys)
-            if any(v is None for v in key):
-                continue  # NULL never equals anything
-            table.setdefault(key, []).append(row)
+        # FULL joins emit unmatched build rows in table order, which a
+        # grace-hash repartition would reshuffle — they stay in memory
+        # (both serial engines special-case FULL already).
+        state = self._spill_state() if kind is not ast.JoinKind.FULL else None
+        spill_table = None
+        if state is not None:
+            budget, manager = state
+            disk = self._ctx.slices[slice_index].disk
+            spill_table = SpillableHashTable(
+                budget,
+                manager.file_factory(disk),
+                self._spill_label(node, slice_index),
+            )
+            for row in build_rows:
+                key = tuple(row[i] for i in build_keys)
+                if any(v is None for v in key):
+                    continue  # NULL never equals anything
+                spill_table.insert(key, row)
+            table = spill_table.build()
+            self._note_spill(node, spill_table, disk.disk_id)
+        else:
+            table = {}
+            for row in build_rows:
+                key = tuple(row[i] for i in build_keys)
+                if any(v is None for v in key):
+                    continue  # NULL never equals anything
+                table.setdefault(key, []).append(row)
 
         preserve_probe = (
             (kind is ast.JoinKind.LEFT and build_right)
@@ -438,6 +534,8 @@ class VolcanoExecutor:
                             results.append(left_null + build)
                         else:
                             results.append(build + right_null)
+        if spill_table is not None:
+            spill_table.done()
         return results
 
     def _run_nested_loop(self, node: PhysicalNestedLoopJoin) -> PerSlice:
@@ -501,10 +599,10 @@ class VolcanoExecutor:
         aggregates = [call.aggregate for call in node.aggregates]
 
         partials: list[dict] = []
-        for rows in child:
-            states: dict[tuple, list] = {}
+        for s, rows in enumerate(child):
+            states = self._agg_states(node, s, aggregates)
             self._accumulate_rows(states, rows, group_fns, arg_fns, aggregates)
-            partials.append(states)
+            partials.append(self._finish_agg_states(node, s, states))
         return self._merge_partials(node, partials, aggregates)
 
     @staticmethod
@@ -546,7 +644,7 @@ class VolcanoExecutor:
                 )
             return out
 
-        merged: dict[tuple, list] = {}
+        merged = self._agg_states(node, 0, aggregates, tag="-merge")
         transferred = 0
         for states in partials:
             transferred += len(states)
@@ -558,6 +656,7 @@ class VolcanoExecutor:
                     for i, agg in enumerate(aggregates):
                         target[i] = agg.merge(target[i], entry[i])
         self._ctx.interconnect.record_gather(transferred * width)
+        merged = self._finish_agg_states(node, 0, merged)
 
         if global_agg and not merged:
             merged[()] = [agg.create() for agg in aggregates]
@@ -607,7 +706,23 @@ class VolcanoExecutor:
 
     def _run_sort(self, node: PhysicalSort) -> PerSlice:
         rows = self._leader_rows(node.child, self._run(node.child))
-        rows = sort_rows(rows, node.keys)
+        state = self._spill_state()
+        if state is None:
+            rows = sort_rows(rows, node.keys)
+        else:
+            budget, manager = state
+            disk = self._ctx.slices[0].disk
+            sorter = SpillableSorter(
+                budget,
+                manager.file_factory(disk),
+                self._spill_label(node, 0),
+            )
+            rows = sorter.sort(
+                rows,
+                lambda chunk: sort_rows(chunk, node.keys),
+                composite_sort_key(node.keys),
+            )
+            self._note_spill(node, sorter, disk.disk_id)
         return [rows] + [[] for _ in range(self._ctx.slice_count - 1)]
 
     def _run_limit(self, node: PhysicalLimit) -> PerSlice:
@@ -667,6 +782,21 @@ def sort_rows(rows: list, keys: list[tuple[ast.Expression, bool]]) -> list:
     return out
 
 
+def composite_sort_key(keys: list[tuple[ast.Expression, bool]]):
+    """One lexicographic key function equivalent to the multi-pass
+    stable sorts of :func:`sort_rows` — what the external-merge sorter
+    hands ``heapq.merge`` so spilled runs interleave bit-identically."""
+    compiled = [(_compile(expr), descending) for expr, descending in keys]
+
+    def key_fn(row):
+        return tuple(
+            _DescKey(fn(row)) if descending else _AscKey(fn(row))
+            for fn, descending in compiled
+        )
+
+    return key_fn
+
+
 class _AscKey:
     """Ascending sort key: NULLs last."""
 
@@ -681,6 +811,11 @@ class _AscKey:
         if other.value is None:
             return True
         return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        # Tuple comparison (the composite merge key) probes == before <.
+        # None == None is True here by design: NULLs tie with NULLs.
+        return isinstance(other, _AscKey) and self.value == other.value
 
 
 class _DescKey:
@@ -697,3 +832,6 @@ class _DescKey:
         if other.value is None:
             return False
         return self.value > other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _DescKey) and self.value == other.value

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from repro.engine.transactions import Snapshot
 from repro.errors import ExecutionError, WorkerCrashError
 from repro.exec.scan import scan_shard_morsel
+from repro.exec.spill import MemoryBudget, SpillLog, SpillableAggregateStates
 from repro.sql import ast
 from repro.sql.expressions import compile_expression
 from repro.storage import epoch
@@ -123,6 +124,10 @@ class MorselTask:
     row_ship_limit: int = 0
     #: Leader-drawn fault decision: the worker raises WorkerCrashError.
     crash: bool = False
+    #: Query memory budget in bytes (0 = unbounded). Aggregate morsels
+    #: over this spill their state map against an op log the leader
+    #: replays through the slice's disk accounting.
+    memory_limit: int = 0
 
 
 @dataclass
@@ -147,6 +152,13 @@ class MorselResult:
     #: Row pipeline exceeded row_ship_limit: everything else is unset and
     #: the leader re-executes the morsel locally.
     overflow: bool = False
+    #: Spill ("write"|"read"|"delete", nbytes) ops in execution order —
+    #: replayed through the leader's disk accounting like io_log — plus
+    #: the morsel's spill counters for svl_query_summary/stv_query_spill.
+    spill_log: list = field(default_factory=list)
+    spilled_bytes: int = 0
+    spill_partitions: int = 0
+    spill_bytes_read: int = 0
 
 
 def run_morsel(task: MorselTask, slices: list | None = None) -> MorselResult:
@@ -211,7 +223,19 @@ def run_morsel(task: MorselTask, slices: list | None = None) -> MorselResult:
             for _, arg in pipeline.aggregates
         ]
         aggregates = [agg for agg, _ in pipeline.aggregates]
-        states: dict[tuple, list] = {}
+        spill_log = None
+        if task.memory_limit:
+            # Governed morsel: same spillable map as the serial engines,
+            # but IO goes to an op log (no shared-state side effects).
+            spill_log = SpillLog()
+            states: dict = SpillableAggregateStates(
+                MemoryBudget(task.memory_limit),
+                spill_log.file_factory(),
+                f"{task.slice_id}-b{task.block_start}",
+                aggregates,
+            )
+        else:
+            states = {}
         for row in rows:
             key = tuple(fn(row) for fn in group_fns)
             entry = states.get(key)
@@ -221,7 +245,14 @@ def run_morsel(task: MorselTask, slices: list | None = None) -> MorselResult:
             for i, agg in enumerate(aggregates):
                 fn = arg_fns[i]
                 entry[i] = agg.accumulate(entry[i], 1 if fn is None else fn(row))
-        result.partial = states
+        if spill_log is not None:
+            result.partial = states.finish()
+            result.spill_log = spill_log.ops
+            result.spilled_bytes = states.bytes_written
+            result.spill_partitions = states.partitions_spilled
+            result.spill_bytes_read = states.bytes_read
+        else:
+            result.partial = states
     elif pipeline.partition_slices:
         from repro.distribution.hashing import stable_hash
 

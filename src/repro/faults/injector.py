@@ -141,6 +141,17 @@ class FaultInjector:
                 self.record(FaultKind.DISK_MEDIA_WINDOW.value, disk_id, op)
                 raise DiskMediaError(disk_id, op)
 
+    def disk_full(self, disk_id: str, needed: int = 0) -> bool:
+        """Consulted before each spill write; True while a DISK_FULL
+        window covers *disk_id* — the write must fail with a typed
+        ``SpillCapacityError`` instead of consuming temp space."""
+        if self._active(FaultKind.DISK_FULL, disk_id):
+            self.record(
+                FaultKind.DISK_FULL.value, disk_id, f"spill denied {needed}B"
+            )
+            return True
+        return False
+
     # ---- nodes -------------------------------------------------------------
 
     def check_node(self, node_id: str) -> None:

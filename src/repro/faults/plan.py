@@ -24,6 +24,7 @@ class FaultKind(enum.Enum):
     EC2_CAPACITY_WINDOW = "ec2_capacity_window"
     DISK_FAIL = "disk_fail"
     DISK_MEDIA_WINDOW = "disk_media_window"
+    DISK_FULL = "disk_full"
     BLOCK_BITFLIP = "block_bitflip"
     NODE_CRASH = "node_crash"
     WORKER_CRASH = "worker_crash"
@@ -37,6 +38,7 @@ WINDOW_KINDS = frozenset(
         FaultKind.S3_SLOW_WINDOW,
         FaultKind.EC2_CAPACITY_WINDOW,
         FaultKind.DISK_MEDIA_WINDOW,
+        FaultKind.DISK_FULL,
         FaultKind.WORKER_CRASH,
     }
 )
@@ -170,6 +172,16 @@ class FaultPlan:
                 target=disk_id,
                 rate=rate,
             )
+        )
+
+    def add_disk_full_window(
+        self, at_s: float = 0.0, until_s: float = math.inf, disk_id: str = ""
+    ) -> "FaultPlan":
+        """Window during which one (or any) disk has no temp space left:
+        spill writes raise a typed ``SpillCapacityError`` and WLM sheds the
+        query cleanly instead of letting it crash."""
+        return self.add(
+            FaultSpec(FaultKind.DISK_FULL, at_s, until_s, target=disk_id)
         )
 
     def block_bitflip(self, at_s: float, block: str = "#0") -> "FaultPlan":

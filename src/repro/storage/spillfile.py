@@ -1,0 +1,181 @@
+"""Accounted temp files for spilled operator state.
+
+Spill files follow the same simulation stance as the rest of the storage
+layer (:mod:`repro.storage.disk`): row payloads stay in process memory —
+queries run on real in-memory data — while every write, read and delete
+is accounted against the owning slice's :class:`SimulatedDisk`. That
+makes spill IO first-class for every existing failure mode: a
+``DISK_MEDIA_WINDOW`` fault hits spill reads and writes exactly like
+block IO (and is retried here with :func:`~repro.faults.retry.with_backoff`,
+re-reading the partition), a failed disk refuses spill IO, a full disk —
+real capacity or an injected ``DISK_FULL`` window — raises a typed
+:class:`~repro.errors.SpillCapacityError` so WLM can shed the query
+cleanly, and ``used_bytes`` includes live temp space until the owning
+:class:`SpillManager` reclaims it at end of query.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DiskMediaError, SpillCapacityError
+from repro.faults.retry import RetryPolicy, with_backoff
+from repro.storage.disk import SimulatedDisk
+from repro.util.rng import DeterministicRng
+
+
+class SpillFile:
+    """One temp file of spilled rows on a slice's disk.
+
+    Rows accumulate via :meth:`write` (each call is one accounted disk
+    write), come back in write order via :meth:`read` (one accounted
+    read of everything written), and the accounted bytes are released by
+    :meth:`release` — which the :class:`SpillManager` guarantees to call
+    by end of query, success or abort.
+    """
+
+    def __init__(self, manager: "SpillManager", disk: SimulatedDisk, label: str):
+        self._manager = manager
+        self.disk = disk
+        self.label = label
+        self.rows: list = []
+        self.bytes_written = 0
+        self.released = False
+
+    def write(self, rows: list, nbytes: int) -> None:
+        """Append *rows*, accounting *nbytes* of temp space on the disk.
+
+        Raises :class:`SpillCapacityError` when the disk has no room for
+        the write (over capacity, or an injected ``DISK_FULL`` window) —
+        the typed signal WLM converts into a clean shed. Transient media
+        errors are retried with backoff; a failed disk raises through.
+        """
+        disk = self.disk
+        injector = self._manager.injector
+        if injector is not None and injector.disk_full(disk.disk_id, nbytes):
+            raise SpillCapacityError(
+                disk.disk_id, nbytes, "disk_full fault window active"
+            )
+        if (
+            disk.capacity_bytes is not None
+            and disk.used_bytes + nbytes > disk.capacity_bytes
+        ):
+            raise SpillCapacityError(
+                disk.disk_id,
+                nbytes,
+                f"{disk.used_bytes} of {disk.capacity_bytes} bytes used",
+            )
+        self._manager._accounted(
+            lambda: disk.record_write(nbytes), disk.disk_id, "spill_write"
+        )
+        self.rows.extend(rows)
+        self.bytes_written += nbytes
+        self._manager.bytes_written += nbytes
+
+    def read(self) -> list:
+        """All rows in write order; accounts one read of the file's bytes.
+
+        An injected media error mid-read is retried with backoff — the
+        partition is simply read again, logged as a
+        ``recovery:spill_retry`` event — before being allowed to surface
+        to the session's segment-retry loop.
+        """
+        self._manager._accounted(
+            lambda: self.disk.record_read(self.bytes_written),
+            self.disk.disk_id,
+            "spill_read",
+        )
+        self._manager.bytes_read += self.bytes_written
+        return self.rows
+
+    def release(self) -> None:
+        """Reclaim the accounted temp space (idempotent, never raises)."""
+        if not self.released:
+            self.released = True
+            self.disk.record_delete(self.bytes_written)
+
+
+class SpillManager:
+    """All spill files of one query attempt, and their reclamation.
+
+    The session creates one per execution attempt and releases it in a
+    ``finally`` — so temp bytes are reclaimed on success, on segment
+    retry, on a WLM shed and on transaction abort alike, and leaked
+    spill space cannot accumulate across a fleet simulation.
+    """
+
+    def __init__(self, injector=None, policy: RetryPolicy | None = None):
+        self.injector = injector
+        self._policy = policy or RetryPolicy(base_delay_s=0.05, max_delay_s=1.0)
+        self._rng = DeterministicRng("spill-retry")
+        self._files: list[SpillFile] = []
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def create(self, disk: SimulatedDisk, label: str) -> SpillFile:
+        spill_file = SpillFile(self, disk, label)
+        self._files.append(spill_file)
+        return spill_file
+
+    def file_factory(self, disk: SimulatedDisk):
+        """A ``label -> SpillFile`` factory bound to *disk* (the shape the
+        spillable operator state in :mod:`repro.exec.spill` consumes)."""
+        return lambda label: self.create(disk, label)
+
+    @property
+    def live_bytes(self) -> int:
+        """Accounted temp bytes not yet reclaimed."""
+        return sum(f.bytes_written for f in self._files if not f.released)
+
+    def release_all(self) -> None:
+        """Reclaim every spill file of the attempt (idempotent)."""
+        for spill_file in self._files:
+            spill_file.release()
+
+    def replay(self, disk: SimulatedDisk, ops) -> None:
+        """Re-perform a worker's logged spill IO against *disk*.
+
+        Parallel workers spill against an op log
+        (:class:`repro.exec.spill.SpillLog`) instead of touching shared
+        state; the leader replays the log here, in morsel order — so
+        capacity checks, ``DISK_FULL`` windows, media-fault draws and
+        ``used_bytes`` accounting land exactly as they would have for a
+        serial run. The ledger file joins :attr:`_files`, so bytes still
+        outstanding when a replay op raises (e.g. a mid-query
+        ``SpillCapacityError``) are reclaimed by :meth:`release_all`
+        like any other temp space.
+        """
+        ledger = self.create(disk, "worker-replay")
+        for op, nbytes in ops:
+            if op == "write":
+                ledger.write((), nbytes)
+            elif op == "read":
+                self._accounted(
+                    lambda n=nbytes: disk.record_read(n),
+                    disk.disk_id,
+                    "spill_read",
+                )
+                self.bytes_read += nbytes
+            else:  # delete
+                disk.record_delete(nbytes)
+                ledger.bytes_written = max(0, ledger.bytes_written - nbytes)
+
+    def _accounted(self, op, disk_id: str, name: str) -> None:
+        """Run one accounted IO, retrying injected media errors."""
+        injector = self.injector
+        if injector is None:
+            op()
+            return
+
+        def _log_retry(attempt: int, exc: Exception, delay: float) -> None:
+            injector.record(
+                "recovery:spill_retry",
+                disk_id,
+                f"{name} attempt {attempt} hit media error; retried",
+            )
+
+        with_backoff(
+            op,
+            policy=self._policy,
+            rng=self._rng,
+            retry_on=(DiskMediaError,),
+            on_retry=_log_retry,
+        )

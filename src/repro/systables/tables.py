@@ -17,6 +17,8 @@ and executors call, and materializes rows on demand:
   computed live from the attached injector.
 - ``stv_slice_exec`` — per-slice worker accounting of the most recent
   parallel-executor query (snapshot: replaced each parallel run).
+- ``stv_query_spill`` — per-operator spill activity of the most recent
+  memory-governed query that spilled (snapshot: replaced per such query).
 
 Timestamps come from a bound :class:`~repro.cloud.simclock.SimClock` when
 the control plane manages the cluster (deterministic), and from wall
@@ -61,6 +63,17 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("workers", INTEGER),
         ("morsels", INTEGER),
         ("result_cache_hit", INTEGER),
+        ("spilled_bytes", BIGINT),
+        ("spill_partitions", INTEGER),
+    ],
+    "stv_query_spill": [
+        ("query", INTEGER),
+        ("step", INTEGER),
+        ("operator", varchar_type(128)),
+        ("disk", varchar_type(64)),
+        ("partitions", INTEGER),
+        ("bytes_written", BIGINT),
+        ("bytes_read", BIGINT),
     ],
     "stv_slice_exec": [
         ("query", INTEGER),
@@ -141,6 +154,7 @@ _STORED_TABLES = frozenset(
         "stv_wlm_query_state",
         "stl_wlm_rule_action",
         "stv_slice_exec",
+        "stv_query_spill",
     )
 )
 
@@ -247,6 +261,8 @@ class SystemTables:
                     op.workers,
                     op.morsels,
                     int(result_cache_hit),
+                    op.spilled_bytes,
+                    op.spill_partitions,
                 ),
             )
 
@@ -269,6 +285,26 @@ class SystemTables:
                     s.crashes,
                 )
                 for s in slice_execs
+            ],
+        )
+
+    def record_query_spill(self, query_id: int, events) -> None:
+        """Snapshot the per-operator spill activity of the latest
+        spilling query (stv_query_spill; *events* are
+        :class:`repro.exec.context.SpillEvent` objects)."""
+        self.store.replace(
+            "stv_query_spill",
+            [
+                (
+                    query_id,
+                    e.step,
+                    e.operator,
+                    e.disk_id,
+                    e.partitions,
+                    e.bytes_written,
+                    e.bytes_read,
+                )
+                for e in events
             ],
         )
 

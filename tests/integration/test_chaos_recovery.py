@@ -222,3 +222,106 @@ class TestRetryExhaustion:
         with pytest.raises(QueryRetryExhaustedError) as info:
             session.execute("SELECT count(*) FROM t")
         assert info.value.attempts == session.MAX_SEGMENT_RETRIES + 1
+
+
+class TestDiskFullSpillShedding:
+    """DISK_FULL windows (and real temp-space exhaustion) turn spilling
+    queries into clean sheds: a typed :class:`SpillCapacityError`, an
+    ``stl_wlm_rule_action`` row, and zero leaked temp bytes."""
+
+    BUDGET = 2048  # far below the working set: every run must spill
+    QUERY = (
+        "SELECT k, count(*), sum(v) FROM big "
+        "GROUP BY k ORDER BY sum(v) DESC, k"
+    )
+
+    def _spilling_cluster(self, **cluster_kwargs):
+        from repro import Cluster
+
+        cluster = Cluster(
+            node_count=2, slices_per_node=2, block_capacity=64,
+            **cluster_kwargs,
+        )
+        session = cluster.connect(memory_limit=self.BUDGET)
+        session.execute("SET enable_result_cache = off")
+        session.execute("CREATE TABLE big (k int, v int) DISTKEY(k)")
+        session.execute(
+            "INSERT INTO big VALUES "
+            + ",".join(f"({i % 40}, {i})" for i in range(2000))
+        )
+        return cluster, session
+
+    def test_disk_full_window_sheds_with_typed_error(self):
+        from repro.errors import SpillCapacityError
+        from repro.faults import FaultInjector
+
+        cluster, session = self._spilling_cluster()
+        expected = session.execute(self.QUERY).rows  # sanity: spills fine
+        injector = FaultInjector(FaultPlan(seed=3).add_disk_full_window())
+        cluster.attach_faults(injector)
+        used_before = cluster.total_bytes()
+        with pytest.raises(SpillCapacityError):
+            session.execute(self.QUERY)
+        # Clean shed: every temp spill byte was reclaimed.
+        assert cluster.total_bytes() == used_before
+        assert any(e.kind == "disk_full" for e in injector.log)
+        shed_rows = session.execute(
+            "SELECT queue, action, label FROM stl_wlm_rule_action"
+        ).rows
+        assert any(action == "shed" for _, action, _ in shed_rows)
+        # The window is the only failure cause: detach and the identical
+        # query completes (still spilling) with identical rows.
+        cluster.attach_faults(FaultInjector(FaultPlan()))
+        assert session.execute(self.QUERY).rows == expected
+
+    def test_disk_full_is_not_retried_as_recoverable(self):
+        """Capacity exhaustion is not a transient fault: even with a
+        recovery handler installed the query sheds instead of burning
+        segment retries."""
+        from repro.errors import SpillCapacityError
+        from repro.faults import FaultInjector
+
+        cluster, session = self._spilling_cluster()
+        cluster.attach_faults(
+            FaultInjector(FaultPlan(seed=4).add_disk_full_window())
+        )
+        calls = []
+        cluster.recovery_handler = lambda exc: calls.append(exc) or True
+        with pytest.raises(SpillCapacityError):
+            session.execute(self.QUERY)
+        assert calls == []  # the handler was never consulted
+
+    def test_disk_full_window_expires(self):
+        from repro.errors import SpillCapacityError
+        from repro.faults import FaultInjector
+
+        class _Clock:
+            now = 0.0
+
+        cluster, session = self._spilling_cluster()
+        clock = _Clock()
+        injector = FaultInjector(
+            FaultPlan(seed=5).add_disk_full_window(at_s=0.0, until_s=10.0),
+            clock=clock,
+        )
+        cluster.attach_faults(injector)
+        with pytest.raises(SpillCapacityError):
+            session.execute(self.QUERY)
+        clock.now = 20.0  # past the window: temp space is back
+        result = session.execute(self.QUERY)
+        assert result.stats.spilled_bytes > 0
+        assert result.rowcount == 40
+
+    def test_real_temp_space_exhaustion_sheds(self):
+        """No injected fault at all: a disk whose capacity holds the
+        table but not the spill working set sheds with the same typed
+        error and reclaims partial spill files."""
+        from repro.errors import SpillCapacityError
+
+        # 6000 bytes/disk: the loaded table peaks at ~4.4KB on the
+        # fullest disk, but the leader sort's spill runs push past 6KB.
+        cluster, session = self._spilling_cluster(disk_capacity_bytes=6000)
+        used_before = cluster.total_bytes()
+        with pytest.raises(SpillCapacityError):
+            session.execute(self.QUERY)
+        assert cluster.total_bytes() == used_before
