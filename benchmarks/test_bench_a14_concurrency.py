@@ -1,0 +1,112 @@
+"""Ablation a14 — concurrent-session throughput through the server.
+
+The multi-session server exists so one cluster can serve a fleet of
+clients; this ablation measures what that buys. A read-heavy dashboard
+mix (repeated aggregate templates with ~2 ms think time between
+queries) runs at 1, 8, and 64 concurrent sessions, with the leader
+result cache off and on, reporting QPS and p50/p99 statement latency
+per combination.
+
+Think time is the lever: a single session leaves the cluster idle
+between its queries, while 64 sessions overlap their think times, so
+total QPS must scale even though statement execution itself is
+serialized by the interpreter. The acceptance bar is >= 2x the
+single-session QPS at 64 sessions on the cache-on mix (where hits cost
+microseconds and admission/queueing is the only contention).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import Cluster
+from repro.server import ClusterServer, ServerConfig
+
+ROWS = 10_000
+LEVELS = (1, 8, 64)
+QUERIES_PER_SESSION = 24
+THINK_S = 0.002
+
+#: The dashboard template pool: a read-heavy, repeat-heavy mix.
+TEMPLATES = (
+    "SELECT count(*) FROM f",
+    "SELECT a, count(*) FROM f GROUP BY a",
+    "SELECT sum(b) FROM f WHERE a < 40",
+    "SELECT min(b), max(b) FROM f",
+)
+
+
+def build() -> Cluster:
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=1024)
+    session = cluster.connect()
+    session.execute("CREATE TABLE f (a int, b int) DISTSTYLE EVEN")
+    cluster.register_inline_source(
+        "bench://f", [f"{i % 97}|{i}" for i in range(ROWS)]
+    )
+    session.execute("COPY f FROM 'bench://f'")
+    return cluster
+
+
+def drive(cluster: Cluster, sessions: int, cache_on: bool):
+    """One fleet run; returns (qps, p50_ms, p99_ms)."""
+    server = ClusterServer(cluster, ServerConfig())
+    threads = []
+
+    def client(index: int) -> None:
+        handle = server.open_session(user_name=f"dash-{index}")
+        handle.execute(
+            f"SET enable_result_cache = {'on' if cache_on else 'off'}"
+        )
+        for step in range(QUERIES_PER_SESSION):
+            handle.execute(TEMPLATES[(index + step) % len(TEMPLATES)])
+            time.sleep(THINK_S)
+        handle.close()
+
+    t0 = time.perf_counter()
+    for index in range(sessions):
+        thread = threading.Thread(target=client, args=(index,))
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    metrics = server.metrics()
+    server.shutdown()
+    # metrics.queries includes the SET per session; count only the mix.
+    qps = (sessions * QUERIES_PER_SESSION) / wall
+    return qps, metrics.p50_ms, metrics.p99_ms
+
+
+def test_a14_concurrent_session_scaling(reporter, bench_record):
+    results: dict[tuple[int, bool], tuple[float, float, float]] = {}
+    for cache_on in (False, True):
+        cluster = build()
+        # Warm compile/segment caches so level 1 isn't charged for them.
+        cluster.connect().execute(TEMPLATES[0])
+        for level in LEVELS:
+            results[(level, cache_on)] = drive(cluster, level, cache_on)
+
+    lines = ["sessions | cache |      QPS |  p50 ms |  p99 ms"]
+    for (level, cache_on), (qps, p50, p99) in sorted(results.items()):
+        state = "on " if cache_on else "off"
+        lines.append(
+            f"{level:8} | {state}  | {qps:8.1f} | {p50:7.3f} | {p99:7.3f}"
+        )
+        bench_record(
+            **{
+                f"qps_s{level}_cache_{state.strip()}": round(qps, 1),
+                f"p50_ms_s{level}_cache_{state.strip()}": round(p50, 3),
+                f"p99_ms_s{level}_cache_{state.strip()}": round(p99, 3),
+            }
+        )
+    reporter("a14: QPS and latency vs concurrent sessions", lines)
+
+    # The tentpole's bar: on the read-heavy cache-on mix, 64 sessions
+    # must deliver at least twice the single-session throughput.
+    single = results[(1, True)][0]
+    fleet = results[(64, True)][0]
+    bench_record(fleet_over_single=round(fleet / single, 2))
+    assert fleet >= 2.0 * single, (
+        f"64-session QPS {fleet:.1f} < 2x single-session {single:.1f}"
+    )

@@ -13,6 +13,8 @@ maps a source URI to an iterable of text lines.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -158,6 +160,18 @@ class Cluster:
         )
         self._sources: dict[str, SourceProvider] = {}
         self._row_counters: dict[str, int] = {}
+        #: Serializes storage mutation (row routing, sealing, VACUUM
+        #: rewrites) across concurrent sessions: interleaved appends from
+        #: two threads would misalign column chains within a shard.
+        #: Reentrant because DML paths nest (UPDATE marks deletes, then
+        #: routes replacement rows through distribute_rows).
+        self.storage_lock = threading.RLock()
+        #: Session ids handed out by :meth:`connect` (stl_query /
+        #: stv_sessions join key).
+        self._session_ids = itertools.count(1)
+        #: The :class:`~repro.server.ClusterServer` fronting this
+        #: cluster, if any (feeds the stv_sessions system table).
+        self.server = None
         #: Shared fault injector; None until :meth:`attach_faults`.
         self.fault_injector = None
         #: Callable(exc) -> bool set by a RecoveryCoordinator; sessions
@@ -218,6 +232,8 @@ class Cluster:
         parallelism: int | None = None,
         pool_mode: str | None = None,
         memory_limit: int | None = None,
+        user_name: str = "",
+        queue: str = "default",
     ):
         """Open a session (the ODBC/JDBC connection analogue).
 
@@ -226,6 +242,8 @@ class Cluster:
         "thread" / "serial" (defaults to fork where available).
         ``memory_limit`` caps per-query operator memory in bytes
         (queries over it spill; equivalent to ``SET query_memory_limit``).
+        ``user_name`` and ``queue`` tag the session's stl_query rows so
+        capture/replay and stv_sessions can join on them.
         """
         from repro.engine.session import Session
 
@@ -235,6 +253,8 @@ class Cluster:
             parallelism=parallelism,
             pool_mode=pool_mode,
             memory_limit=memory_limit,
+            user_name=user_name,
+            queue=queue,
         )
 
     def close(self) -> None:
@@ -253,15 +273,17 @@ class Cluster:
         codecs = {
             c.name: (c.encode or "raw") for c in table.columns
         }
-        for store in self.slice_stores:
-            store.create_shard(table.name, table.column_specs, codecs)
-        self._row_counters[table.name] = 0
+        with self.storage_lock:
+            for store in self.slice_stores:
+                store.create_shard(table.name, table.column_specs, codecs)
+            self._row_counters[table.name] = 0
 
     def drop_table_storage(self, table_name: str) -> None:
-        for store in self.slice_stores:
-            if store.has_shard(table_name):
-                store.drop_shard(table_name)
-        self._row_counters.pop(table_name, None)
+        with self.storage_lock:
+            for store in self.slice_stores:
+                if store.has_shard(table_name):
+                    store.drop_shard(table_name)
+            self._row_counters.pop(table_name, None)
 
     # ---- row routing -------------------------------------------------------------
 
@@ -287,21 +309,22 @@ class Cluster:
         if dist.style is DistStyle.KEY:
             key_index = table.column_index(dist.column)  # type: ignore[attr-defined]
         buffers: list[list[tuple]] = [[] for _ in range(n)]
-        counter = self._row_counters.get(table.name, 0)
         count = 0
-        for row in rows:
-            if validate:
-                row = self._validate_row(table, row)
-            key_value = row[key_index] if key_index is not None else None
-            for target in dist.target_slices(counter, key_value, n):
-                buffers[target].append(tuple(row))
-            counter += 1
-            count += 1
-        self._row_counters[table.name] = counter
-        for store, buffered in zip(self.slice_stores, buffers):
-            if buffered:
-                store.shard(table.name).append_rows(buffered, xid)
-                store.disk.record_write(len(buffered) * table.row_byte_width)
+        with self.storage_lock:
+            counter = self._row_counters.get(table.name, 0)
+            for row in rows:
+                if validate:
+                    row = self._validate_row(table, row)
+                key_value = row[key_index] if key_index is not None else None
+                for target in dist.target_slices(counter, key_value, n):
+                    buffers[target].append(tuple(row))
+                counter += 1
+                count += 1
+            self._row_counters[table.name] = counter
+            for store, buffered in zip(self.slice_stores, buffers):
+                if buffered:
+                    store.shard(table.name).append_rows(buffered, xid)
+                    store.disk.record_write(len(buffered) * table.row_byte_width)
         return count
 
     @staticmethod
@@ -322,9 +345,10 @@ class Cluster:
 
     def seal_table(self, table_name: str) -> None:
         """Seal open tail blocks on every slice (end of a bulk load)."""
-        for store in self.slice_stores:
-            if store.has_shard(table_name):
-                store.shard(table_name).seal()
+        with self.storage_lock:
+            for store in self.slice_stores:
+                if store.has_shard(table_name):
+                    store.shard(table_name).seal()
 
     # ---- COPY sources ---------------------------------------------------------------
 

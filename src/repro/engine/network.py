@@ -10,6 +10,7 @@ redistribution moves nearly everything once.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -34,10 +35,22 @@ class NetworkStats:
 
 
 class Interconnect:
-    """Accounting for data movement between slices and to the leader."""
+    """Accounting for data movement between slices and to the leader.
+
+    The per-query recording calls run from one session's thread against
+    that query's private stats object, but :meth:`absorb` folds finished
+    queries into the cluster-lifetime counters from many session threads
+    at once — that read-modify-write is locked so no bytes are lost.
+    """
 
     def __init__(self) -> None:
         self.stats = NetworkStats()
+        self._lock = threading.Lock()
+
+    def absorb(self, other: NetworkStats) -> None:
+        """Fold one finished query's counters into the cumulative stats."""
+        with self._lock:
+            self.stats.merge(other)
 
     def record_broadcast(self, payload_bytes: int, to_slices: int) -> None:
         """One copy of *payload_bytes* sent to each of *to_slices* slices."""

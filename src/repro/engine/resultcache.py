@@ -22,6 +22,16 @@ commit/rollback — moves an epoch and the entry dies lazily on its next
 lookup. Sessions bypass the cache entirely inside explicit transactions
 and for system-table scans (see ``Session._run_select``).
 
+Concurrency: every cache operation takes the instance lock (the same
+treatment :class:`~repro.storage.blockcache.BlockDecodeCache` got), and
+the cache additionally deduplicates concurrent *executions*: when many
+sessions miss on the same key at once (the thundering-herd shape a
+dashboard fleet produces), :meth:`lead_or_wait` elects one leader to
+execute while the rest wait for the stored entry — execute-once,
+serve-many. A leader that fails (or whose result was too large to
+cache) wakes the waiters, and each re-checks the cache before electing
+itself the new leader, so progress never depends on any one session.
+
 Counters feed the ``stv_result_cache`` system table and the bench a12
 experiment.
 """
@@ -76,6 +86,19 @@ class CacheEntry:
         )
 
 
+class _Flight:
+    """One in-flight execution other sessions may wait on."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+#: How long a waiter trusts the leader before executing itself anyway.
+FLIGHT_TIMEOUT_S = 30.0
+
+
 class QueryResultCache:
     """LRU of result-cache key -> :class:`CacheEntry`."""
 
@@ -90,14 +113,33 @@ class QueryResultCache:
         self.max_rows = max_rows
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
+        #: key -> in-flight execution concurrent sessions coalesce on.
+        self._flights: dict[str, _Flight] = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Executions avoided by waiting on another session's in-flight
+        #: run and then hitting the entry it stored.
+        self.flight_waits = 0
+        #: Waits that did NOT end in a hit (leader failed, result too
+        #: large to cache, or the wait timed out): the waiter executed.
+        self.flight_fallbacks = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _get_valid(self, key: str) -> CacheEntry | None:
+        """Valid entry under *key* (lock held); drops a stale one."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if not entry.valid():
+            del self._entries[key]
+            self.invalidations += 1
+            return None
+        return entry
 
     def lookup(self, key: str) -> CacheEntry | None:
         """The valid entry under *key*, or None.
@@ -107,19 +149,63 @@ class QueryResultCache:
         invalidation and a miss.
         """
         with self._lock:
-            entry = self._entries.get(key)
+            entry = self._get_valid(key)
             if entry is None:
-                self.misses += 1
-                return None
-            if not entry.valid():
-                del self._entries[key]
-                self.invalidations += 1
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             entry.hits += 1
             return entry
+
+    def lead_or_wait(
+        self, key: str, timeout: float = FLIGHT_TIMEOUT_S
+    ) -> tuple[CacheEntry | None, bool]:
+        """Hit, or elect this session to execute — ``(entry, leads)``.
+
+        ``(entry, False)``: a valid entry exists (possibly stored by a
+        leader this call waited on) — serve it. ``(None, True)``: no
+        entry and no execution in flight; the caller must execute and
+        then call :meth:`finish_flight` (success or not). ``(None,
+        False)``: the wait on a leader timed out; execute without
+        owning the flight.
+        """
+        waited = False
+        while True:
+            with self._lock:
+                entry = self._get_valid(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    entry.hits += 1
+                    if waited:
+                        self.flight_waits += 1
+                    return entry, False
+                flight = self._flights.get(key)
+                if flight is None:
+                    self._flights[key] = _Flight()
+                    self.misses += 1
+                    if waited:
+                        self.flight_fallbacks += 1
+                    return None, True
+            if not flight.event.wait(timeout):
+                with self._lock:
+                    self.misses += 1
+                    self.flight_fallbacks += 1
+                return None, False
+            waited = True
+
+    def finish_flight(self, key: str) -> None:
+        """End this session's in-flight execution and wake the waiters.
+
+        Must run whether the execution stored an entry, failed, or
+        produced an uncacheable result; each waiter re-checks the cache
+        and, if it finds nothing, elects itself the next leader.
+        """
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.event.set()
 
     def store(
         self,

@@ -51,6 +51,7 @@ from repro.sql.expressions import compile_expression, literal_value
 from repro.sql.hll import HyperLogLog
 from repro.sql.parser import parse_statement, parse_statements
 from repro.storage import epoch
+from repro.util.fingerprint import result_fingerprint
 
 
 @dataclass
@@ -114,6 +115,8 @@ class Session:
         parallelism: int | None = None,
         pool_mode: str | None = None,
         memory_limit: int | None = None,
+        user_name: str = "",
+        queue: str = "default",
     ):
         if executor not in _EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}")
@@ -122,6 +125,15 @@ class Session:
         if pool_mode is not None and pool_mode not in ("fork", "thread", "serial"):
             raise ValueError(f"unknown pool mode {pool_mode!r}")
         self._cluster = cluster
+        #: Cluster-unique connection identity; stl_query rows carry it so
+        #: capture/replay can reconstruct per-session query streams.
+        self.session_id = next(cluster._session_ids)
+        self.user_name = user_name
+        self.queue_name = queue
+        #: Per-session admission gate override. The concurrent server
+        #: (:class:`repro.server.ClusterServer`) installs its live
+        #: per-queue SlotGate here; None falls back to the cluster gate.
+        self.wlm_gate = None
         self._executor_kind = executor
         #: Workers per parallel pipeline; None = one per slice (capped to
         #: the machine's cores), the paper's slice-per-core layout.
@@ -209,8 +221,14 @@ class Session:
                 ended=systables.now,
                 elapsed_us=int((time.perf_counter() - t0) * 1_000_000),
                 error=str(exc),
+                queue=self.queue_name,
+                session_id=self.session_id,
+                user_name=self.user_name,
             )
             raise
+        fingerprint = ""
+        if result.command == "SELECT":
+            fingerprint = result_fingerprint(result.columns, result.rows)
         systables.record_query(
             query_id,
             text=statement.to_sql(),
@@ -221,6 +239,10 @@ class Session:
             executor=result.stats.executor if result.stats else None,
             rows=result.rowcount,
             segment_retries=result.stats.segment_retries if result.stats else 0,
+            queue=self.queue_name,
+            session_id=self.session_id,
+            user_name=self.user_name,
+            result_fingerprint=fingerprint,
         )
         if result.stats and result.stats.operators:
             systables.record_query_summary(
@@ -394,7 +416,7 @@ class Session:
             return self._memory_limit
         pool = getattr(self._cluster, "memory_bytes", None)
         manager = getattr(self._cluster, "workload_manager", None)
-        gate = self._cluster.wlm_gate
+        gate = self._admission_gate()
         if not pool or manager is None or gate is None:
             return None
         try:
@@ -402,6 +424,13 @@ class Session:
         except KeyError:
             return None
         return max(1, int(pool * fraction))
+
+    def _admission_gate(self):
+        """The WLM gate this session faces: the server-installed live
+        per-queue gate when one is set, else the cluster-wide gate."""
+        if self.wlm_gate is not None:
+            return self.wlm_gate
+        return self._cluster.wlm_gate
 
     def _context(self, xid: int) -> ExecutionContext:
         # Each query gets its own interconnect so its stats are scoped to
@@ -465,7 +494,7 @@ class Session:
         cache_key: str | None = None
         sql_text = ""
         scan_tables: tuple[str, ...] = ()
-        entry_epochs: tuple[int, ...] = ()
+        owns_flight = False
         if (
             result_cache is not None
             and self._enable_result_cache
@@ -479,13 +508,40 @@ class Session:
             cache_key = result_cache_key(
                 sql_text, explain(physical), self._executor_kind
             )
-            entry = result_cache.lookup(cache_key)
+            # Single-flight: N concurrent sessions missing on the same
+            # key execute once — one leads, the rest wait here and are
+            # served the entry the leader stored.
+            entry, owns_flight = result_cache.lead_or_wait(cache_key)
             if entry is not None:
                 return self._serve_cached(entry, physical, top_level)
+        try:
+            return self._execute_select(
+                query, xid, top_level, physical, columns, system_rows,
+                result_cache, cache_key, sql_text, scan_tables,
+            )
+        finally:
+            # Wake the waiters no matter how the execution ended; a
+            # waiter finding no stored entry leads the next flight.
+            if owns_flight:
+                result_cache.finish_flight(cache_key)
 
-        gate = self._cluster.wlm_gate
+    def _execute_select(
+        self,
+        query,
+        xid: int,
+        top_level: bool,
+        physical,
+        columns: list[str],
+        system_rows: dict[str, list[tuple]],
+        result_cache,
+        cache_key: str | None,
+        sql_text: str,
+        scan_tables: tuple[str, ...],
+    ) -> QueryResult:
+        gate = self._admission_gate()
         if gate is not None and top_level:
             gate.admit(sql_text or query.to_sql())
+        entry_epochs: tuple[int, ...] = ()
         retries = 0
         while True:
             # Each attempt gets a fresh context: a retried segment restarts
@@ -498,6 +554,15 @@ class Session:
                 epoch.table_epoch(table) for table in scan_tables
             )
             ctx = self._context(xid)
+            if cache_key is not None:
+                # Cached (autocommit) SELECTs must freeze their snapshot
+                # AFTER the epoch capture above: a commit between the
+                # transaction-start snapshot and the capture would be
+                # invisible to the result yet already in the epochs,
+                # storing a stale entry that validates forever.
+                ctx.snapshot = self._cluster.transactions.statement_snapshot(
+                    xid
+                )
             ctx.system_rows = system_rows
             ctx.stats.executor = self._executor_kind
             ctx.stats.plan_text = explain(physical)
@@ -531,7 +596,7 @@ class Session:
         ctx.stats.rows_returned = len(rows)
         if ctx.memory_budget is not None:
             ctx.stats.peak_memory_bytes = ctx.memory_budget.peak_bytes
-        self._cluster.interconnect.stats.merge(ctx.interconnect.stats)
+        self._cluster.interconnect.absorb(ctx.interconnect.stats)
         if cache_key is not None:
             result_cache.store(
                 cache_key,
@@ -557,7 +622,7 @@ class Session:
         systables = self._cluster.systables
         if systables is None:
             return
-        gate = self._cluster.wlm_gate
+        gate = self._admission_gate()
         systables.store.append(
             "stl_wlm_rule_action",
             (
@@ -587,7 +652,7 @@ class Session:
         stats.operators = [
             OperatorStat(step=-1, operator="Result Cache", rows=len(rows))
         ]
-        gate = self._cluster.wlm_gate
+        gate = self._admission_gate()
         if gate is not None and top_level:
             gate.record_bypass(entry.sql)
         return QueryResult(
@@ -880,18 +945,22 @@ class Session:
         # DELETE never routes through distribute_rows, so register the
         # write here (commit/rollback re-bump the table's epoch).
         self._cluster.transactions.record_write(xid, table.name)
-        matches = self._matching_offsets(table, statement.where, xid)
         count = 0
         logical_rows = 0
-        for slice_index, offsets, _rows in matches:
-            store = self._cluster.slice_stores[slice_index]
-            shard = store.shard(table.name)
-            shard.mark_deleted(offsets, xid)
-            for offset in offsets:
-                self._cluster.transactions.record_delete(
-                    xid, table.name, store.slice_id, offset
-                )
-            count += len(offsets)
+        # Match and mark under the storage lock: a concurrent VACUUM
+        # rewrite between the two would shuffle the offsets out from
+        # under the delete markers.
+        with self._cluster.storage_lock:
+            matches = self._matching_offsets(table, statement.where, xid)
+            for slice_index, offsets, _rows in matches:
+                store = self._cluster.slice_stores[slice_index]
+                shard = store.shard(table.name)
+                shard.mark_deleted(offsets, xid)
+                for offset in offsets:
+                    self._cluster.transactions.record_delete(
+                        xid, table.name, store.slice_id, offset
+                    )
+                count += len(offsets)
         if table.distribution.style is DistStyle.ALL:
             slice_count = max(1, self._cluster.slice_count)
             logical_rows = count // slice_count
@@ -915,26 +984,29 @@ class Session:
             assignment_fns.append(
                 (table.column_index(column_name), compile_expression(bound, _reject_column_refs))
             )
-        matches = self._matching_offsets(table, statement.where, xid)
         new_rows: list[tuple] = []
         count = 0
         seen_logical = table.distribution.style is not DistStyle.ALL
-        for slice_index, offsets, rows in matches:
-            store = self._cluster.slice_stores[slice_index]
-            shard = store.shard(table.name)
-            shard.mark_deleted(offsets, xid)
-            for offset in offsets:
-                self._cluster.transactions.record_delete(
-                    xid, table.name, store.slice_id, offset
-                )
-            if seen_logical or not new_rows:
-                for row in rows:
-                    updated = list(row)
-                    for index, fn in assignment_fns:
-                        updated[index] = fn(row)
-                    new_rows.append(tuple(updated))
-            count += len(offsets)
-        self._cluster.distribute_rows(table, new_rows, xid)
+        # Delete-then-reinsert is atomic against other storage mutators
+        # (the lock is reentrant, so the nested distribute_rows is fine).
+        with self._cluster.storage_lock:
+            matches = self._matching_offsets(table, statement.where, xid)
+            for slice_index, offsets, rows in matches:
+                store = self._cluster.slice_stores[slice_index]
+                shard = store.shard(table.name)
+                shard.mark_deleted(offsets, xid)
+                for offset in offsets:
+                    self._cluster.transactions.record_delete(
+                        xid, table.name, store.slice_id, offset
+                    )
+                if seen_logical or not new_rows:
+                    for row in rows:
+                        updated = list(row)
+                        for index, fn in assignment_fns:
+                            updated[index] = fn(row)
+                        new_rows.append(tuple(updated))
+                count += len(offsets)
+            self._cluster.distribute_rows(table, new_rows, xid)
         self._update_statistics(table, xid)
         logical = (
             len(new_rows)
@@ -1088,32 +1160,35 @@ class Session:
         self._cluster.transactions.record_write(xid, table.name)
         snapshot = self._cluster.transactions.snapshot(xid)
         sort_key = table.sort_key
-        for store in self._cluster.slice_stores:
-            if not store.has_shard(table.name):
-                continue
-            shard = store.shard(table.name)
-            if shard.row_count == 0:
-                continue
-            visible = [
-                offset
-                for offset in range(shard.row_count)
-                if snapshot.can_see(
-                    shard.insert_xids[offset], shard.delete_xids[offset]
-                )
-            ]
-            if not reclaim and len(visible) != shard.row_count:
-                # COPY-time sorting never drops rows others might see.
-                continue
-            if sort_key is not None:
-                key_vectors = []
-                for column in sort_key.columns:
-                    values = shard.chain(column).read_all()
-                    key_vectors.append([values[i] for i in visible])
-                order_local = sort_key.sort_order(key_vectors)
-                order = [visible[i] for i in order_local]
-            else:
-                order = visible
-            shard.rewrite_sorted(order, BOOTSTRAP_XID)
+        # The rewrite replaces whole shards; the storage lock keeps
+        # concurrent DML off the table while offsets are reshuffled.
+        with self._cluster.storage_lock:
+            for store in self._cluster.slice_stores:
+                if not store.has_shard(table.name):
+                    continue
+                shard = store.shard(table.name)
+                if shard.row_count == 0:
+                    continue
+                visible = [
+                    offset
+                    for offset in range(shard.row_count)
+                    if snapshot.can_see(
+                        shard.insert_xids[offset], shard.delete_xids[offset]
+                    )
+                ]
+                if not reclaim and len(visible) != shard.row_count:
+                    # COPY-time sorting never drops rows others might see.
+                    continue
+                if sort_key is not None:
+                    key_vectors = []
+                    for column in sort_key.columns:
+                        values = shard.chain(column).read_all()
+                        key_vectors.append([values[i] for i in visible])
+                    order_local = sort_key.sort_order(key_vectors)
+                    order = [visible[i] for i in order_local]
+                else:
+                    order = visible
+                shard.rewrite_sorted(order, BOOTSTRAP_XID)
 
     # ---- statistics -------------------------------------------------------------------------
 

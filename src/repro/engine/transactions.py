@@ -13,6 +13,7 @@ that delete the same row cannot both commit (first committer wins).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import SerializationError, TransactionError
@@ -55,7 +56,15 @@ class _Transaction:
 
 
 class TransactionManager:
-    """Allocates xids, tracks commit state, detects delete conflicts."""
+    """Allocates xids, tracks commit state, detects delete conflicts.
+
+    All state transitions happen under one lock: concurrent sessions
+    begin/commit from their own threads, and an unlocked
+    ``frozenset(self._committed)`` racing a commit's ``set.add`` is a
+    RuntimeError ("set changed size during iteration") waiting to fire.
+    The lock serializes commit itself, which is also what makes
+    first-committer-wins conflict detection sound under concurrency.
+    """
 
     def __init__(self) -> None:
         self._next_xid = 1
@@ -63,15 +72,17 @@ class TransactionManager:
         self._active: dict[int, _Transaction] = {}
         #: (table, slice_id, row_offset) -> xid that committed a delete of it
         self._committed_deletes: dict[tuple[str, str, int], int] = {}
+        self._lock = threading.Lock()
 
     def begin(self) -> int:
         """Start a transaction; returns its xid."""
-        xid = self._next_xid
-        self._next_xid += 1
-        self._active[xid] = _Transaction(
-            xid=xid, snapshot_committed=frozenset(self._committed)
-        )
-        return xid
+        with self._lock:
+            xid = self._next_xid
+            self._next_xid += 1
+            self._active[xid] = _Transaction(
+                xid=xid, snapshot_committed=frozenset(self._committed)
+            )
+            return xid
 
     def snapshot(self, xid: int) -> Snapshot:
         """The snapshot a statement of *xid* runs against.
@@ -79,12 +90,14 @@ class TransactionManager:
         Redshift runs statements against the transaction-start snapshot;
         we match that (repeatable read within a transaction).
         """
-        txn = self._require(xid)
-        return Snapshot(xid=xid, committed=txn.snapshot_committed)
+        with self._lock:
+            txn = self._require(xid)
+            return Snapshot(xid=xid, committed=txn.snapshot_committed)
 
     def record_delete(self, xid: int, table: str, slice_id: str, offset: int) -> None:
         """Note that *xid* deleted a row (for conflict detection at commit)."""
-        self._require(xid).deleted_rows.add((table, slice_id, offset))
+        with self._lock:
+            self._require(xid).deleted_rows.add((table, slice_id, offset))
 
     def record_write(self, xid: int, table: str) -> None:
         """Note that *xid* wrote *table*, so the table's mutation epoch
@@ -98,54 +111,83 @@ class TransactionManager:
         Rollback bumps too — spurious but safe. Writes outside any live
         transaction (bootstrap loads) are ignored.
         """
-        txn = self._active.get(xid)
-        if txn is not None:
-            txn.written_tables.add(table)
+        with self._lock:
+            txn = self._active.get(xid)
+            if txn is not None:
+                txn.written_tables.add(table)
 
     def commit(self, xid: int) -> None:
         """Commit, failing with SerializationError on write-write conflict."""
-        txn = self._require(xid)
-        for key in txn.deleted_rows:
-            winner = self._committed_deletes.get(key)
-            if winner is not None and winner not in txn.snapshot_committed:
-                txn.active = False
-                del self._active[xid]
-                for table in txn.written_tables:
-                    epoch.bump(table)
-                raise SerializationError(
-                    f"transaction {xid} conflicts with concurrent delete of "
-                    f"row {key} by transaction {winner}"
-                )
-        for key in txn.deleted_rows:
-            self._committed_deletes[key] = xid
-        self._committed.add(xid)
-        del self._active[xid]
-        for table in txn.written_tables:
+        with self._lock:
+            txn = self._require(xid)
+            for key in txn.deleted_rows:
+                winner = self._committed_deletes.get(key)
+                if winner is not None and winner not in txn.snapshot_committed:
+                    txn.active = False
+                    del self._active[xid]
+                    for table in txn.written_tables:
+                        epoch.bump(table)
+                    raise SerializationError(
+                        f"transaction {xid} conflicts with concurrent delete of "
+                        f"row {key} by transaction {winner}"
+                    )
+            for key in txn.deleted_rows:
+                self._committed_deletes[key] = xid
+            self._committed.add(xid)
+            del self._active[xid]
+            written = txn.written_tables
+        # Epoch bumps after the commit point: a reader that sees the new
+        # epoch re-reads and finds the rows already visible.
+        for table in written:
             epoch.bump(table)
 
     def rollback(self, xid: int) -> None:
         """Abort: the xid never enters the committed set, so its effects are
         invisible forever."""
-        txn = self._require(xid)
-        del self._active[xid]
-        for table in txn.written_tables:
+        with self._lock:
+            txn = self._require(xid)
+            del self._active[xid]
+            written = txn.written_tables
+        for table in written:
             epoch.bump(table)
+
+    def statement_snapshot(self, xid: int) -> Snapshot:
+        """A snapshot of *xid* against everything committed *right now*.
+
+        Autocommit cached SELECTs use this instead of :meth:`snapshot`:
+        the result cache validates entries by table epoch, and epochs
+        are captured when the statement starts executing — after
+        ``begin()`` froze the transaction-start snapshot. A commit
+        landing in that gap would be invisible to the frozen snapshot
+        yet already counted in the captured epochs, leaving a stale
+        entry that validates forever. Freezing the committed set after
+        the epoch capture closes the gap: any commit the statement
+        cannot see must bump its tables' epochs later, killing the
+        entry.
+        """
+        with self._lock:
+            self._require(xid)
+            return Snapshot(xid=xid, committed=frozenset(self._committed))
 
     def snapshot_latest(self) -> Snapshot:
         """A read-only snapshot of everything committed so far (used by
         maintenance paths such as statistics collection)."""
-        return Snapshot(xid=-1, committed=frozenset(self._committed))
+        with self._lock:
+            return Snapshot(xid=-1, committed=frozenset(self._committed))
 
     def is_committed(self, xid: int) -> bool:
-        return xid in self._committed
+        with self._lock:
+            return xid in self._committed
 
     @property
     def committed_xids(self) -> frozenset[int]:
-        return frozenset(self._committed)
+        with self._lock:
+            return frozenset(self._committed)
 
     @property
     def active_count(self) -> int:
-        return len(self._active)
+        with self._lock:
+            return len(self._active)
 
     def _require(self, xid: int) -> _Transaction:
         txn = self._active.get(xid)

@@ -10,6 +10,7 @@ the signal the tuning advisor consumes.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -33,10 +34,16 @@ class WorkloadLog:
 
     counts: Counter = field(default_factory=Counter)
     queries_seen: int = 0
+    #: Counter increments are read-modify-write; concurrent sessions
+    #: record plans from their own threads.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_plan(self, plan: PhysicalNode) -> None:
-        self.queries_seen += 1
-        self._walk(plan)
+        with self._lock:
+            self.queries_seen += 1
+            self._walk(plan)
 
     # ---- extraction -------------------------------------------------------
 

@@ -245,6 +245,68 @@ class KmsError(CloudError):
 
 
 # --------------------------------------------------------------------------
+# Concurrent server frontend
+# --------------------------------------------------------------------------
+
+class ServerError(ReproError):
+    """Base class for concurrent-session server errors."""
+
+
+class SessionClosedError(ServerError):
+    """Raised when work is submitted to a closed or draining session."""
+
+    def __init__(self, session_id: int, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"session {session_id} is closed{suffix}")
+        self.session_id = session_id
+
+
+class ServerOverloadError(ServerError):
+    """Raised when a session's bounded submission queue is full.
+
+    Backpressure at the connection, before WLM: the client must slow
+    down or the work is refused outright (never buffered without bound).
+    """
+
+    def __init__(self, session_id: int, depth: int):
+        super().__init__(
+            f"session {session_id} submission queue is full ({depth} pending)"
+        )
+        self.session_id = session_id
+        self.depth = depth
+
+
+class AdmissionError(ExecutionError):
+    """Base class for live WLM admission failures (shed / timeout)."""
+
+
+class AdmissionShedError(AdmissionError):
+    """Raised when a queue at max depth sheds an arriving query."""
+
+    def __init__(self, queue: str, waiting: int):
+        super().__init__(
+            f"WLM queue {queue!r} shed the query ({waiting} already waiting)"
+        )
+        self.queue = queue
+        self.waiting = waiting
+
+
+class AdmissionTimeoutError(AdmissionError):
+    """Raised when a query waits longer than the queue's admission timeout."""
+
+    def __init__(self, queue: str, timeout_s: float):
+        super().__init__(
+            f"WLM queue {queue!r} admission timed out after {timeout_s}s"
+        )
+        self.queue = queue
+        self.timeout_s = timeout_s
+
+
+class ReplayError(ReproError):
+    """Raised for workload capture/replay protocol problems."""
+
+
+# --------------------------------------------------------------------------
 # Control plane
 # --------------------------------------------------------------------------
 

@@ -153,6 +153,12 @@ class SegmentCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        #: Stores that found the signature already present and kept the
+        #: existing entry — concurrent sessions compiling the same
+        #: fragment race to store, and first-store-wins preserves the
+        #: incumbent's hit counter (equal signatures generate equal
+        #: code, so any copy is interchangeable).
+        self.duplicate_stores = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -172,11 +178,14 @@ class SegmentCache:
         self, signature: str, mode: str, fn: Callable, env_template: dict
     ) -> None:
         with self._lock:
+            if signature in self._entries:
+                self._entries.move_to_end(signature)
+                self.duplicate_stores += 1
+                return
             self._entries[signature] = SegmentEntry(
                 signature=signature, mode=mode, fn=fn,
                 env_template=env_template,
             )
-            self._entries.move_to_end(signature)
             self.stores += 1
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)

@@ -1,0 +1,50 @@
+"""Workload capture, replay, and synthesis.
+
+The SimpleReplay-style tool for the repro engine: extract a captured
+multi-session workload from ``stl_query``, replay it against any
+cluster configuration at original or accelerated pacing with the
+original session interleaving, and diff results and latency
+distributions. The synthesizer generates mixed fleets (ETL writers,
+dashboard readers, ad-hoc analysts) from trace statistics with a
+seeded RNG.
+"""
+
+from repro.replay.capture import (
+    CapturedQuery,
+    CapturedWorkload,
+    capture_workload,
+)
+from repro.replay.replay import (
+    LatencyComparison,
+    ReplayDiff,
+    ReplayReport,
+    ReplayedQuery,
+    diff_capture,
+    diff_reports,
+    replay,
+)
+from repro.replay.synthesize import (
+    FleetProfile,
+    TableSpec,
+    TraceStats,
+    synthesize,
+    synthesize_like,
+)
+
+__all__ = [
+    "CapturedQuery",
+    "CapturedWorkload",
+    "capture_workload",
+    "LatencyComparison",
+    "ReplayDiff",
+    "ReplayReport",
+    "ReplayedQuery",
+    "diff_capture",
+    "diff_reports",
+    "replay",
+    "FleetProfile",
+    "TableSpec",
+    "TraceStats",
+    "synthesize",
+    "synthesize_like",
+]

@@ -1,0 +1,144 @@
+"""Workload capture: stl_query -> a replayable trace.
+
+Real-world cluster migrations are validated with SimpleReplay: extract
+the audit log of what customers actually ran, then re-run it elsewhere.
+Here ``stl_query`` *is* the audit log — it already carries per-query
+session identity, queue, timing, executor, and a result fingerprint —
+so capture is a projection: select the rows, anchor their start times
+to the first query (``offset_s``), and group by session.
+
+A captured workload is a value object: JSON round-trippable, sliceable
+by session, and independent of the cluster it came from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ReplayError
+from repro.systables.tables import SYSTEM_TABLE_COLUMNS
+
+#: stl_query statements that carry no replayable work.
+_SKIPPED_PREFIXES = ("EXPLAIN",)
+
+_SYSTEM_PREFIXES = ("stl_", "stv_", "svl_")
+
+
+@dataclass(frozen=True)
+class CapturedQuery:
+    """One statement of the captured workload."""
+
+    query_id: int
+    session_id: int
+    user_name: str
+    queue: str
+    text: str
+    #: Seconds after the first captured query's start.
+    offset_s: float
+    elapsed_us: int
+    state: str
+    executor: str | None
+    rows: int
+    result_fingerprint: str
+
+
+@dataclass
+class CapturedWorkload:
+    """An ordered, session-tagged query trace."""
+
+    queries: list[CapturedQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def sessions(self) -> dict[int, list[CapturedQuery]]:
+        """Per-session streams, each in original execution order."""
+        out: dict[int, list[CapturedQuery]] = {}
+        for query in self.queries:
+            out.setdefault(query.session_id, []).append(query)
+        return out
+
+    @property
+    def duration_s(self) -> float:
+        """Span from the first query's start to the last one's start."""
+        if not self.queries:
+            return 0.0
+        return max(q.offset_s for q in self.queries)
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of captured statements that are SELECTs."""
+        if not self.queries:
+            return 0.0
+        reads = sum(
+            1
+            for q in self.queries
+            if q.text.lstrip().upper().startswith("SELECT")
+        )
+        return reads / len(self.queries)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"queries": [asdict(q) for q in self.queries]}, indent=2
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CapturedWorkload":
+        try:
+            payload = json.loads(text)
+            queries = [CapturedQuery(**q) for q in payload["queries"]]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ReplayError(f"malformed captured workload: {exc}") from exc
+        return cls(queries=queries)
+
+
+def capture_workload(
+    cluster,
+    include_failed: bool = False,
+    include_system: bool = False,
+) -> CapturedWorkload:
+    """Extract the replayable workload from *cluster*'s ``stl_query``.
+
+    Skips failed statements (unless *include_failed*), statements over
+    system tables (their rows are instance-local telemetry — replaying
+    them compares nothing; unless *include_system*), and EXPLAIN.
+    """
+    systables = cluster.systables
+    if systables is None:
+        raise ReplayError("cluster has no system tables to capture from")
+    columns = [name for name, _ in SYSTEM_TABLE_COLUMNS["stl_query"]]
+    col = {name: index for index, name in enumerate(columns)}
+    rows = systables.rows("stl_query")
+    if not rows:
+        return CapturedWorkload()
+    base = min(row[col["starttime"]] for row in rows)
+    queries: list[CapturedQuery] = []
+    for row in rows:
+        text = row[col["querytxt"]]
+        if row[col["state"]] != "success" and not include_failed:
+            continue
+        if text.upper().startswith(_SKIPPED_PREFIXES):
+            continue
+        lowered = text.lower()
+        if not include_system and any(
+            prefix in lowered for prefix in _SYSTEM_PREFIXES
+        ):
+            continue
+        queries.append(
+            CapturedQuery(
+                query_id=row[col["query"]],
+                session_id=row[col["session_id"]],
+                user_name=row[col["user_name"]],
+                queue=row[col["queue"]],
+                text=text,
+                offset_s=row[col["starttime"]] - base,
+                elapsed_us=row[col["elapsed_us"]],
+                state=row[col["state"]],
+                executor=row[col["executor"]],
+                rows=row[col["rows"]],
+                result_fingerprint=row[col["result_fingerprint"]] or "",
+            )
+        )
+    queries.sort(key=lambda q: (q.offset_s, q.query_id))
+    return CapturedWorkload(queries=queries)

@@ -1,0 +1,23 @@
+"""Concurrent multi-session server frontend.
+
+The paper's cluster serves "hundreds of concurrent clients" through the
+leader node; this package is that frontend for the repro engine — many
+client sessions multiplexed over one cluster, each with its own worker
+thread, bounded submission queue, and live WLM admission.
+"""
+
+from repro.server.server import (
+    ClusterServer,
+    ServerConfig,
+    ServerMetrics,
+    ServerSession,
+    SlotGate,
+)
+
+__all__ = [
+    "ClusterServer",
+    "ServerConfig",
+    "ServerMetrics",
+    "ServerSession",
+    "SlotGate",
+]

@@ -6,10 +6,15 @@ in real Redshift similarly retain "two to five days" of log history, not
 forever). Eviction is purely count-based, so retention is deterministic —
 the same sequence of appends always leaves the same rows regardless of
 wall-clock timing.
+
+All operations take one store-wide lock: concurrent sessions append
+telemetry from their own threads, and iterating a deque (``rows``) while
+another thread appends raises "deque mutated during iteration".
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Iterable
 
@@ -29,6 +34,7 @@ class SystemEventStore:
             )
         self.max_rows_per_table = max_rows_per_table
         self._tables: dict[str, deque[tuple]] = {}
+        self._lock = threading.Lock()
 
     def _ring(self, table: str) -> deque[tuple]:
         ring = self._tables.get(table)
@@ -39,28 +45,34 @@ class SystemEventStore:
 
     def append(self, table: str, row: Iterable[object]) -> None:
         """Append one row; the oldest row is evicted once full."""
-        self._ring(table).append(tuple(row))
+        with self._lock:
+            self._ring(table).append(tuple(row))
 
     def extend(self, table: str, rows: Iterable[Iterable[object]]) -> None:
-        ring = self._ring(table)
-        for row in rows:
-            ring.append(tuple(row))
+        with self._lock:
+            ring = self._ring(table)
+            for row in rows:
+                ring.append(tuple(row))
 
     def replace(self, table: str, rows: Iterable[Iterable[object]]) -> None:
         """Replace a table's contents (STV tables are snapshots, not logs)."""
-        ring = self._ring(table)
-        ring.clear()
-        for row in rows:
-            ring.append(tuple(row))
+        with self._lock:
+            ring = self._ring(table)
+            ring.clear()
+            for row in rows:
+                ring.append(tuple(row))
 
     def rows(self, table: str) -> list[tuple]:
-        return list(self._tables.get(table, ()))
+        with self._lock:
+            return list(self._tables.get(table, ()))
 
     def row_count(self, table: str) -> int:
-        return len(self._tables.get(table, ()))
+        with self._lock:
+            return len(self._tables.get(table, ()))
 
     def clear(self, table: str | None = None) -> None:
-        if table is None:
-            self._tables.clear()
-        else:
-            self._tables.pop(table, None)
+        with self._lock:
+            if table is None:
+                self._tables.clear()
+            else:
+                self._tables.pop(table, None)

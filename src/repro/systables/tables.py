@@ -19,6 +19,11 @@ and executors call, and materializes rows on demand:
   parallel-executor query (snapshot: replaced each parallel run).
 - ``stv_query_spill`` — per-operator spill activity of the most recent
   memory-governed query that spilled (snapshot: replaced per such query).
+- ``stv_sessions`` — one row per live server session, computed live from
+  the attached :class:`~repro.server.ClusterServer` (empty when no
+  server is running).
+- ``stl_connection_log`` — connect/disconnect events of server sessions
+  (log).
 
 Timestamps come from a bound :class:`~repro.cloud.simclock.SimClock` when
 the control plane manages the cluster (deterministic), and from wall
@@ -48,6 +53,27 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("executor", varchar_type(16)),
         ("rows", BIGINT),
         ("segment_retries", INTEGER),
+        ("session_id", INTEGER),
+        ("user_name", varchar_type(64)),
+        ("result_fingerprint", varchar_type(64)),
+    ],
+    "stv_sessions": [
+        ("session_id", INTEGER),
+        ("user_name", varchar_type(64)),
+        ("queue", varchar_type(64)),
+        ("state", varchar_type(16)),       # 'idle' | 'busy' | 'draining'
+        ("connected_at", DOUBLE),
+        ("queries", BIGINT),
+        ("errors", BIGINT),
+        ("queue_depth", INTEGER),
+    ],
+    "stl_connection_log": [
+        ("recorded_at", DOUBLE),
+        ("event", varchar_type(32)),       # 'connect' | 'disconnect'
+        ("session_id", INTEGER),
+        ("user_name", varchar_type(64)),
+        ("queue", varchar_type(64)),
+        ("detail", varchar_type(256)),
     ],
     "svl_query_summary": [
         ("query", INTEGER),
@@ -155,6 +181,7 @@ _STORED_TABLES = frozenset(
         "stl_wlm_rule_action",
         "stv_slice_exec",
         "stv_query_spill",
+        "stl_connection_log",
     )
 )
 
@@ -217,6 +244,9 @@ class SystemTables:
         executor: str | None = None,
         rows: int = 0,
         segment_retries: int = 0,
+        session_id: int = 0,
+        user_name: str = "",
+        result_fingerprint: str = "",
     ) -> None:
         self.store.append(
             "stl_query",
@@ -232,7 +262,24 @@ class SystemTables:
                 executor,
                 rows,
                 segment_retries,
+                session_id,
+                user_name,
+                result_fingerprint,
             ),
+        )
+
+    def record_connection(
+        self,
+        event: str,
+        session_id: int,
+        user_name: str,
+        queue: str,
+        detail: str = "",
+    ) -> None:
+        """Append one stl_connection_log row (server connect/disconnect)."""
+        self.store.append(
+            "stl_connection_log",
+            (self.now, event, session_id, user_name, queue, detail[:256]),
         )
 
     def record_query_summary(
@@ -368,7 +415,15 @@ class SystemTables:
             return self._result_cache_rows()
         if name == "svl_compile_cache":
             return self._compile_cache_rows()
+        if name == "stv_sessions":
+            return self._session_rows()
         raise KeyError(f"unknown system table {name!r}")
+
+    def _session_rows(self) -> list[tuple]:
+        server = getattr(self._cluster, "server", None)
+        if server is None:
+            return []
+        return server.session_rows()
 
     def _result_cache_rows(self) -> list[tuple]:
         cache = getattr(self._cluster, "result_cache", None)

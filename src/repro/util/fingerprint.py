@@ -1,0 +1,41 @@
+"""Result fingerprinting for workload capture and replay.
+
+A fingerprint is a sha256 digest over a result set's column names and
+row values (``repr`` of each cell, so ``1`` and ``1.0`` and ``"1"``
+hash differently — replay correctness means *bit-identical* results,
+not merely equal-looking ones). The replay differ compares the
+fingerprint recorded in ``stl_query`` at capture time against the one
+the replayed execution produced.
+
+Fingerprinting is capped: hashing a 100k-row result on every query
+would tax the hot path the result cache exists to protect, so results
+beyond :data:`FINGERPRINT_MAX_ROWS` get an empty fingerprint and the
+differ treats them as uncomparable (latency is still compared).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+#: Results larger than this many rows are not fingerprinted.
+FINGERPRINT_MAX_ROWS = 4096
+
+
+def result_fingerprint(
+    columns: Sequence[str], rows: Sequence[Iterable[object]]
+) -> str:
+    """Hex digest of one result set, or "" when the result is too large.
+
+    Row *order* is part of the digest: the engine's executors are
+    deterministic for a fixed executor kind, and an ORDER BY-less
+    query replayed on the same executor reproduces the same order.
+    """
+    if len(rows) > FINGERPRINT_MAX_ROWS:
+        return ""
+    digest = hashlib.sha256()
+    digest.update(repr(tuple(columns)).encode())
+    for row in rows:
+        digest.update(b"\x1e")
+        digest.update(repr(tuple(row)).encode())
+    return digest.hexdigest()

@@ -1,0 +1,111 @@
+"""Property: snapshot isolation holds under concurrent sessions.
+
+Writers commit multi-statement transactions that insert a fixed-size
+batch of rows under one unique marker; readers continuously aggregate
+per-marker counts. Snapshot isolation means a reader can never observe
+a transaction's partial effect — every marker count it sees is either
+zero (not yet committed, or the commit's epoch-bumped re-read hasn't
+landed) or the full batch size. After all writers join, the final state
+must equal the serial sum of every committed batch.
+
+The property runs on all four executors; the parallel executor uses
+thread pools because forked workers cannot share the in-process
+cluster under test.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Cluster
+
+EXECUTORS = ["volcano", "compiled", "vectorized", "parallel"]
+
+WRITERS = 3
+TXNS_PER_WRITER = 4
+READERS = 2
+
+
+def _connect(cluster: Cluster, executor: str):
+    if executor == "parallel":
+        return cluster.connect(executor=executor, pool_mode="thread")
+    return cluster.connect(executor=executor)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@given(batch=st.integers(min_value=2, max_value=6))
+@settings(max_examples=2, deadline=None)
+def test_no_partial_commits_visible(executor: str, batch: int):
+    cluster = Cluster(node_count=1, slices_per_node=2, block_capacity=64)
+    setup = cluster.connect()
+    setup.execute("CREATE TABLE t (marker int, v int)")
+    violations: list[str] = []
+    errors: list[Exception] = []
+    done = threading.Event()
+    barrier = threading.Barrier(WRITERS + READERS)
+
+    def values(marker: int, count: int) -> str:
+        return ",".join(f"({marker}, {i})" for i in range(count))
+
+    def writer(wid: int) -> None:
+        try:
+            session = _connect(cluster, executor)
+            barrier.wait()
+            for txn in range(TXNS_PER_WRITER):
+                marker = wid * 100 + txn
+                # Two statements inside one transaction: a reader that
+                # saw only the first would observe a partial commit.
+                session.execute("BEGIN")
+                session.execute(
+                    f"INSERT INTO t VALUES {values(marker, batch)}"
+                )
+                session.execute(
+                    f"INSERT INTO t VALUES {values(marker, batch)}"
+                )
+                session.execute("COMMIT")
+        except Exception as exc:  # noqa: BLE001 — collected for assert
+            errors.append(exc)
+
+    def reader() -> None:
+        try:
+            session = _connect(cluster, executor)
+            barrier.wait()
+            while not done.is_set():
+                rows = session.execute(
+                    "SELECT marker, count(*) FROM t GROUP BY marker"
+                ).rows
+                for marker, count in rows:
+                    if count % (2 * batch) != 0:
+                        violations.append(
+                            f"marker {marker}: saw {count} rows, "
+                            f"not a multiple of {2 * batch}"
+                        )
+        except Exception as exc:  # noqa: BLE001 — collected for assert
+            errors.append(exc)
+
+    writer_threads = [
+        threading.Thread(target=writer, args=(w,)) for w in range(WRITERS)
+    ]
+    reader_threads = [threading.Thread(target=reader) for _ in range(READERS)]
+    for thread in writer_threads + reader_threads:
+        thread.start()
+    for thread in writer_threads:
+        thread.join(timeout=60)
+    done.set()
+    for thread in reader_threads:
+        thread.join(timeout=60)
+    assert errors == []
+    assert violations == []
+
+    # Final state equals the serial replay of the committed transactions.
+    final = _connect(cluster, executor)
+    total = final.execute("SELECT count(*) FROM t").scalar()
+    assert total == WRITERS * TXNS_PER_WRITER * 2 * batch
+    per_marker = final.execute(
+        "SELECT marker, count(*) FROM t GROUP BY marker"
+    ).rows
+    assert len(per_marker) == WRITERS * TXNS_PER_WRITER
+    assert all(count == 2 * batch for _, count in per_marker)

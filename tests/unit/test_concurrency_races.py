@@ -1,0 +1,257 @@
+"""Regression tests for the shared-structure races the server exposed.
+
+Each test here stresses one structure the way concurrent server
+sessions do — many threads hammering the same cache, store, or manager
+— and pins the behavior the locking/single-flight work guarantees.
+Before that work these failed with lost updates, "deque mutated during
+iteration" / "set changed size during iteration", or duplicate
+executions of the same cached query.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import Cluster
+from repro.engine.resultcache import QueryResultCache
+from repro.engine.transactions import TransactionManager
+from repro.exec.segmentcache import SegmentCache
+from repro.storage import epoch
+from repro.systables.store import SystemEventStore
+
+THREADS = 16
+
+
+def run_all(workers: list[threading.Thread]) -> None:
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=30)
+    assert all(not worker.is_alive() for worker in workers)
+
+
+class TestResultCacheSingleFlight:
+    def test_one_leader_many_waiters(self):
+        """Misses behind an in-flight execution wait and then hit."""
+        import time
+
+        cache = QueryResultCache()
+        entry, leads = cache.lead_or_wait("k")
+        assert entry is None and leads  # this thread is the leader
+        served: list[tuple] = []
+        lock = threading.Lock()
+
+        def waiter() -> None:
+            got, leads_too = cache.lead_or_wait("k")
+            assert not leads_too
+            with lock:
+                served.append(got.rows)
+
+        threads = [threading.Thread(target=waiter) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)  # let the waiters block on the flight
+        cache.store(
+            "k", "SELECT 1", "compiled", ["c"], [(1,)],
+            ("t",), (epoch.table_epoch("t"),),
+        )
+        cache.finish_flight("k")
+        for thread in threads:
+            thread.join(timeout=30)
+        assert all(not thread.is_alive() for thread in threads)
+        assert served == [((1,),)] * THREADS
+        assert cache.stores == 1
+        assert cache.flight_waits >= 1  # at least the blocked waiters
+
+    def test_failed_leader_wakes_waiters_to_reelect(self):
+        """A leader that stores nothing hands the flight to a waiter."""
+        cache = QueryResultCache()
+        leaders: list[int] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def query() -> None:
+            barrier.wait()
+            entry, leads = cache.lead_or_wait("k")
+            if entry is not None:
+                return
+            try:
+                if leads:
+                    with lock:
+                        leaders.append(1)
+                    # First leader fails (stores nothing); a re-elected
+                    # waiter stores on its turn.
+                    if len(leaders) > 1:
+                        cache.store(
+                            "k", "SELECT 1", "compiled", ["c"], [(1,)],
+                            ("t",), (epoch.table_epoch("t"),),
+                        )
+            finally:
+                if leads:
+                    cache.finish_flight("k")
+
+        run_all([threading.Thread(target=query) for _ in range(4)])
+        assert len(leaders) >= 2  # the flight was re-led after the failure
+        assert cache.lookup("k") is not None
+
+    def test_sessions_coalesce_on_shared_cluster(self):
+        """End to end: concurrent identical SELECTs execute once."""
+        cluster = Cluster(node_count=1, slices_per_node=2, block_capacity=64)
+        setup = cluster.connect()
+        setup.execute("CREATE TABLE t (k int, v int)")
+        setup.execute(
+            "INSERT INTO t VALUES "
+            + ",".join(f"({i % 10}, {i})" for i in range(100))
+        )
+        cache = cluster.result_cache
+        base_stores = cache.stores
+        barrier = threading.Barrier(8)
+        answers: list[int] = []
+        lock = threading.Lock()
+
+        def client() -> None:
+            session = cluster.connect()
+            barrier.wait()
+            value = session.execute("SELECT sum(v) FROM t").scalar()
+            with lock:
+                answers.append(value)
+
+        run_all([threading.Thread(target=client) for _ in range(8)])
+        assert answers == [4950] * 8
+        # One execution stored; everyone else hit or waited on its flight.
+        assert cache.stores == base_stores + 1
+
+
+class TestSegmentCacheKeepFirst:
+    def test_concurrent_stores_keep_incumbent(self):
+        """Racing stores of one signature keep the first entry (and its
+        hit counter) instead of silently resetting it."""
+        cache = SegmentCache()
+        cache.store("sig", "rows", lambda: 1, {})
+        incumbent = cache.lookup("sig")
+        assert incumbent is not None and incumbent.hits == 1
+        barrier = threading.Barrier(THREADS)
+
+        def racer() -> None:
+            barrier.wait()
+            cache.store("sig", "rows", lambda: 2, {})
+
+        run_all([threading.Thread(target=racer) for _ in range(THREADS)])
+        assert cache.stores == 1
+        assert cache.duplicate_stores == THREADS
+        entry = cache.lookup("sig")
+        assert entry.fn() == 1  # the incumbent's function survived
+        assert entry.hits == 2  # counter accumulated across the races
+
+
+class TestSystemEventStoreUnderConcurrency:
+    def test_readers_never_see_mutated_deque(self):
+        """rows() snapshots under the lock, so concurrent appends can't
+        raise "deque mutated during iteration"."""
+        store = SystemEventStore(max_rows_per_table=500)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer() -> None:
+            i = 0
+            while not stop.is_set():
+                store.append("stl_query", (i, "SELECT 1"))
+                i += 1
+
+        def reader() -> None:
+            try:
+                for _ in range(2000):
+                    for row in store.rows("stl_query"):
+                        assert len(row) == 2
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        run_all(writers + readers)
+        assert errors == []
+
+    def test_concurrent_appends_all_land(self):
+        store = SystemEventStore(max_rows_per_table=100_000)
+        barrier = threading.Barrier(THREADS)
+
+        def writer(tag: int) -> None:
+            barrier.wait()
+            for i in range(200):
+                store.append("stl_scan", (tag, i))
+
+        run_all(
+            [
+                threading.Thread(target=writer, args=(t,))
+                for t in range(THREADS)
+            ]
+        )
+        assert store.row_count("stl_scan") == THREADS * 200
+
+
+class TestStatementSnapshot:
+    def test_sees_commits_after_transaction_start(self):
+        """statement_snapshot refreshes the committed set, closing the
+        begin-to-epoch-capture gap that let the result cache store
+        stale-but-valid entries (a commit invisible to the frozen
+        transaction-start snapshot but already counted in the captured
+        table epochs)."""
+        manager = TransactionManager()
+        reader = manager.begin()
+        writer = manager.begin()
+        manager.commit(writer)
+        frozen = manager.snapshot(reader)
+        assert not frozen.can_see(writer, None)  # repeatable read
+        fresh = manager.statement_snapshot(reader)
+        assert fresh.can_see(writer, None)
+        assert fresh.xid == reader
+
+
+class TestTransactionManagerUnderConcurrency:
+    def test_concurrent_begin_commit_is_consistent(self):
+        """Interleaved begins/commits while other threads snapshot the
+        committed set: no "set changed size during iteration", every
+        commit lands exactly once."""
+        manager = TransactionManager()
+        barrier = threading.Barrier(THREADS + 2)
+        committed: list[int] = []
+        lock = threading.Lock()
+        errors: list[Exception] = []
+        done = threading.Event()
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(50):
+                xid = manager.begin()
+                manager.snapshot(xid)
+                manager.commit(xid)
+                with lock:
+                    committed.append(xid)
+
+        def snapshotter() -> None:
+            barrier.wait()
+            try:
+                while not done.is_set():
+                    frozen = manager.committed_xids
+                    manager.snapshot_latest()
+                    assert len(frozen) >= 1
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        workers = [threading.Thread(target=worker) for _ in range(THREADS)]
+        snapshotters = [
+            threading.Thread(target=snapshotter) for _ in range(2)
+        ]
+        for thread in workers + snapshotters:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=30)
+        done.set()
+        for thread in snapshotters:
+            thread.join(timeout=30)
+        assert errors == []
+        assert len(committed) == len(set(committed)) == THREADS * 50
+        assert all(manager.is_committed(xid) for xid in committed)
+        assert manager.active_count == 0

@@ -1,0 +1,240 @@
+"""Workload capture, replay, diff, and synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster
+from repro.errors import ReplayError
+from repro.replay import (
+    CapturedWorkload,
+    FleetProfile,
+    TableSpec,
+    TraceStats,
+    capture_workload,
+    diff_capture,
+    diff_reports,
+    replay,
+    synthesize,
+    synthesize_like,
+)
+
+SPEC = TableSpec("t", "k", "v", key_low=0, key_high=50)
+
+
+def prepared_cluster() -> Cluster:
+    cluster = Cluster(node_count=1, slices_per_node=2, block_capacity=64)
+    session = cluster.connect()
+    session.execute("CREATE TABLE t (k int, v int)")
+    session.execute(
+        "INSERT INTO t VALUES "
+        + ",".join(f"({i % 50}, {i})" for i in range(300))
+    )
+    # Drop the setup statements from the audit log so captures hold only
+    # the workload run after preparation (the SimpleReplay shape: the
+    # target cluster is restored from the same data, not rebuilt by DDL).
+    cluster.systables.store.clear("stl_query")
+    return cluster
+
+
+class TestCapture:
+    def test_capture_projects_stl_query(self):
+        cluster = prepared_cluster()
+        session = cluster.connect(user_name="ana")
+        session.execute("SELECT count(*) FROM t")
+        session.execute("SELECT sum(v) FROM t WHERE k < 10")
+        workload = capture_workload(cluster)
+        # stl_query records the parser's normalized rendering.
+        texts = [q.text for q in workload.queries]
+        assert "SELECT COUNT(*) FROM t" in texts
+        by_ana = [q for q in workload.queries if q.user_name == "ana"]
+        assert len(by_ana) == 2
+        assert all(q.session_id == session.session_id for q in by_ana)
+
+    def test_offsets_are_anchored_and_ordered(self):
+        cluster = prepared_cluster()
+        session = cluster.connect()
+        for low in range(4):
+            session.execute(f"SELECT count(*) FROM t WHERE k >= {low}")
+        workload = capture_workload(cluster)
+        offsets = [q.offset_s for q in workload.queries]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0.0
+
+    def test_failed_and_system_queries_are_skipped(self):
+        cluster = prepared_cluster()
+        session = cluster.connect()
+        with pytest.raises(Exception):
+            session.execute("SELECT count(*) FROM no_such_table")
+        session.execute("SELECT count(*) FROM stl_query")
+        workload = capture_workload(cluster)
+        texts = [q.text for q in workload.queries]
+        assert all("no_such_table" not in text for text in texts)
+        assert all("stl_query" not in text for text in texts)
+        with_failed = capture_workload(cluster, include_failed=True)
+        assert len(with_failed) == len(workload) + 1
+
+    def test_select_fingerprints_are_captured(self):
+        cluster = prepared_cluster()
+        cluster.connect().execute("SELECT count(*) FROM t")
+        workload = capture_workload(cluster)
+        selects = [
+            q for q in workload.queries if q.text.startswith("SELECT")
+        ]
+        assert selects
+        assert all(q.result_fingerprint for q in selects)
+
+    def test_json_round_trip(self):
+        cluster = prepared_cluster()
+        workload = capture_workload(cluster)
+        again = CapturedWorkload.from_json(workload.to_json())
+        assert again.queries == workload.queries
+
+    def test_malformed_json_raises_replay_error(self):
+        with pytest.raises(ReplayError):
+            CapturedWorkload.from_json("{not json")
+        with pytest.raises(ReplayError):
+            CapturedWorkload.from_json('{"queries": [{"bogus": 1}]}')
+
+    def test_capture_without_systables_raises(self):
+        cluster = prepared_cluster()
+        cluster.systables = None
+        with pytest.raises(ReplayError):
+            capture_workload(cluster)
+
+
+class TestReplay:
+    def test_replay_reproduces_results_bit_identically(self):
+        source = prepared_cluster()
+        session = source.connect()
+        for low in range(0, 40, 5):
+            session.execute(
+                f"SELECT count(*), sum(v) FROM t WHERE k >= {low}"
+            )
+        workload = capture_workload(source)
+        target = prepared_cluster()
+        report = replay(workload, target, speedup=8.0)
+        diff = diff_capture(workload, report)
+        assert report.error_count == 0
+        assert diff.compared > 0
+        assert diff.results_identical
+        assert diff.latency is not None
+
+    def test_replay_preserves_session_interleaving(self):
+        source = prepared_cluster()
+        a = source.connect(user_name="a")
+        b = source.connect(user_name="b")
+        a.execute("SELECT count(*) FROM t")
+        b.execute("SELECT sum(v) FROM t")
+        a.execute("SELECT min(k) FROM t")
+        workload = capture_workload(source)
+        target = prepared_cluster()
+        report = replay(workload, target, speedup=10.0)
+        by_session = {}
+        for q in report.queries:
+            by_session.setdefault(q.session_id, []).append(q)
+        assert len(by_session) == 2
+        # Within a session, replay preserves the captured order.
+        captured_sessions = workload.sessions()
+        for session_id, stream in by_session.items():
+            captured_ids = [
+                q.query_id for q in captured_sessions[session_id]
+            ]
+            assert [q.query_id for q in stream] == captured_ids
+
+    def test_replay_records_errors_without_raising(self):
+        source = prepared_cluster()
+        source.connect().execute("SELECT count(*) FROM t")
+        workload = capture_workload(source)
+        empty = Cluster(node_count=1, slices_per_node=2)  # no table t
+        report = replay(workload, empty, speedup=10.0)
+        assert report.error_count >= 1
+        diff = diff_capture(workload, report)
+        assert diff.new_errors
+        assert not diff.results_identical
+
+    def test_bad_speedup_rejected(self):
+        with pytest.raises(ReplayError):
+            replay(CapturedWorkload(), prepared_cluster(), speedup=0)
+
+    def test_diff_reports_compares_two_replays(self):
+        source = prepared_cluster()
+        session = source.connect()
+        for low in (0, 10, 20):
+            session.execute(f"SELECT count(*) FROM t WHERE k >= {low}")
+        workload = capture_workload(source)
+        r1 = replay(workload, prepared_cluster(), speedup=10.0)
+        r2 = replay(workload, prepared_cluster(), speedup=10.0)
+        diff = diff_reports(r1, r2)
+        assert diff.compared == 3
+        assert diff.results_identical
+
+    def test_forced_executor_overrides_capture(self):
+        source = prepared_cluster()
+        source.connect(executor="vectorized").execute(
+            "SELECT count(*) FROM t"
+        )
+        workload = capture_workload(source)
+        assert workload.queries[-1].executor == "vectorized"
+        target = prepared_cluster()
+        report = replay(workload, target, speedup=10.0, executor="volcano")
+        assert report.error_count == 0
+        # count(*) is integer-exact, so even across executors it matches.
+        diff = diff_capture(workload, report)
+        assert diff.results_identical
+
+
+class TestSynthesize:
+    def test_same_seed_same_workload(self):
+        a = synthesize(FleetProfile(duration_s=0.2), [SPEC], seed=11)
+        b = synthesize(FleetProfile(duration_s=0.2), [SPEC], seed=11)
+        assert a.queries == b.queries
+        c = synthesize(FleetProfile(duration_s=0.2), [SPEC], seed=12)
+        assert a.queries != c.queries
+
+    def test_fleet_mix_present(self):
+        workload = synthesize(
+            FleetProfile(
+                dashboards=2, adhoc=2, etl=2, duration_s=0.5
+            ),
+            [SPEC],
+            seed=3,
+        )
+        users = {q.user_name for q in workload.queries}
+        assert any(u.startswith("dashboard") for u in users)
+        assert any(u.startswith("adhoc") for u in users)
+        assert any(u.startswith("etl") for u in users)
+        assert any(q.text.startswith("INSERT") for q in workload.queries)
+        assert any(q.text.startswith("SELECT") for q in workload.queries)
+
+    def test_synthetic_workload_replays_cleanly(self):
+        workload = synthesize(
+            FleetProfile(
+                dashboards=2, adhoc=1, etl=1, duration_s=0.2
+            ),
+            [SPEC],
+            seed=5,
+        )
+        assert len(workload) > 0
+        target = prepared_cluster()
+        report = replay(workload, target, speedup=20.0)
+        assert report.error_count == 0
+        assert len(report.queries) == len(workload)
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ReplayError):
+            synthesize(FleetProfile(), [])
+
+    def test_synthesize_like_matches_shape(self):
+        source = prepared_cluster()
+        a = source.connect(user_name="r1")
+        b = source.connect(user_name="r2")
+        for _ in range(5):
+            a.execute("SELECT count(*) FROM t")
+            b.execute("SELECT sum(v) FROM t")
+        workload = capture_workload(source)
+        stats = TraceStats.from_workload(workload)
+        assert stats.read_fraction > 0.5
+        like = synthesize_like(stats, [SPEC], seed=9)
+        assert len(like.sessions()) == stats.sessions
+        assert like.read_fraction > 0.5
