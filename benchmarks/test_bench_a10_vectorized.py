@@ -9,6 +9,14 @@ block-decode cache removes repeat decode cost entirely on warm reruns.
 Measures all three executors on the a2 aggregation workload, then the
 cold-vs-warm effect of the decode cache, with hit counters checked
 through ``stv_block_cache`` and EXPLAIN ANALYZE.
+
+The operate-on-compressed ablation compares cold-scan throughput with
+``enable_encoded_scan`` on vs off over dict/RLE-friendly data: on, the
+vectorized kernels evaluate predicates on dictionary codes and fold RLE
+runs without ever expanding the blocks (DESIGN.md §13); off pins the
+decode-first path. The decode-cache tests run with encoded scans off —
+their hit/miss arithmetic is about the decode path, which encoded scans
+deliberately bypass (an encoded read is neither a hit nor a miss).
 """
 
 import time
@@ -82,6 +90,7 @@ def test_a10_three_way_aggregation(benchmark, reporter, bench_record):
 def test_a10_decode_cache_warm_vs_cold(benchmark, reporter, bench_record):
     cluster = build(60_000)
     session = cluster.connect("vectorized")
+    session.execute("SET enable_encoded_scan = off")
 
     t0 = time.perf_counter()
     cold = session.execute(QUERY)
@@ -128,11 +137,126 @@ def test_a10_decode_cache_warm_vs_cold(benchmark, reporter, bench_record):
     )
 
 
+ENC_ROWS = 120_000
+#: Dict-pushdown workload: a selective predicate on a bytedict column —
+#: one literal translation, then a code-table lookup per row.
+ENC_QUERY_DICT = "SELECT count(*) FROM g WHERE k = 7"
+#: RLE-fold workload: whole-column aggregates folded run-by-run.
+ENC_QUERY_RLE = "SELECT count(*), sum(r), min(r), max(r) FROM g"
+
+
+def build_encoded(rows: int = ENC_ROWS) -> Cluster:
+    """Dict/RLE-friendly table with explicit (authoritative) encodings."""
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=4096)
+    session = cluster.connect()
+    session.execute(
+        "CREATE TABLE g (k int encode bytedict, r int encode runlength, "
+        "v int encode mostly16) DISTSTYLE EVEN"
+    )
+    cluster.register_inline_source(
+        "bench://g",
+        [f"{i % 23}|{i // 200}|{i % 30000}" for i in range(rows)],
+    )
+    session.execute("COPY g FROM 'bench://g'")
+    return cluster
+
+
+def _chill(cluster) -> None:
+    """Forget all decode work so the next scan is genuinely cold. The
+    shared decode cache is the only place decoded vectors are retained
+    (blocks deliberately carry no decode memo — DESIGN.md §13)."""
+    cluster.block_cache.clear()
+
+
+def run_cold(session, cluster, query: str, repeats: int = 3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        _chill(cluster)
+        start = time.perf_counter()
+        result = session.execute(query)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_a10_encoded_vs_decoded_cold_scan(benchmark, reporter, bench_record):
+    """Operate-on-compressed vs decode-first, both decode-cold each run.
+
+    The acceptance bar (CI-enforced): with ``enable_encoded_scan`` on,
+    cold scans over dict/RLE-friendly data must beat the decode-first
+    path by 1.5x, and the encoded counters must show the pushdown
+    actually happened (this is not allowed to silently regress to the
+    fallback and win on noise).
+    """
+    cluster = build_encoded()
+    try:
+        session = cluster.connect("vectorized")
+        session.execute("SET enable_encoded_scan = off")
+        decoded_dict_s, decoded_dict_r = run_cold(
+            session, cluster, ENC_QUERY_DICT
+        )
+        decoded_rle_s, decoded_rle_r = run_cold(
+            session, cluster, ENC_QUERY_RLE
+        )
+        session.execute("SET enable_encoded_scan = on")
+        encoded_dict_s, encoded_dict_r = run_cold(
+            session, cluster, ENC_QUERY_DICT
+        )
+        encoded_rle_s, encoded_rle_r = run_cold(
+            session, cluster, ENC_QUERY_RLE
+        )
+        benchmark.pedantic(
+            lambda: (_chill(cluster), session.execute(ENC_QUERY_DICT)),
+            iterations=1, rounds=1,
+        )
+
+        # Bit-identical results on both paths (integer aggregates).
+        assert encoded_dict_r.rows == decoded_dict_r.rows
+        assert encoded_rle_r.rows == decoded_rle_r.rows
+        # The decoded runs must not have touched the encoded path, and
+        # the encoded runs must really have operated on compressed data.
+        assert decoded_dict_r.stats.scan.encoded_batches == 0
+        assert encoded_dict_r.stats.scan.encoded_batches > 0
+        assert encoded_rle_r.stats.scan.decode_bytes_avoided > 0
+        assert "bytedict" in encoded_dict_r.stats.scan.encoding
+        assert "runlength" in encoded_rle_r.stats.scan.encoding
+
+        reporter(
+            "a10 — operate-on-compressed vs decode-first cold scans "
+            f"({ENC_ROWS // 1000}k rows)",
+            [
+                "workload      | decode-first | encoded | speedup",
+                f"dict-pushdown | {decoded_dict_s * 1000:9.1f} ms | "
+                f"{encoded_dict_s * 1000:5.1f} ms | "
+                f"{decoded_dict_s / encoded_dict_s:.2f}x",
+                f"rle-fold      | {decoded_rle_s * 1000:9.1f} ms | "
+                f"{encoded_rle_s * 1000:5.1f} ms | "
+                f"{decoded_rle_s / encoded_rle_s:.2f}x",
+            ],
+        )
+        bench_record(
+            stats=encoded_rle_r.stats,
+            decoded_dict_ms=round(decoded_dict_s * 1000, 3),
+            encoded_dict_ms=round(encoded_dict_s * 1000, 3),
+            decoded_rle_ms=round(decoded_rle_s * 1000, 3),
+            encoded_rle_ms=round(encoded_rle_s * 1000, 3),
+            speedup_dict=round(decoded_dict_s / encoded_dict_s, 3),
+            speedup_rle=round(decoded_rle_s / encoded_rle_s, 3),
+        )
+        # Acceptance bars: operate-on-compressed must beat decode-first
+        # by 1.5x on both the dict and the RLE workload.
+        assert encoded_dict_s < decoded_dict_s / 1.5
+        assert encoded_rle_s < decoded_rle_s / 1.5
+    finally:
+        cluster.close()
+
+
 def test_a10_invalidation_keeps_cache_honest(reporter, bench_record):
     """VACUUM-style rewrites retire cached entries: the next scan decodes
     fresh blocks rather than serving stale vectors."""
     cluster = build(20_000)
     session = cluster.connect("vectorized")
+    session.execute("SET enable_encoded_scan = off")
     session.execute(QUERY)
     session.execute(QUERY)  # warm
     invalidations_before = cluster.block_cache.invalidations

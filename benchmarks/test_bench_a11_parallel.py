@@ -10,7 +10,11 @@ aggregation at parallelism 1, 2 and 4.
 
 The JSON entry records ``cpu_count`` so a trajectory diff can tell a
 genuine regression from a smaller runner; the 1.5x acceptance bar only
-applies on machines with at least 4 cores (CI skips it elsewhere).
+applies on machines with at least 4 cores — on smaller runners the test
+records its timings and then *skips* the bar (visible in the report, not
+silently passed). Local runners: ``pytest benchmarks/test_bench_a11_parallel.py
+--parallel-bench`` enforces the bar regardless of what ``os.cpu_count()``
+claims, for containers that under-report their cores.
 """
 
 import os
@@ -49,7 +53,7 @@ def run_timed(cluster, parallelism: int, repeats: int = 3):
     return best, result
 
 
-def test_a11_parallel_scaling(benchmark, reporter, bench_record):
+def test_a11_parallel_scaling(benchmark, reporter, bench_record, request):
     cluster = build()
     try:
         timings = {}
@@ -93,9 +97,15 @@ def test_a11_parallel_scaling(benchmark, reporter, bench_record):
             speedup_p4=round(timings[1] / timings[4], 3),
         )
         # Acceptance bar: 4 workers must beat the inline run by 1.5x on a
-        # machine that actually has the cores (smaller runners skip).
-        if cores >= 4:
-            assert timings[4] < timings[1] / 1.5
+        # machine that actually has the cores; smaller runners skip it
+        # (their timings and cpu_count are already in BENCH_a11.json).
+        if cores < 4 and not request.config.getoption("--parallel-bench"):
+            pytest.skip(
+                f"parallel speedup bar needs >= 4 cores, runner has {cores} "
+                "(timings recorded; pass --parallel-bench on a local "
+                "multi-core machine to enforce the bar)"
+            )
+        assert timings[4] < timings[1] / 1.5
     finally:
         cluster.close()
 

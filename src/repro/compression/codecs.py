@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import datetime
 import decimal
+import pickle
 import zlib
+from array import array
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -29,6 +31,14 @@ from repro.errors import StorageError
 _EPOCH = datetime.datetime(1970, 1, 1)
 
 _HEADER_BYTES = 8  # codec id, value count, payload length
+
+#: Codecs whose payload layout the execution engine can consume directly
+#: (predicate masks on dictionary codes, aggregate folds over runs, integer
+#: image comparisons) without decoding the vector first. See
+#: :mod:`repro.exec.encoded`.
+OPERATE_ON_COMPRESSED = frozenset(
+    {"bytedict", "runlength", "mostly8", "mostly16", "mostly32"}
+)
 
 
 def _null_bitmap_bytes(count: int) -> int:
@@ -180,7 +190,7 @@ class RawCodec(Codec):
             size = sum(len(v.encode("utf-8", "surrogateescape")) + 1 for v in values)
         else:
             size = len(values) * sql_type.byte_width
-        return list(values), size
+        return _typed_present(values, sql_type), size
 
     def _decode_present(self, payload, sql_type):
         return list(payload)
@@ -200,24 +210,27 @@ class RunLengthCodec(Codec):
         return True
 
     def _encode_present(self, values, sql_type):
-        runs: list[tuple[object, int]] = []
+        run_values: list[object] = []
+        run_counts: list[int] = []
         for v in values:
-            if runs and runs[-1][0] == v:
-                runs[-1] = (v, runs[-1][1] + 1)
+            if run_counts and run_values[-1] == v:
+                run_counts[-1] += 1
             else:
-                runs.append((v, 1))
+                run_values.append(v)
+                run_counts.append(1)
         per_value = sql_type.byte_width if not sql_type.is_character else 0
         size = 0
-        for value, _count in runs:
+        for value in run_values:
             if sql_type.is_character:
                 size += len(value.encode("utf-8", "surrogateescape")) + 1 + 4
             else:
                 size += per_value + 4
-        return runs, size
+        return (_typed_present(run_values, sql_type), array("q", run_counts)), size
 
     def _decode_present(self, payload, sql_type):
+        run_values, run_counts = payload
         out: list[object] = []
-        for value, count in payload:
+        for value, count in zip(run_values, run_counts):
             out.extend([value] * count)
         return out
 
@@ -263,7 +276,7 @@ class ByteDictCodec(Codec):
             + sum(value_bytes(v) for v in exceptions)
         )
         ordered = list(dictionary)
-        return (ordered, indexes, exceptions), size
+        return (ordered, array("B", indexes), exceptions), size
 
     def _decode_present(self, payload, sql_type):
         ordered, indexes, exceptions = payload
@@ -298,24 +311,28 @@ class DeltaCodec(Codec):
 
     def _encode_present(self, values, sql_type):
         images = [_to_int_image(v, sql_type) for v in values]
-        entries: list[tuple[bool, int]] = []  # (is_exception, number)
+        flags = bytearray()  # 1 = full-width exception, 0 = narrow delta
+        numbers: list[int] = []
         size = 0
         previous = 0
         for i, image in enumerate(images):
             delta = image - previous
             if i == 0 or not self._low <= delta <= self._high:
-                entries.append((True, image))
+                flags.append(1)
+                numbers.append(image)
                 size += self._delta_bytes + sql_type.byte_width
             else:
-                entries.append((False, delta))
+                flags.append(0)
+                numbers.append(delta)
                 size += self._delta_bytes
             previous = image
-        return entries, size
+        return (bytes(flags), _int_array(numbers)), size
 
     def _decode_present(self, payload, sql_type):
+        flags, numbers = payload
         out: list[object] = []
         previous = 0
-        for is_exception, number in payload:
+        for is_exception, number in zip(flags, numbers):
             image = number if is_exception else previous + number
             out.append(_from_int_image(image, sql_type))
             previous = image
@@ -346,19 +363,20 @@ class MostlyCodec(Codec):
 
     def _encode_present(self, values, sql_type):
         images = [_to_int_image(v, sql_type) for v in values]
-        entries: list[tuple[bool, int]] = []
+        flags = bytearray()  # 1 = full-width exception, 0 = narrow
         size = 0
         for image in images:
             if self._low <= image <= self._high:
-                entries.append((False, image))
+                flags.append(0)
                 size += self._narrow
             else:
-                entries.append((True, image))
+                flags.append(1)
                 size += self._narrow + sql_type.byte_width
-        return entries, size
+        return (bytes(flags), _int_array(images)), size
 
     def _decode_present(self, payload, sql_type):
-        return [_from_int_image(image, sql_type) for _, image in payload]
+        _flags, images = payload
+        return [_from_int_image(image, sql_type) for image in images]
 
 
 class LzoCodec(Codec):
@@ -443,6 +461,126 @@ def _deserialize_values(raw: bytes, count: int, sql_type: SqlType) -> list[objec
         return list(struct.unpack(f"<{count}d", raw))
     images = struct.unpack(f"<{count}q", raw)
     return [_from_int_image(i, sql_type) for i in images]
+
+
+def _typed_present(values: Sequence[object], sql_type: SqlType) -> object:
+    """Pack present values into a typed ``array`` where that is lossless.
+
+    Integer columns become ``array('q')`` and float columns ``array('d')`` —
+    compact, cheaply picklable across the worker fork boundary, and fast to
+    expand. Anything the typed form cannot represent exactly (bools masquerading
+    as ints, out-of-64-bit integers, object types) stays a plain list.
+    """
+    if sql_type.is_integer:
+        for v in values:
+            if type(v) is not int:
+                return list(values)
+        try:
+            return array("q", values)
+        except OverflowError:
+            return list(values)
+    if sql_type.is_float:
+        for v in values:
+            if type(v) is not float:
+                return list(values)
+        return array("d", values)
+    return list(values)
+
+
+def _int_array(numbers: list[int]) -> object:
+    """``array('q')`` when every number fits in 64 bits, else a plain list."""
+    try:
+        return array("q", numbers)
+    except OverflowError:
+        return list(numbers)
+
+
+def payload_byte_chunks(part: object):
+    """Yield a canonical byte image of a codec payload for checksumming.
+
+    Typed arrays and byte strings contribute their raw bytes; residual
+    object containers (dictionary entries, exception lists, character runs)
+    are pickled once as a unit — never value-by-value.
+    """
+    if isinstance(part, array):
+        yield part.typecode.encode("ascii")
+        yield part.tobytes()
+    elif isinstance(part, (bytes, bytearray)):
+        yield bytes(part)
+    elif isinstance(part, tuple):
+        for sub in part:
+            yield from payload_byte_chunks(sub)
+    else:
+        yield pickle.dumps(part, protocol=4)
+
+
+def corrupt_payload(vector: EncodedVector) -> None:
+    """Flip bits inside *vector*'s encoded payload in place.
+
+    Used by ``Block.corrupt`` (tests and fault drills) to simulate media
+    corruption at the storage layer; the damage must change the payload's
+    byte image so checksum verification catches it before any decode.
+    """
+    mutated = _corrupt_part(vector.payload)
+    if mutated is not None:
+        vector.payload = mutated
+        return
+    # Nothing byte-bearing to damage (e.g. an all-NULL or empty vector):
+    # corrupt the null bitmap instead.
+    if vector.count:
+        nulls = set(vector.null_positions)
+        nulls.symmetric_difference_update({0})
+        vector.null_positions = frozenset(nulls)
+    else:
+        vector.count = 1
+        vector.null_positions = frozenset({0})
+
+
+def _corrupt_part(part: object) -> object | None:
+    """Damage one element of *part*; return the corrupted replacement
+    (possibly *part* itself, mutated) or ``None`` if nothing was touched."""
+    if isinstance(part, array) and len(part):
+        if part.typecode == "d":
+            part[0] = -part[0] if part[0] else 1.0
+        else:
+            part[0] ^= 1
+        return part
+    if isinstance(part, (bytes, bytearray)) and len(part):
+        blob = bytearray(part)
+        blob[0] ^= 1
+        return bytes(blob)
+    if isinstance(part, tuple):
+        parts = list(part)
+        # Prefer value-bearing parts (arrays, lists) over flag/byte streams
+        # so the damage shows up in decoded output, not just the checksum.
+        order = sorted(
+            range(len(parts)),
+            key=lambda i: isinstance(parts[i], (bytes, bytearray)),
+        )
+        for i in order:
+            mutated = _corrupt_part(parts[i])
+            if mutated is not None:
+                parts[i] = mutated
+                return tuple(parts)
+        return None
+    if isinstance(part, list) and part:
+        part[0] = _corrupt_value(part[0])
+        return part
+    return None
+
+
+def _corrupt_value(value: object) -> object:
+    if value is None:
+        return "☠CORRUPTED"
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ 1
+    if isinstance(value, float):
+        return -value if value else 1.0
+    if isinstance(value, str):
+        return value + "☠" if value else "☠"
+    return "☠CORRUPTED"
 
 
 _ALL_CODECS: list[Codec] = [

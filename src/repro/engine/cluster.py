@@ -84,6 +84,11 @@ class Cluster:
     #: bound. (A session with no effective memory limit runs unbounded
     #: either way.)
     enable_spill_default = True
+    #: Default for new sessions' ``enable_encoded_scan``: vectorized
+    #: scans operate on compressed blocks directly (dict-code masks, RLE
+    #: folds, late materialization) where the codec supports it. Off
+    #: decodes every block up front.
+    enable_encoded_scan_default = True
 
     def __init__(
         self,

@@ -159,6 +159,12 @@ class Session:
         #: ``SET enable_spill``: off pins the pre-governor behaviour
         #: (unbounded operator memory, never spills).
         self._enable_spill = bool(getattr(cluster, "enable_spill_default", True))
+        #: ``SET enable_encoded_scan``: off forces vectorized scans to
+        #: decode every block up front (the pre-operate-on-compressed
+        #: behaviour) instead of handing encoded columns to the kernels.
+        self._enable_encoded_scan = bool(
+            getattr(cluster, "enable_encoded_scan_default", True)
+        )
         #: SELECT nesting depth — only the outermost SELECT of a
         #: statement consults the WLM admission gate (subqueries ride
         #: their parent's admission).
@@ -250,6 +256,8 @@ class Session:
                 result.stats.operators,
                 result_cache_hit=result.stats.result_cache_hit,
             )
+        if result.stats and result.stats.scan.encoding:
+            systables.record_scan_encoding(query_id, result.stats.scan.encoding)
         if result.stats and result.stats.slice_exec:
             systables.record_slice_exec(query_id, result.stats.slice_exec)
         if result.stats and result.stats.spill_events:
@@ -391,6 +399,18 @@ class Session:
                     f"enable_spill expects on/off, got {statement.value!r}"
                 )
             return QueryResult(command="SET")
+        if name == "enable_encoded_scan":
+            value = str(statement.value).lower()
+            if value in ("on", "true", "1"):
+                self._enable_encoded_scan = True
+            elif value in ("off", "false", "0"):
+                self._enable_encoded_scan = False
+            else:
+                raise AnalysisError(
+                    "enable_encoded_scan expects on/off, got "
+                    f"{statement.value!r}"
+                )
+            return QueryResult(command="SET")
         raise AnalysisError(f"unknown session parameter {statement.name!r}")
 
     # ---- SELECT ---------------------------------------------------------------------
@@ -443,6 +463,7 @@ class Session:
             interconnect=Interconnect(),
             fault_injector=self._cluster.fault_injector,
             block_cache=self._cluster.block_cache,
+            encoded_scan=self._enable_encoded_scan,
             segment_cache=self._cluster.segment_cache,
         )
         limit = self.effective_memory_limit()
@@ -742,6 +763,17 @@ class Session:
             lines.append(
                 f"Block decode cache: {scan.cache_hits} hits, "
                 f"{scan.cache_misses} misses"
+            )
+        if scan.encoding:
+            from repro.exec.encoded import PUSHDOWN_KIND
+
+            kinds = sorted(
+                {PUSHDOWN_KIND.get(codec, codec) for codec in scan.encoding}
+            )
+            lines.append(
+                f"Encoded scan: {scan.encoded_batches} batches, "
+                f"{scan.decode_bytes_avoided} decode bytes avoided "
+                f"({', '.join(kinds)})"
             )
         if result.stats.result_cache_status == "hit":
             lines.append("Result cache: hit (execution skipped)")
@@ -1277,6 +1309,11 @@ def _annotate_plan(plan_text: str, operators) -> list[str]:
                     extra += (
                         f" cache_hits={op.cache_hits}"
                         f" cache_misses={op.cache_misses}"
+                    )
+                if op.encoded_batches:
+                    extra += (
+                        f" encoded_batches={op.encoded_batches}"
+                        f" decode_saved={op.decode_bytes_avoided}B"
                     )
                 if op.workers:
                     extra += f" workers={op.workers} morsels={op.morsels}"

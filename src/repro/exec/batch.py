@@ -32,6 +32,7 @@ from collections import OrderedDict
 from typing import Callable
 
 from repro.errors import ExecutionError
+from repro.exec.encoded import EncodedColumn
 from repro.sql import ast
 from repro.sql.expressions import compile_expression, literal_value
 
@@ -49,6 +50,26 @@ _PY_OPS = {
 }
 
 _COMPARISONS = frozenset(["=", "<>", "<", "<=", ">", ">="])
+
+#: ``lit <op> col`` rewritten as ``col <flipped-op> lit`` so encoded
+#: columns see the literal on the right.
+_FLIPPED = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _encoded_compare(index: int, op: str, lit, fallback):
+    """Wrap a decoded comparison kernel with the dictionary/RLE/MOSTLY
+    pushdown: when the column is still encoded and the codec can answer,
+    the mask never touches decoded values."""
+
+    def kernel(batch: ColumnBatch) -> list:
+        col = batch.columns[index]
+        if type(col) is EncodedColumn:
+            mask = col.compare_mask(op, lit)
+            if mask is not None:
+                return mask
+        return fallback(batch)
+
+    return kernel
 
 
 class ColumnBatch:
@@ -75,10 +96,14 @@ class ColumnBatch:
         return cls([list(col) for col in zip(*rows)], len(rows))
 
     def column(self, index: int) -> list:
-        """The value vector of one column, materializing dead columns."""
+        """The value vector of one column, materializing dead columns and
+        decoding still-encoded ones (the universal fallback boundary)."""
         values = self.columns[index]
         if values is None:
             values = [None] * self.count
+            self.columns[index] = values
+        elif type(values) is EncodedColumn:
+            values = values.materialize()
             self.columns[index] = values
         return values
 
@@ -96,11 +121,16 @@ class ColumnBatch:
 
     def take(self, selection: list) -> "ColumnBatch":
         """A new batch holding the rows at *selection* (in order); dead
-        columns stay dead."""
-        columns = [
-            None if col is None else [col[i] for i in selection]
-            for col in self.columns
-        ]
+        columns stay dead and encoded columns late-materialize only the
+        selected positions."""
+        columns: list = []
+        for col in self.columns:
+            if col is None:
+                columns.append(None)
+            elif type(col) is EncodedColumn:
+                columns.append(col.gather(selection))
+            else:
+                columns.append([col[i] for i in selection])
         return ColumnBatch(columns, len(selection))
 
 
@@ -229,9 +259,18 @@ def _try_mask_fast_path(expr: ast.Expression):
         expr.operand, ast.BoundRef
     ):
         index = expr.operand.index
-        if expr.negated:
-            return lambda batch: [v is not None for v in batch.column(index)]
-        return lambda batch: [v is None for v in batch.column(index)]
+        negated = expr.negated
+
+        def null_kernel(batch: ColumnBatch) -> list:
+            col = batch.columns[index]
+            if type(col) is EncodedColumn:
+                return col.is_null_mask(negated)
+            values = batch.column(index)
+            if negated:
+                return [v is not None for v in values]
+            return [v is None for v in values]
+
+        return null_kernel
     if isinstance(expr, ast.BetweenExpr) and not expr.negated:
         return _between_mask(expr)
     return None
@@ -247,7 +286,10 @@ def _comparison_mask(expr: ast.BinaryOp):
             f"    return [v is not None and v {pyop} lit"
             f" for v in batch.column({left.index})]\n"
         )
-        return _build(source, {"_lit": literal_value(right)})
+        lit = literal_value(right)
+        return _encoded_compare(
+            left.index, expr.op, lit, _build(source, {"_lit": lit})
+        )
     if isinstance(right, ast.BoundRef) and _comparable_literal(left):
         source = (
             "def _kernel(batch):\n"
@@ -255,7 +297,10 @@ def _comparison_mask(expr: ast.BinaryOp):
             f"    return [v is not None and lit {pyop} v"
             f" for v in batch.column({right.index})]\n"
         )
-        return _build(source, {"_lit": literal_value(left)})
+        lit = literal_value(left)
+        return _encoded_compare(
+            right.index, _FLIPPED[expr.op], lit, _build(source, {"_lit": lit})
+        )
     if isinstance(left, ast.BoundRef) and isinstance(right, ast.BoundRef):
         source = (
             "def _kernel(batch):\n"
@@ -284,9 +329,22 @@ def _between_mask(expr: ast.BetweenExpr):
         f"    return [v is not None and lo <= v <= hi"
         f" for v in batch.column({operand.index})]\n"
     )
-    return _build(
-        source, {"_lo": literal_value(expr.low), "_hi": literal_value(expr.high)}
-    )
+    low = literal_value(expr.low)
+    high = literal_value(expr.high)
+    decoded = _build(source, {"_lo": low, "_hi": high})
+    index = operand.index
+
+    def between_kernel(batch: ColumnBatch) -> list:
+        col = batch.columns[index]
+        if type(col) is EncodedColumn:
+            low_mask = col.compare_mask(">=", low)
+            if low_mask is not None:
+                high_mask = col.compare_mask("<=", high)
+                if high_mask is not None:
+                    return [a and b for a, b in zip(low_mask, high_mask)]
+        return decoded(batch)
+
+    return between_kernel
 
 
 # ---------------------------------------------------------------------------
@@ -297,7 +355,17 @@ def make_value_kernel(expr: ast.Expression) -> Callable[[ColumnBatch], list]:
     """A function mapping a batch to the expression's output vector."""
     if isinstance(expr, ast.BoundRef):
         index = expr.index
-        return lambda batch: batch.column(index)
+
+        def ref_kernel(batch: ColumnBatch):
+            # A still-encoded column flows through untouched so projections
+            # late-materialize and RLE aggregates can fold runs; generic
+            # consumers treat it as a sequence (which decodes on demand).
+            col = batch.columns[index]
+            if type(col) is EncodedColumn:
+                return col
+            return batch.column(index)
+
+        return ref_kernel
     if isinstance(expr, ast.Literal):
         value = literal_value(expr)
         return lambda batch: [value] * batch.count

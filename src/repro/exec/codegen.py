@@ -16,6 +16,13 @@ both real and measured (experiment a2).
 Blocking operators (hash-table builds, exchanges, sorts, limits) run in
 the driver, like the Volcano executor, so the two executors move identical
 bytes over the interconnect and read identical blocks.
+
+Operate-on-compressed scans (DESIGN.md §13) are a vectorized-engine
+concept: this executor's generated loops are row-at-a-time, so its scans
+take the decoded path — the universal fallback of the encoded-kernel
+contract — and ``SET enable_encoded_scan`` does not change what compiled
+queries read or return. That asymmetry is exactly what the four-way
+parity suites pin down.
 """
 
 from __future__ import annotations

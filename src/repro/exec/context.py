@@ -33,6 +33,11 @@ class OperatorStat:
     #: Block-decode cache traffic (nonzero only for vectorized scans).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Operate-on-compressed scan counters (nonzero only for encoded
+    #: vectorized scans): batches that carried still-encoded columns and
+    #: the uncompressed bytes whose decode was avoided.
+    encoded_batches: int = 0
+    decode_bytes_avoided: int = 0
     #: Parallel-executor pushdown (zero for serial executors): the worker
     #: count the pipeline ran with and the morsels it was split into.
     workers: int = 0
@@ -156,6 +161,9 @@ class ExecutionContext:
     #: Cluster-wide decoded-block cache consumed by the vectorized
     #: executor's batch scans; None disables caching.
     block_cache: object = None
+    #: Operate-on-compressed scans (SET enable_encoded_scan): vectorized
+    #: batch scans hand whitelisted codecs to the kernels undecoded.
+    encoded_scan: bool = True
     #: Cluster-wide compiled-segment cache consulted by the compiled
     #: executor's pipeline codegen; None disables reuse.
     segment_cache: object = None

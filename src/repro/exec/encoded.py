@@ -1,0 +1,371 @@
+"""Operate-on-compressed column views for the vectorized executor.
+
+An :class:`EncodedColumn` wraps a block whose codec the execution engine
+can consume *without decoding* (see ``codecs.OPERATE_ON_COMPRESSED``):
+
+- comparison and BETWEEN predicates evaluate on **dictionary codes** — the
+  literal is compared against the (≤255-entry) dictionary once and the mask
+  is a table lookup per code;
+- **RLE** predicates compare once per run and replicate the verdict;
+  count/sum/min/max aggregates fold whole runs without expansion (see
+  ``Aggregate.accumulate_run``);
+- **MOSTLY** predicates compare the stored integer images against the
+  literal's image (the image maps are strictly monotonic, so order and
+  equality are preserved);
+- projections **late-materialize**: ``gather`` decodes only the positions a
+  filter selected.
+
+The kernel contract (DESIGN.md §13): an ``EncodedColumn`` may appear in
+``ColumnBatch.columns`` wherever a decoded list may; ``batch.column(i)``
+materializes it in place, so every consumer that does not understand
+encoded data transparently falls back to the decoded path — which is what
+keeps the four executors bit-identical. Methods returning ``None`` mean
+"cannot answer without decoding"; callers must then use the fallback.
+
+NULL handling mirrors the decoded kernels exactly: codecs store only
+present values plus a null-position set, so masks are computed over the
+present sequence and spliced to ``False`` at null positions (SQL
+comparisons with NULL are never TRUE).
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import operator
+from bisect import bisect_right
+
+from repro.compression.codecs import (
+    OPERATE_ON_COMPRESSED,
+    _from_int_image,
+    _to_int_image,
+)
+from repro.datatypes.types import TypeKind
+
+#: Indexes into ScanStats.encoding[codec] count vectors.
+ENC_BLOCKS = 0
+ENC_VALUES = 1
+ENC_BYTES_AVOIDED = 2
+ENC_MASKS = 3
+ENC_FOLDS = 4
+ENC_GATHERS = 5
+ENC_WIDTH = 6
+
+#: Human-readable pushdown kinds per codec, for EXPLAIN ANALYZE.
+PUSHDOWN_KIND = {
+    "bytedict": "dict-pushdown",
+    "runlength": "rle-fold",
+    "mostly8": "mostly-image",
+    "mostly16": "mostly-image",
+    "mostly32": "mostly-image",
+}
+
+_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ESCAPE = 255  # ByteDictCodec._ESCAPE
+
+
+def supports_block(block) -> bool:
+    """Whether *block* can be scanned without decoding."""
+    return block.vector.codec_name in OPERATE_ON_COMPRESSED
+
+
+class EncodedColumn:
+    """A column vector still in its compressed form.
+
+    Quacks enough like a value list (``len``/``iter``/``getitem``) that
+    generic consumers work — those paths materialize. The fast paths
+    (``compare_mask``, ``gather``, ``runs``) are what the vectorized
+    kernels call when they recognize the type.
+    """
+
+    __slots__ = (
+        "block",
+        "vector",
+        "codec_name",
+        "stats",
+        "_present_positions",
+        "_sorted_nulls",
+        "_materialized",
+        "_rle_ends",
+    )
+
+    def __init__(self, block, stats=None):
+        self.block = block
+        self.vector = block.vector
+        self.codec_name = self.vector.codec_name
+        self.stats = stats
+        self._present_positions = None
+        self._sorted_nulls = None
+        self._rle_ends = None
+        self._materialized = None
+
+    # ---- list protocol (generic fallback) ---------------------------------
+
+    @property
+    def count(self) -> int:
+        return self.vector.count
+
+    def __len__(self) -> int:
+        return self.vector.count
+
+    def __iter__(self):
+        return iter(self.materialize())
+
+    def __getitem__(self, index):
+        return self.materialize()[index]
+
+    def materialize(self) -> list:
+        """The fully decoded value list (the universal fallback).
+
+        Memoized on the column — whose lifetime is one batch — so
+        repeated materialization costs one decode without retaining the
+        decoded list for the life of the block.
+        """
+        if self._materialized is None:
+            self._materialized = self.block.read_vector()
+        return self._materialized
+
+    # ---- late materialization ---------------------------------------------
+
+    def gather(self, selection) -> list:
+        """Decode only the values at *selection* (sorted row positions)."""
+        if self._materialized is not None:
+            return [self._materialized[i] for i in selection]
+        if self.codec_name == "bytedict":
+            out = self._gather_bytedict(selection)
+        elif self.codec_name == "runlength":
+            out = self._gather_rle(selection)
+        else:
+            out = self._gather_mostly(selection)
+        if out is None:
+            decoded = self.materialize()
+            return [decoded[i] for i in selection]
+        self._tally(ENC_GATHERS)
+        return out
+
+    def _present_index(self, pos: int) -> int:
+        """Map a logical row position to its index among present values."""
+        nulls = self._sorted_nulls
+        if nulls is None:
+            nulls = self._sorted_nulls = sorted(self.vector.null_positions)
+        return pos - bisect_right(nulls, pos)
+
+    def _gather_bytedict(self, selection):
+        ordered, indexes, exceptions = self.vector.payload
+        if exceptions:
+            # Escapes need a prefix count to find their exception slot;
+            # dict overflow is rare enough that decoding wins.
+            return None
+        nulls = self.vector.null_positions
+        if nulls:
+            out = []
+            for pos in selection:
+                if pos in nulls:
+                    out.append(None)
+                else:
+                    out.append(ordered[indexes[self._present_index(pos)]])
+            return out
+        return [ordered[indexes[pos]] for pos in selection]
+
+    def _gather_rle(self, selection):
+        run_values, run_counts = self.vector.payload
+        ends = self._rle_ends
+        if ends is None:
+            ends = []
+            total = 0
+            for c in run_counts:
+                total += c
+                ends.append(total)
+            self._rle_ends = ends
+        nulls = self.vector.null_positions
+        out = []
+        for pos in selection:
+            if pos in nulls:
+                out.append(None)
+            else:
+                i = pos if not nulls else self._present_index(pos)
+                out.append(run_values[bisect_right(ends, i)])
+        return out
+
+    def _gather_mostly(self, selection):
+        _flags, images = self.vector.payload
+        sql_type = self.vector.sql_type
+        nulls = self.vector.null_positions
+        out = []
+        for pos in selection:
+            if pos in nulls:
+                out.append(None)
+            else:
+                i = pos if not nulls else self._present_index(pos)
+                out.append(_from_int_image(images[i], sql_type))
+        return out
+
+    # ---- predicate pushdown -----------------------------------------------
+
+    def compare_mask(self, op: str, literal) -> list | None:
+        """``[row <op> literal is TRUE]`` computed on encoded data, or
+        ``None`` when this codec/operator/literal combination cannot be
+        answered without decoding."""
+        if literal is None:
+            return None
+        fn = _OPS.get(op)
+        if fn is None:
+            return None
+        zone = self.block.zone_map
+        try:
+            if zone is not None:
+                if not zone.might_satisfy(op, literal):
+                    self._tally(ENC_MASKS)
+                    return [False] * self.count
+                if zone.must_satisfy(op, literal):
+                    self._tally(ENC_MASKS)
+                    return [True] * self.count
+            if self.codec_name == "bytedict":
+                mask = self._bytedict_mask(fn, literal)
+            elif self.codec_name == "runlength":
+                mask = self._rle_mask(fn, literal)
+            else:
+                mask = self._mostly_mask(fn, literal)
+        except TypeError:
+            # Incomparable literal type; let the decoded kernel raise (or
+            # not) exactly as it would have.
+            return None
+        if mask is not None:
+            self._tally(ENC_MASKS)
+        return mask
+
+    def is_null_mask(self, negated: bool = False) -> list:
+        """IS [NOT] NULL needs only the null-position set."""
+        nulls = self.vector.null_positions
+        self._tally(ENC_MASKS)
+        if negated:
+            return [i not in nulls for i in range(self.count)]
+        return [i in nulls for i in range(self.count)]
+
+    def _bytedict_mask(self, fn, literal):
+        ordered, indexes, exceptions = self.vector.payload
+        # Translate the literal once: one comparison per distinct value,
+        # then the per-row work is an integer-code table lookup.
+        table = [bool(fn(v, literal)) for v in ordered]
+        if len(table) < 256:
+            table.extend([False] * (256 - len(table)))
+        if exceptions:
+            exc_iter = iter([bool(fn(v, literal)) for v in exceptions])
+            present = [
+                next(exc_iter) if i == _ESCAPE else table[i] for i in indexes
+            ]
+        else:
+            present = [table[i] for i in indexes]
+        return self._splice_nulls(present)
+
+    def _rle_mask(self, fn, literal):
+        run_values, run_counts = self.vector.payload
+        present: list = []
+        for value, count in zip(run_values, run_counts):
+            present.extend([bool(fn(value, literal))] * count)
+        return self._splice_nulls(present)
+
+    def _mostly_mask(self, fn, literal):
+        literal_image = _literal_image(literal, self.vector.sql_type)
+        if literal_image is None:
+            return None
+        _flags, images = self.vector.payload
+        present = [bool(fn(image, literal_image)) for image in images]
+        return self._splice_nulls(present)
+
+    def _splice_nulls(self, present: list) -> list:
+        """Expand a present-values mask to logical positions (NULL=False)."""
+        nulls = self.vector.null_positions
+        if not nulls:
+            return present
+        mask = [False] * self.count
+        it = iter(present)
+        for i in range(self.count):
+            if i not in nulls:
+                mask[i] = next(it)
+        return mask
+
+    # ---- aggregate folds ---------------------------------------------------
+
+    @property
+    def is_rle(self) -> bool:
+        return self.codec_name == "runlength"
+
+    def foldable_runs(self) -> bool:
+        """Whether run folding is exact for this vector's value type.
+
+        Folding regroups the additions an aggregate performs; that is only
+        bit-identical where arithmetic is exact, so runs fold only for
+        plain ``int`` values (floats and decimals round differently under
+        regrouping and take the decoded path).
+        """
+        run_values, _ = self.vector.payload
+        for v in run_values:
+            if type(v) is not int:
+                return False
+        return True
+
+    def runs(self):
+        """(value, run_length) pairs over *present* values.
+
+        Only meaningful for RLE; NULLs are omitted because SQL aggregates
+        skip them (COUNT(*) never consults the column).
+        """
+        run_values, run_counts = self.vector.payload
+        self._tally(ENC_FOLDS)
+        return zip(run_values, run_counts)
+
+    # ---- instrumentation ---------------------------------------------------
+
+    def _tally(self, index: int) -> None:
+        stats = self.stats
+        if stats is not None:
+            entry = stats.encoding.get(self.codec_name)
+            if entry is None:
+                entry = stats.encoding[self.codec_name] = [0] * ENC_WIDTH
+            entry[index] += 1
+
+
+def _literal_image(literal, sql_type) -> int | None:
+    """The integer image of *literal* for MOSTLY comparisons, or None.
+
+    The image maps (identity for integers, ordinal for dates, epoch-µs for
+    timestamps, scaled integer for decimals, 0/1 for booleans) are strictly
+    monotonic, so comparing images is comparing values — provided the
+    literal maps exactly. Anything inexact (a decimal with more fractional
+    digits than the column's scale) refuses, forcing the decoded fallback.
+    """
+    kind = sql_type.kind
+    if sql_type.is_integer:
+        # int literals compare as themselves; float literals compare
+        # against integer images exactly as against the values.
+        if type(literal) is int or type(literal) is float:
+            return literal
+        return None
+    if kind is TypeKind.DATE:
+        if type(literal) is datetime.date:
+            return _to_int_image(literal, sql_type)
+        return None
+    if kind is TypeKind.TIMESTAMP:
+        if type(literal) is datetime.datetime:
+            return _to_int_image(literal, sql_type)
+        return None
+    if kind is TypeKind.DECIMAL:
+        if isinstance(literal, decimal.Decimal):
+            scaled = literal.scaleb(sql_type.scale)
+            if scaled == scaled.to_integral_value():
+                return int(scaled)
+        return None
+    if kind is TypeKind.BOOLEAN:
+        if type(literal) is bool:
+            return int(literal)
+        return None
+    return None

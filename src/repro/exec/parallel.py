@@ -48,7 +48,14 @@ from repro.exec.volcano import (
     redistributed_sides,
     scan_column_names,
 )
-from repro.exec.workers import MorselResult, MorselTask, PipelineSpec, run_morsel
+from repro.exec.workers import (
+    MorselResult,
+    MorselTask,
+    PackedRows,
+    PipelineSpec,
+    run_morsel,
+    unpack_rows,
+)
 from repro.errors import WorkerCrashError
 from repro.faults.plan import FaultKind
 from repro.plan.physical import (
@@ -338,7 +345,13 @@ class ParallelExecutor(VolcanoExecutor):
             scanned = {task.pipeline.table for task in prepared}
             try:
                 pool = manager.pool(workers, mode, tables=scanned)
-                futures = [pool.submit(task) for task in prepared]
+                # Pooled row pipelines ship typed columns across the
+                # pipe; inline re-runs (crash/overflow recovery below)
+                # use the un-flagged tasks and keep plain lists.
+                futures = [
+                    pool.submit(replace(task, pack_rows=True))
+                    for task in prepared
+                ]
             except (BrokenProcessPool, OSError):
                 manager.invalidate()
                 futures = None
@@ -365,6 +378,8 @@ class ParallelExecutor(VolcanoExecutor):
                     replace(tasks[i], row_ship_limit=0, crash=False),
                     self._ctx.slices,
                 )
+            elif isinstance(result.rows, PackedRows):
+                result.rows = unpack_rows(result.rows)
         return results
 
     def _run_or_recover(self, index: int, task: MorselTask) -> MorselResult:

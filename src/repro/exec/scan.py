@@ -12,6 +12,14 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.engine.transactions import Snapshot
+from repro.exec.encoded import (
+    ENC_BLOCKS,
+    ENC_BYTES_AVOIDED,
+    ENC_VALUES,
+    ENC_WIDTH,
+    EncodedColumn,
+    supports_block,
+)
 from repro.storage.chain import ScanStats
 from repro.storage.disk import SimulatedDisk
 from repro.storage.slicestore import TableShard
@@ -274,6 +282,7 @@ def scan_shard_batches(
     stats: ScanStats | None = None,
     disk: SimulatedDisk | None = None,
     block_cache=None,
+    encoded: bool = False,
 ) -> Iterator["ColumnBatch"]:
     """Yield visible rows as :class:`ColumnBatch`es, one per surviving block.
 
@@ -288,6 +297,14 @@ def scan_shard_batches(
     serves decoded vectors across queries; cache hits skip the simulated
     disk read and byte accounting (the IO they avoid) while block/value
     counts stay identical to the row path.
+
+    With *encoded* (``SET enable_encoded_scan``), blocks whose codec the
+    kernels can execute on directly (``OPERATE_ON_COMPRESSED``) are handed
+    onward as verified-but-undecoded :class:`EncodedColumn`s instead of
+    decoded lists — unless the decode cache already holds the decoded
+    vector, which is cheaper still. Encoded reads are verified against the
+    payload checksum without decoding, charge the disk normally, and are
+    neither cache hits nor misses (no decode was requested).
     """
     from repro.exec.batch import ColumnBatch
 
@@ -341,7 +358,33 @@ def scan_shard_batches(
         vectors = []
         for chain_blocks in blocks_per_chain:
             block = chain_blocks[k]
-            if block_cache is not None:
+            hit = False
+            enc_used = False
+            if encoded and supports_block(block):
+                # A resident decoded vector is cheaper than the payload;
+                # otherwise verify the payload bytes (no decode) and hand
+                # the compressed column straight to the kernels.
+                cached = (
+                    block_cache.peek(block) if block_cache is not None else None
+                )
+                if cached is not None:
+                    values, hit = cached, True
+                else:
+                    block.verify_checksum()
+                    values = EncodedColumn(block, stats)
+                    enc_used = True
+                    if stats is not None:
+                        entry = stats.encoding.setdefault(
+                            block.codec_name, [0] * ENC_WIDTH
+                        )
+                        avoided = (
+                            block.count * block.vector.sql_type.byte_width
+                        )
+                        entry[ENC_BLOCKS] += 1
+                        entry[ENC_VALUES] += block.count
+                        entry[ENC_BYTES_AVOIDED] += avoided
+                        stats.decode_bytes_avoided += avoided
+            elif block_cache is not None:
                 values, hit = block_cache.lookup(block)
             else:
                 values, hit = block.read_vector(), False
@@ -351,16 +394,22 @@ def scan_shard_batches(
                 if hit:
                     stats.cache_hits += 1
                 else:
-                    stats.cache_misses += 1
                     stats.bytes_read += block.encoded_bytes
+                    if not enc_used:
+                        stats.cache_misses += 1
             if not hit and disk is not None:
                 disk.record_read(block.encoded_bytes)
             vectors.append(values)
         end = offset + row_count
         columns: list = [None] * width
         if _block_fully_visible(insert_xids, delete_xids, offset, end, snapshot):
+            batch_encoded = 0
             for (position, _), values in zip(live, vectors):
                 columns[position] = values
+                if type(values) is EncodedColumn:
+                    batch_encoded += 1
+            if batch_encoded and stats is not None:
+                stats.encoded_batches += 1
             yield ColumnBatch(columns, row_count)
         else:
             selection = [
@@ -372,7 +421,10 @@ def scan_shard_batches(
             ]
             if selection:
                 for (position, _), values in zip(live, vectors):
-                    columns[position] = [values[i] for i in selection]
+                    if type(values) is EncodedColumn:
+                        columns[position] = values.gather(selection)
+                    else:
+                        columns[position] = [values[i] for i in selection]
                 yield ColumnBatch(columns, len(selection))
         offset += row_count
 

@@ -26,6 +26,7 @@ import time
 
 from repro.exec import exchange
 from repro.exec.batch import ColumnBatch, make_mask_kernel, make_value_kernel
+from repro.exec.encoded import EncodedColumn
 from repro.exec.scan import scan_shard_batches
 from repro.exec.spill import SpillableHashTable
 from repro.exec.volcano import PerSlice, VolcanoExecutor, _compile, scan_column_names
@@ -133,6 +134,7 @@ class VectorizedExecutor(VolcanoExecutor):
                     local,
                     store.disk,
                     cache,
+                    encoded=self._ctx.encoded_scan,
                 ):
                     if stat is not None:
                         # Scan output is counted pre-filter, matching the
@@ -261,6 +263,18 @@ class VectorizedExecutor(VolcanoExecutor):
                     if vector is None:
                         # COUNT(*): every row counts once.
                         entry[i] = agg.merge(entry[i], count)
+                    elif (
+                        type(vector) is EncodedColumn
+                        and vector.is_rle
+                        and vector.foldable_runs()
+                    ):
+                        # Operate-on-compressed: fold whole RLE runs
+                        # without expanding them (NULL runs are omitted,
+                        # matching SQL aggregate NULL skipping).
+                        state = entry[i]
+                        for value, run in vector.runs():
+                            state = agg.accumulate_run(state, value, run)
+                        entry[i] = state
                     else:
                         entry[i] = agg.accumulate_many(entry[i], vector)
                 continue

@@ -149,6 +149,8 @@ class VolcanoExecutor:
                 stat.bytes_read = local.bytes_read
                 stat.cache_hits = local.cache_hits
                 stat.cache_misses = local.cache_misses
+                stat.encoded_batches = local.encoded_batches
+                stat.decode_bytes_avoided = local.decode_bytes_avoided
             self._ctx.stats.scan.merge(local)
         self._scan_locals.clear()
         self._ctx.stats.operators.sort(key=lambda s: s.step)

@@ -347,6 +347,17 @@ class Aggregate:
             state = accumulate(state, value)
         return state
 
+    def accumulate_run(self, state: object, value: object, count: int) -> object:
+        """Fold a run of *count* equal non-null values (operate-on-compressed
+        RLE aggregation). The default repeats :meth:`accumulate` so any
+        aggregate stays bit-identical; subclasses override only where the
+        closed form is exact (never where it could change float ordering).
+        """
+        accumulate = self.accumulate
+        for _ in range(count):
+            state = accumulate(state, value)
+        return state
+
     def merge(self, left: object, right: object) -> object:
         """Combine two partial states."""
         raise NotImplementedError
@@ -372,6 +383,9 @@ class CountAggregate(Aggregate):
 
     def accumulate_many(self, state, values):
         return state + sum(1 for value in values if value is not None)
+
+    def accumulate_run(self, state, value, count):
+        return state + (count if value is not None else 0)
 
     def merge(self, left, right):
         return left + right
@@ -402,6 +416,16 @@ class SumAggregate(Aggregate):
             return state
         total = sum(present[1:], present[0])
         return total if state is None else state + total
+
+    def accumulate_run(self, state, value, count):
+        if value is None:
+            return state
+        if type(value) is int:
+            # value*count is exact for integers; floats keep the per-value
+            # loop (addition order changes the rounded result).
+            total = value * count
+            return total if state is None else state + total
+        return super().accumulate_run(state, value, count)
 
     def merge(self, left, right):
         if left is None:
@@ -457,6 +481,10 @@ class MinAggregate(Aggregate):
             return state
         low = min(present)
         return low if state is None or low < state else state
+
+    def accumulate_run(self, state, value, count):
+        # min is idempotent: a run of equal values folds to one visit.
+        return self.accumulate(state, value)
 
     def merge(self, left, right):
         return self.accumulate(left, right)

@@ -16,7 +16,13 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.compression.codecs import Codec, EncodedVector, codec_by_name
+from repro.compression.codecs import (
+    Codec,
+    EncodedVector,
+    codec_by_name,
+    corrupt_payload,
+    payload_byte_chunks,
+)
 from repro.datatypes.types import SqlType
 from repro.errors import BlockCorruptionError
 from repro.storage import blockcache
@@ -34,13 +40,35 @@ def _next_block_id() -> str:
     return f"blk-{next(_block_ids):012d}"
 
 
-def _checksum(values: Sequence[object]) -> int:
-    """Content checksum over the value sequence.
+def _checksum(vector: EncodedVector) -> int:
+    """Content checksum over the encoded payload bytes.
 
-    Each value is pickled independently: pickling the list as a whole
-    would memoize repeated object references, making a run-length-decoded
-    block (one shared object) checksum differently from the originally
-    parsed values (distinct equal objects).
+    A single ``zlib.crc32`` pass over the vector's canonical byte image
+    (typed-array buffers, compressed byte streams, residual object parts
+    pickled once as a unit) plus the codec name, logical count and null
+    positions. This replaces the old per-value ``pickle.dumps`` walk over
+    decoded values — a hot-path tax paid on every first read — and lets
+    encoded scans verify integrity without decoding at all.
+    """
+    crc = zlib.crc32(vector.codec_name.encode("utf-8"))
+    crc = zlib.crc32(vector.count.to_bytes(8, "little"), crc)
+    for pos in sorted(vector.null_positions):
+        crc = zlib.crc32(pos.to_bytes(8, "little"), crc)
+    for chunk in payload_byte_chunks(vector.payload):
+        crc = zlib.crc32(chunk, crc)
+    return crc
+
+
+def _checksum_values(values: Sequence[object]) -> int:
+    """Legacy content checksum over decoded values (compat shim).
+
+    Blocks serialized before the payload checksum existed carry a CRC
+    computed this way; :meth:`Block.deserialize` tags them
+    ``checksum_kind="values"`` so they still verify. Each value is pickled
+    independently: pickling the list as a whole would memoize repeated
+    object references, making a run-length-decoded block (one shared
+    object) checksum differently from the originally parsed values
+    (distinct equal objects).
     """
     crc = 0
     for value in values:
@@ -56,20 +84,21 @@ class Block:
         block_id: globally unique id used by replication and backup.
         vector: the encoded values.
         zone_map: min/max summary used for block skipping.
-        checksum: CRC over the decoded values, verified on read.
+        checksum: CRC over the encoded payload bytes, verified on read
+            (legacy images checksum decoded values; see ``checksum_kind``).
     """
 
     block_id: str
     vector: EncodedVector
     zone_map: ZoneMap
     checksum: int
-    _decoded_cache: list[object] | None = field(
-        default=None, repr=False, compare=False
-    )
-    #: True once the decoded content passed checksum verification; reset
-    #: whenever the content can have changed (corrupt()), so the hot read
-    #: path pays the per-value CRC pickle walk once per block, not once
-    #: per read.
+    #: "payload" — checksum over encoded payload bytes (current format);
+    #: "values" — legacy per-value CRC walk over decoded values, kept so
+    #: pre-payload-checksum images (replicas, backups) still verify.
+    checksum_kind: str = "payload"
+    #: True once the content passed checksum verification; reset whenever
+    #: the content can have changed (corrupt()), so the hot read path pays
+    #: the CRC pass once per block, not once per read.
     _verified: bool = field(default=False, repr=False, compare=False)
     #: Owning table, stamped by the chain that sealed/adopted the block.
     #: Attributes corrupt()'s cache/epoch invalidation to the table;
@@ -90,7 +119,7 @@ class Block:
             block_id=block_id or _next_block_id(),
             vector=vector,
             zone_map=ZoneMap.build(values),
-            checksum=_checksum(values),
+            checksum=_checksum(vector),
         )
 
     @property
@@ -120,32 +149,48 @@ class Block:
         return list(self.read_vector(verify))
 
     def read_vector(self, verify: bool = True) -> list[object]:
-        """Like :meth:`read` but returns the shared decoded list without
-        copying — the batch-scan fast path. Callers must not mutate it."""
-        if self._decoded_cache is None:
-            codec = codec_by_name(self.vector.codec_name)
-            self._decoded_cache = codec.decode(self.vector)
-            self._verified = False
+        """Like :meth:`read` but skips the defensive copy — the batch-scan
+        fast path. Callers must not mutate the returned list.
+
+        Deliberately NOT memoized on the block: blocks live as long as
+        their chain, so a per-block memo would retain every decoded list
+        for the life of the cluster. The bounded
+        :class:`~repro.storage.blockcache.BlockDecodeCache` is the only
+        place decoded vectors are retained.
+        """
         if verify and not self._verified:
-            if _checksum(self._decoded_cache) != self.checksum:
-                raise BlockCorruptionError(
-                    f"block {self.block_id} failed checksum verification"
-                )
-            self._verified = True
-        return self._decoded_cache
+            self.verify_checksum()
+        codec = codec_by_name(self.vector.codec_name)
+        return codec.decode(self.vector)
+
+    def verify_checksum(self) -> None:
+        """Verify block integrity, raising :class:`BlockCorruptionError`.
+
+        For payload-checksummed blocks this never decodes — the encoded
+        scan path verifies compressed vectors it will execute on directly.
+        Verification is memoized per content; :meth:`corrupt` resets it.
+        """
+        if self._verified:
+            return
+        if self.checksum_kind == "payload":
+            actual = _checksum(self.vector)
+        else:
+            codec = codec_by_name(self.vector.codec_name)
+            actual = _checksum_values(codec.decode(self.vector))
+        if actual != self.checksum:
+            raise BlockCorruptionError(
+                f"block {self.block_id} failed checksum verification"
+            )
+        self._verified = True
 
     def corrupt(self) -> None:
         """Deliberately corrupt the block (test/failure-injection hook).
 
-        Resets the verified-checksum memo and evicts the block from every
-        decode cache, so the next read re-verifies and fails.
+        Flips bits inside the encoded payload, resets the
+        verified-checksum memo and evicts the block from every decode
+        cache, so the next read re-verifies and fails.
         """
-        values = self.read(verify=False)
-        if values:
-            values[0] = "☠CORRUPTED" if values[0] is None else None
-        else:
-            values.append("☠CORRUPTED")
-        self._decoded_cache = values
+        corrupt_payload(self.vector)
         self._verified = False
         blockcache.invalidate_everywhere(self.block_id, self.table_name)
 
@@ -157,17 +202,24 @@ class Block:
                 "vector": self.vector,
                 "zone_map": self.zone_map,
                 "checksum": self.checksum,
+                "checksum_kind": self.checksum_kind,
             },
             protocol=4,
         )
 
     @classmethod
     def deserialize(cls, data: bytes) -> "Block":
-        """Reconstruct a block from :meth:`serialize` output."""
+        """Reconstruct a block from :meth:`serialize` output.
+
+        Images produced before the payload checksum existed carry no
+        ``checksum_kind``; they verify through the legacy decoded-value
+        walk (see :func:`_checksum_values`).
+        """
         fields = pickle.loads(data)
         return cls(
             block_id=fields["block_id"],
             vector=fields["vector"],
             zone_map=fields["zone_map"],
             checksum=fields["checksum"],
+            checksum_kind=fields.get("checksum_kind", "values"),
         )

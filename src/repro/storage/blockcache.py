@@ -117,6 +117,22 @@ class BlockDecodeCache:
                 self.evictions += 1
         return values, False
 
+    def peek(self, block) -> list | None:
+        """The cached decoded values of *block*, or None — never decodes.
+
+        The encoded scan path consults this first: when a decoded vector is
+        already resident it is cheaper to consume than the compressed
+        payload, so the peek counts as a hit. An absence is *not* counted
+        as a miss — the encoded path is not going to decode, so no decode
+        work was missed.
+        """
+        with self._lock:
+            values = self._entries.get(block.block_id)
+            if values is not None:
+                self._entries.move_to_end(block.block_id)
+                self.hits += 1
+            return values
+
     def invalidate(self, block_id: str) -> bool:
         """Drop one entry; True when it was present.
 

@@ -40,6 +40,15 @@ class ScanStats:
     #: Block-decode cache traffic (batch scan path only).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Operate-on-compressed accounting (encoded scan path only): batches
+    #: that carried at least one still-encoded column, and the uncompressed
+    #: bytes whose eager decode those columns avoided.
+    encoded_batches: int = 0
+    decode_bytes_avoided: int = 0
+    #: codec name -> [blocks, values, bytes_avoided, masks, folds, gathers]
+    #: (see repro.exec.encoded ENC_* index constants); feeds
+    #: svl_scan_encoding.
+    encoding: dict = field(default_factory=dict)
 
     def merge(self, other: "ScanStats") -> None:
         self.blocks_total += other.blocks_total
@@ -50,6 +59,12 @@ class ScanStats:
         self.values_read += other.values_read
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.encoded_batches += other.encoded_batches
+        self.decode_bytes_avoided += other.decode_bytes_avoided
+        for codec, counts in other.encoding.items():
+            entry = self.encoding.setdefault(codec, [0] * len(counts))
+            for i, n in enumerate(counts):
+                entry[i] += n
 
 
 class ColumnChain:

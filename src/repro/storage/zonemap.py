@@ -68,6 +68,30 @@ class ZoneMap:
             return not (self.low == self.high == value)
         raise ValueError(f"unsupported zone map operator {op!r}")
 
+    def must_satisfy(self, op: str, value: object) -> bool:
+        """Does *every* row in the block satisfy ``column <op> value``?
+
+        The dual of :meth:`might_satisfy`, used by encoded scans to
+        short-circuit a predicate to an all-True mask without touching the
+        payload. Conservative: True guarantees every row (the block must be
+        NULL-free); False is only *maybe not*.
+        """
+        if self.null_count or self.count == 0 or value is None or self.low is None:
+            return False
+        if op == "=":
+            return self.low == self.high == value
+        if op == "<":
+            return self.high < value
+        if op == "<=":
+            return self.high <= value
+        if op == ">":
+            return self.low > value
+        if op == ">=":
+            return self.low >= value
+        if op == "<>":
+            return self.high < value or self.low > value
+        return False
+
     def might_overlap_range(
         self, low: object | None, high: object | None
     ) -> bool:

@@ -19,6 +19,8 @@ and executors call, and materializes rows on demand:
   parallel-executor query (snapshot: replaced each parallel run).
 - ``stv_query_spill`` — per-operator spill activity of the most recent
   memory-governed query that spilled (snapshot: replaced per such query).
+- ``svl_scan_encoding`` — per-codec operate-on-compressed counters of the
+  most recent encoded scan (snapshot: replaced per such query).
 - ``stv_sessions`` — one row per live server session, computed live from
   the attached :class:`~repro.server.ClusterServer` (empty when no
   server is running).
@@ -86,6 +88,8 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("blocks_skipped", BIGINT),
         ("cache_hits", BIGINT),
         ("cache_misses", BIGINT),
+        ("encoded_batches", BIGINT),
+        ("decode_bytes_avoided", BIGINT),
         ("workers", INTEGER),
         ("morsels", INTEGER),
         ("result_cache_hit", INTEGER),
@@ -100,6 +104,16 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("partitions", INTEGER),
         ("bytes_written", BIGINT),
         ("bytes_read", BIGINT),
+    ],
+    "svl_scan_encoding": [
+        ("query", INTEGER),
+        ("encoding", varchar_type(32)),
+        ("blocks", BIGINT),
+        ("values_scanned", BIGINT),
+        ("bytes_avoided", BIGINT),
+        ("masks", BIGINT),
+        ("folds", BIGINT),
+        ("gathers", BIGINT),
     ],
     "stv_slice_exec": [
         ("query", INTEGER),
@@ -181,6 +195,7 @@ _STORED_TABLES = frozenset(
         "stl_wlm_rule_action",
         "stv_slice_exec",
         "stv_query_spill",
+        "svl_scan_encoding",
         "stl_connection_log",
     )
 )
@@ -305,6 +320,8 @@ class SystemTables:
                     op.blocks_skipped,
                     op.cache_hits,
                     op.cache_misses,
+                    op.encoded_batches,
+                    op.decode_bytes_avoided,
                     op.workers,
                     op.morsels,
                     int(result_cache_hit),
@@ -312,6 +329,36 @@ class SystemTables:
                     op.spill_partitions,
                 ),
             )
+
+    def record_scan_encoding(self, query_id: int, encoding: dict) -> None:
+        """Snapshot the latest encoded query's per-codec scan counters
+        (svl_scan_encoding; *encoding* is ``ScanStats.encoding`` — codec
+        name → count vector indexed by ``repro.exec.encoded.ENC_*``)."""
+        from repro.exec.encoded import (
+            ENC_BLOCKS,
+            ENC_BYTES_AVOIDED,
+            ENC_FOLDS,
+            ENC_GATHERS,
+            ENC_MASKS,
+            ENC_VALUES,
+        )
+
+        self.store.replace(
+            "svl_scan_encoding",
+            [
+                (
+                    query_id,
+                    codec,
+                    counts[ENC_BLOCKS],
+                    counts[ENC_VALUES],
+                    counts[ENC_BYTES_AVOIDED],
+                    counts[ENC_MASKS],
+                    counts[ENC_FOLDS],
+                    counts[ENC_GATHERS],
+                )
+                for codec, counts in sorted(encoding.items())
+            ],
+        )
 
     def record_slice_exec(self, query_id: int, slice_execs) -> None:
         """Snapshot per-slice worker accounting of the latest parallel

@@ -119,10 +119,14 @@ class TestBlockDecodeCache:
 
 
 class TestChecksumMemoization:
-    def test_read_vector_returns_shared_list(self):
+    def test_read_vector_does_not_retain_decoded_values(self):
+        # Blocks live as long as their chain, so they must not memoize
+        # decoded lists — the bounded BlockDecodeCache is the only
+        # decoded-vector retainer (DESIGN.md §13).
         block = _block([1, 2, 3])
-        assert block.read_vector() is block.read_vector()
-        # read() still hands out a private copy.
+        first = block.read_vector()
+        assert first == block.read_vector() == [1, 2, 3]
+        assert first is not block.read_vector()
         assert block.read() is not block.read_vector()
 
     def test_verification_runs_once_per_content(self, monkeypatch):
