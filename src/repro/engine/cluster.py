@@ -89,6 +89,10 @@ class Cluster:
     #: folds, late materialization) where the codec supports it. Off
     #: decodes every block up front.
     enable_encoded_scan_default = True
+    #: Default for new sessions' ``enable_cbo``: statistics-driven join
+    #: enumeration and operator selection. Off pins written-order
+    #: planning (the pre-optimizer behaviour).
+    enable_cbo_default = True
 
     def __init__(
         self,

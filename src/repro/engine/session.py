@@ -140,7 +140,12 @@ class Session:
         self._parallelism = parallelism
         self._pool_mode = pool_mode
         self._binder = Binder(cluster.catalog)
-        self._planner = PhysicalPlanner(cluster.catalog, cluster.slice_count)
+        #: ``SET enable_cbo``: cost-based join enumeration and operator
+        #: selection (on by default); off keeps joins in written order.
+        self._enable_cbo = bool(getattr(cluster, "enable_cbo_default", True))
+        self._planner = PhysicalPlanner(
+            cluster.catalog, cluster.slice_count, enable_cbo=self._enable_cbo
+        )
         self._xid: int | None = None  # explicit transaction, if any
         #: ``SET enable_result_cache``; the cluster's parameter-group
         #: default (on, as in Redshift) unless overridden per session.
@@ -410,6 +415,22 @@ class Session:
                     "enable_encoded_scan expects on/off, got "
                     f"{statement.value!r}"
                 )
+            return QueryResult(command="SET")
+        if name == "enable_cbo":
+            value = str(statement.value).lower()
+            if value in ("on", "true", "1"):
+                self._enable_cbo = True
+            elif value in ("off", "false", "0"):
+                self._enable_cbo = False
+            else:
+                raise AnalysisError(
+                    f"enable_cbo expects on/off, got {statement.value!r}"
+                )
+            self._planner = PhysicalPlanner(
+                self._cluster.catalog,
+                self._cluster.slice_count,
+                enable_cbo=self._enable_cbo,
+            )
             return QueryResult(command="SET")
         raise AnalysisError(f"unknown session parameter {statement.name!r}")
 
@@ -914,7 +935,7 @@ class Session:
             for row in source_rows
         ]
         count = self._cluster.distribute_rows(table, rows, xid)
-        self._update_statistics(table, xid)
+        self._mark_stats_stale(table, count)
         return QueryResult(rowcount=count, command="INSERT")
 
     @staticmethod
@@ -998,7 +1019,7 @@ class Session:
             logical_rows = count // slice_count
         else:
             logical_rows = count
-        self._update_statistics(table, xid)
+        self._mark_stats_stale(table, -logical_rows)
         return QueryResult(rowcount=logical_rows, command="DELETE")
 
     def _update(self, statement: ast.UpdateStatement, xid: int) -> QueryResult:
@@ -1039,7 +1060,7 @@ class Session:
                         new_rows.append(tuple(updated))
                 count += len(offsets)
             self._cluster.distribute_rows(table, new_rows, xid)
-        self._update_statistics(table, xid)
+        self._mark_stats_stale(table)
         logical = (
             len(new_rows)
             if table.distribution.style is DistStyle.ALL
@@ -1105,8 +1126,12 @@ class Session:
         if table.sort_key is not None and was_empty:
             self._sort_table(table, xid)
         self._cluster.seal_table(table.name)
+        # COPY runs the ANALYZE path with the load (STATUPDATE, on by
+        # default) — bulk loads leave fresh statistics behind.
         if statement.options.get("statupdate") is not False:
             self._update_statistics(table, xid)
+        else:
+            self._mark_stats_stale(table, count)
         return QueryResult(rowcount=count, command="COPY")
 
     def _apply_auto_compression(
@@ -1182,7 +1207,9 @@ class Session:
         for name in names:
             table = self._cluster.catalog.table(name)
             self._sort_table(table, xid, reclaim=True)
-            self._update_statistics(table, xid)
+            # VACUUM rewrites blocks (row count is unchanged but dead rows
+            # are gone); statistics need a fresh ANALYZE afterwards.
+            self._mark_stats_stale(table)
         return QueryResult(command="VACUUM")
 
     def _sort_table(
@@ -1223,6 +1250,19 @@ class Session:
                 shard.rewrite_sorted(order, BOOTSTRAP_XID)
 
     # ---- statistics -------------------------------------------------------------------------
+
+    def _mark_stats_stale(self, table: TableInfo, delta_rows: int = 0) -> None:
+        """DML invalidates statistics without rescanning the table.
+
+        The row count tracks the mutation incrementally so size-based
+        planning stays sane, but column statistics (min/max/NDV/nulls)
+        are stale until the next ANALYZE or COPY-with-STATUPDATE — the
+        planner falls back to its heuristics meanwhile.
+        """
+        stats = table.statistics
+        stats.stale = True
+        if delta_rows:
+            stats.row_count = max(0, stats.row_count + delta_rows)
 
     def _update_statistics(self, table: TableInfo, xid: int | None = None) -> None:
         """Refresh optimizer statistics by scanning (ANALYZE / on-load).
@@ -1299,7 +1339,10 @@ def _annotate_plan(plan_text: str, operators) -> list[str]:
             if op is None:
                 line += " (never executed)"
             else:
-                extra = f" (actual rows={op.rows} elapsed_us={op.elapsed_us}"
+                extra = (
+                    f" (actual rows={op.rows} est={op.est_rows:.0f}"
+                    f" elapsed_us={op.elapsed_us}"
+                )
                 if op.blocks_read or op.blocks_skipped:
                     extra += (
                         f" blocks_read={op.blocks_read}"

@@ -26,6 +26,10 @@ class OperatorStat:
     operator: str
     rows: int = 0
     elapsed_us: int = 0
+    #: Planner row estimate for this operator (EXPLAIN ANALYZE shows
+    #: ``rows=<actual> est=<estimated>``; svl_query_summary derives the
+    #: misestimation factor from the pair).
+    est_rows: float = 0.0
     #: Scan-only IO counters (zero for non-scan operators).
     blocks_read: int = 0
     blocks_skipped: int = 0

@@ -29,6 +29,7 @@ from repro.plan.physical import (
     PhysicalFilter,
     PhysicalHashJoin,
     PhysicalLimit,
+    PhysicalMergeJoin,
     PhysicalNestedLoopJoin,
     PhysicalNode,
     PhysicalProject,
@@ -105,7 +106,9 @@ class VolcanoExecutor:
             return None
         stat = self._stats_by_step.get(step)
         if stat is None:
-            stat = OperatorStat(step=step, operator=node.label())
+            stat = OperatorStat(
+                step=step, operator=node.label(), est_rows=float(node.est_rows)
+            )
             self._stats_by_step[step] = stat
             self._start_times[step] = time.perf_counter()
             self._ctx.stats.operators.append(stat)
@@ -243,6 +246,8 @@ class VolcanoExecutor:
             return self._run_project(node)
         if isinstance(node, PhysicalHashJoin):
             return self._run_hash_join(node)
+        if isinstance(node, PhysicalMergeJoin):
+            return self._run_merge_join(node)
         if isinstance(node, PhysicalNestedLoopJoin):
             return self._run_nested_loop(node)
         if isinstance(node, PhysicalAggregate):
@@ -538,6 +543,71 @@ class VolcanoExecutor:
                             results.append(build + right_null)
         if spill_table is not None:
             spill_table.done()
+        return results
+
+    def _run_merge_join(self, node: PhysicalMergeJoin) -> PerSlice:
+        """Sort-merge join. The operator selection only emits this for
+        co-located (DS_DIST_NONE) inner joins on a single key, so no data
+        movement happens here; each slice sorts its two inputs on the key
+        (near-free when they arrive in sort-key order) and merges."""
+        if node.kind is not ast.JoinKind.INNER:
+            raise ExecutionError("merge join supports INNER joins only")
+        left = self._materialize(node.left, self._run(node.left))
+        right = self._materialize(node.right, self._run(node.right))
+        if (
+            node.left.partitioning.kind == "all"
+            and node.right.partitioning.kind == "all"
+        ):
+            left = self._one_copy(node.left, left)
+        residual = _compile(node.residual) if node.residual is not None else None
+        left_key, right_key = node.keys[0]
+        out: PerSlice = []
+        for s in range(self._ctx.slice_count):
+            out.append(
+                self._merge_join_slice(
+                    left[s], right[s], left_key, right_key, residual
+                )
+            )
+        return out
+
+    @staticmethod
+    def _merge_join_slice(
+        left_rows: list,
+        right_rows: list,
+        left_key: int,
+        right_key: int,
+        residual,
+    ) -> list:
+        lrows = sorted(
+            (row for row in left_rows if row[left_key] is not None),
+            key=lambda row: row[left_key],
+        )
+        rrows = sorted(
+            (row for row in right_rows if row[right_key] is not None),
+            key=lambda row: row[right_key],
+        )
+        results: list = []
+        i = j = 0
+        n_left, n_right = len(lrows), len(rrows)
+        while i < n_left and j < n_right:
+            lval = lrows[i][left_key]
+            rval = rrows[j][right_key]
+            if lval < rval:
+                i += 1
+            elif lval > rval:
+                j += 1
+            else:
+                j_end = j
+                while j_end < n_right and rrows[j_end][right_key] == lval:
+                    j_end += 1
+                while i < n_left and lrows[i][left_key] == lval:
+                    left_row = lrows[i]
+                    for jj in range(j, j_end):
+                        combined = left_row + rrows[jj]
+                        if residual is None or residual(combined) is True:
+                            results.append(combined)
+                    i += 1
+                j = j_end
         return results
 
     def _run_nested_loop(self, node: PhysicalNestedLoopJoin) -> PerSlice:

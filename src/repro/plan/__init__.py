@@ -27,6 +27,7 @@ from repro.plan.physical import (
     PhysicalFilter,
     PhysicalProject,
     PhysicalHashJoin,
+    PhysicalMergeJoin,
     PhysicalNestedLoopJoin,
     PhysicalAggregate,
     PhysicalDistinct,
@@ -36,6 +37,16 @@ from repro.plan.physical import (
     PhysicalPlanner,
     explain,
 )
+from repro.plan.optimizer import (
+    BuildSideSelection,
+    DistributionStrategySelection,
+    JoinDecision,
+    JoinSite,
+    MergeJoinSelection,
+    PhysicalOperatorSelection,
+    SideInfo,
+    default_operator_selection,
+)
 
 __all__ = [
     "BoundColumn",
@@ -44,7 +55,11 @@ __all__ = [
     "LogicalLimit", "AggCall",
     "Binder", "infer_type",
     "PhysicalNode", "PhysicalScan", "PhysicalFilter", "PhysicalProject",
-    "PhysicalHashJoin", "PhysicalNestedLoopJoin", "PhysicalAggregate",
+    "PhysicalHashJoin", "PhysicalMergeJoin", "PhysicalNestedLoopJoin",
+    "PhysicalAggregate",
     "PhysicalDistinct", "PhysicalSort", "PhysicalLimit",
     "JoinDistribution", "PhysicalPlanner", "explain",
+    "BuildSideSelection", "DistributionStrategySelection", "JoinDecision",
+    "JoinSite", "MergeJoinSelection", "PhysicalOperatorSelection",
+    "SideInfo", "default_operator_selection",
 ]

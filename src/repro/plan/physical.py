@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.datatypes.types import SqlType
 from repro.distribution.diststyle import DistStyle
-from repro.engine.catalog import Catalog, TableInfo
+from repro.engine.catalog import Catalog, ColumnStatistics, TableInfo
 from repro.errors import AnalysisError
 from repro.plan.bound import (
     AggCall,
@@ -214,6 +214,39 @@ class PhysicalHashJoin(PhysicalNode):
 
 
 @dataclass
+class PhysicalMergeJoin(PhysicalNode):
+    """Sort-merge join: both inputs are sorted on the join key per slice
+    and merged. The default operator-selection chain picks it only for
+    co-located (``DS_DIST_NONE``) inner joins whose inputs are scans of
+    tables already sorted on the joined column, where the per-slice sort
+    is (nearly) free."""
+
+    kind: ast.JoinKind
+    left: PhysicalNode
+    right: PhysicalNode
+    keys: list[tuple[int, int]] = field(default_factory=list)
+    residual: ast.Expression | None = None
+    strategy: JoinDistribution = JoinDistribution.DS_DIST_NONE
+    output: list[BoundColumn] = field(default_factory=list)
+    partitioning: Partitioning = RR
+    est_rows: float = _DEFAULT_ROWS
+
+    @property
+    def children(self):
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        conds = ", ".join(
+            f"{self.left.output[l].name} = {self.right.output[r].name}"
+            for l, r in self.keys
+        )
+        return (
+            f"Merge {self.kind.value} Join {self.strategy.value} "
+            f"Merge Cond: ({conds})"
+        )
+
+
+@dataclass
 class PhysicalNestedLoopJoin(PhysicalNode):
     """Fallback for joins with no equi-keys (cross / theta joins)."""
 
@@ -356,20 +389,61 @@ class PhysicalSingleRow(PhysicalNode):
 # ---------------------------------------------------------------------------
 
 class PhysicalPlanner:
-    """Converts a bound logical plan into a distributed physical plan."""
+    """Converts a bound logical plan into a distributed physical plan.
 
-    def __init__(self, catalog: Catalog, slice_count: int):
+    With ``enable_cbo`` (the default) inner-join regions go through the
+    System-R dynamic-programming enumerator in :mod:`repro.plan.optimizer`
+    and every join's algorithm / build side / distribution strategy comes
+    from the pluggable chain-of-strategies ``operator_selection``. With it
+    off, joins stay in written order (the chain still picks strategies, so
+    both paths produce identical single-join plans).
+    """
+
+    #: Join regions wider than this skip DP enumeration (3^n subset work)
+    #: and keep their written order.
+    MAX_DP_LEAVES = 10
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        slice_count: int,
+        enable_cbo: bool = True,
+        operator_selection=None,
+    ):
         if slice_count < 1:
             raise ValueError(f"slice_count must be positive, got {slice_count}")
         self._catalog = catalog
         self._slices = slice_count
+        self._enable_cbo = enable_cbo
+        if operator_selection is None:
+            from repro.plan.optimizer import default_operator_selection
+
+            operator_selection = default_operator_selection()
+        self._operator_selection = operator_selection
+        #: id(physical node) -> per-output-position ColumnStatistics (or
+        #: None where unknown); the provenance the cardinality model reads.
+        self._col_stats: dict[int, list[ColumnStatistics | None]] = {}
 
     def plan(self, logical: LogicalNode) -> PhysicalNode:
+        self._col_stats = {}
         pushed = _push_filters(logical)
         physical = self._convert(pushed)
         compute_live_columns(physical)
         mark_parallel_eligible(physical)
         return physical
+
+    # ---- column-statistics provenance -------------------------------------
+
+    def _record_stats(
+        self, node: PhysicalNode, stats: list[ColumnStatistics | None] | None
+    ) -> None:
+        if stats is not None:
+            self._col_stats[id(node)] = stats
+
+    def _stats_for(
+        self, node: PhysicalNode
+    ) -> list[ColumnStatistics | None] | None:
+        return self._col_stats.get(id(node))
 
     # ---- conversion -------------------------------------------------------
 
@@ -381,6 +455,9 @@ class PhysicalPlanner:
         if isinstance(node, LogicalProject):
             return self._convert_project(node)
         if isinstance(node, LogicalJoin):
+            planned = self._maybe_optimize_join(node, [])
+            if planned is not None:
+                return planned
             return self._convert_join(node)
         if isinstance(node, LogicalAggregate):
             return self._convert_aggregate(node)
@@ -463,10 +540,16 @@ class PhysicalPlanner:
                 zone_predicates.append(zone)
         partitioning = self._scan_partitioning(node)
         base_rows = table.statistics.row_count or _DEFAULT_ROWS
+        col_stats: list[ColumnStatistics | None] | None = None
+        if not table.statistics.stale and table.statistics.row_count > 0:
+            col_stats = [
+                table.statistics.columns.get(table.columns[i].name)
+                for i in node.column_indexes
+            ]
         selectivity = 1.0
         for conjunct in conjuncts:
-            selectivity *= _selectivity(conjunct)
-        return PhysicalScan(
+            selectivity *= _conjunct_selectivity(conjunct, col_stats)
+        scan = PhysicalScan(
             table=table,
             binding=node.binding,
             column_indexes=list(node.column_indexes),
@@ -476,6 +559,8 @@ class PhysicalPlanner:
             partitioning=partitioning,
             est_rows=max(1.0, base_rows * selectivity),
         )
+        self._record_stats(scan, col_stats)
+        return scan
 
     def _scan_partitioning(self, node: LogicalScan) -> Partitioning:
         dist = node.table.distribution
@@ -494,142 +579,179 @@ class PhysicalPlanner:
         conjuncts = _split_conjuncts(node.condition)
         if isinstance(node.child, LogicalScan):
             return self._convert_scan(node.child, conjuncts)
+        if isinstance(node.child, LogicalJoin):
+            # Conjuncts that could not sink past the join (they reference
+            # both sides) become join-region predicates under the CBO —
+            # cross-side equalities turn into hash-join edges there.
+            planned = self._maybe_optimize_join(node.child, conjuncts)
+            if planned is not None:
+                return planned
         child = self._convert(node.child)
+        child_stats = self._stats_for(child)
         selectivity = 1.0
         for conjunct in conjuncts:
-            selectivity *= _selectivity(conjunct)
-        return PhysicalFilter(
+            selectivity *= _conjunct_selectivity(conjunct, child_stats)
+        filt = PhysicalFilter(
             child,
             node.condition,
             output=list(node.output),
             partitioning=child.partitioning,
             est_rows=max(1.0, child.est_rows * selectivity),
         )
+        self._record_stats(filt, child_stats)
+        return filt
 
     def _convert_project(self, node: LogicalProject) -> PhysicalProject:
         child = self._convert(node.child)
         partitioning = _project_partitioning(child.partitioning, node.expressions)
-        return PhysicalProject(
+        child_stats = self._stats_for(child)
+        proj = PhysicalProject(
             child,
             expressions=list(node.expressions),
             output=list(node.output),
             partitioning=partitioning,
             est_rows=child.est_rows,
         )
+        if child_stats is not None:
+            self._record_stats(
+                proj,
+                [
+                    child_stats[e.index]
+                    if isinstance(e, ast.BoundRef) and e.index < len(child_stats)
+                    else None
+                    for e in node.expressions
+                ],
+            )
+        return proj
 
     # ---- joins ------------------------------------------------------------------
+
+    def _maybe_optimize_join(
+        self, node: LogicalJoin, extra_conjuncts: list[ast.Expression]
+    ) -> PhysicalNode | None:
+        """Route an inner-join region through the DP enumerator.
+
+        Returns None when the CBO is off, the join kind pins the written
+        order (outer joins), or the region exceeds :attr:`MAX_DP_LEAVES`
+        — the caller then falls back to written-order conversion.
+        """
+        if not self._enable_cbo:
+            return None
+        if node.kind not in (ast.JoinKind.INNER, ast.JoinKind.CROSS):
+            return None
+        from repro.plan.optimizer import optimize_join_region
+
+        return optimize_join_region(self, node, extra_conjuncts)
 
     def _convert_join(self, node: LogicalJoin) -> PhysicalNode:
         left = self._convert(node.left)
         right = self._convert(node.right)
-        if not node.equi_keys:
-            return self._nested_loop(node, left, right)
-        build_right = self._choose_build_side(node.kind, left, right)
-        strategy = self._choose_strategy(node, left, right, build_right)
-        partitioning = self._join_partitioning(
-            node, left, right, strategy, build_right
-        )
-        est = self._estimate_join_rows(node, left, right)
-        return PhysicalHashJoin(
-            kind=node.kind,
-            left=left,
-            right=right,
-            keys=list(node.equi_keys),
-            residual=node.residual,
-            strategy=strategy,
-            build_right=build_right,
-            output=list(node.output),
-            partitioning=partitioning,
-            est_rows=est,
+        if not node.equi_keys and node.kind is ast.JoinKind.FULL:
+            raise AnalysisError("FULL JOIN requires an equality condition")
+        return self._make_join(
+            node.kind,
+            left,
+            right,
+            list(node.equi_keys),
+            node.residual,
+            list(node.output),
         )
 
+    def _make_join(
+        self,
+        kind: ast.JoinKind,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        equi_keys: list[tuple[int, int]],
+        residual: ast.Expression | None,
+        output: list[BoundColumn],
+    ) -> PhysicalNode:
+        """Construct a physical join: the operator-selection chain picks
+        the algorithm, build side, and distribution strategy."""
+        joined_stats = self._joined_stats(left, right)
+        if not equi_keys:
+            node = self._nested_loop(
+                kind, left, right, residual, output, joined_stats
+            )
+            self._record_stats(node, joined_stats)
+            return node
+        from repro.plan.optimizer import JoinSite
+
+        site = JoinSite.from_nodes(
+            self, kind, equi_keys, left, right, self._slices
+        )
+        decision = self._operator_selection.select_join_operators(site)
+        est = self._estimate_join_rows(kind, equi_keys, residual, left, right)
+        partitioning = self._join_partitioning(
+            equi_keys, left, right, decision.strategy, decision.build_right
+        )
+        if decision.algorithm == "merge":
+            node: PhysicalNode = PhysicalMergeJoin(
+                kind=kind,
+                left=left,
+                right=right,
+                keys=list(equi_keys),
+                residual=residual,
+                strategy=decision.strategy,
+                output=output,
+                partitioning=partitioning,
+                est_rows=est,
+            )
+        else:
+            node = PhysicalHashJoin(
+                kind=kind,
+                left=left,
+                right=right,
+                keys=list(equi_keys),
+                residual=residual,
+                strategy=decision.strategy,
+                build_right=decision.build_right,
+                output=output,
+                partitioning=partitioning,
+                est_rows=est,
+            )
+        self._record_stats(node, joined_stats)
+        return node
+
+    def _joined_stats(
+        self, left: PhysicalNode, right: PhysicalNode
+    ) -> list[ColumnStatistics | None] | None:
+        lstats = self._stats_for(left)
+        rstats = self._stats_for(right)
+        if lstats is None and rstats is None:
+            return None
+        if lstats is None:
+            lstats = [None] * len(left.output)
+        if rstats is None:
+            rstats = [None] * len(right.output)
+        return list(lstats) + list(rstats)
+
     def _nested_loop(
-        self, node: LogicalJoin, left: PhysicalNode, right: PhysicalNode
+        self,
+        kind: ast.JoinKind,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        residual: ast.Expression | None,
+        output: list[BoundColumn],
+        joined_stats: list[ColumnStatistics | None] | None = None,
     ) -> PhysicalNestedLoopJoin:
-        if node.kind is ast.JoinKind.FULL:
+        if kind is ast.JoinKind.FULL:
             raise AnalysisError("FULL JOIN requires an equality condition")
         est = left.est_rows * right.est_rows
-        if node.residual is not None:
-            est *= _selectivity(node.residual)
+        if residual is not None:
+            for conjunct in _split_conjuncts(residual):
+                est *= _conjunct_selectivity(conjunct, joined_stats)
         return PhysicalNestedLoopJoin(
-            kind=node.kind,
+            kind=kind,
             left=left,
             right=right,
-            residual=node.residual,
-            output=list(node.output),
+            residual=residual,
+            output=output,
             partitioning=left.partitioning
             if left.partitioning.kind != "all"
             else RR,
             est_rows=max(1.0, est),
         )
-
-    @staticmethod
-    def _choose_build_side(
-        kind: ast.JoinKind, left: PhysicalNode, right: PhysicalNode
-    ) -> bool:
-        """True = build on the right child. Outer joins pin the build side
-        to the null-extended side so matched-row tracking stays simple."""
-        if kind is ast.JoinKind.LEFT or kind is ast.JoinKind.FULL:
-            return True
-        if kind is ast.JoinKind.RIGHT:
-            return False
-        return right.est_bytes <= left.est_bytes
-
-    def _choose_strategy(
-        self,
-        node: LogicalJoin,
-        left: PhysicalNode,
-        right: PhysicalNode,
-        build_right: bool,
-    ) -> JoinDistribution:
-        left_keys = tuple(l for l, _ in node.equi_keys)
-        right_keys = tuple(r for _, r in node.equi_keys)
-
-        if left.partitioning.kind == "all" or right.partitioning.kind == "all":
-            # Replicated inputs join co-located, with two exceptions: a FULL
-            # join must see each build row exactly once (shuffle both), and
-            # an outer join whose *preserved* (probe) side is replicated
-            # would emit its unmatched rows once per slice — collapse it to
-            # one copy and broadcast the build side instead.
-            if node.kind is ast.JoinKind.FULL:
-                return JoinDistribution.DS_DIST_BOTH
-            probe = left if build_right else right
-            preserved = node.kind in (ast.JoinKind.LEFT, ast.JoinKind.RIGHT)
-            if preserved and probe.partitioning.kind == "all":
-                return JoinDistribution.DS_BCAST_INNER
-            return JoinDistribution.DS_DIST_NONE
-        if self._colocated(left.partitioning, left_keys) and self._colocated(
-            right.partitioning, right_keys
-        ) and self._keys_aligned(node.equi_keys, left.partitioning, right.partitioning):
-            return JoinDistribution.DS_DIST_NONE
-
-        build, probe = (right, left) if build_right else (left, right)
-        build_keys = right_keys if build_right else left_keys
-        probe_keys = left_keys if build_right else right_keys
-
-        # FULL joins cannot broadcast (unmatched build rows would duplicate).
-        can_broadcast = node.kind is not ast.JoinKind.FULL
-        cost_broadcast = (
-            build.est_bytes * (self._slices - 1)
-            if can_broadcast
-            else float("inf")
-        )
-
-        probe_partitioned_on_key = self._colocated(probe.partitioning, probe_keys)
-        build_partitioned_on_key = self._colocated(build.partitioning, build_keys)
-        if probe_partitioned_on_key and not build_partitioned_on_key:
-            cost_redist = build.est_bytes
-            redist = JoinDistribution.DS_DIST_INNER
-        elif build_partitioned_on_key and not probe_partitioned_on_key:
-            cost_redist = probe.est_bytes
-            redist = JoinDistribution.DS_DIST_OUTER
-        else:
-            cost_redist = build.est_bytes + probe.est_bytes
-            redist = JoinDistribution.DS_DIST_BOTH
-
-        if cost_broadcast <= cost_redist:
-            return JoinDistribution.DS_BCAST_INNER
-        return redist
 
     @staticmethod
     def _colocated(partitioning: Partitioning, keys: tuple[int, ...]) -> bool:
@@ -656,7 +778,7 @@ class PhysicalPlanner:
 
     def _join_partitioning(
         self,
-        node: LogicalJoin,
+        equi_keys: list[tuple[int, int]],
         left: PhysicalNode,
         right: PhysicalNode,
         strategy: JoinDistribution,
@@ -674,21 +796,67 @@ class PhysicalPlanner:
             part = probe.partitioning
             return part if build_right else _shift_partitioning(part, offset)
         # Redistributed joins are hash-partitioned on the first equi pair.
-        l, _r = node.equi_keys[0]
+        l, _r = equi_keys[0]
         return Partitioning("hash", (l,))
 
-    @staticmethod
     def _estimate_join_rows(
-        node: LogicalJoin, left: PhysicalNode, right: PhysicalNode
+        self,
+        kind: ast.JoinKind,
+        equi_keys: list[tuple[int, int]],
+        residual: ast.Expression | None,
+        left: PhysicalNode,
+        right: PhysicalNode,
     ) -> float:
-        est = max(left.est_rows, right.est_rows)
-        if node.residual is not None:
-            est *= _selectivity(node.residual)
-        if node.kind in (ast.JoinKind.LEFT, ast.JoinKind.FULL):
+        """Join cardinality: ``|L|·|R| / max(ndv_L, ndv_R)`` per equi pair
+        when both sides carry fresh NDV statistics; the pre-stats upper
+        bound ``max(|L|, |R|)`` otherwise (stale/missing stats)."""
+        lstats = self._stats_for(left)
+        rstats = self._stats_for(right)
+        est: float | None = None
+        if equi_keys:
+            selectivity = 1.0
+            have_all = True
+            for l, r in equi_keys:
+                ndv = _pair_ndv(
+                    lstats[l] if lstats and l < len(lstats) else None,
+                    rstats[r] if rstats and r < len(rstats) else None,
+                )
+                if ndv is None:
+                    have_all = False
+                    break
+                selectivity /= ndv
+            if have_all:
+                est = left.est_rows * right.est_rows * selectivity
+        if est is None:
+            est = max(left.est_rows, right.est_rows)
+        if residual is not None:
+            joined = self._joined_stats(left, right)
+            for conjunct in _split_conjuncts(residual):
+                est *= _conjunct_selectivity(conjunct, joined)
+        if kind in (ast.JoinKind.LEFT, ast.JoinKind.FULL):
             est = max(est, left.est_rows)
-        if node.kind in (ast.JoinKind.RIGHT, ast.JoinKind.FULL):
+        if kind in (ast.JoinKind.RIGHT, ast.JoinKind.FULL):
             est = max(est, right.est_rows)
         return max(1.0, est)
+
+    def _sorted_prefix(self, node: PhysicalNode) -> tuple[int, ...]:
+        """Output positions a scan's rows arrive sorted on (per slice):
+        the compound sort key of an un-filtered scan, mapped through the
+        scan's column order. Empty for everything else."""
+        from repro.sortkeys import CompoundSortKey
+
+        if not isinstance(node, PhysicalScan):
+            return ()
+        sort_key = node.table.sort_key
+        if not isinstance(sort_key, CompoundSortKey):
+            return ()
+        out: list[int] = []
+        for name in sort_key.columns:
+            table_index = node.table.column_index(name)
+            if table_index not in node.column_indexes:
+                break
+            out.append(node.column_indexes.index(table_index))
+        return tuple(out)
 
     # ---- aggregation ------------------------------------------------------------
 
@@ -707,9 +875,38 @@ class PhysicalPlanner:
         ):
             local_only = True
         if node.group_exprs:
-            est = max(1.0, child.est_rows * 0.1)
+            # Distinct-group estimate: the product of the group columns'
+            # NDVs capped at the child's rows when statistics are fresh;
+            # the historical 0.1 selectivity when stale or non-column.
+            child_stats = self._stats_for(child)
+            ndv_product: float | None = 1.0
+            for expr in node.group_exprs:
+                col = (
+                    child_stats[expr.index]
+                    if child_stats is not None
+                    and isinstance(expr, ast.BoundRef)
+                    and expr.index < len(child_stats)
+                    else None
+                )
+                if col is None or col.distinct_count <= 0:
+                    ndv_product = None
+                    break
+                ndv_product *= col.distinct_count
+            if ndv_product is not None:
+                est = max(1.0, min(child.est_rows, ndv_product))
+            else:
+                est = max(1.0, child.est_rows * 0.1)
         else:
             est = 1.0
+        agg_stats: list[ColumnStatistics | None] | None = None
+        child_stats_all = self._stats_for(child)
+        if child_stats_all is not None:
+            agg_stats = [
+                child_stats_all[e.index]
+                if isinstance(e, ast.BoundRef) and e.index < len(child_stats_all)
+                else None
+                for e in node.group_exprs
+            ] + [None] * len(node.aggregates)
         partitioning: Partitioning
         if local_only:
             # Group keys contain the partition key; output stays distributed,
@@ -723,7 +920,7 @@ class PhysicalPlanner:
             partitioning = Partitioning("hash", (out_index,))
         else:
             partitioning = SINGLE
-        return PhysicalAggregate(
+        agg = PhysicalAggregate(
             child=child,
             group_exprs=list(node.group_exprs),
             aggregates=list(node.aggregates),
@@ -732,6 +929,8 @@ class PhysicalPlanner:
             partitioning=partitioning,
             est_rows=est,
         )
+        self._record_stats(agg, agg_stats)
+        return agg
 
 
 # ---------------------------------------------------------------------------
@@ -865,6 +1064,143 @@ def _as_zone_predicate(
     return None
 
 
+def _pair_ndv(
+    left: ColumnStatistics | None, right: ColumnStatistics | None
+) -> int | None:
+    """``max(ndv_L, ndv_R)`` for one equi pair, None when neither side
+    carries a usable distinct count."""
+    ndv = 0
+    if left is not None and left.distinct_count > 0:
+        ndv = left.distinct_count
+    if right is not None and right.distinct_count > 0:
+        ndv = max(ndv, right.distinct_count)
+    return ndv or None
+
+
+def _conjunct_selectivity(
+    conjunct: ast.Expression,
+    stats: list[ColumnStatistics | None] | None,
+) -> float:
+    """Per-conjunct selectivity, statistics-based where possible.
+
+    *stats* maps the conjunct's BoundRef indices to fresh column
+    statistics (None entries / None list mean unknown). Falls back to the
+    pre-stats heuristics per conjunct shape.
+    """
+    if stats is not None:
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op in ("AND", "OR"):
+            left = _conjunct_selectivity(conjunct.left, stats)
+            right = _conjunct_selectivity(conjunct.right, stats)
+            if conjunct.op == "AND":
+                return left * right
+            return min(1.0, left + right)
+        zone = _as_zone_predicate(conjunct)
+        if zone is not None:
+            index, op, value = zone
+            col = stats[index] if index < len(stats) else None
+            estimated = _stats_selectivity(col, op, value)
+            if estimated is not None:
+                return estimated
+        if (
+            isinstance(conjunct, ast.BetweenExpr)
+            and not conjunct.negated
+            and isinstance(conjunct.operand, ast.BoundRef)
+            and isinstance(conjunct.low, ast.Literal)
+            and isinstance(conjunct.high, ast.Literal)
+        ):
+            from repro.sql.expressions import literal_value
+
+            index = conjunct.operand.index
+            col = stats[index] if index < len(stats) else None
+            low = _stats_selectivity(col, ">=", literal_value(conjunct.low))
+            high = _stats_selectivity(col, "<=", literal_value(conjunct.high))
+            if low is not None and high is not None:
+                return max(0.0, low + high - 1.0)
+        if isinstance(conjunct, ast.IsNullExpr) and isinstance(
+            conjunct.operand, ast.BoundRef
+        ):
+            col = (
+                stats[conjunct.operand.index]
+                if conjunct.operand.index < len(stats)
+                else None
+            )
+            if col is not None:
+                fraction = min(1.0, max(0.0, col.null_fraction))
+                return (1.0 - fraction) if conjunct.negated else fraction
+        if (
+            isinstance(conjunct, ast.InExpr)
+            and not conjunct.negated
+            and isinstance(conjunct.operand, ast.BoundRef)
+        ):
+            col = (
+                stats[conjunct.operand.index]
+                if conjunct.operand.index < len(stats)
+                else None
+            )
+            if col is not None and col.distinct_count > 0:
+                return min(
+                    1.0, max(1, len(conjunct.items)) / col.distinct_count
+                )
+    return _selectivity(conjunct)
+
+
+def _stats_selectivity(
+    col: ColumnStatistics | None, op: str, value: object
+) -> float | None:
+    """Selectivity of ``col <op> value`` from one column's statistics:
+    equality via 1/NDV, ranges via min/max interpolation. None when the
+    statistics cannot price this comparison."""
+    if col is None:
+        return None
+    not_null = 1.0 - min(1.0, max(0.0, col.null_fraction))
+    if op == "=":
+        if col.distinct_count <= 0:
+            return None
+        if _outside_range(col, value):
+            return 0.0
+        return not_null / col.distinct_count
+    if op == "<>":
+        if col.distinct_count <= 0:
+            return None
+        if _outside_range(col, value):
+            return not_null
+        return not_null * (1.0 - 1.0 / col.distinct_count)
+    if op in _RANGE_OPS:
+        fraction = _range_fraction(col, value)
+        if fraction is None:
+            return None
+        if op in ("<", "<="):
+            return not_null * fraction
+        return not_null * (1.0 - fraction)
+    return None
+
+
+def _outside_range(col: ColumnStatistics, value: object) -> bool:
+    try:
+        if col.low is not None and value < col.low:  # type: ignore[operator]
+            return True
+        if col.high is not None and value > col.high:  # type: ignore[operator]
+            return True
+    except TypeError:
+        return False
+    return False
+
+
+def _range_fraction(col: ColumnStatistics, value: object) -> float | None:
+    """Fraction of the [low, high] interval below *value* (numeric only)."""
+    low, high = col.low, col.high
+    if not all(isinstance(v, (int, float)) for v in (low, high, value)):
+        return None
+    if value <= low:  # type: ignore[operator]
+        return 0.0
+    if value >= high:  # type: ignore[operator]
+        return 1.0
+    span = float(high) - float(low)  # type: ignore[arg-type]
+    if span <= 0:
+        return 1.0
+    return (float(value) - float(low)) / span  # type: ignore[arg-type]
+
+
 def _selectivity(conjunct: ast.Expression) -> float:
     """Crude per-conjunct selectivity heuristic for sizing."""
     if isinstance(conjunct, ast.BinaryOp):
@@ -931,14 +1267,16 @@ def _live(node: PhysicalNode, needed: set[int]) -> None:
                 child_needed |= _expr_refs(expr)
         _live(node.child, child_needed)
         return
-    if isinstance(node, (PhysicalHashJoin, PhysicalNestedLoopJoin)):
+    if isinstance(
+        node, (PhysicalHashJoin, PhysicalMergeJoin, PhysicalNestedLoopJoin)
+    ):
         width_left = len(node.left.output)
         left_needed = {i for i in needed if i < width_left}
         right_needed = {i - width_left for i in needed if i >= width_left}
         residual = _expr_refs(node.residual)
         left_needed |= {i for i in residual if i < width_left}
         right_needed |= {i - width_left for i in residual if i >= width_left}
-        if isinstance(node, PhysicalHashJoin):
+        if isinstance(node, (PhysicalHashJoin, PhysicalMergeJoin)):
             left_needed |= {l for l, _ in node.keys}
             right_needed |= {r for _, r in node.keys}
         _live(node.left, left_needed)

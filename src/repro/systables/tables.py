@@ -95,6 +95,22 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("result_cache_hit", INTEGER),
         ("spilled_bytes", BIGINT),
         ("spill_partitions", INTEGER),
+        ("est_rows", DOUBLE),
+        ("misest_factor", DOUBLE),
+    ],
+    "svl_table_stats": [
+        ("table_name", varchar_type(128)),
+        ("row_count", BIGINT),
+        ("total_bytes", BIGINT),
+        ("stale", INTEGER),
+    ],
+    "svl_column_stats": [
+        ("table_name", varchar_type(128)),
+        ("column_name", varchar_type(128)),
+        ("low", varchar_type(256)),
+        ("high", varchar_type(256)),
+        ("ndv", BIGINT),
+        ("null_fraction", DOUBLE),
     ],
     "stv_query_spill": [
         ("query", INTEGER),
@@ -204,6 +220,18 @@ _RULE_ACTIONS = {
     AdmissionStatus.SHED: "shed",
     AdmissionStatus.TIMED_OUT: "timeout",
 }
+
+
+def _misestimation_factor(actual: int, estimated: float) -> float:
+    """How far off the planner's row estimate was, as a >=1 ratio.
+
+    ``max(svl_query_summary.misest_factor)`` per query names the worst
+    operator. Both sides are floored at one row so empty results and
+    unestimated synthetic steps do not divide by zero.
+    """
+    actual_f = max(1.0, float(actual))
+    estimated_f = max(1.0, float(estimated))
+    return max(actual_f, estimated_f) / min(actual_f, estimated_f)
 
 
 def _table_info(name: str) -> TableInfo:
@@ -327,6 +355,8 @@ class SystemTables:
                     int(result_cache_hit),
                     op.spilled_bytes,
                     op.spill_partitions,
+                    float(op.est_rows),
+                    _misestimation_factor(op.rows, op.est_rows),
                 ),
             )
 
@@ -464,7 +494,40 @@ class SystemTables:
             return self._compile_cache_rows()
         if name == "stv_sessions":
             return self._session_rows()
+        if name == "svl_table_stats":
+            return self._table_stats_rows()
+        if name == "svl_column_stats":
+            return self._column_stats_rows()
         raise KeyError(f"unknown system table {name!r}")
+
+    def _table_stats_rows(self) -> list[tuple]:
+        rows: list[tuple] = []
+        for name in self._cluster.catalog.table_names():
+            stats = self._cluster.catalog.table(name).statistics
+            rows.append(
+                (name, stats.row_count, stats.total_bytes, int(stats.stale))
+            )
+        return rows
+
+    def _column_stats_rows(self) -> list[tuple]:
+        rows: list[tuple] = []
+        for name in self._cluster.catalog.table_names():
+            table = self._cluster.catalog.table(name)
+            for column in table.columns:
+                col = table.statistics.columns.get(column.name)
+                if col is None:
+                    continue  # never analyzed
+                rows.append(
+                    (
+                        name,
+                        column.name,
+                        None if col.low is None else str(col.low),
+                        None if col.high is None else str(col.high),
+                        col.distinct_count,
+                        col.null_fraction,
+                    )
+                )
+        return rows
 
     def _session_rows(self) -> list[tuple]:
         server = getattr(self._cluster, "server", None)

@@ -1,0 +1,417 @@
+"""Cost-based optimizer: DP join enumeration, the operator-selection
+chain, the cardinality model, and the sort-merge join operator."""
+
+import pytest
+
+from repro import Cluster
+from repro.plan import (
+    Binder,
+    JoinDecision,
+    JoinDistribution,
+    JoinSite,
+    MergeJoinSelection,
+    PhysicalHashJoin,
+    PhysicalMergeJoin,
+    PhysicalOperatorSelection,
+    PhysicalPlanner,
+    PhysicalScan,
+    SideInfo,
+    default_operator_selection,
+    explain,
+)
+from repro.plan.optimizer import _movement_bytes
+from repro.plan.physical import Partitioning
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+EXECUTORS = ("volcano", "compiled", "vectorized", "parallel")
+
+
+@pytest.fixture
+def star():
+    """Dimensions a/b (600 rows, 4-value grouping column) and fact c —
+    joining a to b first explodes; fresh stats everywhere."""
+    cluster = Cluster(node_count=2, slices_per_node=2, block_capacity=256)
+    s = cluster.connect()
+    s.execute("SET enable_result_cache = off")
+    s.execute("CREATE TABLE a (id int, g int) DISTKEY(id)")
+    s.execute("CREATE TABLE b (id int, g int) DISTKEY(id)")
+    s.execute("CREATE TABLE c (a_id int, b_id int, v int) DISTKEY(a_id)")
+    s.execute(
+        "INSERT INTO a VALUES "
+        + ",".join(f"({i}, {i % 4})" for i in range(200))
+    )
+    s.execute(
+        "INSERT INTO b VALUES "
+        + ",".join(f"({i}, {i % 4})" for i in range(200))
+    )
+    s.execute(
+        "INSERT INTO c VALUES "
+        + ",".join(f"({i % 200}, {(i * 7) % 200}, {i})" for i in range(400))
+    )
+    s.execute("ANALYZE")
+    return cluster, s
+
+
+def _plan(cluster, sql, **planner_kwargs):
+    binder = Binder(cluster.catalog)
+    planner = PhysicalPlanner(
+        cluster.catalog, cluster.slice_count, **planner_kwargs
+    )
+    stmt = parse_statement(sql)
+    return planner.plan(binder.bind_select(stmt.query))
+
+
+STAR_QUERY = (
+    "SELECT count(*), sum(c.v) FROM a JOIN b ON a.g = b.g "
+    "JOIN c ON c.a_id = a.id AND c.b_id = b.id"
+)
+
+
+class TestJoinEnumeration:
+    def test_dp_flips_pathological_written_order(self, star):
+        cluster, _ = star
+        on = explain(_plan(cluster, STAR_QUERY, enable_cbo=True))
+        off = explain(_plan(cluster, STAR_QUERY, enable_cbo=False))
+        # Written order joins the exploding dimension pair first.
+        assert "Hash Cond: (g = g)" in off
+        assert "Hash Cond: (g = g)" not in on
+        assert on != off
+
+    def test_flipped_plan_results_identical(self, star):
+        _, s = star
+        baseline = None
+        for executor in EXECUTORS:
+            s.execute(f"SET executor = {executor}")
+            s.execute("SET enable_cbo = off")
+            off_rows = s.execute(STAR_QUERY).rows
+            s.execute("SET enable_cbo = on")
+            on_rows = s.execute(STAR_QUERY).rows
+            assert on_rows == off_rows, executor
+            if baseline is None:
+                baseline = on_rows
+            assert on_rows == baseline, executor
+
+    def test_where_equalities_become_join_edges(self, star):
+        """Cross-side WHERE equalities turn a written cross product into
+        hash joins under the CBO."""
+        cluster, s = star
+        sql = (
+            "SELECT count(*) FROM a, b, c "
+            "WHERE c.a_id = a.id AND c.b_id = b.id"
+        )
+        on = explain(_plan(cluster, sql, enable_cbo=True))
+        assert "Nested Loop" not in on
+        assert on.count("Hash") >= 2
+        s.execute("SET enable_cbo = on")
+        with_cbo = s.execute(sql).rows
+        s.execute("SET enable_cbo = off")
+        assert s.execute(sql).rows == with_cbo
+
+    def test_tie_keeps_written_order(self, star):
+        """Cost-symmetric two-table joins plan identically with the CBO
+        on and off — written order wins ties, so existing plan shapes
+        (and EXPLAIN output) do not churn."""
+        cluster, _ = star
+        for sql in (
+            "SELECT a.id, b.g FROM a JOIN b ON a.id = b.id",
+            "SELECT count(*) FROM c JOIN a ON c.a_id = a.id WHERE a.g = 1",
+        ):
+            on = explain(_plan(cluster, sql, enable_cbo=True))
+            off = explain(_plan(cluster, sql, enable_cbo=False))
+            assert on == off, sql
+
+    def test_region_cap_falls_back_to_written_order(self, star, monkeypatch):
+        cluster, _ = star
+        monkeypatch.setattr(PhysicalPlanner, "MAX_DP_LEAVES", 2)
+        capped = explain(_plan(cluster, STAR_QUERY, enable_cbo=True))
+        off = explain(_plan(cluster, STAR_QUERY, enable_cbo=False))
+        assert capped == off
+
+    def test_outer_joins_keep_written_order(self, star):
+        cluster, _ = star
+        sql = (
+            "SELECT count(*) FROM a LEFT JOIN b ON a.id = b.id "
+            "JOIN c ON c.a_id = a.id"
+        )
+        on = _plan(cluster, sql, enable_cbo=True)
+        off = _plan(cluster, sql, enable_cbo=False)
+        assert explain(on) == explain(off)
+
+
+class TestCardinalityModel:
+    def test_join_estimate_uses_ndv(self, star):
+        cluster, _ = star
+        plan = _plan(
+            cluster,
+            "SELECT a.id FROM c JOIN a ON c.a_id = a.id",
+            enable_cbo=False,
+        )
+        join = _find(plan, PhysicalHashJoin)
+        # |c| * |a| / max(ndv) = 400 * 200 / 200 = 400 (HLL NDV is
+        # approximate; allow a few percent either way).
+        assert join.est_rows == pytest.approx(400, rel=0.1)
+
+    def test_stale_stats_fall_back_to_upper_bound(self, star):
+        cluster, s = star
+        # Mutations mark stats stale on both sides; with no usable NDV
+        # the join estimate degrades to the upper bound max(|L|, |R|).
+        s.execute("INSERT INTO a VALUES (9999, 9)")
+        s.execute("INSERT INTO c VALUES (9999, 9999, 0)")
+        plan = _plan(
+            cluster,
+            "SELECT a.id FROM c JOIN a ON c.a_id = a.id",
+            enable_cbo=False,
+        )
+        join = _find(plan, PhysicalHashJoin)
+        assert join.est_rows == pytest.approx(
+            max(plan_scan_rows(plan, "c"), plan_scan_rows(plan, "a"))
+        )
+
+    def test_range_predicate_uses_min_max(self, star):
+        cluster, _ = star
+        plan = _plan(
+            cluster, "SELECT id FROM a WHERE id < 50", enable_cbo=False
+        )
+        scan = _find(plan, PhysicalScan)
+        # ids span [0, 199]; < 50 covers about a quarter.
+        assert scan.est_rows == pytest.approx(200 * 50 / 199, rel=0.1)
+
+    def test_equality_outside_min_max_estimates_empty(self, star):
+        cluster, _ = star
+        plan = _plan(
+            cluster, "SELECT id FROM a WHERE g = 1234", enable_cbo=False
+        )
+        scan = _find(plan, PhysicalScan)
+        assert scan.est_rows == 1.0  # floor; stats say zero
+
+    def test_group_by_estimate_uses_ndv_product(self, star):
+        cluster, _ = star
+        from repro.plan import PhysicalAggregate
+
+        plan = _plan(
+            cluster, "SELECT g, count(*) FROM a GROUP BY g", enable_cbo=False
+        )
+        agg = _find(plan, PhysicalAggregate)
+        assert agg.est_rows == pytest.approx(4, abs=1)
+
+    def test_group_by_stale_falls_back_to_tenth(self, star):
+        cluster, s = star
+        from repro.plan import PhysicalAggregate
+
+        s.execute("INSERT INTO a VALUES (9999, 9)")
+        plan = _plan(
+            cluster, "SELECT g, count(*) FROM a GROUP BY g", enable_cbo=False
+        )
+        agg = _find(plan, PhysicalAggregate)
+        child = agg.child
+        assert agg.est_rows == pytest.approx(child.est_rows * 0.1)
+
+
+class TestOperatorSelection:
+    def _site(self, **overrides):
+        defaults = dict(
+            kind=ast.JoinKind.INNER,
+            equi_keys=[(0, 0)],
+            left=SideInfo(
+                est_rows=1000, row_width=8, partitioning=Partitioning("rr")
+            ),
+            right=SideInfo(
+                est_rows=10, row_width=8, partitioning=Partitioning("rr")
+            ),
+            slices=4,
+        )
+        defaults.update(overrides)
+        return JoinSite(**defaults)
+
+    def test_small_inner_broadcasts(self):
+        decision = default_operator_selection().select_join_operators(
+            self._site()
+        )
+        assert decision.build_right is True
+        assert decision.strategy is JoinDistribution.DS_BCAST_INNER
+
+    def test_aligned_keys_are_colocated(self):
+        site = self._site(
+            left=SideInfo(
+                est_rows=1000,
+                row_width=8,
+                partitioning=Partitioning("hash", (0,)),
+            ),
+            right=SideInfo(
+                est_rows=10,
+                row_width=8,
+                partitioning=Partitioning("hash", (0,)),
+            ),
+        )
+        decision = default_operator_selection().select_join_operators(site)
+        assert decision.strategy is JoinDistribution.DS_DIST_NONE
+
+    def test_large_build_redistributes_both(self):
+        # Comparable side sizes: broadcasting the 90k-row build across
+        # 4 slices (3x its bytes) loses to moving each side once.
+        site = self._site(
+            left=SideInfo(
+                est_rows=100_000, row_width=8, partitioning=Partitioning("rr")
+            ),
+            right=SideInfo(
+                est_rows=90_000, row_width=8, partitioning=Partitioning("rr")
+            ),
+        )
+        decision = default_operator_selection().select_join_operators(site)
+        assert decision.build_right is True
+        assert decision.strategy is JoinDistribution.DS_DIST_BOTH
+
+    def test_chained_stage_overrides_default(self):
+        class ForceBroadcast(PhysicalOperatorSelection):
+            def _apply_selection(self, decision, site):
+                from dataclasses import replace
+
+                return replace(
+                    decision, strategy=JoinDistribution.DS_BCAST_INNER
+                )
+
+        chain = default_operator_selection().chain_with(ForceBroadcast())
+        site = self._site(
+            left=SideInfo(
+                est_rows=1000,
+                row_width=8,
+                partitioning=Partitioning("hash", (0,)),
+            ),
+            right=SideInfo(
+                est_rows=10,
+                row_width=8,
+                partitioning=Partitioning("hash", (0,)),
+            ),
+        )
+        decision = chain.select_join_operators(site)
+        assert decision.strategy is JoinDistribution.DS_BCAST_INNER
+
+    def test_merge_selected_only_when_sorted_and_colocated(self):
+        sorted_side = lambda: SideInfo(  # noqa: E731
+            est_rows=100,
+            row_width=8,
+            partitioning=Partitioning("hash", (0,)),
+            sorted_on=(0,),
+        )
+        site = self._site(left=sorted_side(), right=sorted_side())
+        decision = default_operator_selection().select_join_operators(site)
+        assert decision.algorithm == "merge"
+        # One unsorted input keeps the hash join.
+        unsorted = sorted_side()
+        unsorted.sorted_on = ()
+        site = self._site(left=sorted_side(), right=unsorted)
+        decision = default_operator_selection().select_join_operators(site)
+        assert decision.algorithm == "hash"
+        # Merge never applies when rows still need to move.
+        moving = self._site(left=sorted_side(), right=sorted_side())
+        moving.left.partitioning = Partitioning("rr")
+        decision = default_operator_selection().select_join_operators(moving)
+        assert decision.algorithm == "hash"
+
+    def test_movement_cost_units(self):
+        left = SideInfo(
+            est_rows=100, row_width=10, partitioning=Partitioning("rr")
+        )
+        right = SideInfo(
+            est_rows=10, row_width=10, partitioning=Partitioning("rr")
+        )
+        site = JoinSite(
+            kind=ast.JoinKind.INNER,
+            equi_keys=[(0, 0)],
+            left=left,
+            right=right,
+            slices=4,
+        )
+
+        def cost(strategy, build_right=True):
+            return _movement_bytes(
+                JoinDecision(strategy=strategy, build_right=build_right), site
+            )
+
+        assert cost(JoinDistribution.DS_DIST_NONE) == 0
+        assert cost(JoinDistribution.DS_BCAST_INNER) == 100 * 3  # build x (slices-1)
+        assert cost(JoinDistribution.DS_DIST_INNER) == 100
+        assert cost(JoinDistribution.DS_DIST_OUTER) == 1000
+        assert cost(JoinDistribution.DS_DIST_BOTH) == 1100
+
+
+class TestMergeJoin:
+    @pytest.fixture
+    def sorted_pair(self):
+        cluster = Cluster(node_count=2, slices_per_node=2)
+        s = cluster.connect()
+        s.execute("SET enable_result_cache = off")
+        s.execute("CREATE TABLE l (k int, v int) DISTKEY(k) SORTKEY(k)")
+        s.execute("CREATE TABLE r (k int, w int) DISTKEY(k) SORTKEY(k)")
+        s.execute(
+            "INSERT INTO l VALUES "
+            + ",".join(f"({i % 40}, {i})" for i in range(120))
+            + ", (NULL, -1)"
+        )
+        s.execute(
+            "INSERT INTO r VALUES "
+            + ",".join(f"({i}, {i * 10})" for i in range(0, 40, 2))
+            + ", (NULL, -2)"
+        )
+        s.execute("ANALYZE")
+        return cluster, s
+
+    def test_sorted_colocated_join_uses_merge(self, sorted_pair):
+        cluster, _ = sorted_pair
+        plan = _plan(
+            cluster,
+            "SELECT l.v, r.w FROM l JOIN r ON l.k = r.k",
+            enable_cbo=True,
+        )
+        join = _find(plan, PhysicalMergeJoin)
+        assert join is not None
+        assert join.strategy is JoinDistribution.DS_DIST_NONE
+        assert "Merge" in join.label()
+
+    def test_merge_join_matches_hash_join_on_all_executors(self, sorted_pair):
+        _, s = sorted_pair
+        sql = (
+            "SELECT l.k, l.v, r.w FROM l JOIN r ON l.k = r.k "
+            "WHERE l.v % 3 = 0"
+        )
+        s.execute("SET enable_cbo = off")  # hash join reference
+        reference = sorted(s.execute(sql).rows)
+        for executor in EXECUTORS:
+            s.execute(f"SET executor = {executor}")
+            s.execute("SET enable_cbo = on")
+            assert sorted(s.execute(sql).rows) == reference, executor
+
+    def test_merge_join_residual_and_aggregate(self, sorted_pair):
+        _, s = sorted_pair
+        sql = (
+            "SELECT count(*), sum(l.v) FROM l JOIN r "
+            "ON l.k = r.k AND l.v < 100"
+        )
+        s.execute("SET enable_cbo = on")
+        with_merge = s.execute(sql).rows
+        s.execute("SET enable_cbo = off")
+        assert s.execute(sql).rows == with_merge
+
+
+def _find(node, kind):
+    if isinstance(node, kind):
+        return node
+    for child in node.children:
+        found = _find(child, kind)
+        if found is not None:
+            return found
+    return None
+
+
+def plan_scan_rows(plan, table_name):
+    rows = []
+
+    def walk(node):
+        if isinstance(node, PhysicalScan) and node.table.name == table_name:
+            rows.append(node.est_rows)
+        for child in node.children:
+            walk(child)
+
+    walk(plan)
+    return rows[0]
