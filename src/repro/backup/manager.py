@@ -12,6 +12,7 @@ from repro.engine.cluster import Cluster
 from repro.errors import S3TransientError, SnapshotNotFoundError
 from repro.faults.retry import RetryPolicy, with_backoff
 from repro.security.keyhierarchy import ClusterKeyHierarchy
+from repro.storage import epoch
 from repro.util.rng import DeterministicRng
 
 _snapshot_ids = itertools.count(1)
@@ -30,6 +31,9 @@ class SnapshotRecord:
     duration_s: float
     total_blocks: int
     total_bytes: int
+    #: table name -> mutation epoch at snapshot time (after seal-all),
+    #: consumed by burst-cluster freshness routing.
+    table_epochs: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -104,6 +108,13 @@ class BackupManager:
         if kind not in ("system", "user"):
             raise ValueError(f"snapshot kind must be system or user, got {kind!r}")
         self._cluster_seal_all()
+        # Capture per-table mutation epochs *after* seal-all (sealing
+        # open tails bumps them); a burst restore of this snapshot is
+        # fresh for a table exactly while its live epoch still matches.
+        table_epochs = {
+            name: epoch.table_epoch(name)
+            for name in self._cluster.catalog.table_names()
+        }
         snapshot_id = label or f"snap-{next(_snapshot_ids):06d}"
         per_node_bytes: dict[str, int] = {}
         blocks_uploaded = 0
@@ -183,6 +194,7 @@ class BackupManager:
                 protocol=4,
             ),
             "slices": manifest_slices,
+            "table_epochs": table_epochs,
         }
         manifest_key = f"manifests/{snapshot_id}"
         manifest_bytes = pickle.dumps(manifest, protocol=4)
@@ -211,6 +223,7 @@ class BackupManager:
             duration_s=duration,
             total_blocks=total_blocks,
             total_bytes=total_bytes,
+            table_epochs=table_epochs,
         )
         self.snapshots.append(record)
         if kind == "system":

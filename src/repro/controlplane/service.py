@@ -70,6 +70,10 @@ class ManagedCluster:
     instance_ids: list[str] = field(default_factory=list)
     maintenance_window_hour: int = 3  # weekly window start (hour of day)
     events: list[tuple[float, str]] = field(default_factory=list)
+    #: Set on concurrency-scaling burst clusters: the cluster id this
+    #: one bursts for. Burst clusters carry no backups/replication of
+    #: their own — they are disposable snapshot clones.
+    burst_of: str | None = None
 
     def record(self, clock_now: float, message: str) -> None:
         self.events.append((clock_now, message))
@@ -408,6 +412,145 @@ class RedshiftService:
         )
         self._log(new_cluster_id, timing)
         return managed, result, timing
+
+    # ---- concurrency scaling ----------------------------------------------------------
+
+    def provision_burst_cluster(
+        self,
+        cluster_id: str,
+        snapshot_id: str | None = None,
+        burst_cluster_id: str | None = None,
+        streaming: bool = False,
+    ):
+        """Stand up a concurrency-scaling burst cluster for *cluster_id*.
+
+        Restores the latest snapshot (taking one first if none exists)
+        onto freshly provisioned instances and returns a
+        :class:`repro.server.burst.BurstCluster` carrying the snapshot's
+        captured table epochs — the router's freshness oracle. Burst
+        clusters deliberately get **no** recovery coordinator,
+        replication, or backups: they are disposable; a fault mid-query
+        propagates to the router, which falls back to main and retires
+        the clone.
+        """
+        from repro.server.burst import BurstCluster
+
+        source = self.cluster(cluster_id)
+        if source.backups is None:
+            raise InvalidClusterStateError(
+                f"cluster {cluster_id} has no backups to burst from"
+            )
+        clock = self.env.clock
+        start = clock.now
+        if snapshot_id is None:
+            if source.backups.snapshots:
+                snapshot_id = source.backups.snapshots[-1].snapshot_id
+            else:
+                snapshot_id = source.backups.snapshot("system").snapshot_id
+        burst_id = burst_cluster_id or f"{cluster_id}-burst-{next(self._ids)}"
+
+        manager = RestoreManager(
+            self.env.s3,
+            source.backups.bucket,
+            clock,
+            source.encryption,
+        )
+        instances, boot = self._provision(
+            source.node_type, source.engine.node_count
+        )
+        clock.advance(boot)
+        try:
+            result = (
+                manager.streaming_restore(snapshot_id)
+                if streaming
+                else manager.full_restore(snapshot_id)
+            )
+        except Exception:
+            # A failed restore (S3 outage mid-fetch) must not strand the
+            # instances it would have used.
+            for instance in instances:
+                self.env.ec2.terminate(instance.instance_id)
+            raise
+        engine = result.cluster
+        engine.attach_faults(self.env.faults)
+        engine.systables.bind_clock(clock)
+        managed = ManagedCluster(
+            cluster_id=burst_id,
+            engine=engine,
+            node_type=source.node_type,
+            state=ClusterState.AVAILABLE,
+            created_at=clock.now,
+            instance_ids=[i.instance_id for i in instances],
+            burst_of=cluster_id,
+        )
+        self.clusters[burst_id] = managed
+        managed.record(clock.now, f"burst cluster from {snapshot_id}")
+        source.record(clock.now, f"burst cluster {burst_id} attached")
+        self.env.cloudtrail.record(
+            actor="service",
+            action="redshift:burst-provision",
+            resource=burst_id,
+            parameters={
+                "source": cluster_id,
+                "snapshot": snapshot_id,
+                "automated_seconds": f"{clock.now - start:.1f}",
+            },
+        )
+        return (
+            BurstCluster(
+                cluster_id=burst_id,
+                cluster=engine,
+                snapshot_id=snapshot_id,
+                snapshot_epochs=dict(result.table_epochs),
+                provisioned_at=clock.now,
+            ),
+            result,
+        )
+
+    def retire_burst_cluster(self, burst_cluster_id: str) -> None:
+        """Release a burst cluster's instances and mark it deleted."""
+        managed = self.clusters.get(burst_cluster_id)
+        if managed is None or managed.state is ClusterState.DELETED:
+            return
+        for instance_id in managed.instance_ids:
+            self.env.ec2.terminate(instance_id)
+        managed.state = ClusterState.DELETED
+        managed.record(self.env.clock.now, "burst cluster retired")
+        self.env.cloudtrail.record(
+            actor="service",
+            action="redshift:burst-retire",
+            resource=burst_cluster_id,
+            parameters={"source": managed.burst_of or ""},
+        )
+
+    def enable_concurrency_scaling(
+        self,
+        cluster_id: str,
+        server,
+        config=None,
+    ):
+        """Wire a :class:`~repro.server.burst.BurstRouter` onto *server*.
+
+        The router owns the when (queue-pressure trigger, idle
+        retirement); this service owns the how (snapshot restore onto
+        EC2, instance teardown) via the provision/retire callables.
+        Returns the attached router.
+        """
+        from repro.server.burst import BurstConfig, BurstRouter
+
+        config = config or BurstConfig()
+        self.cluster(cluster_id)  # validate up front
+
+        def provision():
+            burst, _result = self.provision_burst_cluster(cluster_id)
+            return burst
+
+        def retire(burst):
+            self.retire_burst_cluster(burst.cluster_id)
+
+        router = BurstRouter(server, config, provision, retire)
+        server.burst_router = router
+        return router
 
     # ---- resize ---------------------------------------------------------------------------
 

@@ -23,7 +23,7 @@ from repro.distribution.diststyle import DistStyle
 from repro.engine.catalog import Catalog, TableInfo
 from repro.engine.network import Interconnect
 from repro.engine.transactions import TransactionManager
-from repro.errors import CopyError, DataError
+from repro.errors import CopyError, DataError, TableNotFoundError
 from repro.storage.block import BLOCK_CAPACITY_DEFAULT
 from repro.storage.disk import SimulatedDisk
 from repro.storage.slicestore import SliceStorage
@@ -293,6 +293,22 @@ class Cluster:
                 if store.has_shard(table_name):
                     store.drop_shard(table_name)
             self._row_counters.pop(table_name, None)
+
+    def invalidate_statistics(self, table_name: str) -> None:
+        """Mark a table's optimizer statistics stale.
+
+        Sessions flip staleness via ``_mark_stats_stale`` on their own
+        DML; this is the hook for every path that mutates storage
+        *outside* a session — scrub block repair, replica failover,
+        restore adoption — so the CBO never keeps trusting NDV/min-max
+        measured against bytes that no longer exist.
+        """
+        try:
+            table = self.catalog.table(table_name)
+        except TableNotFoundError:
+            return
+        if table.statistics is not None:
+            table.statistics.stale = True
 
     # ---- row routing -------------------------------------------------------------
 

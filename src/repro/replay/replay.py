@@ -53,6 +53,10 @@ class ReplayReport:
     speedup: float
     wall_s: float
     queries: list[ReplayedQuery] = field(default_factory=list)
+    #: The replay server's :class:`~repro.server.ServerMetrics` captured
+    #: just before shutdown — per-queue sheds/timeouts and burst-routing
+    #: counters for A/B replays (e.g. burst on vs. off).
+    metrics: object = None
 
     @property
     def error_count(self) -> int:
@@ -109,6 +113,7 @@ def replay(
     executor: str | None = None,
     config: ServerConfig | None = None,
     session_kwargs: dict | None = None,
+    on_server=None,
 ) -> ReplayReport:
     """Re-run *workload* against *cluster* at ``speedup`` x pacing.
 
@@ -117,8 +122,11 @@ def replay(
     kind for every query; None replays each query on the executor that
     ran it originally (the bit-exact choice). ``session_kwargs`` go to
     :meth:`Cluster.connect` (e.g. ``pool_mode="thread"`` when forcing
-    the parallel executor from replay threads). Statement errors are
-    recorded per query, never raised — a replay always completes.
+    the parallel executor from replay threads). ``on_server`` is called
+    with the freshly built :class:`ClusterServer` before any session
+    opens — the hook point for attaching a burst router or other
+    server-level configuration. Statement errors are recorded per
+    query, never raised — a replay always completes.
     """
     if speedup <= 0:
         raise ReplayError(f"speedup must be positive, got {speedup}")
@@ -138,6 +146,8 @@ def replay(
             )
         )
     server = ClusterServer(cluster, config)
+    if on_server is not None:
+        on_server(server)
     results: list[ReplayedQuery] = []
     results_lock = threading.Lock()
     barrier = threading.Barrier(len(by_session) + 1)
@@ -221,9 +231,12 @@ def replay(
     for thread in threads:
         thread.join()
     wall = time.perf_counter() - t0
+    metrics = server.metrics()
     server.shutdown()
     results.sort(key=lambda q: (q.offset_s, q.query_id))
-    return ReplayReport(speedup=speedup, wall_s=wall, queries=results)
+    return ReplayReport(
+        speedup=speedup, wall_s=wall, queries=results, metrics=metrics
+    )
 
 
 def _latency(

@@ -286,6 +286,10 @@ class ReplicationManager:
                     self._store(info.primary_slice).disk.record_write(
                         fresh.encoded_bytes
                     )
+                    # Block repair mutates primary storage outside any
+                    # session; the optimizer must stop trusting stats
+                    # measured against the pre-repair bytes.
+                    self._cluster.invalidate_statistics(chain.table_name)
                     repaired_any = True
             if not secondary_ok:
                 self._secondary_store.setdefault(info.secondary_slice, {})[
@@ -365,5 +369,8 @@ class ReplicationManager:
             shard.insert_xids = list(entry["insert_xids"])
             shard.delete_xids = list(entry["delete_xids"])
             store.disk.record_write(shard.encoded_bytes)
+            # Failover rebuilt this table's shard from mirror/S3 copies
+            # — a storage mutation no session saw, so stale the stats.
+            self._cluster.invalidate_statistics(table_name)
         duration = bytes_restored / self.REREPLICATION_BANDWIDTH
         return bytes_restored, duration

@@ -7,8 +7,10 @@ from dataclasses import dataclass, field
 
 from repro.cloud.s3 import SimS3
 from repro.cloud.simclock import SimClock
+from repro.engine.catalog import TableStatistics
 from repro.engine.cluster import Cluster
 from repro.engine.transactions import BOOTSTRAP_XID
+from repro.storage import epoch
 from repro.errors import S3TransientError, SnapshotNotFoundError
 from repro.faults.retry import RetryPolicy, with_backoff
 from repro.restore.lazyblock import LazyBlock
@@ -35,6 +37,11 @@ class RestoreResult:
     faulted_blocks: int = 0
     faulted_bytes: int = 0
     lazy_blocks: list[LazyBlock] = field(default_factory=list)
+    #: Per-table mutation epochs captured when the snapshot was taken
+    #: (empty for pre-epoch snapshots). Burst routing compares these
+    #: against the live epochs to decide whether the restored cluster is
+    #: fresh enough to serve a query.
+    table_epochs: dict[str, int] = field(default_factory=dict)
 
     @property
     def resident_fraction(self) -> float:
@@ -104,6 +111,15 @@ class RestoreManager:
         return self._restore(snapshot_id, streaming=True)
 
     def _restore(self, snapshot_id: str, streaming: bool) -> RestoreResult:
+        # Constructing a cluster from snapshot images replays the write
+        # paths (create_shard, adopt_blocks) but is not a new version of
+        # any table other clusters serve — keep it out of the shared
+        # epoch counters so a burst restore doesn't invalidate the main
+        # cluster's caches or defeat its own freshness check.
+        with epoch.suppressed():
+            return self._restore_locked(snapshot_id, streaming)
+
+    def _restore_locked(self, snapshot_id: str, streaming: bool) -> RestoreResult:
         manifest = self._load_manifest(snapshot_id)
         cluster = Cluster(
             node_count=manifest["node_count"],
@@ -119,6 +135,8 @@ class RestoreManager:
         total_bytes = 0
         per_slice_bytes: dict[str, int] = {}
         lazy_blocks: list[LazyBlock] = []
+        live_rows: dict[str, int] = {}
+        table_bytes: dict[str, int] = {}
 
         result = RestoreResult(
             cluster=cluster,
@@ -153,6 +171,10 @@ class RestoreManager:
                             per_slice_bytes.get(target_id, 0)
                             + meta["encoded_bytes"]
                         )
+                        table_bytes[table_name] = (
+                            table_bytes.get(table_name, 0)
+                            + meta["encoded_bytes"]
+                        )
                         if streaming:
                             lazy = LazyBlock(
                                 block_id=meta["block_id"],
@@ -177,7 +199,26 @@ class RestoreManager:
                 shard.delete_xids = [None] * row_count
                 for offset in entry["dead"]:
                     shard.delete_xids[offset] = BOOTSTRAP_XID
+                live_rows[table_name] = (
+                    live_rows.get(table_name, 0)
+                    + row_count
+                    - len(entry["dead"])
+                )
                 store.disk.record_write(shard.encoded_bytes if not streaming else 0)
+
+        # The pickled TableInfo carries the *source* cluster's statistics
+        # verbatim — including a possibly-fresh `stale=False` from an
+        # ANALYZE that predates later mutations. Re-anchor the row count
+        # and bytes on what was actually restored and mark everything
+        # stale: the CBO then plans on the right table sizes but only
+        # trusts NDV/min-max after a post-restore ANALYZE.
+        for table in tables:
+            stats = table.statistics
+            if stats is None:
+                stats = table.statistics = TableStatistics()
+            stats.row_count = live_rows.get(table.name, 0)
+            stats.total_bytes = table_bytes.get(table.name, 0)
+            stats.stale = True
 
         metadata_time = (
             self._s3.transfer_time(len(pickle.dumps(manifest, protocol=4)))
@@ -200,6 +241,7 @@ class RestoreManager:
         result.total_blocks = total_blocks
         result.total_bytes = total_bytes
         result.lazy_blocks = lazy_blocks
+        result.table_epochs = dict(manifest.get("table_epochs", {}))
         return result
 
     def complete_background_fetch(self, result: RestoreResult) -> float:

@@ -3,9 +3,13 @@
 The paper's cluster serves "hundreds of concurrent clients" through the
 leader node; this package is that frontend for the repro engine — many
 client sessions multiplexed over one cluster, each with its own worker
-thread, bounded submission queue, and live WLM admission.
+thread, bounded submission queue, and live WLM admission. Under
+sustained queue pressure, a :class:`~repro.server.burst.BurstRouter`
+sends read-only queries to a concurrency-scaling burst cluster restored
+from the latest snapshot.
 """
 
+from repro.server.burst import BurstCluster, BurstConfig, BurstRouter
 from repro.server.server import (
     ClusterServer,
     ServerConfig,
@@ -15,6 +19,9 @@ from repro.server.server import (
 )
 
 __all__ = [
+    "BurstCluster",
+    "BurstConfig",
+    "BurstRouter",
     "ClusterServer",
     "ServerConfig",
     "ServerMetrics",

@@ -1,0 +1,450 @@
+"""Concurrency-scaling burst clusters: WLM overflow routed to a clone.
+
+The paper's managed-service argument (§3) is that elasticity is the
+*service's* job: when a warehouse saturates, the right answer is more
+compute attached transparently, not queries shed at the gate. This
+module is the serving half of that story. When a WLM queue's waiting
+depth stays above a threshold, the control plane restores a **burst
+cluster** from the latest S3 snapshot (PR 1's restore machinery) and
+the :class:`BurstRouter` — a layer above :class:`~repro.server.server.SlotGate`
+— starts sending *read-only* queries there instead of letting them
+queue on main:
+
+- **Eligibility.** Only a plain ``SELECT`` qualifies: outside any
+  explicit transaction (a transaction's reads must see its own writes,
+  which only exist on main) and touching no system tables (``stv_*``
+  state lives per cluster; the burst clone's would be wrong).
+- **Freshness.** The snapshot manifest captures every table's mutation
+  epoch at backup time. A query routes only while *all* of its scanned
+  tables' live epochs still equal the captured ones — the moment a
+  table mutates on main, queries over it stay on main (counted as
+  ``stale_rejects``). This is the same invalidation discipline the
+  result cache uses, and it makes burst results bit-identical to main
+  by construction.
+- **Fallback.** The burst cluster deliberately runs without recovery
+  handlers: an injected node crash or storage fault mid-query
+  propagates out, the router retires the broken burst and re-executes
+  the statement on main. SELECTs are idempotent, so the retry can
+  neither lose nor double-execute work.
+- **Retirement.** After ``burst_idle_timeout_s`` with no routed
+  queries the cluster is handed back to the control plane's retire
+  hook and its EC2 instances released.
+
+The router never imports the control plane; it is constructed with
+``provision``/``retire`` callables (see
+``RedshiftService.enable_concurrency_scaling``), keeping the dependency
+direction control plane → server.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import (
+    BlockCorruptionError,
+    CloudError,
+    DiskFailureError,
+    DiskMediaError,
+    NodeFailureError,
+    S3TransientError,
+    WorkerCrashError,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.storage import epoch
+from repro.util.fingerprint import result_fingerprint
+
+#: Failures that mean the burst *infrastructure* is unhealthy (retire
+#: it), as opposed to a query error that would reproduce on main.
+_INFRA_ERRORS = (
+    NodeFailureError,
+    BlockCorruptionError,
+    DiskMediaError,
+    DiskFailureError,
+    WorkerCrashError,
+    S3TransientError,
+    CloudError,
+)
+
+
+@dataclass(frozen=True)
+class BurstConfig:
+    """Knobs governing when a burst cluster appears and disappears."""
+
+    #: The WLM queue whose pressure triggers scaling; only sessions on
+    #: this queue route to the burst cluster.
+    queue: str = "default"
+    #: Provision once this many queries are blocked waiting for a slot.
+    burst_queue_depth_threshold: int = 4
+    #: The depth must hold for this long (server clock) before
+    #: provisioning; 0 scales on the first crossing.
+    burst_sustain_s: float = 0.0
+    #: Retire the burst cluster after this long without a routed query.
+    burst_idle_timeout_s: float = 300.0
+    #: After a failed provision (S3 outage mid-restore, no EC2
+    #: capacity), don't retry before this much simulated time passes.
+    provision_cooldown_s: float = 60.0
+
+    def __post_init__(self):
+        if self.burst_queue_depth_threshold < 1:
+            raise ValueError(
+                "burst_queue_depth_threshold must be >= 1, got "
+                f"{self.burst_queue_depth_threshold}"
+            )
+        if self.burst_idle_timeout_s < 0:
+            raise ValueError(
+                f"burst_idle_timeout_s must be >= 0, got "
+                f"{self.burst_idle_timeout_s}"
+            )
+
+
+@dataclass
+class BurstCluster:
+    """One provisioned burst cluster and its routing counters."""
+
+    cluster_id: str
+    #: The restored engine :class:`~repro.engine.cluster.Cluster`.
+    cluster: object
+    snapshot_id: str
+    #: table name -> mutation epoch captured when the snapshot was
+    #: taken; the router's freshness oracle.
+    snapshot_epochs: dict[str, int]
+    provisioned_at: float
+    state: str = "active"
+    last_routed_at: float = 0.0
+    routed_queries: int = 0
+    fallbacks: int = 0
+    stale_rejects: int = 0
+
+    def __post_init__(self):
+        if not self.last_routed_at:
+            self.last_routed_at = self.provisioned_at
+
+
+def referenced_tables(statement: ast.SelectStatement) -> tuple[str, ...]:
+    """Every table name a SELECT references, CTE names excluded.
+
+    Walks the whole AST generically (every node is a dataclass), so
+    table references inside joins, set operations, scalar/IN subqueries
+    and CTE bodies are all collected. CTE names shadow real tables for
+    the query that defines them, so they are dropped from the result.
+    """
+    names: set[str] = set()
+    cte_names: set[str] = set()
+
+    def walk(node) -> None:
+        if isinstance(node, ast.TableRef):
+            names.add(node.name)
+            return
+        if isinstance(node, ast.CommonTableExpr):
+            cte_names.add(node.name)
+            walk(node.query)
+            return
+        if dataclasses.is_dataclass(node):
+            for f in dataclasses.fields(node):
+                walk(getattr(node, f.name))
+        elif isinstance(node, (list, tuple)):
+            for item in node:
+                walk(item)
+
+    walk(statement)
+    return tuple(sorted(names - cte_names))
+
+
+class BurstRouter:
+    """Routes eligible read-only statements to a burst cluster.
+
+    Sits between :class:`~repro.server.server.ServerSession` workers and
+    their engine sessions: the worker calls :meth:`execute` instead of
+    ``session.execute`` when a router is attached, on the worker's own
+    thread — so main-path admission, slot release and latency
+    accounting are untouched.
+    """
+
+    def __init__(self, server, config: BurstConfig, provision, retire):
+        self._server = server
+        self.config = config
+        #: () -> BurstCluster; raises on provisioning failure.
+        self._provision = provision
+        #: (BurstCluster) -> None; releases the cluster's instances.
+        self._retire = retire
+        self._lock = threading.Lock()
+        #: Held (non-blocking) by the one thread doing a provision so
+        #: queue pressure triggers exactly one restore.
+        self._provision_lock = threading.Lock()
+        self.active: BurstCluster | None = None
+        #: Every burst cluster ever provisioned, for stv_burst_clusters.
+        self.history: list[BurstCluster] = []
+        #: main session_id -> engine session on the active burst cluster.
+        self._sessions: dict[int, object] = {}
+        self._pressure_since: float | None = None
+        self._cooldown_until: float = float("-inf")
+        self.routed = 0
+        self.fallbacks = 0
+        self.stale_rejects = 0
+        self.provisions = 0
+        self.provision_failures = 0
+        self.retirements = 0
+
+    # ---- the worker-thread entry point -----------------------------------
+
+    def execute(self, handle, sql: str):
+        """Execute *sql* for *handle*, on burst when eligible and fresh."""
+        burst = self._route(handle, sql)
+        if burst is None:
+            return handle.session.execute(sql)
+        try:
+            result = self._execute_on_burst(handle, burst, sql)
+        except Exception as exc:  # noqa: BLE001 — idempotent fallback below
+            with self._lock:
+                self.fallbacks += 1
+                burst.fallbacks += 1
+            if isinstance(exc, _INFRA_ERRORS):
+                self.retire_burst(burst, reason=f"fault: {exc}")
+            # The burst attempt recorded nothing into main's stl_query,
+            # so re-running on main executes the SELECT exactly once
+            # from the client's point of view.
+            return handle.session.execute(sql)
+        return result
+
+    # ---- routing decision ------------------------------------------------
+
+    def _route(self, handle, sql: str) -> BurstCluster | None:
+        if handle.queue_name != self.config.queue:
+            return None
+        try:
+            statement = parse_statement(sql)
+        except Exception:  # noqa: BLE001 — main reports the parse error
+            return None
+        if not isinstance(statement, ast.SelectStatement):
+            return None
+        if handle.session.in_transaction:
+            return None
+        tables = referenced_tables(statement)
+        catalog = self._server.cluster.catalog
+        for name in tables:
+            if catalog.is_system_table(name) or not catalog.has_table(name):
+                return None
+        now = self._server.now()
+        burst = self.active
+        if burst is None:
+            burst = self._maybe_provision(handle, now)
+            if burst is None:
+                return None
+        else:
+            self.retire_if_idle(now)
+            burst = self.active
+            if burst is None:
+                return None
+        for name in tables:
+            if epoch.table_epoch(name) != burst.snapshot_epochs.get(name):
+                with self._lock:
+                    self.stale_rejects += 1
+                    burst.stale_rejects += 1
+                return None
+        return burst
+
+    def _maybe_provision(self, handle, now: float) -> BurstCluster | None:
+        waiting = handle._gate.waiting
+        if waiting < self.config.burst_queue_depth_threshold:
+            self._pressure_since = None
+            return None
+        if self._pressure_since is None:
+            self._pressure_since = now
+        if now - self._pressure_since < self.config.burst_sustain_s:
+            return None
+        if now < self._cooldown_until:
+            return None
+        # Exactly one thread restores; the rest keep queueing on main
+        # rather than stacking up behind the restore.
+        if not self._provision_lock.acquire(blocking=False):
+            return None
+        try:
+            if self.active is not None:
+                return self.active
+            try:
+                burst = self._provision()
+            except Exception as exc:  # noqa: BLE001 — count + cool down
+                with self._lock:
+                    self.provision_failures += 1
+                self._cooldown_until = (
+                    self._server.now() + self.config.provision_cooldown_s
+                )
+                self._record_event("provision_failed", str(exc))
+                return None
+            with self._lock:
+                self.provisions += 1
+                self.active = burst
+                self.history.append(burst)
+            self._pressure_since = None
+            self._record_event(
+                "provisioned",
+                f"{burst.cluster_id} from {burst.snapshot_id}",
+            )
+            return burst
+        finally:
+            self._provision_lock.release()
+
+    # ---- burst-side execution --------------------------------------------
+
+    def _execute_on_burst(self, handle, burst: BurstCluster, sql: str):
+        session = self._burst_session(handle, burst)
+        started = self._server.now()
+        t0 = time.perf_counter()
+        result = session.execute(sql)
+        elapsed_us = int((time.perf_counter() - t0) * 1_000_000)
+        now = self._server.now()
+        with self._lock:
+            self.routed += 1
+            burst.routed_queries += 1
+            burst.last_routed_at = now
+        self._record_routed(handle, sql, result, started, elapsed_us)
+        return result
+
+    def _burst_session(self, handle, burst: BurstCluster):
+        with self._lock:
+            session = self._sessions.get(handle.session_id)
+            if session is not None and session._cluster is burst.cluster:
+                return session
+        main = handle.session
+        session = burst.cluster.connect(
+            executor=main._executor_kind,
+            parallelism=main._parallelism,
+            pool_mode=main._pool_mode,
+            user_name=handle.user_name,
+            queue=handle.queue_name,
+        )
+        with self._lock:
+            self._sessions[handle.session_id] = session
+        return session
+
+    def _record_routed(
+        self, handle, sql: str, result, started: float, elapsed_us: int
+    ) -> None:
+        """Mirror the routed statement into *main's* stl_query.
+
+        The burst cluster's own systables logged the execution detail;
+        main's log is the fleet-facing record, so capture/replay and
+        the chaos drills see every query exactly once with
+        ``routed_to='burst'``.
+        """
+        systables = self._server.cluster.systables
+        if systables is None:
+            return
+        fingerprint = ""
+        if result.command == "SELECT":
+            fingerprint = result_fingerprint(result.columns, result.rows)
+        # Engine sessions log the canonical (re-serialized) statement
+        # text; match that so fleet tooling groups routed and main
+        # executions of the same query together.
+        try:
+            text = parse_statement(sql).to_sql()
+        except Exception:  # noqa: BLE001 — routed SQL always parsed once
+            text = sql
+        systables.record_query(
+            systables.next_query_id(),
+            text=text,
+            state="success",
+            started=started,
+            ended=systables.now,
+            elapsed_us=elapsed_us,
+            executor=result.stats.executor if result.stats else None,
+            rows=result.rowcount,
+            queue=handle.queue_name,
+            session_id=handle.session_id,
+            user_name=handle.user_name,
+            result_fingerprint=fingerprint,
+            routed_to="burst",
+        )
+
+    # ---- retirement ------------------------------------------------------
+
+    def retire_if_idle(self, now: float | None = None) -> bool:
+        """Retire the active burst cluster once it has sat idle."""
+        burst = self.active
+        if burst is None:
+            return False
+        if now is None:
+            now = self._server.now()
+        if now - burst.last_routed_at < self.config.burst_idle_timeout_s:
+            return False
+        self.retire_burst(burst, reason="idle")
+        return True
+
+    def retire_burst(self, burst: BurstCluster, reason: str = "") -> None:
+        with self._lock:
+            if burst.state != "active":
+                return
+            burst.state = "retired"
+            if self.active is burst:
+                self.active = None
+            self._sessions = {}
+            self.retirements += 1
+        try:
+            self._retire(burst)
+        finally:
+            close = getattr(burst.cluster, "close", None)
+            if close is not None:
+                close()
+        self._record_event("retired", f"{burst.cluster_id}: {reason}")
+
+    def shutdown(self) -> None:
+        """Retire whatever is still running (server shutdown)."""
+        burst = self.active
+        if burst is not None:
+            self.retire_burst(burst, reason="shutdown")
+
+    # ---- observability ---------------------------------------------------
+
+    def _record_event(self, action: str, detail: str) -> None:
+        injector = getattr(self._server.cluster, "fault_injector", None)
+        if injector is None:
+            return
+        injector.record(
+            f"burst_{action}", target=self.config.queue, detail=detail[:512]
+        )
+
+    def rows(self) -> list[tuple]:
+        """Rows for the ``stv_burst_clusters`` system table."""
+        with self._lock:
+            bursts = list(self.history)
+        return [
+            (
+                b.cluster_id,
+                b.state,
+                b.snapshot_id,
+                b.provisioned_at,
+                b.last_routed_at,
+                b.routed_queries,
+                b.fallbacks,
+                b.stale_rejects,
+            )
+            for b in bursts
+        ]
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "routed": self.routed,
+                "fallbacks": self.fallbacks,
+                "stale_rejects": self.stale_rejects,
+                "provisions": self.provisions,
+                "provision_failures": self.provision_failures,
+                "retirements": self.retirements,
+            }
+
+
+# Re-exported field-order reference for stv_burst_clusters consumers.
+BURST_CLUSTER_COLUMNS = (
+    "cluster_id",
+    "state",
+    "snapshot_id",
+    "provisioned_at",
+    "last_routed_at",
+    "routed_queries",
+    "fallbacks",
+    "stale_rejects",
+)

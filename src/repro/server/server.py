@@ -159,6 +159,10 @@ class ServerMetrics:
     bypasses: dict[str, int] = field(default_factory=dict)
     sheds: dict[str, int] = field(default_factory=dict)
     timeouts: dict[str, int] = field(default_factory=dict)
+    #: Concurrency-scaling counters (routed/fallbacks/stale_rejects/
+    #: provisions/provision_failures/retirements); empty when no
+    #: burst router is attached.
+    burst: dict[str, int] = field(default_factory=dict)
 
 
 class ServerSession:
@@ -241,7 +245,11 @@ class ServerSession:
             self.state = "busy"
             t0 = time.perf_counter()
             try:
-                result = self.session.execute(sql)
+                router = self._server.burst_router
+                if router is not None:
+                    result = router.execute(self, sql)
+                else:
+                    result = self.session.execute(sql)
             except BaseException as exc:  # noqa: BLE001 — ferried to the client
                 with self._lock:
                     self.errors += 1
@@ -276,6 +284,10 @@ class ClusterServer:
         self._closed_errors = 0
         self._lock = threading.Lock()
         self._shutdown = False
+        #: Concurrency-scaling router (:class:`repro.server.burst.BurstRouter`);
+        #: attached by the control plane's ``enable_concurrency_scaling``.
+        #: None routes everything to the main cluster.
+        self.burst_router = None
         self.started_at = self.now()
         self._started_perf = time.perf_counter()
         cluster.server = self
@@ -368,6 +380,9 @@ class ClusterServer:
             handles = list(self._sessions.values())
         for handle in handles:
             handle.close(timeout=timeout)
+        router = self.burst_router
+        if router is not None:
+            router.shutdown()
         if self.cluster.server is self:
             self.cluster.server = None
 
@@ -390,6 +405,13 @@ class ClusterServer:
             )
             for h in handles
         ]
+
+    def burst_rows(self) -> list[tuple]:
+        """Rows for the ``stv_burst_clusters`` system table."""
+        router = self.burst_router
+        if router is None:
+            return []
+        return router.rows()
 
     def metrics(self) -> ServerMetrics:
         """QPS and latency percentiles since the server started."""
@@ -425,4 +447,9 @@ class ClusterServer:
             timeouts={
                 name: gate.timeouts for name, gate in self._gates.items()
             },
+            burst=(
+                self.burst_router.counters()
+                if self.burst_router is not None
+                else {}
+            ),
         )

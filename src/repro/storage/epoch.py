@@ -28,6 +28,7 @@ builds, and the lock also orders the per-table map with the counter).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import threading
 
@@ -37,6 +38,28 @@ _wildcard = 0
 #: table name -> counter value at that table's most recent mutation.
 _tables: dict[str, int] = {}
 _lock = threading.Lock()
+_suppression = threading.local()
+
+
+@contextlib.contextmanager
+def suppressed():
+    """Suppress epoch bumps made by the calling thread.
+
+    Building a brand-new cluster from snapshot images (burst restore)
+    runs the same ``create_shard``/``adopt_blocks`` paths as real
+    writes, but produces no new version of the tables that *other*
+    clusters in this process serve — their caches and worker pools
+    remain valid. Since counters are keyed by table name and shared
+    process-wide, those construction-time bumps would otherwise read as
+    mutations everywhere. Suppression is thread-local, so concurrent
+    genuine writes on other threads still bump normally.
+    """
+    depth = getattr(_suppression, "depth", 0)
+    _suppression.depth = depth + 1
+    try:
+        yield
+    finally:
+        _suppression.depth = depth
 
 
 def bump(table: str | None = None) -> int:
@@ -44,8 +67,13 @@ def bump(table: str | None = None) -> int:
 
     With *table* the mutation is attributed to that table alone; without
     it the wildcard epoch moves and every table reads as mutated.
+    No-ops (returning the current version) while the calling thread is
+    inside :func:`suppressed`.
     """
     global _current, _wildcard
+    if getattr(_suppression, "depth", 0):
+        with _lock:
+            return _current
     with _lock:
         _current = next(_counter)
         if table is None:

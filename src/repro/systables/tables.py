@@ -58,6 +58,7 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("session_id", INTEGER),
         ("user_name", varchar_type(64)),
         ("result_fingerprint", varchar_type(64)),
+        ("routed_to", varchar_type(16)),   # 'main' | 'burst'
     ],
     "stv_sessions": [
         ("session_id", INTEGER),
@@ -68,6 +69,16 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, object]]] = {
         ("queries", BIGINT),
         ("errors", BIGINT),
         ("queue_depth", INTEGER),
+    ],
+    "stv_burst_clusters": [
+        ("cluster_id", varchar_type(128)),
+        ("state", varchar_type(16)),       # 'active' | 'retired'
+        ("snapshot_id", varchar_type(64)),
+        ("provisioned_at", DOUBLE),
+        ("last_routed_at", DOUBLE),
+        ("routed_queries", BIGINT),
+        ("fallbacks", BIGINT),
+        ("stale_rejects", BIGINT),
     ],
     "stl_connection_log": [
         ("recorded_at", DOUBLE),
@@ -290,6 +301,7 @@ class SystemTables:
         session_id: int = 0,
         user_name: str = "",
         result_fingerprint: str = "",
+        routed_to: str = "main",
     ) -> None:
         self.store.append(
             "stl_query",
@@ -308,6 +320,7 @@ class SystemTables:
                 session_id,
                 user_name,
                 result_fingerprint,
+                routed_to,
             ),
         )
 
@@ -494,6 +507,8 @@ class SystemTables:
             return self._compile_cache_rows()
         if name == "stv_sessions":
             return self._session_rows()
+        if name == "stv_burst_clusters":
+            return self._burst_cluster_rows()
         if name == "svl_table_stats":
             return self._table_stats_rows()
         if name == "svl_column_stats":
@@ -534,6 +549,12 @@ class SystemTables:
         if server is None:
             return []
         return server.session_rows()
+
+    def _burst_cluster_rows(self) -> list[tuple]:
+        server = getattr(self._cluster, "server", None)
+        if server is None:
+            return []
+        return server.burst_rows()
 
     def _result_cache_rows(self) -> list[tuple]:
         cache = getattr(self._cluster, "result_cache", None)

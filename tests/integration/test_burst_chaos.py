@@ -1,0 +1,264 @@
+"""Chaos drills for concurrency-scaling burst routing.
+
+The tentpole's fault story: snapshot-restore failures while
+provisioning, and burst-node crashes mid-query, must degrade to the
+main cluster without losing or double-executing a single query — and
+every result must be bit-identical to a no-burst run.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cloud.environment import CloudEnvironment
+from repro.controlplane.service import ClusterState, RedshiftService
+from repro.engine.wlm import QueueConfig
+from repro.faults.plan import FaultKind, FaultSpec
+from repro.server import BurstConfig, ClusterServer, ServerConfig
+from repro.sql.parser import parse_statement
+from repro.systables.tables import SYSTEM_TABLE_COLUMNS
+from repro.util.fingerprint import result_fingerprint
+
+DRILL_QUERIES = [
+    "SELECT k, v FROM sales ORDER BY k LIMIT 20",
+    "SELECT COUNT(*), SUM(v) FROM sales",
+    "SELECT k % 7, COUNT(*) FROM sales GROUP BY k % 7 ORDER BY 1",
+]
+
+
+def _canonical(sql):
+    """stl_query records the re-serialized statement text."""
+    return parse_statement(sql).to_sql()
+
+
+class _Harness:
+    def __init__(self, seed):
+        self.env = CloudEnvironment(seed=seed)
+        self.env.ec2.preconfigure("dw2.large", 16)
+        self.svc = RedshiftService(self.env)
+        self.managed, _ = self.svc.create_cluster(
+            "main", node_count=2, block_capacity=64
+        )
+        # Result-cache hits bypass WLM admission entirely; the drills
+        # need real queue pressure and real (re-)executions.
+        self.managed.engine.enable_result_cache_default = False
+        loader = self.managed.connect()
+        loader.execute("CREATE TABLE sales (k int, v int) DISTKEY(k)")
+        loader.execute(
+            "INSERT INTO sales VALUES "
+            + ",".join(f"({i},{i * 3})" for i in range(400))
+        )
+        self.svc.snapshot_cluster("main", kind="system")
+        # Baseline fingerprints from a plain no-burst session.
+        self.baseline = {}
+        for sql in DRILL_QUERIES:
+            result = loader.execute(sql)
+            self.baseline[sql] = result_fingerprint(
+                result.columns, result.rows
+            )
+        self.managed.engine.systables.store.clear("stl_query")
+
+        self.server = ClusterServer(
+            self.managed.engine,
+            ServerConfig(
+                queues=(
+                    QueueConfig("default", slots=1, memory_fraction=1.0),
+                )
+            ),
+        )
+        self.router = self.svc.enable_concurrency_scaling(
+            "main",
+            self.server,
+            BurstConfig(
+                burst_queue_depth_threshold=1,
+                burst_idle_timeout_s=10_000.0,
+                provision_cooldown_s=60.0,
+            ),
+        )
+        self.executed = []  # (sql, fingerprint) per drill execution
+
+    def run(self, handle, sql):
+        result = handle.execute(sql)
+        self.executed.append(
+            (sql, result_fingerprint(result.columns, result.rows))
+        )
+        return result
+
+    def under_pressure(self, trigger_sql):
+        """Execute *trigger_sql* while the queue genuinely backs up.
+
+        Session A's statement grabs the only WLM slot and parks;
+        session B queues behind it (waiting=1); session C then runs
+        *trigger_sql*, observes the pressure, and is the query the
+        router may scale out for.
+        """
+        a = self.server.open_session()
+        b = self.server.open_session()
+        c = self.server.open_session()
+        gate = a._gate
+        release = threading.Event()
+        held = threading.Event()
+
+        class _Hold(Exception):
+            pass
+
+        def holding_execute(sql):
+            gate.admit("hold")
+            held.set()
+            release.wait(timeout=10.0)
+            raise _Hold()
+
+        a.session.execute = holding_execute
+        future_a = a.submit("SELECT 1")
+        assert held.wait(timeout=5.0), "slot holder never admitted"
+        b_sql = DRILL_QUERIES[1]
+        future_b = b.submit(b_sql)
+        deadline = time.perf_counter() + 5.0
+        while gate.waiting < 1 and time.perf_counter() < deadline:
+            time.sleep(0.005)
+        assert gate.waiting >= 1, "queue pressure never built"
+        try:
+            result = self.run(c, trigger_sql)
+        finally:
+            release.set()
+        with pytest.raises(_Hold):
+            future_a.result(timeout=10.0)
+        result_b = future_b.result(timeout=10.0)
+        self.executed.append(
+            (b_sql, result_fingerprint(result_b.columns, result_b.rows))
+        )
+        for handle in (a, b, c):
+            handle.close()
+        return result
+
+    def assert_no_lost_or_duplicated(self):
+        """Main's stl_query holds exactly one success row per drill
+        execution, and every fingerprint matches the no-burst baseline."""
+        rows = self.managed.engine.systables.rows("stl_query")
+        col = {
+            name: i
+            for i, (name, _) in enumerate(
+                SYSTEM_TABLE_COLUMNS["stl_query"]
+            )
+        }
+        success = [r for r in rows if r[col["state"]] == "success"]
+        expected = {}
+        for sql, _ in self.executed:
+            expected[sql] = expected.get(sql, 0) + 1
+        for sql, count in expected.items():
+            text = _canonical(sql)
+            recorded = [r for r in success if r[col["querytxt"]] == text]
+            assert len(recorded) == count, (
+                f"{sql!r}: {len(recorded)} recorded vs {count} executed"
+            )
+            for r in recorded:
+                assert r[col["result_fingerprint"]] == self.baseline[sql]
+        for sql, fingerprint in self.executed:
+            assert fingerprint == self.baseline[sql], sql
+        return success, col
+
+
+class TestProvisionFaults:
+    def test_s3_outage_fails_provision_then_recovers_after_cooldown(self):
+        h = _Harness(seed=91)
+        # Wide window: instance boot advances the sim clock before the
+        # restore's first S3 request; the outage must still be live then.
+        outage = h.env.faults.add(
+            FaultSpec(
+                FaultKind.S3_OUTAGE,
+                at_s=h.env.clock.now,
+                until_s=h.env.clock.now + 100_000.0,
+            )
+        )
+        # Pressure builds, the restore hits the outage, the query and
+        # everything queued behind it still completes on main.
+        h.under_pressure(DRILL_QUERIES[0])
+        assert h.router.provision_failures == 1
+        assert h.router.active is None
+        h.env.faults.cancel(outage)
+
+        # Still cooling down: pressure does not retry the restore.
+        h.under_pressure(DRILL_QUERIES[2])
+        assert h.router.provision_failures == 1
+        assert h.router.provisions == 0
+
+        # Past the cooldown the next pressure sample provisions, and
+        # the triggering query itself rides the burst cluster.
+        h.env.clock.advance(61.0)
+        h.under_pressure(DRILL_QUERIES[0])
+        assert h.router.provisions == 1
+        assert h.router.active is not None
+
+        success, col = h.assert_no_lost_or_duplicated()
+        routed = {r[col["routed_to"]] for r in success}
+        assert "burst" in routed and "main" in routed
+        h.server.shutdown()
+        assert h.router.active is None  # shutdown retires the burst
+
+    def test_s3_error_window_is_retried_through(self):
+        """Transient 503s during the restore are absorbed by backoff:
+        provisioning succeeds and routed results stay identical."""
+        h = _Harness(seed=92)
+        window = h.env.faults.add(
+            FaultSpec(
+                FaultKind.S3_ERROR_WINDOW,
+                at_s=h.env.clock.now,
+                until_s=h.env.clock.now + 3600.0,
+                rate=0.2,
+            )
+        )
+        h.under_pressure(DRILL_QUERIES[1])
+        h.env.faults.cancel(window)
+        assert h.router.provisions == 1
+        assert h.router.provision_failures == 0
+        h.assert_no_lost_or_duplicated()
+        h.server.shutdown()
+
+
+class TestBurstNodeCrash:
+    def test_crash_mid_query_falls_back_without_loss(self):
+        h = _Harness(seed=93)
+        h.under_pressure(DRILL_QUERIES[0])
+        assert h.router.provisions == 1
+        burst = h.router.active
+        assert burst is not None
+
+        # A routed query now lands on a crashing burst node. The burst
+        # cluster has no recovery coordinator, so the failure surfaces
+        # to the router, which retires the clone and re-runs on main.
+        h.env.faults.add(
+            FaultSpec(
+                FaultKind.NODE_CRASH,
+                at_s=h.env.clock.now,
+                target="node-0",
+            )
+        )
+        handle = h.server.open_session()
+        h.run(handle, DRILL_QUERIES[2])
+        assert h.router.fallbacks == 1
+        assert h.router.retirements == 1
+        assert h.router.active is None
+        assert burst.state == "retired"
+        assert (
+            h.svc.clusters[burst.cluster_id].state is ClusterState.DELETED
+        )
+
+        # More queries keep flowing on main afterwards.
+        h.run(handle, DRILL_QUERIES[1])
+        handle.close()
+
+        success, col = h.assert_no_lost_or_duplicated()
+        # The crashed query appears exactly once, recorded on main.
+        crashed = [
+            r
+            for r in success
+            if r[col["querytxt"]] == _canonical(DRILL_QUERIES[2])
+        ]
+        assert [r[col["routed_to"]] for r in crashed] == ["main"]
+        # And stv_burst_clusters tells the story through SQL.
+        rows = h.server.execute(
+            "SELECT cluster_id, state, fallbacks FROM stv_burst_clusters"
+        ).rows
+        assert rows == [(burst.cluster_id, "retired", 1)]
+        h.server.shutdown()

@@ -1,0 +1,139 @@
+"""SlotGate held-slot accounting under worker death and early close.
+
+The audit the burst PR asked for: a ``ServerSession`` worker that dies
+on an *unexpected* (non-query) exception, or is closed with futures
+still queued, must never strand WLM slots or ghost rows in
+``stv_sessions``. No leak was found — the worker's ``finally`` releases
+held slots on every exit path and ``close`` drains the FIFO before the
+sentinel — so these tests stand as the guard that keeps it that way.
+"""
+
+import threading
+
+import pytest
+
+from repro import Cluster
+from repro.engine.wlm import QueueConfig
+from repro.server import ClusterServer, ServerConfig
+
+
+@pytest.fixture
+def tight_server(cluster):
+    server = ClusterServer(
+        cluster,
+        ServerConfig(
+            queues=(QueueConfig("default", slots=2, memory_fraction=1.0),)
+        ),
+    )
+    yield server
+    server.shutdown()
+
+
+def _gate_free_slots(gate, cap):
+    """How many slots are immediately acquirable (restored afterwards)."""
+    got = 0
+    for _ in range(cap):
+        if gate._slots.acquire(blocking=False):
+            got += 1
+        else:
+            break
+    for _ in range(got):
+        gate._slots.release()
+    return got
+
+
+class TestWorkerDeath:
+    def test_unexpected_exception_mid_admission_releases_slots(
+        self, tight_server
+    ):
+        """A statement that admits (holding real slots) and then blows
+        up with a non-Repro exception must return its slots and leave
+        the session serviceable."""
+        handle = tight_server.open_session()
+        gate = handle._gate
+        real_execute = handle.session.execute
+
+        def exploding_execute(sql):
+            gate.admit("boom")  # the statement holds a real slot...
+            raise RuntimeError("worker dies unexpectedly")
+
+        handle.session.execute = exploding_execute
+        with pytest.raises(RuntimeError):
+            handle.execute("SELECT 1")
+
+        assert _gate_free_slots(gate, gate.config.slots) == gate.config.slots
+        assert gate.waiting == 0
+        # The worker survived, the session still serves queries...
+        handle.session.execute = real_execute
+        assert handle.execute("SELECT 1").rows == [(1,)]
+        # ...and stv_sessions reflects a live, idle session.
+        rows = tight_server.session_rows()
+        assert [r[0] for r in rows] == [handle.session_id]
+        assert rows[0][3] == "idle"
+        handle.close()
+        assert tight_server.session_rows() == []
+
+    def test_double_admission_fully_released_after_failure(
+        self, tight_server
+    ):
+        """Statements may admit more than once (INSERT ... SELECT);
+        every held slot must come back when the statement fails."""
+        handle = tight_server.open_session()
+        gate = handle._gate
+
+        def greedy_execute(sql):
+            gate.admit("first")
+            gate.admit("second")
+            raise RuntimeError("died holding two slots")
+
+        handle.session.execute = greedy_execute
+        with pytest.raises(RuntimeError):
+            handle.execute("SELECT 1")
+        assert _gate_free_slots(gate, gate.config.slots) == gate.config.slots
+        handle.close()
+
+
+class TestCloseWithQueuedWork:
+    def test_close_resolves_queued_futures_with_balanced_slots(
+        self, tight_server
+    ):
+        """Close puts the sentinel *behind* queued statements: they all
+        execute (or error) through their futures, and the gate ends
+        with every slot free."""
+        handle = tight_server.open_session()
+        gate = handle._gate
+        release = threading.Event()
+        real_execute = handle.session.execute
+
+        def slow_execute(sql):
+            release.wait(timeout=10.0)
+            return real_execute(sql)
+
+        handle.session.execute = slow_execute
+        futures = [handle.submit("SELECT 1") for _ in range(5)]
+
+        closer = threading.Thread(target=handle.close)
+        closer.start()
+        release.set()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+
+        for future in futures:
+            assert future.result(timeout=1.0).rows == [(1,)]
+        assert _gate_free_slots(gate, gate.config.slots) == gate.config.slots
+        assert gate.waiting == 0
+        assert tight_server.session_rows() == []
+
+    def test_close_with_failing_queued_statements(self, tight_server):
+        handle = tight_server.open_session()
+        gate = handle._gate
+        futures = [
+            handle.submit("SELECT no_such_column FROM nowhere")
+            for _ in range(3)
+        ]
+        handle.close()
+        for future in futures:
+            with pytest.raises(Exception):
+                future.result(timeout=1.0)
+        assert _gate_free_slots(gate, gate.config.slots) == gate.config.slots
+        assert gate.waiting == 0
